@@ -1,0 +1,37 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Every benchmark writes its rendered table to ``benchmarks/results/`` in
+addition to stdout, so a bench run leaves a reviewable artifact of the
+regenerated evaluation section.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """emit(figure_id, text): print and persist a figure's output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(figure_id: str, text: str) -> None:
+        print(text)
+        path = RESULTS_DIR / f"{figure_id}.txt"
+        with open(path, "a") as handle:
+            handle.write(text + "\n")
+
+    # Fresh files per session are handled by truncating on first use.
+    _emit.seen = set()
+
+    def emit_once(figure_id: str, text: str) -> None:
+        if figure_id not in _emit.seen:
+            _emit.seen.add(figure_id)
+            path = RESULTS_DIR / f"{figure_id}.txt"
+            if path.exists():
+                path.unlink()
+        _emit(figure_id, text)
+
+    return emit_once

@@ -1,0 +1,183 @@
+"""Figure 8: effect of summarization and remote writes for reducible methods.
+
+Paper: three reducible CRDTs (Counter, LWW, GSet-by-union) under 25/15/5%
+update ratios across 3-7 nodes.  Findings to reproduce:
+
+- Fig 8(a): Hamband's throughput *increases* with node count and with
+  lower update ratios; Mu's does not (single leader); Hamband beats MSG
+  by ~18x and Mu by ~4x.
+- Fig 8(b): on 4 nodes, Hamband's response time is ~20x below MSG and in
+  the same regime as Mu; lower update ratios lower response times
+  across the board.
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentConfig,
+    fig_header,
+    ratio_line,
+    run_experiment,
+    series_table,
+)
+
+DATATYPES = ["counter", "lww", "gset_union"]
+SYSTEMS = ["hamband", "mu", "msg"]
+RATIOS = [0.25, 0.15, 0.05]
+NODE_COUNTS = [3, 5, 7]
+OPS = 900
+
+
+def _tput(result):
+    return result.throughput_ops_per_us
+
+
+class TestFig08a:
+    def test_fig08a_throughput(self, benchmark, emit):
+        def run():
+            per_type = {
+                (system, datatype): run_experiment(
+                    ExperimentConfig(
+                        system=system,
+                        workload=datatype,
+                        n_nodes=4,
+                        total_ops=OPS,
+                        update_ratio=0.25,
+                    )
+                )
+                for system in SYSTEMS
+                for datatype in DATATYPES
+            }
+            node_sweep = {
+                (system, n): run_experiment(
+                    ExperimentConfig(
+                        system=system,
+                        workload="counter",
+                        n_nodes=n,
+                        total_ops=OPS,
+                        update_ratio=0.25,
+                    )
+                )
+                for system in SYSTEMS
+                for n in NODE_COUNTS
+            }
+            ratio_sweep = {
+                (system, ratio): run_experiment(
+                    ExperimentConfig(
+                        system=system,
+                        workload="counter",
+                        n_nodes=4,
+                        total_ops=OPS,
+                        update_ratio=ratio,
+                    )
+                )
+                for system in SYSTEMS
+                for ratio in RATIOS
+            }
+            return per_type, node_sweep, ratio_sweep
+
+        per_type, node_sweep, ratio_sweep = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+
+        emit("fig08", fig_header(
+            "Figure 8(a)",
+            "throughput of reducible methods (Counter/LWW/GSet-union)",
+        ))
+        emit("fig08", series_table(
+            "per datatype, 4 nodes, 25% updates",
+            [
+                (f"{s}/{d}", per_type[(s, d)])
+                for s in SYSTEMS
+                for d in DATATYPES
+            ],
+        ))
+        emit("fig08", series_table(
+            "counter: node sweep at 25% updates",
+            [
+                (f"{s}/n={n}", node_sweep[(s, n)])
+                for s in SYSTEMS
+                for n in NODE_COUNTS
+            ],
+        ))
+        emit("fig08", series_table(
+            "counter: update-ratio sweep on 4 nodes",
+            [
+                (f"{s}/{int(r * 100)}%", ratio_sweep[(s, r)])
+                for s in SYSTEMS
+                for r in RATIOS
+            ],
+        ))
+        ham7 = node_sweep[("hamband", 7)]
+        emit("fig08", ratio_line(
+            "hamband vs msg throughput (7 nodes)", ham7, node_sweep[("msg", 7)]
+        ))
+        emit("fig08", ratio_line(
+            "hamband vs mu throughput (7 nodes)", ham7, node_sweep[("mu", 7)]
+        ))
+
+        # Paper claim: Hamband beats both baselines on every datatype.
+        for datatype in DATATYPES:
+            assert (
+                _tput(per_type[("hamband", datatype)])
+                > _tput(per_type[("mu", datatype)])
+                > _tput(per_type[("msg", datatype)])
+            ), f"ordering violated for {datatype}"
+        # Paper claim: Hamband's throughput grows with node count...
+        hamband_by_n = [_tput(node_sweep[("hamband", n)]) for n in NODE_COUNTS]
+        assert hamband_by_n == sorted(hamband_by_n)
+        # ...while Mu's does not grow (single serializing leader).
+        mu_by_n = [_tput(node_sweep[("mu", n)]) for n in NODE_COUNTS]
+        assert mu_by_n[-1] <= mu_by_n[0] * 1.2
+        # Paper claim: lower update ratio -> higher Hamband throughput.
+        hamband_by_ratio = [
+            _tput(ratio_sweep[("hamband", r)]) for r in RATIOS
+        ]
+        assert hamband_by_ratio == sorted(hamband_by_ratio)
+        # Paper magnitudes (shape, generous bands): ~18.4x MSG, ~4.1x Mu.
+        assert _tput(ham7) / _tput(node_sweep[("msg", 7)]) > 8
+        assert _tput(ham7) / _tput(node_sweep[("mu", 7)]) > 2
+
+    def test_fig08b_response_time(self, benchmark, emit):
+        def run():
+            return {
+                (system, ratio): run_experiment(
+                    ExperimentConfig(
+                        system=system,
+                        workload="counter",
+                        n_nodes=4,
+                        total_ops=OPS,
+                        update_ratio=ratio,
+                    )
+                )
+                for system in SYSTEMS
+                for ratio in RATIOS
+            }
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        emit("fig08", fig_header(
+            "Figure 8(b)", "response time of reducible methods, 4 nodes"
+        ))
+        emit("fig08", series_table(
+            "counter response time by update ratio",
+            [
+                (f"{s}/{int(r * 100)}%", results[(s, r)])
+                for s in SYSTEMS
+                for r in RATIOS
+            ],
+        ))
+        hamband = results[("hamband", 0.25)]
+        mu = results[("mu", 0.25)]
+        msg = results[("msg", 0.25)]
+        emit("fig08", ratio_line(
+            "msg vs hamband response time", msg, hamband, metric="latency"
+        ))
+        # Paper claims: ~21x below MSG; same regime as Mu.
+        assert msg.mean_response_us > 8 * hamband.mean_response_us
+        assert mu.mean_response_us < 12 * hamband.mean_response_us
+        # Lower update ratios lower response times across the board.
+        for system in SYSTEMS:
+            by_ratio = [
+                results[(system, r)].mean_response_us for r in RATIOS
+            ]
+            assert by_ratio == sorted(by_ratio, reverse=True)

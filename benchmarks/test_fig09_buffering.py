@@ -1,0 +1,179 @@
+"""Figure 9: effect of remote buffering for irreducible conflict-free methods.
+
+Paper: ORSet, GSet, and Shopping Cart propagated through F buffers
+(single-writer rings) rather than summaries.  Findings to reproduce:
+
+- Fig 9(a): Hamband ~17x MSG and ~3x Mu throughput.
+- Fig 9(b): response times ~24x below MSG, same regime as Mu.
+- The gains are smaller than Figure 8's because receivers must iterate
+  and apply buffered calls (the GSet-with-buffers variant quantifies
+  the delta against its summarized twin).
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentConfig,
+    fig_header,
+    ratio_line,
+    run_experiment,
+    series_table,
+)
+
+DATATYPES = ["orset", "gset", "cart"]
+SYSTEMS = ["hamband", "mu", "msg"]
+RATIOS = [0.25, 0.15, 0.05]
+OPS = 900
+
+
+def _tput(result):
+    return result.throughput_ops_per_us
+
+
+class TestFig09:
+    def test_fig09a_throughput(self, benchmark, emit):
+        def run():
+            per_type = {
+                (system, datatype): run_experiment(
+                    ExperimentConfig(
+                        system=system,
+                        workload=datatype,
+                        n_nodes=4,
+                        total_ops=OPS,
+                        update_ratio=0.25,
+                    )
+                )
+                for system in SYSTEMS
+                for datatype in DATATYPES
+            }
+            ratio_sweep = {
+                (system, ratio): run_experiment(
+                    ExperimentConfig(
+                        system=system,
+                        workload="orset",
+                        n_nodes=4,
+                        total_ops=OPS,
+                        update_ratio=ratio,
+                    )
+                )
+                for system in SYSTEMS
+                for ratio in RATIOS
+            }
+            return per_type, ratio_sweep
+
+        per_type, ratio_sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+        emit("fig09", fig_header(
+            "Figure 9(a)",
+            "throughput of irreducible conflict-free methods "
+            "(ORSet/GSet/Cart)",
+        ))
+        emit("fig09", series_table(
+            "per datatype, 4 nodes, 25% updates",
+            [
+                (f"{s}/{d}", per_type[(s, d)])
+                for s in SYSTEMS
+                for d in DATATYPES
+            ],
+        ))
+        emit("fig09", series_table(
+            "orset: update-ratio sweep on 4 nodes",
+            [
+                (f"{s}/{int(r * 100)}%", ratio_sweep[(s, r)])
+                for s in SYSTEMS
+                for r in RATIOS
+            ],
+        ))
+        hamband = per_type[("hamband", "orset")]
+        emit("fig09", ratio_line(
+            "hamband vs msg throughput (orset)",
+            hamband,
+            per_type[("msg", "orset")],
+        ))
+        emit("fig09", ratio_line(
+            "hamband vs mu throughput (orset)",
+            hamband,
+            per_type[("mu", "orset")],
+        ))
+        for datatype in DATATYPES:
+            assert (
+                _tput(per_type[("hamband", datatype)])
+                > _tput(per_type[("mu", datatype)])
+                > _tput(per_type[("msg", datatype)])
+            ), f"ordering violated for {datatype}"
+        assert _tput(hamband) / _tput(per_type[("msg", "orset")]) > 8
+        assert _tput(hamband) / _tput(per_type[("mu", "orset")]) > 1.5
+
+    def test_fig09b_response_time(self, benchmark, emit):
+        def run():
+            return {
+                system: run_experiment(
+                    ExperimentConfig(
+                        system=system,
+                        workload="orset",
+                        n_nodes=4,
+                        total_ops=OPS,
+                        update_ratio=0.25,
+                    )
+                )
+                for system in SYSTEMS
+            }
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        emit("fig09", fig_header(
+            "Figure 9(b)",
+            "response time of irreducible conflict-free methods, 4 nodes",
+        ))
+        emit("fig09", series_table(
+            "orset response time",
+            [(s, results[s]) for s in SYSTEMS],
+        ))
+        emit("fig09", ratio_line(
+            "msg vs hamband response time",
+            results["msg"],
+            results["hamband"],
+            metric="latency",
+        ))
+        assert (
+            results["msg"].mean_response_us
+            > 8 * results["hamband"].mean_response_us
+        )
+        assert (
+            results["mu"].mean_response_us
+            < 12 * results["hamband"].mean_response_us
+        )
+
+    def test_fig09_buffered_vs_summarized_gset(self, benchmark, emit):
+        """The paper's aside: the same GSet via buffers loses to the
+        summarized variant (reduction saves remote iteration)."""
+
+        def run():
+            summarized = run_experiment(
+                ExperimentConfig(
+                    system="hamband",
+                    workload="gset_union",
+                    n_nodes=4,
+                    total_ops=OPS,
+                    update_ratio=0.25,
+                )
+            )
+            buffered = run_experiment(
+                ExperimentConfig(
+                    system="hamband",
+                    workload="gset_union",
+                    n_nodes=4,
+                    total_ops=OPS,
+                    update_ratio=0.25,
+                    force_buffered=True,
+                )
+            )
+            return summarized, buffered
+
+        summarized, buffered = benchmark.pedantic(run, rounds=1, iterations=1)
+        emit("fig09", series_table(
+            "GSet: summaries vs forced buffers (hamband)",
+            [("summarized", summarized), ("buffered", buffered)],
+        ))
+        assert (
+            summarized.throughput_ops_per_us
+            >= 0.95 * buffered.throughput_ops_per_us
+        )

@@ -1,0 +1,73 @@
+"""Figure 10: effect of separate synchronization groups (movie schema).
+
+Paper: the movie schema's four methods form two synchronization groups;
+Hamband runs one leader per group while Mu funnels everything through a
+single leader.  Findings to reproduce on 4 nodes at 2/4/8M update ops
+(scaled to simulator sizes):
+
+- Fig 10(a): Hamband's throughput is 1.4-1.8x Mu's, approaching the
+  2x theoretical limit of two leaders.
+- Fig 10(b): response times are statistically indistinguishable (the
+  per-call work of a leader does not depend on the leader count).
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentConfig,
+    fig_header,
+    ratio_line,
+    run_experiment,
+    series_table,
+)
+
+OP_COUNTS = [600, 1200, 2400]  # the paper's 2/4/8M, scaled
+
+
+class TestFig10:
+    def test_fig10_two_leaders_vs_one(self, benchmark, emit):
+        def run():
+            return {
+                (system, ops): run_experiment(
+                    ExperimentConfig(
+                        system=system,
+                        workload="movie",
+                        n_nodes=4,
+                        total_ops=ops,
+                        update_ratio=1.0,  # pure update workload
+                    )
+                )
+                for system in ("hamband", "mu")
+                for ops in OP_COUNTS
+            }
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        emit("fig10", fig_header(
+            "Figure 10",
+            "synchronization groups: movie schema, 2 leaders vs 1, 4 nodes",
+        ))
+        emit("fig10", series_table(
+            "throughput and response time by op count",
+            [
+                (f"{s}/{ops} ops", results[(s, ops)])
+                for s in ("hamband", "mu")
+                for ops in OP_COUNTS
+            ],
+        ))
+        for ops in OP_COUNTS:
+            hamband, mu = results[("hamband", ops)], results[("mu", ops)]
+            emit("fig10", ratio_line(
+                f"hamband vs mu throughput ({ops} ops)", hamband, mu
+            ))
+            ratio = (
+                hamband.throughput_ops_per_us / mu.throughput_ops_per_us
+            )
+            # Paper band: 1.4x-1.8x, theoretical limit 2x.
+            assert 1.2 < ratio <= 2.2, f"ratio {ratio:.2f} out of band"
+            # Fig 10(b): response times in the same regime.
+            assert (
+                hamband.mean_response_us < 3 * mu.mean_response_us
+            )
+            assert (
+                mu.mean_response_us < 3 * hamband.mean_response_us
+            )

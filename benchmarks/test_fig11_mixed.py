@@ -1,0 +1,113 @@
+"""Figure 11: mix of categories (project-management schema).
+
+Paper: the project-management schema has conflicting methods
+(addProject/deleteProject/worksOn, one group), a reducible method
+(addEmployee), and a query.  Findings to reproduce on 4 nodes with
+50/25/10% update ratios:
+
+- Fig 11(a): Hamband's throughput exceeds Mu's (up to ~21% in the
+  paper) because the conflict-free share bypasses the leader.
+- Fig 11(b): per-method response times match across methods except
+  worksOn, which is higher — it depends on addProject and addEmployee
+  calls and has to wait for them to be delivered.
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentConfig,
+    fig_header,
+    per_method_table,
+    ratio_line,
+    run_experiment,
+    series_table,
+)
+
+RATIOS = [0.5, 0.25, 0.10]
+OPS = 1000
+
+
+class TestFig11:
+    def test_fig11a_throughput(self, benchmark, emit):
+        def run():
+            return {
+                (system, ratio): run_experiment(
+                    ExperimentConfig(
+                        system=system,
+                        workload="project_mgmt",
+                        n_nodes=4,
+                        total_ops=OPS,
+                        update_ratio=ratio,
+                    )
+                )
+                for system in ("hamband", "mu")
+                for ratio in RATIOS
+            }
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        emit("fig11", fig_header(
+            "Figure 11(a)",
+            "mixed categories: project management, Hamband vs Mu, 4 nodes",
+        ))
+        emit("fig11", series_table(
+            "throughput by update ratio",
+            [
+                (f"{s}/{int(r * 100)}%", results[(s, r)])
+                for s in ("hamband", "mu")
+                for r in RATIOS
+            ],
+        ))
+        for ratio in RATIOS:
+            hamband = results[("hamband", ratio)]
+            mu = results[("mu", ratio)]
+            emit("fig11", ratio_line(
+                f"hamband vs mu throughput ({int(ratio * 100)}% updates)",
+                hamband,
+                mu,
+            ))
+            assert (
+                hamband.throughput_ops_per_us
+                > mu.throughput_ops_per_us
+            ), f"hamband must beat mu at {ratio}"
+
+    def test_fig11b_per_method_response(self, benchmark, emit):
+        def run():
+            return {
+                system: run_experiment(
+                    ExperimentConfig(
+                        system=system,
+                        workload="project_mgmt",
+                        n_nodes=4,
+                        total_ops=1400,
+                        update_ratio=0.5,
+                    )
+                )
+                for system in ("hamband", "mu")
+            }
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        methods = [
+            "addProject",
+            "deleteProject",
+            "addEmployee",
+            "worksOn",
+            "query",
+        ]
+        emit("fig11", fig_header(
+            "Figure 11(b)", "per-method response time (50% updates)"
+        ))
+        for system in ("hamband", "mu"):
+            emit("fig11", per_method_table(
+                f"{system} per-method response", results[system], methods
+            ))
+        hamband = results["hamband"]
+        works_on = hamband.method_mean("worksOn")
+        add_employee = hamband.method_mean("addEmployee")
+        # Paper claim: worksOn is the outlier — it waits for the
+        # addProject/addEmployee calls it depends on.
+        assert works_on > 1.5 * add_employee
+        # The reducible addEmployee responds at one-sided-write speed,
+        # well below any conflicting method's consensus latency.
+        assert add_employee < hamband.method_mean("addProject")
+        # Queries are local everywhere.
+        assert hamband.method_mean("query") < add_employee

@@ -1,0 +1,125 @@
+"""Figure 13: effect of failure on the courseware use-case.
+
+Paper: courseware mixes conflicting methods (addCourse, deleteCourse,
+enroll — one synchronization group through Mu) with the conflict-free
+registerStudent.  Three scenarios on 4 nodes:
+
+- normal execution (baseline),
+- follower failure: ~6% throughput impact,
+- leader failure: throughput drops sharply (~53% in the paper) while
+  the leader-change protocol elects a successor; per-method response
+  times show the split — registerStudent is barely affected, while the
+  conflicting methods roughly double.
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentConfig,
+    fig_header,
+    per_method_table,
+    run_experiment,
+    series_table,
+)
+
+OPS = 1200
+CONFLICTING = ["addCourse", "deleteCourse", "enroll"]
+
+
+def _scenario(fail_node):
+    return run_experiment(
+        ExperimentConfig(
+            system="hamband",
+            workload="courseware",
+            n_nodes=4,
+            total_ops=OPS,
+            update_ratio=0.5,
+            fail_node=fail_node,
+            fail_at_fraction=0.3,
+            conf_retry_limit=400,
+        )
+    )
+
+
+def _leader_and_follower():
+    """The default leader assignment puts the courseware group on p1."""
+    from repro.core import Coordination
+    from repro.datatypes import courseware_spec
+
+    coordination = Coordination.analyze(courseware_spec())
+    leaders = coordination.conflict_graph.assign_leaders(
+        ["p1", "p2", "p3", "p4"]
+    )
+    leader = next(iter(leaders.values()))
+    follower = next(n for n in ["p1", "p2", "p3", "p4"] if n != leader)
+    return leader, follower
+
+
+class TestFig13:
+    def test_fig13a_throughput(self, benchmark, emit):
+        leader, follower = _leader_and_follower()
+
+        def run():
+            return {
+                "normal": _scenario(None),
+                "follower-fail": _scenario(follower),
+                "leader-fail": _scenario(leader),
+            }
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        emit("fig13", fig_header(
+            "Figure 13(a)", "courseware throughput under failures, 4 nodes"
+        ))
+        emit("fig13", series_table(
+            "scenarios",
+            [(name, results[name]) for name in
+             ("normal", "follower-fail", "leader-fail")],
+        ))
+        normal = results["normal"].throughput_ops_per_us
+        follower_tput = results["follower-fail"].throughput_ops_per_us
+        leader_tput = results["leader-fail"].throughput_ops_per_us
+        emit("fig13", (
+            f"follower failure impact: {(1 - follower_tput / normal) * 100:.1f}%"
+        ))
+        emit("fig13", (
+            f"leader failure impact: {(1 - leader_tput / normal) * 100:.1f}%"
+        ))
+        # Paper: follower failure is gracefully tolerated (~6%)...
+        assert follower_tput > 0.55 * normal
+        # ...while leader failure pays for the leader-change protocol.
+        assert leader_tput < follower_tput
+
+    def test_fig13b_per_method_response(self, benchmark, emit):
+        leader, _follower = _leader_and_follower()
+
+        def run():
+            return {
+                "normal": _scenario(None),
+                "leader-fail": _scenario(leader),
+            }
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        emit("fig13", fig_header(
+            "Figure 13(b)", "courseware per-method response under failure"
+        ))
+        for name in ("normal", "leader-fail"):
+            emit("fig13", per_method_table(
+                f"scenario: {name}",
+                results[name],
+                methods=CONFLICTING + ["registerStudent", "query"],
+            ))
+        normal, failed = results["normal"], results["leader-fail"]
+        # Paper claim: the conflict-free registerStudent barely changes...
+        register_ratio = (
+            failed.method_mean("registerStudent")
+            / max(normal.method_mean("registerStudent"), 1e-9)
+        )
+        assert register_ratio < 2.0
+        # ...while conflicting methods wait out the leader change.
+        conflicting_normal = sum(
+            normal.method_mean(m) for m in CONFLICTING
+        )
+        conflicting_failed = sum(
+            failed.method_mean(m) for m in CONFLICTING
+        )
+        assert conflicting_failed > 1.2 * conflicting_normal

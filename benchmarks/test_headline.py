@@ -1,0 +1,112 @@
+"""The paper's §5 headline aggregates.
+
+"When there is no conflict, Hamband delivers on average 17.7x and 3.7x
+higher throughput than message-passing CRDTs and Mu SMR respectively.
+Even when there are conflicting calls, it delivers 1.7x higher
+throughput than Mu SMR.  ...  Hamband shows 23x lower average response
+time than message-passing CRDTs and almost the same response time for
+Mu SMR."
+
+This benchmark recomputes the aggregates over the same use-case pool as
+Figures 8 and 9 (reducible + irreducible conflict-free) plus the
+conflicting account workload, and checks the ordering-and-magnitude
+shape with generous bands.
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench import ExperimentConfig, fig_header, run_experiment
+
+CONFLICT_FREE = ["counter", "lww", "gset_union", "orset", "gset", "cart"]
+OPS = 800
+
+
+def _tput(system, workload, update_ratio=0.25, **kwargs):
+    return run_experiment(
+        ExperimentConfig(
+            system=system,
+            workload=workload,
+            n_nodes=4,
+            total_ops=OPS,
+            update_ratio=update_ratio,
+            **kwargs,
+        )
+    )
+
+
+class TestHeadline:
+    def test_headline_aggregates(self, benchmark, emit):
+        def run():
+            results = {}
+            for workload in CONFLICT_FREE:
+                for system in ("hamband", "mu", "msg"):
+                    results[(system, workload)] = _tput(system, workload)
+            for system in ("hamband", "mu"):
+                # The paper's conflicting-calls comparison (its Fig. 10
+                # setting): a pure-update workload on a schema whose
+                # methods are all conflicting.
+                results[(system, "movie")] = _tput(
+                    system, "movie", update_ratio=1.0
+                )
+            return results
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+        msg_tput_ratios = []
+        mu_tput_ratios = []
+        msg_rt_ratios = []
+        mu_rt_ratios = []
+        for workload in CONFLICT_FREE:
+            hamband = results[("hamband", workload)]
+            mu = results[("mu", workload)]
+            msg = results[("msg", workload)]
+            msg_tput_ratios.append(
+                hamband.throughput_ops_per_us / msg.throughput_ops_per_us
+            )
+            mu_tput_ratios.append(
+                hamband.throughput_ops_per_us / mu.throughput_ops_per_us
+            )
+            msg_rt_ratios.append(
+                msg.mean_response_us / hamband.mean_response_us
+            )
+            mu_rt_ratios.append(
+                mu.mean_response_us / hamband.mean_response_us
+            )
+        conflict_ratio = (
+            results[("hamband", "movie")].throughput_ops_per_us
+            / results[("mu", "movie")].throughput_ops_per_us
+        )
+
+        emit("headline", fig_header(
+            "Headline (§5)", "aggregate factors vs the paper's claims"
+        ))
+        emit("headline", (
+            f"conflict-free throughput vs MSG : "
+            f"{statistics.mean(msg_tput_ratios):6.1f}x   (paper: 17.7x)"
+        ))
+        emit("headline", (
+            f"conflict-free throughput vs Mu  : "
+            f"{statistics.mean(mu_tput_ratios):6.1f}x   (paper:  3.7x)"
+        ))
+        emit("headline", (
+            f"conflicting  throughput vs Mu  : "
+            f"{conflict_ratio:6.1f}x   (paper:  1.7x)"
+        ))
+        emit("headline", (
+            f"conflict-free response vs MSG  : "
+            f"{statistics.mean(msg_rt_ratios):6.1f}x lower (paper: 23x)"
+        ))
+        emit("headline", (
+            f"conflict-free response vs Mu   : "
+            f"{statistics.mean(mu_rt_ratios):6.1f}x (paper: ~1x, same regime)"
+        ))
+
+        # Shape assertions with generous bands around the paper's numbers.
+        assert statistics.mean(msg_tput_ratios) > 8
+        assert statistics.mean(mu_tput_ratios) > 1.8
+        assert conflict_ratio > 1.1
+        assert statistics.mean(msg_rt_ratios) > 8
+        # "Almost the same" response time as Mu: within a small factor.
+        assert statistics.mean(mu_rt_ratios) < 12

@@ -1,0 +1,86 @@
+"""Extension: open-loop latency-vs-load curves (not a paper figure).
+
+The paper's harness is closed-loop; this extension sweeps Poisson
+offered load and locates each system's saturation knee, following the
+methodology of the Odyssey comparison the paper cites.  The expected
+shape: Hamband sustains an order of magnitude more offered load than
+the message-passing baseline before its latency departs from the
+unloaded value, with Mu in between (its knee is the single leader's
+pipeline).
+"""
+
+import pytest
+
+from repro.bench import fig_header, series_table
+from repro.msgpass import MsgCrdtCluster
+from repro.runtime import HambandCluster
+from repro.datatypes import counter_spec
+from repro.sim import Environment
+from repro.smr import SmrCluster
+from repro.workload import OpenLoopConfig, run_open_loop
+
+LOADS = {
+    "hamband": [2.0, 8.0, 16.0, 24.0],
+    "mu": [0.5, 2.0, 4.0, 8.0],
+    "msg": [0.1, 0.3, 0.6, 1.2],
+}
+
+
+def _cluster(system, env):
+    if system == "hamband":
+        return HambandCluster.build(env, counter_spec(), n_nodes=4)
+    if system == "mu":
+        return SmrCluster.build_smr(env, counter_spec(), n_nodes=4)
+    return MsgCrdtCluster(env, counter_spec(), 4)
+
+
+def _run(system, load):
+    env = Environment()
+    cluster = _cluster(system, env)
+    return run_open_loop(
+        env,
+        cluster,
+        OpenLoopConfig(
+            workload="counter",
+            offered_load_ops_per_us=load,
+            duration_us=1200,
+            update_ratio=0.25,
+            system_label=system,
+        ),
+    )
+
+
+class TestSaturation:
+    def test_latency_vs_offered_load(self, benchmark, emit):
+        def run():
+            return {
+                (system, load): _run(system, load)
+                for system, loads in LOADS.items()
+                for load in loads
+            }
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        emit("saturation", fig_header(
+            "Extension", "open-loop latency vs offered load (counter)"
+        ))
+        emit("saturation", series_table(
+            "achieved throughput and latency by offered load",
+            [
+                (f"{system}@{load}ops/us", results[(system, load)])
+                for system, loads in LOADS.items()
+                for load in loads
+            ],
+        ))
+        # Each system keeps up with its lowest offered load...
+        for system, loads in LOADS.items():
+            lightest = results[(system, loads[0])]
+            assert lightest.throughput_ops_per_us > 0.7 * loads[0]
+        # ...and Hamband sustains far more load at low latency than MSG.
+        hamband_heavy = results[("hamband", 16.0)]
+        msg_light = results[("msg", 0.3)]
+        assert hamband_heavy.mean_response_us < msg_light.mean_response_us
+        # Overload shows up as latency growth for the leader-bound Mu.
+        mu_curve = [
+            results[("mu", load)].mean_response_us for load in LOADS["mu"]
+        ]
+        assert mu_curve[-1] > mu_curve[0]

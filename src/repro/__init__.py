@@ -1,0 +1,19 @@
+"""Hamband: RDMA replicated data types (PLDI 2022) — reproduction.
+
+Package map:
+
+- :mod:`repro.sim` — discrete-event simulation engine,
+- :mod:`repro.rdma` — simulated RDMA verbs substrate,
+- :mod:`repro.core` — object specs, coordination analysis, the abstract
+  (Figure 5) and concrete (Figure 7) operational semantics, refinement,
+- :mod:`repro.runtime` — the Hamband system (paper §4),
+- :mod:`repro.consensus` — Mu-style consensus per synchronization group,
+- :mod:`repro.smr` / :mod:`repro.msgpass` — the paper's two baselines,
+- :mod:`repro.datatypes` — the benchmarked CRDTs and schemas,
+- :mod:`repro.workload` / :mod:`repro.bench` — drivers and the
+  per-figure benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

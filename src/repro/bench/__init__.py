@@ -1,0 +1,20 @@
+"""Benchmark harness shared by benchmarks/ (one module per figure)."""
+
+from .report import fig_header, per_method_table, ratio_line, series_table
+from .runner import (
+    ExperimentConfig,
+    average_results,
+    run_averaged,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "average_results",
+    "fig_header",
+    "per_method_table",
+    "ratio_line",
+    "run_averaged",
+    "run_experiment",
+    "series_table",
+]

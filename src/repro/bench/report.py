@@ -1,0 +1,60 @@
+"""Table/series rendering for the benchmark harness.
+
+Each benchmark prints the rows/series the corresponding paper figure
+plots, so ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+evaluation section in text form; EXPERIMENTS.md records one captured
+copy next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..workload import RunResult
+
+__all__ = ["fig_header", "series_table", "per_method_table", "ratio_line"]
+
+
+def fig_header(figure: str, caption: str) -> str:
+    bar = "=" * 72
+    return f"\n{bar}\n{figure}: {caption}\n{bar}"
+
+
+def series_table(title: str, rows: list[tuple[str, RunResult]],
+                 metric: str = "throughput") -> str:
+    """One line per configuration: label -> tput and response time."""
+    lines = [f"\n-- {title} --"]
+    lines.append(
+        f"{'config':34s} {'tput (ops/us)':>14s} {'mean rt (us)':>13s} "
+        f"{'p95 rt (us)':>12s}"
+    )
+    for label, result in rows:
+        lines.append(
+            f"{label:34s} {result.throughput_ops_per_us:14.3f} "
+            f"{result.mean_response_us:13.3f} {result.latency.p95:12.3f}"
+        )
+    return "\n".join(lines)
+
+
+def per_method_table(title: str, result: RunResult,
+                     methods: Optional[list[str]] = None) -> str:
+    lines = [f"\n-- {title} --"]
+    lines.append(f"{'method':20s} {'mean rt (us)':>13s} {'count':>7s}")
+    for method in methods or sorted(result.per_method):
+        series = result.per_method.get(method)
+        if series is None or series.count == 0:
+            continue
+        lines.append(f"{method:20s} {series.mean:13.3f} {series.count:7d}")
+    return "\n".join(lines)
+
+
+def ratio_line(name: str, numerator: RunResult, denominator: RunResult,
+               metric: str = "throughput") -> str:
+    if metric == "throughput":
+        a = numerator.throughput_ops_per_us
+        b = denominator.throughput_ops_per_us
+    else:
+        a = numerator.mean_response_us
+        b = denominator.mean_response_us
+    ratio = a / b if b else float("inf")
+    return f"{name}: {ratio:.2f}x"

@@ -1,0 +1,132 @@
+"""Experiment runner shared by every benchmark (one per paper figure).
+
+``run_experiment`` builds the requested system — ``hamband``, ``mu``
+(the SMR deployment), or ``msg`` (message-passing CRDTs) — over a fresh
+simulation environment, drives the configured workload, and returns the
+paper's metrics.  Repetition and averaging mirror the paper's "repeat
+each experiment 3 times and report the average".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from ..datatypes import SPEC_FACTORIES
+from ..datatypes.orset import orset_spec
+from ..msgpass import MsgCrdtCluster
+from ..runtime import HambandCluster, RuntimeConfig
+from ..sim import Environment
+from ..smr import SmrCluster
+from ..workload import DriverConfig, RunResult, run_workload
+
+__all__ = ["ExperimentConfig", "average_results", "run_experiment"]
+
+SYSTEMS = ("hamband", "mu", "msg")
+
+
+def _spec_factory(workload: str) -> Callable:
+    if workload == "orset":
+        return orset_spec
+    return SPEC_FACTORIES[workload]
+
+
+@dataclass
+class ExperimentConfig:
+    system: str  # hamband | mu | msg
+    workload: str  # generator / spec name
+    n_nodes: int = 4
+    total_ops: int = 1200
+    update_ratio: float = 0.25
+    seed: int = 1
+    #: Hamband-only: route reducible methods through F buffers (Fig. 9's
+    #: GSet-with-buffers variant).
+    force_buffered: bool = False
+    #: Heartbeat-suspend this node partway through the run.
+    fail_node: Optional[str] = None
+    fail_at_fraction: float = 0.3
+    #: Hamband-only: override leader placement (ablations).
+    leaders: Optional[dict[str, str]] = None
+    conf_retry_limit: int = 60
+    #: Hamband-only ablation: full causal barrier instead of projected
+    #: dependency arrays.
+    full_dep_barrier: bool = False
+
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    if config.system not in SYSTEMS:
+        raise ValueError(f"unknown system {config.system!r}")
+    env = Environment()
+    spec = _spec_factory(config.workload)()
+    if config.system == "hamband":
+        runtime_config = RuntimeConfig(
+            force_buffered=config.force_buffered,
+            conf_retry_limit=config.conf_retry_limit,
+            full_dep_barrier=config.full_dep_barrier,
+        )
+        cluster = HambandCluster.build(
+            env,
+            spec,
+            n_nodes=config.n_nodes,
+            config=runtime_config,
+            leaders=config.leaders,
+        )
+    elif config.system == "mu":
+        runtime_config = RuntimeConfig(
+            conf_retry_limit=config.conf_retry_limit
+        )
+        cluster = SmrCluster.build_smr(
+            env, spec, n_nodes=config.n_nodes, config=runtime_config
+        )
+    else:
+        cluster = MsgCrdtCluster(env, spec, config.n_nodes)
+    driver = DriverConfig(
+        workload=config.workload,
+        total_ops=config.total_ops,
+        update_ratio=config.update_ratio,
+        seed=config.seed,
+        system_label=config.system,
+        fail_node=config.fail_node,
+        fail_at_fraction=config.fail_at_fraction,
+    )
+    return run_workload(env, cluster, driver)
+
+
+def run_averaged(config: ExperimentConfig, repeats: int = 3) -> RunResult:
+    """The paper's protocol: repeat and average (distinct seeds)."""
+    results = [
+        run_experiment(replace(config, seed=config.seed + i))
+        for i in range(repeats)
+    ]
+    return average_results(results)
+
+
+def average_results(results: list[RunResult]) -> RunResult:
+    """Average throughput/latency across repeats (keeps first's shape)."""
+    if not results:
+        raise ValueError("no results to average")
+    base = results[0]
+    if len(results) == 1:
+        return base
+    merged_latency = type(base.latency)()
+    for result in results:
+        merged_latency.samples.extend(result.latency.samples)
+    merged_methods: dict = {}
+    for result in results:
+        for method, series in result.per_method.items():
+            merged_methods.setdefault(method, type(series)()).samples.extend(
+                series.samples
+            )
+    total_duration = sum(r.duration_us for r in results)
+    return type(base)(
+        system=base.system,
+        workload=base.workload,
+        n_nodes=base.n_nodes,
+        total_calls=sum(r.total_calls for r in results),
+        update_calls=sum(r.update_calls for r in results),
+        rejected_calls=sum(r.rejected_calls for r in results),
+        start_us=0.0,
+        replicated_us=total_duration,
+        latency=merged_latency,
+        per_method=merged_methods,
+    )

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list`` — the bundled data types and workloads.
+- ``analyze <datatype>`` — run the coordination analysis and print the
+  paper's Figure-1-style summary: relations, synchronization groups,
+  dependencies, and per-method categories.
+- ``run <workload>`` — drive one experiment (system, node count, ops,
+  update ratio configurable) and print the measured throughput and
+  response times.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hamband (PLDI 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled data types and workloads")
+
+    analyze = sub.add_parser(
+        "analyze", help="coordination analysis for a bundled data type"
+    )
+    analyze.add_argument("datatype")
+    analyze.add_argument("--seed", type=int, default=0)
+
+    explore = sub.add_parser(
+        "explore",
+        help="bounded exhaustive model-check of a data type's semantics",
+    )
+    explore.add_argument("datatype")
+    explore.add_argument("--requests", type=int, default=4)
+    explore.add_argument("--procs", type=int, default=2)
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument("--max-states", type=int, default=200_000)
+
+    run = sub.add_parser("run", help="drive one experiment")
+    run.add_argument("workload")
+    run.add_argument(
+        "--system",
+        choices=("hamband", "mu", "msg"),
+        default="hamband",
+    )
+    run.add_argument("--nodes", type=int, default=4)
+    run.add_argument("--ops", type=int, default=1200)
+    run.add_argument("--update-ratio", type=float, default=0.25)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--fail-node", default=None, help="suspend this node's heartbeat"
+    )
+    run.add_argument("--per-method", action="store_true")
+    return parser
+
+
+def _cmd_list() -> int:
+    from .datatypes import SPEC_FACTORIES
+    from .workload import GENERATOR_NAMES
+
+    print("data types:")
+    for name in sorted(SPEC_FACTORIES):
+        print(f"  {name}")
+    print("orset (via repro.datatypes.orset_spec)")
+    print("\nworkload generators:")
+    for name in GENERATOR_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .core import Coordination
+    from .datatypes import SPEC_FACTORIES
+    from .datatypes.orset import orset_spec
+
+    factories = dict(SPEC_FACTORIES)
+    factories["orset"] = orset_spec
+    factory = factories.get(args.datatype)
+    if factory is None:
+        print(f"unknown data type {args.datatype!r}; try `repro list`")
+        return 1
+    spec = factory()
+    coordination = Coordination.analyze(spec, seed=args.seed)
+    print(f"object: {spec.name}")
+    print(f"updates: {', '.join(spec.update_names())}")
+    print(f"queries: {', '.join(spec.query_names())}")
+    print("\nconflicts:")
+    pairs = sorted(
+        tuple(sorted(pair)) for pair in coordination.relations.conflicts
+    )
+    if pairs:
+        for pair in pairs:
+            left, right = pair[0], pair[-1]
+            print(f"  {left} >< {right}")
+    else:
+        print("  (none)")
+    print("\nsynchronization groups:")
+    groups = coordination.sync_groups()
+    if groups:
+        for group in groups:
+            print(f"  {group.gid}: {{{', '.join(sorted(group.methods))}}}")
+    else:
+        print("  (none)")
+    print("\ndependencies:")
+    any_dep = False
+    for method in spec.update_names():
+        deps = coordination.dep(method)
+        if deps:
+            any_dep = True
+            print(f"  Dep({method}) = {{{', '.join(sorted(deps))}}}")
+    if not any_dep:
+        print("  (none)")
+    print("\ncategories:")
+    for method in spec.update_names():
+        print(f"  {method:20s} {coordination.category(method).value}")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import random
+
+    from .core import Coordination
+    from .core.explore import Request, explore
+    from .datatypes import SPEC_FACTORIES
+    from .datatypes.orset import orset_spec
+
+    factories = dict(SPEC_FACTORIES)
+    factories["orset"] = orset_spec
+    factory = factories.get(args.datatype)
+    if factory is None:
+        print(f"unknown data type {args.datatype!r}; try `repro list`")
+        return 1
+    spec = factory()
+    coordination = Coordination.analyze(spec)
+    rng = random.Random(args.seed)
+    processes = [f"p{i}" for i in range(1, args.procs + 1)]
+    requests = []
+    for i in range(args.requests):
+        method = rng.choice(spec.update_names())
+        arg = spec.sample_args(method, rng, 1)[0]
+        requests.append(Request(rng.choice(processes), method, arg))
+    print(f"exploring {len(requests)} requests over {len(processes)} "
+          f"processes:")
+    for request in requests:
+        print(f"  {request.process}: {request.method}({request.arg!r})")
+    result = explore(
+        coordination, processes, requests, max_states=args.max_states
+    )
+    print(
+        f"\nstates={result.states_explored} traces={result.traces_completed} "
+        f"max_depth={result.max_depth}"
+    )
+    if result.ok:
+        print("no violation: every interleaving refines, preserves "
+              "integrity, and converges")
+        return 0
+    print(f"VIOLATION: {result.violation}")
+    return 2
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .bench import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(
+        system=args.system,
+        workload=args.workload,
+        n_nodes=args.nodes,
+        total_ops=args.ops,
+        update_ratio=args.update_ratio,
+        seed=args.seed,
+        fail_node=args.fail_node,
+    )
+    try:
+        result = run_experiment(config)
+    except KeyError:
+        print(f"unknown workload {args.workload!r}; try `repro list`")
+        return 1
+    print(result.summary_row())
+    if args.per_method:
+        for method in sorted(result.per_method):
+            series = result.per_method[method]
+            print(
+                f"  {method:20s} mean={series.mean:8.3f}us "
+                f"p95={series.p95:8.3f}us n={series.count}"
+            )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
+    return _cmd_run(args)

@@ -1,0 +1,5 @@
+"""Mu-style consensus for synchronization groups (paper §4)."""
+
+from .mu import MuConfig, MuGroup, mu_channel
+
+__all__ = ["MuConfig", "MuGroup", "mu_channel"]

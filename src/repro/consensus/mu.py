@@ -1,0 +1,366 @@
+"""Mu-style consensus, one instance per synchronization group (paper §4).
+
+Common case (as in Mu, Aguilera et al. OSDI'20): only the designated
+leader holds RDMA write permission to the followers' log regions; a
+decision is one one-sided write per follower plus a majority of
+acknowledgements (write completions).
+
+Leader change: a follower that suspects the leader campaigns — it asks
+every node to accept it (a two-sided control message, this path is rare
+and off the data path), and each node *revokes the previous leader's
+write permission before granting the candidate's* on the group's
+dedicated queue pairs.  A majority of grants makes the candidate the
+leader; a deposed leader discovers its demotion through permission
+errors on its next replication attempt.  Before serving, the new leader
+reconciles: it remote-reads every reachable follower's log region and
+adopts/refills any records the old leader managed to write to a
+majority but not to everyone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..rdma import RdmaNode, WcStatus
+from ..sim import Environment, Event, Store
+from ..runtime.ringbuffer import RingError, RingWriter, parse_record  # shared layout
+
+__all__ = ["MuGroup", "MuConfig", "mu_channel"]
+
+
+def mu_channel(gid: str) -> str:
+    """The dedicated QP channel for a group's log writes."""
+    return f"mu:{gid}"
+
+
+@dataclass
+class MuConfig:
+    ring_slots: int
+    slot_size: int
+    #: How long a campaigner waits for vote acks before giving up.
+    vote_timeout_us: float = 500.0
+    #: Pause between checks while waiting to finish applying the log.
+    catchup_poll_us: float = 5.0
+
+
+class _WindowCache:
+    """A contiguous window of a peer's log slots, fetched in one read."""
+
+    def __init__(self, start_index: int, count: int, data: bytes):
+        self.start_index = start_index
+        self.count = count
+        self.data = data
+
+    def covers(self, index: int) -> bool:
+        return self.start_index <= index < self.start_index + self.count
+
+    def slot(self, index: int, slot_size: int):
+        if not self.covers(index):
+            return None
+        begin = (index - self.start_index) * slot_size
+        return self.data[begin : begin + slot_size]
+
+
+class MuGroup:
+    """One node's endpoint of the consensus instance for one group."""
+
+    def __init__(self, node: RdmaNode, gid: str, members: list[str],
+                 initial_leader: str, region_name: str, config: MuConfig,
+                 control_send: Callable, local_head: Callable[[], int],
+                 ack_of: Optional[Callable[[str], Optional[int]]] = None,
+                 on_demoted: Optional[Callable[[], None]] = None):
+        """``control_send(peer, message)`` is a generator posting a
+        control-plane SEND; ``local_head()`` reports how many log
+        records this node has applied (the L ring reader's head);
+        ``ack_of(peer)`` reads the peer's flow-control ack (None when
+        acks are disabled)."""
+        self.node = node
+        self.env: Environment = node.env
+        self.gid = gid
+        self.members = sorted(members)
+        self.leader = initial_leader
+        self.term = 0
+        self.config = config
+        self.region_name = region_name
+        self._control_send = control_send
+        self._local_head = local_head
+        self._ack_of = ack_of or (lambda peer: None)
+        self._on_demoted = on_demoted or (lambda: None)
+        #: Set while this node believes itself the leader.
+        self.is_leader = node.name == initial_leader
+        #: Writers toward each follower's log region (leader only).
+        self._writers: dict[str, RingWriter] = {}
+        if self.is_leader:
+            self._init_writers(start_tail=0)
+        #: Vote acks awaited during a campaign: (term -> Store of acks).
+        self._ack_stores: dict[int, Store] = {}
+        #: Count of decided records (leader's own tally).
+        self.decided = 0
+
+    def _init_writers(self, start_tail: int) -> None:
+        self._writers = {}
+        for peer in self.members:
+            if peer == self.node.name:
+                continue
+            writer = RingWriter(self.config.ring_slots, self.config.slot_size)
+            writer.tail = start_tail
+            if start_tail == 0 and self._ack_of(peer) is not None:
+                # Fresh log with flow control wired: track reader acks.
+                # After a failover (start_tail > 0) ack state is stale,
+                # so the new leader relies on ring sizing instead.
+                writer.reader_acked = 0
+            self._writers[peer] = writer
+        self.decided = start_tail
+
+    # -- data path -------------------------------------------------------
+
+    def replicate(self, payload: bytes) -> Generator[Event, Any, bool]:
+        """Leader: append one record; True once a majority acknowledged.
+
+        A permission error on any follower means a newer leader exists;
+        this node steps down and returns False.
+        """
+        if not self.is_leader:
+            return False
+        completions = []
+        for peer, writer in self._writers.items():
+            ack = self._ack_of(peer)
+            if ack is not None and writer.reader_acked is not None:
+                writer.ack_up_to(ack)
+            waited = 0
+            while True:
+                try:
+                    offset, slot = writer.render(payload)
+                    break
+                except RingError:
+                    # Backpressure: wait for the reader to drain, but a
+                    # suspected/dead reader must not wedge the group.
+                    waited += 1
+                    if waited > 2000:
+                        writer.reader_acked = None
+                        offset, slot = writer.render(payload)
+                        break
+                    yield self.env.timeout(self.config.catchup_poll_us)
+                    ack = self._ack_of(peer)
+                    if ack is not None:
+                        writer.ack_up_to(ack)
+            region = self.node.region_of(peer, self.region_name)
+            qp = self.node.qp_to(peer, mu_channel(self.gid))
+            yield from self.node.cpu.use(qp.config.post_cpu_us)
+            completions.append(qp.post_write(region, offset, slot))
+        needed = len(self.members) // 2  # + self = majority
+        acked = 0
+        permission_errors = 0
+        for completion in completions:
+            wc = yield completion
+            if wc.status is WcStatus.SUCCESS:
+                acked += 1
+            elif wc.status is WcStatus.PERMISSION_ERROR:
+                permission_errors += 1
+        if acked >= needed:
+            # A majority accepted the write: still the leader.  A stray
+            # permission error (e.g. a deposed predecessor that never
+            # voted for us) does not matter — majorities rule.
+            self.decided += 1
+            return True
+        if permission_errors:
+            # Could not reach a majority and someone revoked us: a newer
+            # leader exists.
+            self.is_leader = False
+        return False
+
+    # -- control path -------------------------------------------------------
+
+    def handle_control(self, src: str, message: Any) -> Optional[Any]:
+        """Process a control message; returns an optional reply.
+
+        Called by the node's control listener.  Messages:
+        ``("vote_req", gid, term, candidate)`` and
+        ``("vote_ack", gid, term, voter)``.
+        """
+        kind = message[0]
+        if kind == "vote_req":
+            _kind, _gid, term, candidate = message
+            if term <= self.term and candidate != self.leader:
+                return None  # stale campaign
+            self.term = term
+            self._accept_leader(candidate)
+            return ("vote_ack", self.gid, term, self.node.name)
+        if kind == "vote_ack":
+            _kind, _gid, term, voter = message
+            store = self._ack_stores.get(term)
+            if store is not None:
+                store.put(voter)
+            return None
+        if kind == "who_leads":
+            # Leader discovery for rejoining/deposed nodes.
+            return ("leader_is", self.gid, self.term, self.leader)
+        if kind == "leader_is":
+            _kind, _gid, term, leader = message
+            if term >= self.term and leader != self.node.name:
+                self.term = term
+                self._accept_leader(leader)
+            return None
+        return None
+
+    def _set_permissions(self, candidate: str) -> None:
+        """Revoke the old leader's write permission, then grant the new."""
+        me = self.node.name
+        for peer in self.members:
+            if peer == me:
+                continue
+            qp = self.node.qp_to(peer, mu_channel(self.gid))
+            if peer == candidate:
+                qp.grant_peer_write()
+            else:
+                qp.revoke_peer_write()
+
+    def _accept_leader(self, candidate: str) -> None:
+        was_leader = self.is_leader
+        self._set_permissions(candidate)
+        self.leader = candidate
+        self.is_leader = candidate == self.node.name
+        if was_leader and not self.is_leader:
+            self._on_demoted()
+
+    def campaign(self, suspected: set[str]) -> Generator[Event, Any, bool]:
+        """Try to become leader; True on success."""
+        self.term += 1
+        term = self.term
+        # Vote for self: flip permissions, but do NOT claim leadership
+        # until the campaign wins and the log catch-up completes — the
+        # conflicting-call worker must not serve in between.
+        self._set_permissions(self.node.name)
+        acks = Store(self.env)
+        self._ack_stores[term] = acks
+        reachable = [
+            p
+            for p in self.members
+            if p != self.node.name and p not in suspected
+        ]
+        for peer in reachable:
+            yield from self._control_send(
+                peer, ("vote_req", self.gid, term, self.node.name)
+            )
+        needed = len(self.members) // 2  # + self = majority
+        got = 0
+        deadline = self.env.timeout(self.config.vote_timeout_us)
+        while got < needed:
+            result = yield self.env.any_of([acks.get(), deadline])
+            if deadline.processed and deadline in result:
+                break
+            got += 1
+        del self._ack_stores[term]
+        if got < needed:
+            self.is_leader = False
+            return False
+        tail = yield from self._reconcile(suspected)
+        # Serve only after applying everything the old leader decided.
+        while self._local_head() < tail:
+            yield self.env.timeout(self.config.catchup_poll_us)
+        self._init_writers(start_tail=tail)
+        self.is_leader = True
+        self.leader = self.node.name
+        return True
+
+    def self_repair(self, suspected: set[str]) -> Generator[Event, Any, int]:
+        """Fill holes in OUR log copy from reachable peers' copies.
+
+        Used by a demoted ex-leader rejoining as a follower (it never
+        received the records it decided itself, nor those written while
+        it was cut off) and by the hole detector.  Unlike a campaign's
+        reconciliation it does not push records to anyone — a follower
+        has no write permission anyway.
+        """
+        own_region = self.node.regions[self.region_name]
+        slots, slot_size = self.config.ring_slots, self.config.slot_size
+        index = self._local_head()
+        peers = [
+            p
+            for p in self.members
+            if p != self.node.name and p not in suspected
+        ]
+        caches: dict[str, _WindowCache] = {}
+        while True:
+            offset = (index % slots) * slot_size
+            own = own_region.read(offset, slot_size)
+            record = parse_record(own, index, slots)
+            if record is None:
+                for peer in peers:
+                    slot = yield from self._peer_slot(peer, index, caches)
+                    if slot is None:
+                        continue
+                    candidate = parse_record(slot, index, slots)
+                    if candidate is not None:
+                        record = candidate
+                        own_region.write(offset, record)
+                        break
+            if record is None:
+                return index
+            index += 1
+
+    #: Slots fetched per remote read while scanning peers' log copies —
+    #: bounded windows instead of whole multi-megabyte ring regions,
+    #: so elections stay in the sub-millisecond regime.
+    _WINDOW = 64
+
+    def _peer_slot(self, peer: str, index: int, caches):
+        """One slot of a peer's log region, via a cached windowed read."""
+        slots, slot_size = self.config.ring_slots, self.config.slot_size
+        cache = caches.get(peer)
+        if cache is None or not cache.covers(index):
+            start = index % slots
+            count = min(self._WINDOW, slots - start)
+            region = self.node.region_of(peer, self.region_name)
+            qp = self.node.qp_to(peer, mu_channel(self.gid))
+            wc = yield from qp.read(
+                region, start * slot_size, count * slot_size
+            )
+            if wc.status is not WcStatus.SUCCESS:
+                caches[peer] = _WindowCache(index, 0, b"")
+                return None
+            caches[peer] = _WindowCache(index, count, wc.data)
+            cache = caches[peer]
+        return cache.slot(index, slot_size)
+
+    def _reconcile(self, suspected: set[str]) -> Generator[Event, Any, int]:
+        """Adopt any record the old leader wrote anywhere; return the tail.
+
+        Scans forward from this node's applied head across its own
+        region and every reachable follower's region; any valid record
+        found is written into every reachable region (idempotent: the
+        bytes at one index are identical everywhere).
+        """
+        own_region = self.node.regions[self.region_name]
+        slots, slot_size = self.config.ring_slots, self.config.slot_size
+        peers = [
+            p
+            for p in self.members
+            if p != self.node.name and p not in suspected
+        ]
+        caches: dict[str, _WindowCache] = {}
+
+        # Walk indices from our head until no copy has a valid record.
+        index = self._local_head()
+        while True:
+            offset = (index % slots) * slot_size
+            own = own_region.read(offset, slot_size)
+            record = parse_record(own, index, slots)
+            if record is None:
+                for peer in peers:
+                    slot = yield from self._peer_slot(peer, index, caches)
+                    if slot is None:
+                        continue
+                    candidate = parse_record(slot, index, slots)
+                    if candidate is not None:
+                        record = candidate
+                        own_region.write(offset, record)
+                        break
+            if record is None:
+                return index
+            for peer in peers:
+                region = self.node.region_of(peer, self.region_name)
+                qp = self.node.qp_to(peer, mu_channel(self.gid))
+                yield from qp.write(region, offset, record)
+            index += 1

@@ -1,0 +1,194 @@
+"""The abstract WRDT operational semantics (paper §3.2, Figure 5).
+
+The machine state is ``W = ⟨ss, xs⟩``: per-process object states and
+per-process execution histories (permutations of applied update calls).
+Three rules:
+
+- **CALL** — process ``p`` accepts ``c = u(v)_{p,r}``; guards: local
+  permissibility ``P(σ, c)`` and ``CallConfSync``: any call conflicting
+  with ``c`` already executed anywhere must already be in ``xs(p)``.
+- **PROP** — ``p`` receives ``c`` from ``p'``; guards: ``PropConfSync``
+  (every call that conflicts with ``c`` and precedes it in any history
+  is already at ``p``) and ``PropDep`` (every call preceding ``c`` in
+  its issuing history that ``c`` depends on is already at ``p``).
+- **QUERY** — evaluate a query against ``ss(p)``.
+
+This machine is the *specification*: :mod:`repro.core.refinement`
+replays traces of the concrete RDMA machine (and of the full Hamband
+runtime) through it, re-checking every guard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from .analysis import CallRelations
+from .calls import Call
+from .spec import ObjectSpec
+
+__all__ = ["AbstractMachine", "GuardViolation"]
+
+
+class GuardViolation(Exception):
+    """A transition was attempted whose guard does not hold."""
+
+    def __init__(self, rule: str, reason: str):
+        super().__init__(f"{rule}: {reason}")
+        self.rule = rule
+        self.reason = reason
+
+
+class AbstractMachine:
+    """An executable form of the Figure 5 transition system."""
+
+    def __init__(self, spec: ObjectSpec, relations: CallRelations,
+                 processes: Iterable[str]):
+        self.spec = spec
+        self.relations = relations
+        self.processes = sorted(processes)
+        if not self.processes:
+            raise ValueError("need at least one process")
+        #: ss — per-process object state.
+        self.ss: dict[str, Any] = {
+            p: spec.initial_state() for p in self.processes
+        }
+        #: xs — per-process execution histories.
+        self.xs: dict[str, list[Call]] = {p: [] for p in self.processes}
+        self._executed_at: dict[str, set[tuple[str, int]]] = {
+            p: set() for p in self.processes
+        }
+
+    # -- guard predicates ----------------------------------------------------
+
+    def _has_executed(self, p: str, call: Call) -> bool:
+        return call.key() in self._executed_at[p]
+
+    def call_conf_sync(self, p: str, call: Call) -> bool:
+        """CallConfSync(xs, p, c): conflicting calls elsewhere are local."""
+        for p_other in self.processes:
+            if p_other == p:
+                continue
+            for other in self.xs[p_other]:
+                if self.relations.conflict(other, call) and not (
+                    self._has_executed(p, other)
+                ):
+                    return False
+        return True
+
+    def prop_conf_sync(self, p: str, call: Call) -> bool:
+        """PropConfSync: conflicting predecessors of c anywhere are local."""
+        for p_other in self.processes:
+            history = self.xs[p_other]
+            try:
+                idx = next(
+                    i for i, c in enumerate(history) if c.key() == call.key()
+                )
+            except StopIteration:
+                continue
+            for before in history[:idx]:
+                if self.relations.conflict(before, call) and not (
+                    self._has_executed(p, before)
+                ):
+                    return False
+        return True
+
+    def prop_dep(self, p: str, call: Call) -> bool:
+        """PropDep: dependencies preceding c at its issuer are local."""
+        issuer_history = self.xs[call.origin]
+        for before in issuer_history:
+            if before.key() == call.key():
+                break
+            if self.relations.depends(call, before) and not (
+                self._has_executed(p, before)
+            ):
+                return False
+        return True
+
+    # -- transitions -----------------------------------------------------------
+
+    def can_call(self, p: str, call: Call) -> Optional[str]:
+        """None if CALL is enabled, else the failing guard's description."""
+        if call.origin != p:
+            return f"call originates at {call.origin}, not {p}"
+        if self._has_executed(p, call):
+            return "request id already executed here"
+        if not self.spec.permissible(self.ss[p], call):
+            return f"not locally permissible: P({self.ss[p]!r}, {call}) fails"
+        if not self.call_conf_sync(p, call):
+            return "CallConfSync fails"
+        return None
+
+    def do_call(self, p: str, call: Call) -> Any:
+        """Rule CALL: execute a fresh update call at its issuing process."""
+        reason = self.can_call(p, call)
+        if reason is not None:
+            raise GuardViolation("CALL", reason)
+        self._execute(p, call)
+        return self.ss[p]
+
+    def can_prop(self, p: str, call: Call) -> Optional[str]:
+        """None if PROP is enabled, else the failing guard's description."""
+        if not self._has_executed(call.origin, call):
+            return f"issuer {call.origin} has not executed {call}"
+        if self._has_executed(p, call):
+            return "already executed here"
+        if not self.prop_conf_sync(p, call):
+            return "PropConfSync fails"
+        if not self.prop_dep(p, call):
+            return "PropDep fails"
+        return None
+
+    def do_prop(self, p: str, call: Call) -> Any:
+        """Rule PROP: apply a call propagated from its issuing process."""
+        reason = self.can_prop(p, call)
+        if reason is not None:
+            raise GuardViolation("PROP", reason)
+        self._execute(p, call)
+        return self.ss[p]
+
+    def do_query(self, p: str, method: str, arg: Any = None) -> Any:
+        """Rule QUERY: evaluate against the current state of p."""
+        return self.spec.run_query(method, arg, self.ss[p])
+
+    def _execute(self, p: str, call: Call) -> None:
+        self.ss[p] = self.spec.apply_call(call, self.ss[p])
+        self.xs[p].append(call)
+        self._executed_at[p].add(call.key())
+
+    # -- enabled-transition enumeration (for exploration tests) --------------
+
+    def enabled_props(self) -> list[tuple[str, Call]]:
+        """Every (process, call) pair for which PROP is currently enabled."""
+        enabled = []
+        for p in self.processes:
+            for p_src in self.processes:
+                if p_src == p:
+                    continue
+                for call in self.xs[p_src]:
+                    if call.origin != p_src:
+                        continue
+                    if self.can_prop(p, call) is None:
+                        enabled.append((p, call))
+        return enabled
+
+    # -- guarantees (Lemmas 1 and 2) -------------------------------------------
+
+    def integrity_holds(self) -> bool:
+        """Lemma 1: the invariant holds at every process."""
+        return all(self.spec.invariant(self.ss[p]) for p in self.processes)
+
+    def histories_equivalent(self, p1: str, p2: str) -> bool:
+        """x ~ x': same *set* of calls."""
+        keys1 = {c.key() for c in self.xs[p1]}
+        keys2 = {c.key() for c in self.xs[p2]}
+        return keys1 == keys2
+
+    def convergence_holds(self) -> bool:
+        """Lemma 2: equivalent histories imply equal states."""
+        for i, p1 in enumerate(self.processes):
+            for p2 in self.processes[i + 1 :]:
+                if self.histories_equivalent(p1, p2) and not (
+                    self.spec.state_eq(self.ss[p1], self.ss[p2])
+                ):
+                    return False
+        return True

@@ -1,0 +1,317 @@
+"""Coordination analysis: the relations of paper §3.2.
+
+The paper defines, per pair of calls:
+
+- **S-commutativity** ``c1 <->_S c2`` — applying in either order yields
+  the same state; otherwise the calls *S-conflict*.
+- **Permissibility** ``P(σ, c) := I(c(σ))``.
+- **Invariant-sufficiency** — ``I(σ) ⇒ P(σ, c)`` for every σ.
+- **P-R-commutativity** ``c1 ▷_P c2`` — ``P(σ, c1) ⇒ P(c2(σ), c1)``.
+- **P-concurrency** — c1 is invariant-sufficient or P-R-commutes with
+  c2; otherwise the pair *P-conflicts*.
+- **Conflict** ``c1 ⋈ c2`` — not (S-commute and mutually P-concur).
+- **P-L-commutativity** ``c2 ◁_P c1`` — ``P(c1(σ), c2) ⇒ P(σ, c2)``.
+- **Dependency** ``c2 ⤙ c1`` — c2 is neither invariant-sufficient nor
+  P-L-commutes over c1.
+
+Hamband takes these relations as *inputs* (the paper: "automated
+checking and inference … is a topic of active research", citing
+Hamsaz's SMT approach).  This module provides the closest executable
+equivalent: **bounded checking** over sampled states and arguments from
+the spec's generators, falsifying universally-quantified properties by
+counterexample.  A spec can also *declare* relations, which skips
+sampling; the bundled data types declare nothing and rely on checking,
+and the test suite pins the inferred relations against the paper's
+ground truth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from .calls import Call
+from .spec import ObjectSpec
+
+__all__ = [
+    "CallRelations",
+    "CoordinationAnalyzer",
+    "MethodRelations",
+    "depends",
+    "invariant_sufficient",
+    "p_l_commutes",
+    "p_r_commutes",
+    "s_commute",
+]
+
+
+# ---------------------------------------------------------------------------
+# Call-level checks over a finite set of probe states
+# ---------------------------------------------------------------------------
+
+def s_commute(spec: ObjectSpec, c1: Call, c2: Call,
+              states: Iterable[Any]) -> bool:
+    """``c1 <->_S c2``: both application orders agree on every probe state.
+
+    Probed over invariant states only: execution histories never pass
+    through non-invariant states, so divergence there is unobservable.
+    """
+    for sigma in states:
+        if not spec.invariant(sigma):
+            continue
+        left = spec.apply_call(c2, spec.apply_call(c1, sigma))
+        right = spec.apply_call(c1, spec.apply_call(c2, sigma))
+        if not spec.state_eq(left, right):
+            return False
+    return True
+
+
+def invariant_sufficient(spec: ObjectSpec, call: Call,
+                         states: Iterable[Any]) -> bool:
+    """``I(σ) ⇒ P(σ, c)`` on every probe state."""
+    for sigma in states:
+        if spec.invariant(sigma) and not spec.permissible(sigma, call):
+            return False
+    return True
+
+
+def p_r_commutes(spec: ObjectSpec, c1: Call, c2: Call,
+                 states: Iterable[Any]) -> bool:
+    """``c1 ▷_P c2``: permissibility of c1 survives c2 being applied first.
+
+    Quantified over well-formed execution points: the pre-state
+    satisfies the invariant and c2 was itself permissible there (a call
+    only ever executes when permissible, so other schedules cannot
+    arise).
+    """
+    for sigma in states:
+        if not spec.invariant(sigma):
+            continue
+        if not spec.permissible(sigma, c2):
+            continue
+        if spec.permissible(sigma, c1):
+            if not spec.permissible(spec.apply_call(c2, sigma), c1):
+                return False
+    return True
+
+
+def p_l_commutes(spec: ObjectSpec, c2: Call, c1: Call,
+                 states: Iterable[Any]) -> bool:
+    """``c2 ◁_P c1``: permissibility after c1 implies permissibility before.
+
+    As with :func:`p_r_commutes`, only well-formed points are probed:
+    invariant pre-state with c1 permissible in it.
+    """
+    for sigma in states:
+        if not spec.invariant(sigma):
+            continue
+        if not spec.permissible(sigma, c1):
+            continue
+        if spec.permissible(spec.apply_call(c1, sigma), c2):
+            if not spec.permissible(sigma, c2):
+                return False
+    return True
+
+
+def depends(spec: ObjectSpec, c2: Call, c1: Call,
+            states: Iterable[Any]) -> bool:
+    """``c2 ⤙ c1``: c2 neither invariant-sufficient nor P-L-commuting."""
+    if invariant_sufficient(spec, c2, states):
+        return False
+    return not p_l_commutes(spec, c2, c1, states)
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MethodRelations:
+    """Method-level relations lifted from call-level checks.
+
+    ``conflicts`` is symmetric (stored as frozenset pairs, including
+    self-loops like {withdraw}); ``dependencies[u]`` is ``Dep(u)``.
+    """
+
+    methods: list[str]
+    conflicts: set[frozenset[str]]
+    dependencies: dict[str, set[str]]
+    invariant_sufficient: set[str]
+
+    def conflict(self, u1: str, u2: str) -> bool:
+        return frozenset((u1, u2)) in self.conflicts
+
+    def is_conflicting(self, u: str) -> bool:
+        return any(u in pair for pair in self.conflicts)
+
+    def dep(self, u: str) -> set[str]:
+        return self.dependencies.get(u, set())
+
+    def conflicting_methods(self) -> set[str]:
+        return {u for u in self.methods if self.is_conflicting(u)}
+
+
+class CallRelations:
+    """Call-level conflict/dependency oracle used by the abstract machine.
+
+    The default implementation is the sound method-level approximation:
+    two calls conflict iff their methods conflict, and c2 depends on c1
+    iff ``method(c1) ∈ Dep(method(c2))``.
+    """
+
+    def __init__(self, method_relations: MethodRelations):
+        self.methods = method_relations
+
+    def conflict(self, c1: Call, c2: Call) -> bool:
+        return self.methods.conflict(c1.method, c2.method)
+
+    def depends(self, c2: Call, c1: Call) -> bool:
+        return c1.method in self.methods.dep(c2.method)
+
+
+# ---------------------------------------------------------------------------
+# The analyzer
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Probe:
+    states: list[Any]
+    calls_by_method: dict[str, list[Call]]
+
+
+class CoordinationAnalyzer:
+    """Bounded checker computing :class:`MethodRelations` for a spec.
+
+    Universal properties are *falsified* by counterexample over
+    ``n_states`` sampled states × ``n_args`` sampled arguments per
+    method; surviving properties are assumed to hold.  For the data
+    types in this repository the generators cover the relevant state
+    space and the inferred relations match the paper's (pinned in
+    tests/core/test_analysis.py and tests/datatypes/).
+    """
+
+    def __init__(self, spec: ObjectSpec, seed: int = 0, n_states: int = 40,
+                 n_args: int = 8):
+        self.spec = spec
+        self.seed = seed
+        self.n_states = n_states
+        self.n_args = n_args
+
+    def _probe(self) -> _Probe:
+        rng = random.Random(self.seed)
+        states = self.spec.sample_states(rng, self.n_states)
+        calls = {
+            u: [
+                Call(u, arg, "probe", i)
+                for i, arg in enumerate(
+                    self.spec.sample_args(u, rng, self.n_args)
+                )
+            ]
+            for u in self.spec.update_names()
+        }
+        return _Probe(states, calls)
+
+    def analyze(self) -> MethodRelations:
+        probe = self._probe()
+        spec = self.spec
+        methods = spec.update_names()
+
+        inv_suff = {
+            u
+            for u in methods
+            if all(
+                invariant_sufficient(spec, c, probe.states)
+                for c in probe.calls_by_method[u]
+            )
+        }
+
+        conflicts: set[frozenset[str]] = set()
+        for u1, u2 in itertools.combinations_with_replacement(methods, 2):
+            if self._methods_conflict(probe, u1, u2, inv_suff):
+                conflicts.add(frozenset((u1, u2)))
+
+        dependencies: dict[str, set[str]] = {u: set() for u in methods}
+        for u2 in methods:
+            if u2 in inv_suff:
+                continue  # invariant-sufficient calls are independent
+            for u1 in methods:
+                if self._method_depends(probe, u2, u1):
+                    dependencies[u2].add(u1)
+
+        return MethodRelations(
+            methods=methods,
+            conflicts=conflicts,
+            dependencies=dependencies,
+            invariant_sufficient=inv_suff,
+        )
+
+    def _methods_conflict(self, probe: _Probe, u1: str, u2: str,
+                          inv_suff: set[str]) -> bool:
+        """∃ calls c1 on u1, c2 on u2 that conflict (paper §3.3)."""
+        spec = self.spec
+        for c1 in probe.calls_by_method[u1]:
+            for c2 in probe.calls_by_method[u2]:
+                if not s_commute(spec, c1, c2, probe.states):
+                    return True
+                c1_concurs = u1 in inv_suff or p_r_commutes(
+                    spec, c1, c2, probe.states
+                )
+                c2_concurs = u2 in inv_suff or p_r_commutes(
+                    spec, c2, c1, probe.states
+                )
+                if not (c1_concurs and c2_concurs):
+                    return True
+        return False
+
+    def _method_depends(self, probe: _Probe, u2: str, u1: str) -> bool:
+        """∃ c2 on u2, c1 on u1 with c2 dependent on c1."""
+        for c2 in probe.calls_by_method[u2]:
+            for c1 in probe.calls_by_method[u1]:
+                if not p_l_commutes(self.spec, c2, c1, probe.states):
+                    return True
+        return False
+
+    def verify_summarizers(self) -> list[str]:
+        """Check Summarize correctness on probe states; return violations.
+
+        For each summarization group and each pair of calls c1, c2 on
+        its methods, ``combine(c1, c2)`` must satisfy
+        ``c2(c1(σ)) == combine(c1,c2)(σ)``, and the identity call must
+        be a no-op.
+        """
+        probe = self._probe()
+        spec = self.spec
+        problems: list[str] = []
+        for summarizer in spec.summarizers:
+            ident = summarizer.identity("probe")
+            for sigma in probe.states:
+                if not spec.state_eq(spec.apply_call(ident, sigma), sigma):
+                    problems.append(
+                        f"group {summarizer.group!r}: identity is not a no-op"
+                    )
+                    break
+            group_calls = [
+                c
+                for u in sorted(summarizer.methods)
+                for c in probe.calls_by_method[u]
+            ]
+            for c1, c2 in itertools.product(group_calls, repeat=2):
+                combined = summarizer.combine(c1, c2)
+                if combined.method not in spec.updates:
+                    problems.append(
+                        f"group {summarizer.group!r}: combine produced "
+                        f"unknown method {combined.method!r}"
+                    )
+                    continue
+                for sigma in probe.states:
+                    want = spec.apply_call(c2, spec.apply_call(c1, sigma))
+                    got = spec.apply_call(combined, sigma)
+                    if not spec.state_eq(want, got):
+                        problems.append(
+                            f"group {summarizer.group!r}: "
+                            f"combine({c1}, {c2}) is not their composition"
+                        )
+                        break
+        return problems

@@ -1,0 +1,87 @@
+"""Calls, labels, and traces (paper Figure 3).
+
+An update call ``u(v)_{p,r}`` is decorated with its issuing process and
+a globally unique request identifier.  Queries are undecorated since
+they never leave their process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["Call", "Label", "QueryCall", "RequestIdAllocator", "Trace"]
+
+
+@dataclass(frozen=True)
+class Call:
+    """An update method call ``u(v)`` from process ``origin`` with id ``rid``."""
+
+    method: str
+    arg: Any
+    origin: str
+    rid: int
+
+    def key(self) -> tuple[str, int]:
+        """The unique identity of this request."""
+        return (self.origin, self.rid)
+
+    def __str__(self) -> str:
+        return f"{self.method}({self.arg!r})@{self.origin}#{self.rid}"
+
+
+@dataclass(frozen=True)
+class QueryCall:
+    """A query method call ``q(v)``; local, never replicated."""
+
+    method: str
+    arg: Any = None
+
+    def __str__(self) -> str:
+        return f"{self.method}({self.arg!r})?"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A trace label: the issuing process paired with the call."""
+
+    process: str
+    call: Call
+
+
+class Trace:
+    """An append-only sequence of labels, one per accepted request."""
+
+    def __init__(self) -> None:
+        self._labels: list[Label] = []
+
+    def append(self, process: str, call: Call) -> None:
+        self._labels.append(Label(process, call))
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __getitem__(self, index: int) -> Label:
+        return self._labels[index]
+
+
+class RequestIdAllocator:
+    """Hands out unique request identifiers per issuing process.
+
+    Identifiers are (origin, counter) pairs flattened into the Call, so
+    two processes can allocate concurrently without coordination.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Iterator[int]] = {}
+
+    def next_for(self, process: str) -> int:
+        counter = self._counters.setdefault(process, itertools.count(1))
+        return next(counter)
+
+    def make_call(self, process: str, method: str, arg: Any) -> Call:
+        return Call(method, arg, process, self.next_for(process))

@@ -1,0 +1,138 @@
+"""Conflict graph, synchronization groups, dependency graph (paper §2, §3.3).
+
+The conflict relation induces an undirected *conflict graph* over
+update methods; a connected component containing at least one
+conflicting method is a *synchronization group* and is assigned a
+leader process.  The dependency relation induces a directed
+*dependency graph* (edge ``u -> u'`` when ``u' ∈ Dep(u)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import networkx as nx
+
+from .analysis import MethodRelations
+
+__all__ = ["ConflictGraph", "DependencyGraph", "SyncGroup"]
+
+
+@dataclass(frozen=True)
+class SyncGroup:
+    """A connected component of conflicting methods."""
+
+    gid: str
+    methods: frozenset[str]
+
+    def __contains__(self, method: str) -> bool:
+        return method in self.methods
+
+
+class ConflictGraph:
+    """The undirected conflict graph and its synchronization groups."""
+
+    def __init__(self, relations: MethodRelations):
+        self.relations = relations
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(relations.methods)
+        for pair in relations.conflicts:
+            members = sorted(pair)
+            if len(members) == 1:  # self-loop, e.g. withdraw ⋈ withdraw
+                self.graph.add_edge(members[0], members[0])
+            else:
+                self.graph.add_edge(members[0], members[1])
+        self._groups = self._build_groups()
+        self._group_of = {
+            method: group for group in self._groups for method in group.methods
+        }
+
+    def _build_groups(self) -> list[SyncGroup]:
+        conflicting = self.relations.conflicting_methods()
+        groups = []
+        for component in sorted(
+            nx.connected_components(self.graph), key=lambda c: sorted(c)[0]
+        ):
+            members = frozenset(component) & frozenset(conflicting)
+            if members:
+                gid = "sync:" + "+".join(sorted(members))
+                groups.append(SyncGroup(gid, frozenset(members)))
+        return groups
+
+    @property
+    def groups(self) -> list[SyncGroup]:
+        return list(self._groups)
+
+    def sync_group(self, method: str) -> Optional[SyncGroup]:
+        """``SyncGroup(u)``; None means ⊥ (conflict-free)."""
+        return self._group_of.get(method)
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the conflict graph, groups as clusters."""
+        lines = ["graph conflicts {"]
+        grouped: set[str] = set()
+        for i, group in enumerate(self._groups):
+            lines.append(f"  subgraph cluster_{i} {{")
+            lines.append(f'    label="{group.gid}";')
+            for method in sorted(group.methods):
+                lines.append(f'    "{method}";')
+                grouped.add(method)
+            lines.append("  }")
+        for method in self.relations.methods:
+            if method not in grouped:
+                lines.append(f'  "{method}";')
+        for pair in sorted(
+            self.relations.conflicts, key=lambda p: sorted(p)
+        ):
+            members = sorted(pair)
+            left, right = members[0], members[-1]
+            lines.append(f'  "{left}" -- "{right}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def assign_leaders(self, processes: list[str]) -> dict[str, str]:
+        """Round-robin each synchronization group onto a leader process.
+
+        The paper's Fig. 10 experiment relies on distinct groups having
+        distinct leaders when enough processes exist.
+        """
+        if not processes:
+            raise ValueError("need at least one process")
+        return {
+            group.gid: processes[i % len(processes)]
+            for i, group in enumerate(self._groups)
+        }
+
+
+class DependencyGraph:
+    """The directed graph of ``Dep``; exposed mostly for introspection."""
+
+    def __init__(self, relations: MethodRelations):
+        self.relations = relations
+        self.graph = nx.DiGraph()
+        self.graph.add_nodes_from(relations.methods)
+        for method in relations.methods:
+            for dep in relations.dep(method):
+                self.graph.add_edge(method, dep)
+
+    def dependencies(self, method: str) -> set[str]:
+        """``Dep(u)``: methods whose prior calls ``u`` must wait for."""
+        return set(self.graph.successors(method))
+
+    def dependents(self, method: str) -> set[str]:
+        return set(self.graph.predecessors(method))
+
+    def is_dependence_free(self, method: str) -> bool:
+        return not self.dependencies(method)
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the dependency graph (u -> Dep(u))."""
+        lines = ["digraph dependencies {"]
+        for method in self.relations.methods:
+            lines.append(f'  "{method}";')
+        for method in self.relations.methods:
+            for dep in sorted(self.dependencies(method)):
+                lines.append(f'  "{method}" -> "{dep}";')
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,309 @@
+"""The concrete RDMA WRDT operational semantics (paper §3.3, Figure 7).
+
+A configuration maps each process to ``⟨σ, A, S, F, L⟩``:
+
+- ``σ`` — stored state: the result of the *conflicting* and
+  *irreducible conflict-free* calls applied so far,
+- ``A`` — applied-calls map ``(process, method) -> count``,
+- ``S`` — summarized calls ``(summarization group, process) -> call``,
+- ``F`` — conflict-free buffers: per source process, a FIFO of
+  ``(call, D)`` pairs,
+- ``L`` — conflicting buffers: per synchronization group, a FIFO of
+  ``(call, D)`` pairs written by the group's leader.
+
+The six rules — REDUCE, FREE, CONF, FREE-APP, CONF-APP, QUERY — follow
+the figure exactly.  REDUCE and the buffer appends of FREE/CONF update
+*all* processes in one transition; this models the issuing process's
+batch of independent one-sided remote writes (the runtime in
+:mod:`repro.runtime` decomposes them into real simulated RDMA writes
+and is checked against this machine).
+
+Every transition appends a :class:`ConcreteEvent` to ``self.events``;
+:mod:`repro.core.refinement` maps these onto abstract CALL/PROP steps
+to check Lemma 3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from .abstract_semantics import GuardViolation
+from .calls import Call, RequestIdAllocator
+from .categories import Category, Coordination
+
+__all__ = ["ConcreteEvent", "DependencyMap", "ProcState", "RdmaMachine"]
+
+#: ``D : (process, method) -> count`` — shipped alongside each buffered call.
+DependencyMap = dict[tuple[str, str], int]
+
+
+def dep_satisfied(dep: DependencyMap, applied: DependencyMap) -> bool:
+    """``D ≤ A``: pointwise comparison (missing entries are zero)."""
+    return all(applied.get(key, 0) >= need for key, need in dep.items())
+
+
+@dataclass(frozen=True)
+class ConcreteEvent:
+    """One fired transition, for refinement replay.
+
+    ``at`` is the simulation time when the runtime fired the
+    transition; the pure semantics machines leave it at 0.0 (they have
+    no clock), and refinement ignores it.
+    """
+
+    rule: str  # REDUCE | FREE | CONF | FREE_APP | CONF_APP
+    process: str
+    call: Call
+    at: float = 0.0
+
+
+@dataclass
+class ProcState:
+    """⟨σ, A, S, F, L⟩ for one process."""
+
+    sigma: Any
+    applied: DependencyMap
+    summaries: dict[tuple[str, str], Call]  # (group, process) -> call
+    free_buffers: dict[str, deque]  # source process -> FIFO of (call, D)
+    conf_buffers: dict[str, deque]  # sync group id -> FIFO of (call, D)
+
+
+class RdmaMachine:
+    """An executable form of the Figure 7 transition system."""
+
+    def __init__(self, coordination: Coordination, processes: Iterable[str],
+                 leaders: Optional[dict[str, str]] = None):
+        self.coordination = coordination
+        self.spec = coordination.spec
+        self.processes = sorted(processes)
+        if not self.processes:
+            raise ValueError("need at least one process")
+        self.leaders = leaders or coordination.conflict_graph.assign_leaders(
+            self.processes
+        )
+        for group in coordination.sync_groups():
+            if group.gid not in self.leaders:
+                raise ValueError(f"no leader for {group.gid}")
+        self.rids = RequestIdAllocator()
+        self.events: list[ConcreteEvent] = []
+        self.k: dict[str, ProcState] = {
+            p: self._initial_proc_state() for p in self.processes
+        }
+
+    def _initial_proc_state(self) -> ProcState:
+        summaries = {}
+        for summarizer in self.spec.summarizers:
+            for p in self.processes:
+                summaries[(summarizer.group, p)] = summarizer.identity(p)
+        return ProcState(
+            sigma=self.spec.initial_state(),
+            applied={},
+            summaries=summaries,
+            free_buffers={p: deque() for p in self.processes},
+            conf_buffers={
+                g.gid: deque() for g in self.coordination.sync_groups()
+            },
+        )
+
+    # -- derived views -----------------------------------------------------
+
+    def effective_state(self, p: str) -> Any:
+        """``Apply(S_p)(σ_p)``: summaries folded over the stored state."""
+        ps = self.k[p]
+        sigma = ps.sigma
+        for call in ps.summaries.values():
+            sigma = self.spec.apply_call(call, sigma)
+        return sigma
+
+    def leader_of(self, method: str) -> str:
+        group = self.coordination.sync_group(method)
+        if group is None:
+            raise ValueError(f"{method} is conflict-free; it has no leader")
+        return self.leaders[group.gid]
+
+    def _dep_projection(self, p: str, method: str) -> DependencyMap:
+        """``A_j | Dep(u)``: the issuer's applied counts over Dep(u)."""
+        deps = self.coordination.dep(method)
+        applied = self.k[p].applied
+        return {
+            (proc, u): count
+            for (proc, u), count in applied.items()
+            if u in deps
+        }
+
+    # -- issuing transitions -------------------------------------------------
+
+    def issue(self, p: str, method: str, arg: Any = None) -> Call:
+        """Dispatch an update call to the rule its category mandates.
+
+        Conflicting calls must be issued at the group leader (the
+        runtime redirects them there; the semantics models the call as
+        the leader's own, as rule CONF does).
+        """
+        category = self.coordination.category(method)
+        if category is Category.REDUCIBLE:
+            return self.reduce(p, method, arg)
+        if category is Category.IRREDUCIBLE_CONFLICT_FREE:
+            return self.free(p, method, arg)
+        return self.conf(self.leader_of(method), method, arg)
+
+    def reduce(self, p_j: str, method: str, arg: Any = None) -> Call:
+        """Rule REDUCE: summarize locally, install at every process."""
+        coordination = self.coordination
+        if coordination.category(method) is not Category.REDUCIBLE:
+            raise GuardViolation("REDUCE", f"{method} is not reducible")
+        summarizer = coordination.summarizer_of(method)
+        assert summarizer is not None
+        call = self.rids.make_call(p_j, method, arg)
+        sigma = self.effective_state(p_j)
+        if not self.spec.invariant(self.spec.apply_call(call, sigma)):
+            raise GuardViolation(
+                "REDUCE", f"I(u(v)(σ)) fails for {call} at {p_j}"
+            )
+        current = self.k[p_j].summaries[(summarizer.group, p_j)]
+        combined = summarizer.combine(current, call)
+        count = self.k[p_j].applied.get((p_j, method), 0) + 1
+        # One-sided writes: installed at every process in this transition.
+        for p_i in self.processes:
+            self.k[p_i].summaries[(summarizer.group, p_j)] = combined
+            self.k[p_i].applied[(p_j, method)] = count
+        self.events.append(ConcreteEvent("REDUCE", p_j, call))
+        return call
+
+    def free(self, p_j: str, method: str, arg: Any = None) -> Call:
+        """Rule FREE: apply locally, append to every remote F buffer."""
+        coordination = self.coordination
+        if coordination.category(method) is not Category.IRREDUCIBLE_CONFLICT_FREE:
+            raise GuardViolation(
+                "FREE", f"{method} is not irreducible conflict-free"
+            )
+        call = self.rids.make_call(p_j, method, arg)
+        self._local_apply_and_fanout(
+            p_j, call, lambda ps: ps.free_buffers[p_j], rule="FREE"
+        )
+        return call
+
+    def conf(self, p_j: str, method: str, arg: Any = None) -> Call:
+        """Rule CONF: the leader orders, applies, and fans out the call."""
+        coordination = self.coordination
+        group = coordination.sync_group(method)
+        if group is None:
+            raise GuardViolation("CONF", f"{method} is conflict-free")
+        if self.leaders[group.gid] != p_j:
+            raise GuardViolation(
+                "CONF",
+                f"{p_j} is not the leader of {group.gid} "
+                f"({self.leaders[group.gid]} is)",
+            )
+        call = self.rids.make_call(p_j, method, arg)
+        self._local_apply_and_fanout(
+            p_j, call, lambda ps: ps.conf_buffers[group.gid], rule="CONF"
+        )
+        return call
+
+    def _local_apply_and_fanout(self, p_j: str, call: Call, buffer_of,
+                                rule: str) -> None:
+        sigma_j = self.spec.apply_call(call, self.k[p_j].sigma)
+        effective = sigma_j
+        for summary in self.k[p_j].summaries.values():
+            effective = self.spec.apply_call(summary, effective)
+        if not self.spec.invariant(effective):
+            raise GuardViolation(rule, f"I(σ') fails for {call} at {p_j}")
+        dep = self._dep_projection(p_j, call.method)
+        self.k[p_j].sigma = sigma_j
+        self.k[p_j].applied[(p_j, call.method)] = (
+            self.k[p_j].applied.get((p_j, call.method), 0) + 1
+        )
+        for p_i in self.processes:
+            if p_i != p_j:
+                buffer_of(self.k[p_i]).append((call, dep))
+        self.events.append(ConcreteEvent(rule, p_j, call))
+
+    # -- applying transitions ---------------------------------------------
+
+    def free_app(self, p: str, source: str) -> Call:
+        """Rule FREE-APP: apply the head of F_p(source) if D ≤ A."""
+        buffer = self.k[p].free_buffers[source]
+        return self._apply_head(p, buffer, "FREE_APP", f"F({source})")
+
+    def conf_app(self, p: str, gid: str) -> Call:
+        """Rule CONF-APP: apply the head of L_p(g) if D ≤ A."""
+        buffer = self.k[p].conf_buffers[gid]
+        return self._apply_head(p, buffer, "CONF_APP", f"L({gid})")
+
+    def _apply_head(self, p: str, buffer: deque, rule: str,
+                    which: str) -> Call:
+        if not buffer:
+            raise GuardViolation(rule, f"{which} at {p} is empty")
+        call, dep = buffer[0]
+        if not dep_satisfied(dep, self.k[p].applied):
+            raise GuardViolation(
+                rule, f"dependencies of {call} not yet applied at {p}"
+            )
+        buffer.popleft()
+        ps = self.k[p]
+        ps.sigma = self.spec.apply_call(call, ps.sigma)
+        ps.applied[(call.origin, call.method)] = (
+            ps.applied.get((call.origin, call.method), 0) + 1
+        )
+        self.events.append(ConcreteEvent(rule, p, call))
+        return call
+
+    def query(self, p: str, method: str, arg: Any = None) -> Any:
+        """Rule QUERY: evaluate against ``Apply(S_p)(σ_p)``."""
+        return self.spec.run_query(method, arg, self.effective_state(p))
+
+    # -- enabled-transition enumeration -------------------------------------
+
+    def enabled_apps(self) -> list[tuple[str, str, str]]:
+        """All enabled (rule, process, buffer-key) apply transitions."""
+        enabled = []
+        for p in self.processes:
+            ps = self.k[p]
+            for source, buffer in sorted(ps.free_buffers.items()):
+                if buffer and dep_satisfied(buffer[0][1], ps.applied):
+                    enabled.append(("FREE_APP", p, source))
+            for gid, buffer in sorted(ps.conf_buffers.items()):
+                if buffer and dep_satisfied(buffer[0][1], ps.applied):
+                    enabled.append(("CONF_APP", p, gid))
+        return enabled
+
+    def drain(self, max_steps: int = 1_000_000) -> int:
+        """Fire apply transitions until quiescence; returns steps taken."""
+        steps = 0
+        while steps < max_steps:
+            enabled = self.enabled_apps()
+            if not enabled:
+                return steps
+            rule, p, key = enabled[0]
+            if rule == "FREE_APP":
+                self.free_app(p, key)
+            else:
+                self.conf_app(p, key)
+            steps += 1
+        raise RuntimeError("drain did not quiesce")
+
+    def buffers_empty(self) -> bool:
+        return all(
+            not buffer
+            for ps in self.k.values()
+            for buffer in (*ps.free_buffers.values(), *ps.conf_buffers.values())
+        )
+
+    # -- guarantees (Corollaries 1 and 2) ------------------------------------
+
+    def integrity_holds(self) -> bool:
+        """Corollary 1: I(Apply(S_i)(σ_i)) at every process."""
+        return all(
+            self.spec.invariant(self.effective_state(p))
+            for p in self.processes
+        )
+
+    def convergence_holds(self) -> bool:
+        """Corollary 2: empty buffers imply equal effective states."""
+        if not self.buffers_empty():
+            return True  # premise not met; nothing to check
+        states = [self.effective_state(p) for p in self.processes]
+        return all(self.spec.state_eq(states[0], s) for s in states[1:])

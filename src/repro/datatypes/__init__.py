@@ -1,0 +1,54 @@
+"""Bundled replicated data types: the paper's use-cases and schemas.
+
+CRDTs (Shapiro et al., adopted by the paper's §5): Counter, LWW
+register, GSet (single-element and union variants), ORSet, Shopping
+cart.  Relational schemas (Hamsaz/Özsu-Valduriez, §5): project
+management, courseware, movie.  Plus the §2 running examples: the
+single bank account and the multi-account bank map.
+"""
+
+from .account import account_spec
+from .bankmap import bankmap_spec
+from .cart import cart_spec
+from .counter import counter_spec
+from .courseware import courseware_spec
+from .gset import gset_spec, gset_union_spec
+from .lww import lww_spec
+from .movie import movie_spec
+from .orset import orset_spec
+from .project_mgmt import project_mgmt_spec
+from .rga import rga_spec
+from .twophase import twophase_set_spec
+
+#: name -> zero-argument spec factory, for workload drivers and benches.
+SPEC_FACTORIES = {
+    "account": account_spec,
+    "bankmap": bankmap_spec,
+    "cart": cart_spec,
+    "counter": counter_spec,
+    "courseware": courseware_spec,
+    "gset": gset_spec,
+    "gset_union": gset_union_spec,
+    "lww": lww_spec,
+    "movie": movie_spec,
+    "project_mgmt": project_mgmt_spec,
+    "rga": rga_spec,
+    "twophase_set": twophase_set_spec,
+}
+
+__all__ = [
+    "SPEC_FACTORIES",
+    "account_spec",
+    "bankmap_spec",
+    "cart_spec",
+    "counter_spec",
+    "courseware_spec",
+    "gset_spec",
+    "gset_union_spec",
+    "lww_spec",
+    "movie_spec",
+    "orset_spec",
+    "project_mgmt_spec",
+    "rga_spec",
+    "twophase_set_spec",
+]

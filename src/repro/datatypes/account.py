@@ -1,0 +1,59 @@
+"""The bank account running example (paper §2, Figure 1).
+
+State: the balance (an int).  Invariant: the balance is non-negative.
+Methods: ``deposit`` (reducible — summarizable by adding amounts),
+``withdraw`` (conflicting with itself, dependent on ``deposit``), and
+the ``balance`` query.
+
+The coordination analysis must reproduce Figure 1 exactly:
+conflict graph with a self-loop on withdraw, ``Dep(withdraw) =
+{deposit}``, deposit reducible — pinned in
+tests/datatypes/test_account.py.
+"""
+
+from __future__ import annotations
+
+from ..core import Call, ObjectSpec, QueryDef, Summarizer, UpdateDef
+
+__all__ = ["account_spec"]
+
+
+def _deposit(amount: int, balance: int) -> int:
+    return balance + amount
+
+def _withdraw(amount: int, balance: int) -> int:
+    return balance - amount
+
+def _balance(_arg: object, balance: int) -> int:
+    return balance
+
+
+def _combine_deposits(c1: Call, c2: Call) -> Call:
+    return Call("deposit", c1.arg + c2.arg, c2.origin, c2.rid)
+
+
+def account_spec(initial_balance: int = 0) -> ObjectSpec:
+    """The Account class of Figure 1(a)."""
+    return ObjectSpec(
+        name="account",
+        initial_state=lambda: initial_balance,
+        invariant=lambda balance: balance >= 0,
+        updates=[
+            UpdateDef("deposit", _deposit),
+            UpdateDef("withdraw", _withdraw),
+        ],
+        queries=[QueryDef("balance", _balance)],
+        summarizers=[
+            Summarizer(
+                group="deposits",
+                methods=frozenset({"deposit"}),
+                combine=_combine_deposits,
+                identity=lambda origin: Call("deposit", 0, origin, 0),
+            )
+        ],
+        state_gen=lambda rng: rng.randrange(0, 30),
+        arg_gens={
+            "deposit": lambda rng: rng.randrange(1, 10),
+            "withdraw": lambda rng: rng.randrange(1, 10),
+        },
+    )

@@ -1,0 +1,56 @@
+"""Shopping-cart CRDT (paper §5 use-cases).
+
+An observed-remove cart: the state is a set of ``(item, qty, tag)``
+entries.  ``add_item`` inserts a uniquely tagged entry; ``remove_item``
+deletes the entries whose tags the issuer observed; the ``contents``
+query sums quantities per item.  Like the OR-set it is op-based with
+causally scoped removes, so commutativity is declared, and removes make
+it non-summarizable — irreducible conflict-free (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core import ObjectSpec, QueryDef, UpdateDef
+
+__all__ = ["cart_spec"]
+
+Entry = tuple[Any, int, tuple[str, int]]
+
+
+def _add_item(arg: Entry, state: frozenset) -> frozenset:
+    return state | {arg}
+
+def _remove_item(arg: tuple[Any, frozenset], state: frozenset) -> frozenset:
+    item, observed = arg
+    return frozenset(
+        (i, q, t) for (i, q, t) in state if i != item or t not in observed
+    )
+
+def _contents(_arg: object, state: frozenset) -> dict:
+    totals: dict[Any, int] = {}
+    for item, qty, _tag in state:
+        totals[item] = totals.get(item, 0) + qty
+    return totals
+
+def _quantity(item: Any, state: frozenset) -> int:
+    return sum(q for (i, q, _t) in state if i == item)
+
+
+def cart_spec() -> ObjectSpec:
+    return ObjectSpec(
+        name="cart",
+        initial_state=frozenset,
+        invariant=lambda _state: True,
+        updates=[
+            UpdateDef("add_item", _add_item),
+            UpdateDef("remove_item", _remove_item),
+        ],
+        queries=[
+            QueryDef("contents", _contents),
+            QueryDef("quantity", _quantity),
+        ],
+        declared_conflicts=set(),
+        declared_dependencies={},
+    )

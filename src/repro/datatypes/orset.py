@@ -1,0 +1,58 @@
+"""Observed-Remove set CRDT (paper §5 use-cases).
+
+Op-based OR-set: the state is a set of ``(element, tag)`` pairs.
+``add`` carries a globally unique tag; ``remove`` carries the set of
+tags the issuer had *observed* for the element, so a remove never
+cancels an add it did not see.  Under that causal discipline all
+operations commute — which is exactly the assumption the paper makes
+for op-based CRDTs — so the spec *declares* the empty conflict and
+dependency relations rather than relying on bounded checking (an
+independent sampler would fabricate a remove that guesses a concurrent
+add's tag, a schedule the protocol can never produce).
+
+``remove`` is not summarizable (removes of different elements have no
+single-call composition), so the OR-set is the flagship *irreducible
+conflict-free* benchmark of Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core import ObjectSpec, QueryDef, UpdateDef
+
+__all__ = ["orset_spec"]
+
+Tag = tuple[str, int]
+Pair = tuple[Any, Tag]
+
+
+def _add(arg: Pair, state: frozenset) -> frozenset:
+    return state | {arg}
+
+def _remove(arg: tuple[Any, frozenset], state: frozenset) -> frozenset:
+    element, observed = arg
+    return frozenset(
+        (e, t) for (e, t) in state if e != element or t not in observed
+    )
+
+def _contains(element: Any, state: frozenset) -> bool:
+    return any(e == element for (e, _t) in state)
+
+def _elements(_arg: object, state: frozenset) -> frozenset:
+    return frozenset(e for (e, _t) in state)
+
+
+def orset_spec() -> ObjectSpec:
+    return ObjectSpec(
+        name="orset",
+        initial_state=frozenset,
+        invariant=lambda _state: True,
+        updates=[UpdateDef("add", _add), UpdateDef("remove", _remove)],
+        queries=[
+            QueryDef("contains", _contains),
+            QueryDef("elements", _elements),
+        ],
+        declared_conflicts=set(),
+        declared_dependencies={},
+    )

@@ -1,0 +1,88 @@
+"""Replicated Growable Array (RGA) — a sequence CRDT (extension type).
+
+The op-based list CRDT of Roh et al. (cited by the paper as one of the
+"replicated abstract data types"): collaborative text editing where
+concurrent inserts at the same position converge to one order.
+
+State: a tuple of ``(id, char, visible)`` entries in document order,
+where ``id`` is a Lamport-style ``(counter, origin)`` pair.
+
+- ``insert((anchor_id, new_id, char))`` places the new element after
+  ``anchor_id`` (None anchors at the head), then skids right past any
+  existing elements with *greater* ids that share the position — the
+  RGA rule that makes concurrent same-position inserts commute
+  (timestamp order wins, deterministically).
+- ``delete(id)`` tombstones the element: it stays invisible but keeps
+  anchoring later inserts, so insert/delete commute.
+
+Both rely on causal delivery (an insert's anchor was observed by its
+issuer; Hamband's per-origin FIFO plus the workload discipline of
+anchoring to self-observed elements provide it), so like the OR-set the
+spec declares its relations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import ObjectSpec, QueryDef, UpdateDef
+
+__all__ = ["rga_spec"]
+
+Id = tuple[int, str]
+Entry = tuple[Id, str, bool]
+State = tuple[Entry, ...]
+
+
+def _position_of(state: State, element_id: Optional[Id]) -> int:
+    """Index just after the anchor (0 for a head anchor)."""
+    if element_id is None:
+        return 0
+    for index, (eid, _char, _visible) in enumerate(state):
+        if eid == element_id:
+            return index + 1
+    # Anchor unknown: causal delivery was violated by the caller; the
+    # deterministic fallback keeps replicas convergent anyway.
+    return 0
+
+def _insert(arg: tuple[Optional[Id], Id, str], state: State) -> State:
+    anchor_id, new_id, char = arg
+    if any(eid == new_id for (eid, _c, _v) in state):
+        return state  # duplicate delivery: idempotent
+    position = _position_of(state, anchor_id)
+    # RGA skip rule: concurrent inserts after the same anchor order by
+    # descending id, so skid right while the next element is newer.
+    while position < len(state) and state[position][0] > new_id:
+        position += 1
+    return state[:position] + ((new_id, char, True),) + state[position:]
+
+def _delete(element_id: Id, state: State) -> State:
+    return tuple(
+        (eid, char, visible and eid != element_id)
+        for (eid, char, visible) in state
+    )
+
+def _text(_arg: object, state: State) -> str:
+    return "".join(char for (_id, char, visible) in state if visible)
+
+def _length(_arg: object, state: State) -> int:
+    return sum(1 for (_id, _char, visible) in state if visible)
+
+def _ids(_arg: object, state: State) -> tuple:
+    return tuple(eid for (eid, _char, visible) in state if visible)
+
+
+def rga_spec() -> ObjectSpec:
+    return ObjectSpec(
+        name="rga",
+        initial_state=tuple,
+        invariant=lambda _state: True,
+        updates=[UpdateDef("insert", _insert), UpdateDef("delete", _delete)],
+        queries=[
+            QueryDef("text", _text),
+            QueryDef("length", _length),
+            QueryDef("ids", _ids),
+        ],
+        declared_conflicts=set(),
+        declared_dependencies={},
+    )

@@ -1,0 +1,12 @@
+"""Message-passing op-based CRDTs (the paper's MSG baseline)."""
+
+from .cluster import MsgCrdtCluster, MsgCrdtNode
+from .network import MsgConfig, MsgHost, MsgNetwork
+
+__all__ = [
+    "MsgConfig",
+    "MsgCrdtCluster",
+    "MsgCrdtNode",
+    "MsgHost",
+    "MsgNetwork",
+]

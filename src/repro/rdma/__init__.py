@@ -1,0 +1,25 @@
+"""Simulated RDMA substrate: registered memory, RC queue pairs, verbs.
+
+Substitutes for the paper's ibverbs-over-InfiniBand setup (see
+DESIGN.md section 2): one-sided WRITE/READ/CAS complete without remote
+CPU involvement, two-sided SEND/RECV pay remote CPU, and per-QP write
+permission can be revoked (the Mu leader-change mechanism).
+"""
+
+from .fabric import Fabric, FabricStats, RdmaNode
+from .memory import Access, MemoryRegion, RdmaAccessError
+from .verbs import Opcode, QueuePair, RdmaConfig, WcStatus, WorkCompletion
+
+__all__ = [
+    "Access",
+    "Fabric",
+    "FabricStats",
+    "MemoryRegion",
+    "Opcode",
+    "QueuePair",
+    "RdmaAccessError",
+    "RdmaConfig",
+    "RdmaNode",
+    "WcStatus",
+    "WorkCompletion",
+]

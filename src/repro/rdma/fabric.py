@@ -1,0 +1,163 @@
+"""The RDMA fabric: nodes, connections, crash injection, verb statistics.
+
+A :class:`Fabric` owns every :class:`RdmaNode`.  Each node has a CPU
+(a :class:`~repro.sim.Resource`) and a set of registered memory
+regions; nodes are connected pairwise by Reliable Connection queue
+pairs.  The fabric is the single place where node failures are
+injected, so every layer above observes a consistent view of liveness.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim import Environment, Resource
+from .memory import Access, MemoryRegion
+from .verbs import Opcode, QueuePair, RdmaConfig
+
+__all__ = ["Fabric", "FabricStats", "RdmaNode"]
+
+
+@dataclass
+class FabricStats:
+    """Counts of verbs and bytes that crossed the fabric."""
+
+    ops: Counter = field(default_factory=Counter)
+    bytes: Counter = field(default_factory=Counter)
+
+    def count(self, opcode: Opcode, nbytes: int) -> None:
+        self.ops[opcode] += 1
+        self.bytes[opcode] += nbytes
+
+    @property
+    def one_sided_ops(self) -> int:
+        return (
+            self.ops[Opcode.WRITE] + self.ops[Opcode.READ] + self.ops[Opcode.CAS]
+        )
+
+    @property
+    def two_sided_ops(self) -> int:
+        return self.ops[Opcode.SEND]
+
+
+class RdmaNode:
+    """A host with a CPU, registered memory, and queue pairs to peers."""
+
+    def __init__(self, fabric: "Fabric", name: str, cpu_cores: int):
+        self.fabric = fabric
+        self.env: Environment = fabric.env
+        self.name = name
+        self.cpu = Resource(self.env, capacity=cpu_cores)
+        self.alive = True
+        self.regions: dict[str, MemoryRegion] = {}
+        #: Outgoing queue pairs, keyed by (remote node name, channel).
+        #: Separate channels model separate QPs to the same peer — Mu
+        #: revokes write permission on its consensus QP without
+        #: disturbing the F/S data-path QPs.
+        self.qps: dict[tuple[str, str], QueuePair] = {}
+
+    def register(self, name: str, size: int,
+                 access: Access = Access.ALL) -> MemoryRegion:
+        """Register a memory region; peers address it by node+name."""
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already registered on {self.name}")
+        region = MemoryRegion(self.name, name, size, access)
+        self.regions[name] = region
+        return region
+
+    def region_of(self, node_name: str, region_name: str) -> MemoryRegion:
+        """Look up a peer's region (rkey exchange happens at setup)."""
+        return self.fabric.nodes[node_name].regions[region_name]
+
+    def qp_to(self, remote_name: str, channel: str = "default") -> QueuePair:
+        return self.qps[(remote_name, channel)]
+
+    def crash(self) -> None:
+        """Fail-stop this node.
+
+        In-flight operations *to* this node complete with an error at
+        the sender; processes *of* this node should consult ``alive``
+        (the runtime layers wrap their loops accordingly).
+        """
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:
+        return f"RdmaNode({self.name}, alive={self.alive})"
+
+
+class Fabric:
+    """A cluster of RDMA nodes with all-to-all RC connections."""
+
+    def __init__(self, env: Environment, config: Optional[RdmaConfig] = None):
+        self.env = env
+        self.config = config or RdmaConfig()
+        self.nodes: dict[str, RdmaNode] = {}
+        self.stats = FabricStats()
+        #: Severed links: unordered node-name pairs that drop traffic.
+        self._cut_links: set[frozenset[str]] = set()
+
+    # -- partition injection -------------------------------------------------
+
+    def cut_link(self, a: str, b: str) -> None:
+        """Sever the link between two nodes (both directions)."""
+        self._cut_links.add(frozenset((a, b)))
+
+    def heal_link(self, a: str, b: str) -> None:
+        self._cut_links.discard(frozenset((a, b)))
+
+    def partition(self, side_a: list[str], side_b: list[str]) -> None:
+        """Cut every link crossing the two sides."""
+        for a in side_a:
+            for b in side_b:
+                self.cut_link(a, b)
+
+    def heal_all(self) -> None:
+        self._cut_links.clear()
+
+    def link_up(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) not in self._cut_links
+
+    def add_node(self, name: str, cpu_cores: int = 1) -> RdmaNode:
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        node = RdmaNode(self, name, cpu_cores)
+        self.nodes[name] = node
+        return node
+
+    def connect(self, a: str, b: str,
+                channel: str = "default") -> tuple[QueuePair, QueuePair]:
+        """Create a connected RC queue-pair pair between two nodes."""
+        node_a, node_b = self.nodes[a], self.nodes[b]
+        qp_ab = QueuePair(self.env, node_a, node_b, self.config)
+        qp_ba = QueuePair(self.env, node_b, node_a, self.config)
+        qp_ab.peer, qp_ba.peer = qp_ba, qp_ab
+        node_a.qps[(b, channel)] = qp_ab
+        node_b.qps[(a, channel)] = qp_ba
+        return qp_ab, qp_ba
+
+    def connect_all(self, channel: str = "default") -> None:
+        """All-to-all RC mesh, as Hamband's single-writer design needs."""
+        names = sorted(self.nodes)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if (b, channel) not in self.nodes[a].qps:
+                    self.connect(a, b, channel)
+
+    @classmethod
+    def build(cls, env: Environment, n_nodes: int,
+              config: Optional[RdmaConfig] = None,
+              cpu_cores: int = 1) -> "Fabric":
+        """Convenience constructor: n nodes named p1..pn, fully meshed."""
+        fabric = cls(env, config)
+        for i in range(1, n_nodes + 1):
+            fabric.add_node(f"p{i}", cpu_cores=cpu_cores)
+        fabric.connect_all()
+        return fabric
+
+    def node_names(self) -> list[str]:
+        return sorted(self.nodes)

@@ -1,0 +1,326 @@
+"""ibverbs-style work requests and completions over the simulated fabric.
+
+Timing model (all parameters live in :class:`RdmaConfig`):
+
+- Posting a work request costs the caller CPU (charged by the helper
+  generators ``write``/``read``/``cas``/``send``; the raw ``post_*``
+  variants are non-blocking and leave CPU accounting to the caller).
+- A Reliable Connection queue pair transmits its send queue in order.
+  Payload occupies the link for ``len(payload) * byte_us``.
+- One-sided WRITE: the payload lands in the remote region at
+  ``wire_us`` after transmission ends — no remote CPU involvement,
+  which is the property Hamband exploits.  The sender's completion
+  fires one ``ack_us`` later (RC acknowledgement).
+- One-sided READ/CAS: a request travels to the remote NIC, the NIC
+  performs the access (CAS pays ``atomic_extra_us`` — the paper's
+  stated reason for the single-writer design), and the response
+  travels back.
+- Two-sided SEND: like WRITE on the wire, but the payload is delivered
+  to the remote QP's receive queue, where remote *CPU* must pick it up.
+
+Failures: operations that arrive at a crashed node, or at a queue pair
+whose write permission the remote side revoked, complete with a non-OK
+status — the sender observes the error on the completion, as with real
+flushed work requests.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from ..sim import Environment, Event, Store
+from .memory import Access, MemoryRegion, RdmaAccessError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fabric import RdmaNode
+
+__all__ = [
+    "Opcode",
+    "QueuePair",
+    "RdmaConfig",
+    "WcStatus",
+    "WorkCompletion",
+]
+
+
+class Opcode(enum.Enum):
+    WRITE = "write"
+    READ = "read"
+    CAS = "compare_and_swap"
+    SEND = "send"
+    RECV = "recv"
+
+
+class WcStatus(enum.Enum):
+    SUCCESS = "success"
+    REMOTE_ACCESS_ERROR = "remote_access_error"
+    REMOTE_OPERATION_ERROR = "remote_operation_error"  # crashed peer
+    PERMISSION_ERROR = "permission_error"
+    #: Transport retries exhausted: the path to the peer is down.
+    UNREACHABLE = "unreachable"
+
+
+@dataclass
+class WorkCompletion:
+    """What the sender observes when a work request completes."""
+
+    opcode: Opcode
+    status: WcStatus
+    wr_id: int
+    #: READ result bytes, or the pre-swap value for CAS.
+    data: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WcStatus.SUCCESS
+
+
+@dataclass
+class RdmaConfig:
+    """Latency/cost parameters, in microseconds.
+
+    Defaults are calibrated to the ballpark of a 40 Gbps InfiniBand RC
+    setup as reported by the papers Hamband cites: small one-sided
+    writes complete in ~1-2 us, RDMA atomics cost noticeably more than
+    writes, and two-sided delivery additionally pays remote CPU.
+    """
+
+    post_cpu_us: float = 0.10
+    wire_us: float = 0.60
+    byte_us: float = 0.0002  # ~40 Gbps
+    ack_us: float = 0.50
+    atomic_extra_us: float = 1.20
+    #: CPU a receiver spends taking one message out of a recv queue.
+    recv_cpu_us: float = 0.25
+
+    def tx_time(self, nbytes: int) -> float:
+        return nbytes * self.byte_us
+
+
+@dataclass
+class _Incoming:
+    """A SEND payload sitting in the receive queue."""
+
+    payload: bytes
+    arrived_at: float
+    src: str
+
+
+class QueuePair:
+    """One endpoint of a Reliable Connection between two nodes.
+
+    A connected pair is created via :meth:`repro.rdma.fabric.Fabric.connect`;
+    each endpoint posts toward the other.  Ordering is per-QP FIFO, as RC
+    guarantees.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, env: Environment, local: "RdmaNode", remote: "RdmaNode",
+                 config: RdmaConfig):
+        self.env = env
+        self.local = local
+        self.remote = remote
+        self.config = config
+        self.qp_num = next(self._ids)
+        self.peer: Optional["QueuePair"] = None  # set by Fabric.connect
+        #: The *remote* side may revoke our right to RDMA-write into it
+        #: (Mu's leader-change mechanism).  Granted by default.
+        self.write_permitted = True
+        #: Receive queue for two-sided SENDs addressed to this endpoint.
+        self.recv_queue = Store(env)
+        self._busy_until = 0.0
+        self._wr_ids = itertools.count(1)
+
+    # -- permission management (exercised by consensus leader change) ----
+
+    def revoke_peer_write(self) -> None:
+        """Called by the local node: stop the peer writing into us."""
+        if self.peer is not None:
+            self.peer.write_permitted = False
+
+    def grant_peer_write(self) -> None:
+        if self.peer is not None:
+            self.peer.write_permitted = True
+
+    # -- raw posting (non-blocking; CPU accounting left to caller) -------
+
+    def post_write(self, region: MemoryRegion, offset: int,
+                   payload: bytes) -> Event:
+        """One-sided RDMA write of ``payload`` into the remote ``region``."""
+        self._check_target_region(region)
+        completion = Event(self.env)
+        wr_id = next(self._wr_ids)
+        arrive, complete = self._schedule_wire(len(payload))
+        self.local.fabric.stats.count(Opcode.WRITE, len(payload))
+
+        def deliver() -> None:
+            status = self._landing_status(region, offset, len(payload),
+                                          Access.REMOTE_WRITE)
+            if status is WcStatus.SUCCESS:
+                region.write(offset, payload)
+            self.env.call_later(
+                complete - arrive,
+                lambda: completion.succeed(
+                    WorkCompletion(Opcode.WRITE, status, wr_id)
+                ),
+            )
+
+        self.env.call_later(arrive - self.env.now, deliver)
+        return completion
+
+    def post_read(self, region: MemoryRegion, offset: int,
+                  length: int) -> Event:
+        """One-sided RDMA read of ``length`` bytes from the remote region."""
+        self._check_target_region(region)
+        completion = Event(self.env)
+        wr_id = next(self._wr_ids)
+        # Request is small; the response carries the payload.
+        arrive, _ = self._schedule_wire(0)
+        complete = arrive + self.config.tx_time(length) + self.config.wire_us
+        self.local.fabric.stats.count(Opcode.READ, length)
+
+        def deliver() -> None:
+            status = self._landing_status(region, offset, length,
+                                          Access.REMOTE_READ)
+            data = region.read(offset, length) if status is WcStatus.SUCCESS else None
+            self.env.call_later(
+                complete - self.env.now,
+                lambda: completion.succeed(
+                    WorkCompletion(Opcode.READ, status, wr_id, data=data)
+                ),
+            )
+
+        self.env.call_later(arrive - self.env.now, deliver)
+        return completion
+
+    def post_cas(self, region: MemoryRegion, offset: int, expected: int,
+                 swap: int) -> Event:
+        """One-sided 64-bit compare-and-swap on the remote region."""
+        self._check_target_region(region)
+        completion = Event(self.env)
+        wr_id = next(self._wr_ids)
+        arrive, _ = self._schedule_wire(8)
+        arrive += self.config.atomic_extra_us
+        complete = arrive + self.config.wire_us
+        self.local.fabric.stats.count(Opcode.CAS, 8)
+
+        def deliver() -> None:
+            status = self._landing_status(region, offset, 8,
+                                          Access.REMOTE_ATOMIC)
+            old = None
+            if status is WcStatus.SUCCESS:
+                old = region.read_u64(offset)
+                if old == expected:
+                    region.write_u64(offset, swap)
+            self.env.call_later(
+                complete - self.env.now,
+                lambda: completion.succeed(
+                    WorkCompletion(Opcode.CAS, status, wr_id, data=old)
+                ),
+            )
+
+        self.env.call_later(arrive - self.env.now, deliver)
+        return completion
+
+    def post_send(self, payload: bytes) -> Event:
+        """Two-sided send into the peer endpoint's receive queue."""
+        completion = Event(self.env)
+        wr_id = next(self._wr_ids)
+        arrive, complete = self._schedule_wire(len(payload))
+        self.local.fabric.stats.count(Opcode.SEND, len(payload))
+        src = self.local.name
+
+        def deliver() -> None:
+            if not self.local.fabric.link_up(
+                self.local.name, self.remote.name
+            ):
+                status = WcStatus.UNREACHABLE
+            elif not self.remote.alive:
+                status = WcStatus.REMOTE_OPERATION_ERROR
+            else:
+                status = WcStatus.SUCCESS
+                if self.peer is not None:
+                    self.peer.recv_queue.put(
+                        _Incoming(payload, self.env.now, src)
+                    )
+            self.env.call_later(
+                complete - arrive,
+                lambda: completion.succeed(
+                    WorkCompletion(Opcode.SEND, status, wr_id)
+                ),
+            )
+
+        self.env.call_later(arrive - self.env.now, deliver)
+        return completion
+
+    # -- blocking helpers (charge CPU, wait for completion) --------------
+
+    def write(self, region: MemoryRegion, offset: int,
+              payload: bytes) -> Generator[Event, Any, WorkCompletion]:
+        """``yield from`` helper: post a write and wait for its completion."""
+        yield from self.local.cpu.use(self.config.post_cpu_us)
+        completion = yield self.post_write(region, offset, payload)
+        return completion
+
+    def read(self, region: MemoryRegion, offset: int,
+             length: int) -> Generator[Event, Any, WorkCompletion]:
+        yield from self.local.cpu.use(self.config.post_cpu_us)
+        completion = yield self.post_read(region, offset, length)
+        return completion
+
+    def cas(self, region: MemoryRegion, offset: int, expected: int,
+            swap: int) -> Generator[Event, Any, WorkCompletion]:
+        yield from self.local.cpu.use(self.config.post_cpu_us)
+        completion = yield self.post_cas(region, offset, expected, swap)
+        return completion
+
+    def send(self, payload: bytes) -> Generator[Event, Any, WorkCompletion]:
+        yield from self.local.cpu.use(self.config.post_cpu_us)
+        completion = yield self.post_send(payload)
+        return completion
+
+    def recv(self) -> Generator[Event, Any, _Incoming]:
+        """``yield from`` helper: take one incoming SEND, paying recv CPU."""
+        incoming = yield self.recv_queue.get()
+        yield from self.local.cpu.use(self.config.recv_cpu_us)
+        return incoming
+
+    # -- internals ---------------------------------------------------------
+
+    def _schedule_wire(self, nbytes: int) -> tuple[float, float]:
+        """Reserve the send queue; return (arrival time, completion time)."""
+        start = max(self.env.now, self._busy_until)
+        tx_end = start + self.config.tx_time(nbytes)
+        self._busy_until = tx_end
+        arrive = tx_end + self.config.wire_us
+        complete = arrive + self.config.ack_us
+        return arrive, complete
+
+    def _landing_status(self, region: MemoryRegion, offset: int, length: int,
+                        wanted: Access) -> WcStatus:
+        if not self.local.fabric.link_up(self.local.name, self.remote.name):
+            return WcStatus.UNREACHABLE
+        if not self.remote.alive:
+            return WcStatus.REMOTE_OPERATION_ERROR
+        if wanted is Access.REMOTE_WRITE and not self.write_permitted:
+            return WcStatus.PERMISSION_ERROR
+        try:
+            region.check_remote(wanted)
+            region._check_bounds(offset, length)
+        except RdmaAccessError:
+            return WcStatus.REMOTE_ACCESS_ERROR
+        return WcStatus.SUCCESS
+
+    def _check_target_region(self, region: MemoryRegion) -> None:
+        if region.owner != self.remote.name:
+            raise RdmaAccessError(
+                f"QP {self.local.name}->{self.remote.name} cannot reach "
+                f"region owned by {region.owner}"
+            )
+
+    def __repr__(self) -> str:
+        return f"QueuePair({self.local.name}->{self.remote.name})"

@@ -1,0 +1,45 @@
+"""The Hamband runtime (paper §4) over the simulated RDMA fabric."""
+
+from .broadcast import ReliableBroadcast
+from .cluster import HambandCluster
+from .heartbeat import FailureDetector, Heartbeat
+from .node import (
+    HambandNode,
+    ImpermissibleError,
+    NotLeaderError,
+    RuntimeConfig,
+    SubmitError,
+)
+from .ringbuffer import RingError, RingReader, RingWriter, ring_region_size
+from .summary import SummarySlot, render_summary, slot_size_for
+from .wire import (
+    WireError,
+    decode_call_packet,
+    decode_value,
+    encode_call_packet,
+    encode_value,
+)
+
+__all__ = [
+    "FailureDetector",
+    "HambandCluster",
+    "HambandNode",
+    "Heartbeat",
+    "ImpermissibleError",
+    "NotLeaderError",
+    "ReliableBroadcast",
+    "RingError",
+    "RingReader",
+    "RingWriter",
+    "RuntimeConfig",
+    "SubmitError",
+    "SummarySlot",
+    "WireError",
+    "decode_call_packet",
+    "decode_value",
+    "encode_call_packet",
+    "encode_value",
+    "render_summary",
+    "ring_region_size",
+    "slot_size_for",
+]

@@ -1,0 +1,147 @@
+"""RDMA reliable broadcast (paper §4 "RDMA Reliable Broadcast").
+
+Best-effort broadcast on RDMA is a batch of remote writes — but the
+source may crash mid-batch, delivering to some nodes and not others.
+For agreement, the source keeps a *backup slot* readable by every peer:
+
+1. write the message into the local backup slot,
+2. remotely write it for every peer (one one-sided write each),
+3. clear the backup slot.
+
+If peers suspect the source (heartbeat silence), each survivor remote-
+reads the backup slot; a non-empty slot is a possibly half-delivered
+message, which the survivor delivers if it has not already (delivery is
+deduplicated by the call's unique id upstream).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Generator, Optional
+
+from ..rdma import Access, MemoryRegion, QueuePair, RdmaNode, WcStatus
+from ..sim import Environment, Event
+
+__all__ = ["ReliableBroadcast", "BACKUP_REGION"]
+
+BACKUP_REGION = "hamband:bcast_backup"
+_HEADER = 4  # payload length
+
+
+class ReliableBroadcast:
+    """One node's broadcast endpoint: backup slot + write fan-out."""
+
+    def __init__(self, node: RdmaNode, backup_size: int = 512,
+                 local_write_us: float = 0.02):
+        self.node = node
+        self.env: Environment = node.env
+        self.local_write_us = local_write_us
+        self.backup = node.register(
+            BACKUP_REGION,
+            _HEADER + backup_size,
+            access=Access.LOCAL | Access.REMOTE_READ,
+        )
+        #: Fault injection: when set, the source "process" dies at the
+        #: next step of an in-flight broadcast — writes stop and the
+        #: backup slot is never cleared, while the node's registered
+        #: memory stays remotely readable (the RDMA failure model: a
+        #: crashed process's NIC still serves one-sided reads).
+        self.halted = False
+
+    # -- source side -----------------------------------------------------
+
+    def broadcast(
+        self,
+        message: bytes,
+        writes: list[tuple[QueuePair, MemoryRegion, int, Any]],
+        is_suspected=None,
+        max_retries: int = 50,
+        retry_us: float = 20.0,
+    ) -> Generator[Event, Any, list]:
+        """``yield from`` helper: backup, fan out (with retries), clear.
+
+        ``writes`` carries per-target (qp, region, offset, payload) —
+        the same logical ``message`` rendered for each target's ring or
+        slot.  ``payload`` may be a zero-argument callable, re-evaluated
+        on each retry (summary slots re-render their *current* bytes so
+        a retry can never clobber a newer summary with an older one).
+
+        A failed write (unreachable peer, transient fault) is retried
+        until it succeeds or the target is suspected — under the
+        crash-stop model a suspected node is dead and owed nothing;
+        short transients (e.g. a healed link) are ridden out.
+        """
+        self._write_backup(message)
+        yield from self.node.cpu.use(self.local_write_us)
+        pending = list(writes)
+        results: list = []
+        attempt = 0
+        while pending:
+            completions = []
+            for qp, region, offset, payload in pending:
+                if self.halted:
+                    return results  # source died: backup stays set
+                body = payload() if callable(payload) else payload
+                yield from self.node.cpu.use(qp.config.post_cpu_us)
+                completions.append(
+                    (qp, region, offset, payload,
+                     qp.post_write(region, offset, body))
+                )
+            retry = []
+            for qp, region, offset, payload, completion in completions:
+                wc = yield completion
+                if wc.ok:
+                    results.append(wc)
+                elif is_suspected is not None and is_suspected(
+                    qp.remote.name
+                ):
+                    results.append(wc)  # dead peer: give up, as crash-stop allows
+                else:
+                    retry.append((qp, region, offset, payload))
+            if not retry:
+                break
+            attempt += 1
+            if attempt > max_retries or is_suspected is None:
+                results.extend([None] * len(retry))
+                break
+            yield self.env.timeout(retry_us)
+            pending = retry
+        if self.halted:
+            return results  # died before clearing: backup stays set
+        self._clear_backup()
+        yield from self.node.cpu.use(self.local_write_us)
+        return results
+
+    def _write_backup(self, message: bytes) -> None:
+        if _HEADER + len(message) > self.backup.size:
+            raise ValueError(
+                f"message of {len(message)} bytes exceeds backup slot"
+            )
+        slot = bytearray(self.backup.size)
+        struct.pack_into("<I", slot, 0, len(message))
+        slot[_HEADER : _HEADER + len(message)] = message
+        self.backup.write(0, bytes(slot))
+
+    def _clear_backup(self) -> None:
+        self.backup.write(0, b"\x00" * _HEADER)
+
+    # -- survivor side --------------------------------------------------------
+
+    def fetch_backup_of(
+        self, peer: str
+    ) -> Generator[Event, Any, Optional[bytes]]:
+        """Remote-read a suspected peer's backup slot.
+
+        Returns the pending message, or None when the slot is clear or
+        the peer is unreachable.
+        """
+        region = self.node.region_of(peer, BACKUP_REGION)
+        qp = self.node.qp_to(peer)
+        completion = yield from qp.read(region, 0, region.size)
+        if completion.status is not WcStatus.SUCCESS:
+            return None
+        data = completion.data
+        (length,) = struct.unpack_from("<I", data, 0)
+        if length == 0 or _HEADER + length > len(data):
+            return None
+        return bytes(data[_HEADER : _HEADER + length])

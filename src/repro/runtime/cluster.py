@@ -1,0 +1,182 @@
+"""Cluster orchestration: fabric wiring + node lifecycle + run checks.
+
+``HambandCluster`` is the top of the public API: give it an
+:class:`~repro.core.ObjectSpec` (or a pre-computed ``Coordination``)
+and a node count, then drive it inside the simulation:
+
+>>> from repro.sim import Environment
+>>> from repro.datatypes import counter_spec
+>>> from repro.runtime import HambandCluster
+>>> env = Environment()
+>>> cluster = HambandCluster.build(env, counter_spec(), n_nodes=3)
+>>> response = cluster.node("p1").submit("add", 5)
+>>> env.run(until=response)     # doctest: +ELLIPSIS
+Call(...)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from ..consensus.mu import mu_channel
+from ..core import (
+    AbstractMachine,
+    ConcreteEvent,
+    Coordination,
+    ObjectSpec,
+    RefinementChecker,
+)
+from ..rdma import Fabric, RdmaConfig
+from ..sim import Environment
+from .node import HambandNode, RuntimeConfig
+
+__all__ = ["HambandCluster"]
+
+
+class HambandCluster:
+    """All replicas of one Hamband object plus their fabric."""
+
+    def __init__(self, env: Environment, coordination: Coordination,
+                 fabric: Fabric, config: Optional[RuntimeConfig] = None,
+                 leaders: Optional[dict[str, str]] = None):
+        self.env = env
+        self.coordination = coordination
+        self.fabric = fabric
+        self.config = config or RuntimeConfig()
+        names = fabric.node_names()
+        self.leaders = leaders or coordination.conflict_graph.assign_leaders(
+            names
+        )
+        #: Cluster-wide concrete-event log in simulation-time order,
+        #: replayable against the abstract semantics.
+        self.events: list[ConcreteEvent] = []
+        for group in coordination.sync_groups():
+            fabric.connect_all(channel=mu_channel(group.gid))
+        self.nodes: dict[str, HambandNode] = {
+            name: HambandNode(
+                fabric.nodes[name],
+                coordination,
+                names,
+                self.leaders,
+                self.config,
+                self.events,
+            )
+            for name in names
+        }
+        # Non-leaders start with no write permission on the Mu channels,
+        # exactly as Mu grants a single writer per log.
+        for group in coordination.sync_groups():
+            gid = group.gid
+            leader = self.leaders[gid]
+            for name in names:
+                for peer in names:
+                    if peer in (name, leader):
+                        continue
+                    host = fabric.nodes[name]
+                    host.qp_to(peer, mu_channel(gid)).revoke_peer_write()
+
+    @classmethod
+    def build(cls, env: Environment,
+              spec_or_coordination: Union[ObjectSpec, Coordination],
+              n_nodes: int, config: Optional[RuntimeConfig] = None,
+              rdma_config: Optional[RdmaConfig] = None,
+              cpu_cores: int = 2,
+              leaders: Optional[dict[str, str]] = None) -> "HambandCluster":
+        """Construct a fully wired n-node cluster (nodes p1..pn)."""
+        if isinstance(spec_or_coordination, Coordination):
+            coordination = spec_or_coordination
+        else:
+            coordination = Coordination.analyze(spec_or_coordination)
+        fabric = Fabric.build(
+            env, n_nodes, config=rdma_config, cpu_cores=cpu_cores
+        )
+        return cls(env, coordination, fabric, config=config, leaders=leaders)
+
+    # -- convenience -----------------------------------------------------------
+
+    def node(self, name: str) -> HambandNode:
+        return self.nodes[name]
+
+    def node_names(self) -> list[str]:
+        return sorted(self.nodes)
+
+    def applied_totals(self) -> dict[str, int]:
+        return {name: node.applied_total() for name, node in self.nodes.items()}
+
+    def quiesce(self, total_updates: int, check_every_us: float = 5.0,
+                timeout_us: float = 1_000_000.0):
+        """Process: wait until every node reflects ``total_updates`` calls.
+
+        This is the paper's replication-complete condition used for
+        throughput: total calls divided by the time at which all update
+        calls are replicated on all nodes.
+        """
+        deadline = self.env.now + timeout_us
+        while True:
+            if all(
+                node.applied_total() >= total_updates
+                for node in self.nodes.values()
+                # A heartbeat-suspended node counts as failed (the
+                # paper's injection): peers may have revoked its log
+                # permissions, so it legitimately lags.
+                if node.rnode.alive and not node.heartbeat.suspended
+            ):
+                return self.env.now
+            if self.env.now > deadline:
+                raise TimeoutError(
+                    f"cluster did not quiesce: {self.applied_totals()} "
+                    f"vs expected {total_updates}"
+                )
+            yield self.env.timeout(check_every_us)
+
+    def effective_states(self) -> dict[str, Any]:
+        return {
+            name: node.effective_state() for name, node in self.nodes.items()
+        }
+
+    def converged(self) -> bool:
+        states = list(self.effective_states().values())
+        spec = self.coordination.spec
+        return all(spec.state_eq(states[0], s) for s in states[1:])
+
+    def integrity_holds(self) -> bool:
+        spec = self.coordination.spec
+        return all(
+            spec.invariant(state)
+            for state in self.effective_states().values()
+        )
+
+    def failures(self) -> list[str]:
+        """Crashed background workers across the cluster (bugs)."""
+        return [
+            failure
+            for node in self.nodes.values()
+            for failure in node.failures
+        ]
+
+    def check_refinement(self) -> AbstractMachine:
+        """Replay this run's event log against the abstract semantics."""
+        checker = RefinementChecker(self.coordination, self.node_names())
+        return checker.replay(self.events)
+
+    # -- failure injection -------------------------------------------------
+
+    def suspend_heartbeat(self, name: str) -> None:
+        """The paper's failure injection: the node stops serving (its
+        requests get redirected to live nodes) and its silent heartbeat
+        makes peers suspect it — while its registered memory stays
+        remotely accessible, as RDMA failure semantics allow."""
+        self.nodes[name].failed = True
+        self.nodes[name].heartbeat.suspend()
+
+    def crash(self, name: str) -> None:
+        """Full fail-stop: heartbeat silent and RDMA unreachable."""
+        self.suspend_heartbeat(name)
+        self.fabric.nodes[name].crash()
+
+    def partition(self, side_a: list[str], side_b: list[str]) -> None:
+        """Cut every fabric link between the two sides."""
+        self.fabric.partition(side_a, side_b)
+
+    def heal(self) -> None:
+        self.fabric.heal_all()

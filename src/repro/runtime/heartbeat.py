@@ -1,0 +1,99 @@
+"""Heartbeats and failure detection (paper §4 "RDMA Reliable Broadcast").
+
+Each node runs a heartbeat thread that increments a local counter in a
+registered region; peers periodically *remote-read* the counter and
+suspect the node when it stops advancing.  Failure injection in the
+paper's experiments suspends the heartbeat thread — :meth:`suspend`
+reproduces that exactly, leaving the node's other threads running.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..rdma import Access, RdmaNode, WcStatus
+from ..sim import Environment
+
+__all__ = ["FailureDetector", "Heartbeat"]
+
+HB_REGION = "hamband:heartbeat"
+
+
+class Heartbeat:
+    """The local heartbeat thread of one node."""
+
+    def __init__(self, node: RdmaNode, interval_us: float = 20.0):
+        self.node = node
+        self.env: Environment = node.env
+        self.interval_us = interval_us
+        self.region = node.register(
+            HB_REGION, 8, access=Access.LOCAL | Access.REMOTE_READ
+        )
+        self.suspended = False
+        self._process = self.env.process(self._run(), name=f"hb:{node.name}")
+
+    def suspend(self) -> None:
+        """Failure injection: stop the counter, as the paper does."""
+        self.suspended = True
+
+    def resume(self) -> None:
+        self.suspended = False
+
+    def _run(self):
+        count = 0
+        while True:
+            if not self.suspended and self.node.alive:
+                count += 1
+                self.region.write_u64(0, count)
+            yield self.env.timeout(self.interval_us)
+
+
+class FailureDetector:
+    """Per-node detector polling every peer's heartbeat by remote read."""
+
+    def __init__(self, node: RdmaNode, peers: list[str],
+                 poll_interval_us: float = 60.0, suspect_after: int = 3,
+                 on_suspect: Optional[Callable[[str], None]] = None):
+        self.node = node
+        self.env: Environment = node.env
+        self.peers = [p for p in peers if p != node.name]
+        self.poll_interval_us = poll_interval_us
+        self.suspect_after = suspect_after
+        self.on_suspect = on_suspect
+        self.suspected: set[str] = set()
+        self._last_seen: dict[str, int] = {p: 0 for p in self.peers}
+        self._stale_polls: dict[str, int] = {p: 0 for p in self.peers}
+        self._process = self.env.process(self._run(), name=f"fd:{node.name}")
+
+    def is_suspected(self, peer: str) -> bool:
+        return peer in self.suspected
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.poll_interval_us)
+            if not self.node.alive:
+                continue
+            for peer in self.peers:
+                region = self.node.region_of(peer, HB_REGION)
+                qp = self.node.qp_to(peer)
+                completion = yield from qp.read(region, 0, 8)
+                if completion.status is not WcStatus.SUCCESS:
+                    self._note_stale(peer)
+                    continue
+                count = int.from_bytes(completion.data, "little")
+                if count > self._last_seen[peer]:
+                    self._last_seen[peer] = count
+                    self._stale_polls[peer] = 0
+                    self.suspected.discard(peer)
+                else:
+                    self._note_stale(peer)
+
+    def _note_stale(self, peer: str) -> None:
+        self._stale_polls[peer] += 1
+        if (
+            self._stale_polls[peer] >= self.suspect_after
+            and peer not in self.suspected
+        ):
+            self.suspected.add(peer)
+            if self.on_suspect is not None:
+                self.on_suspect(peer)

@@ -1,0 +1,168 @@
+"""Single-writer ring buffers with canary bytes (paper §4 "Meta-data").
+
+Each F and L buffer is a memory region at the *reader's* node, written
+by exactly one remote peer:
+
+- the writer keeps the **tail** index locally (it is the only writer,
+  so no synchronization is needed — the paper's argument for avoiding
+  RDMA atomics),
+- the reader keeps the **head** index locally,
+- every record ends in a **canary byte**; the reader only consumes a
+  record whose canary carries the generation it expects, so a record
+  that has not landed yet (or a slot left over from a previous lap) is
+  skipped and retried on the next traversal,
+- slots before the head are implicitly free and are reused on the next
+  lap ("to avoid memory overflow, these locations are reused").
+
+The region is divided into fixed-size slots; a record is a 4-byte
+length, the payload, and the canary in the slot's final byte.  The
+generation is ``1 + (lap % 251)``, never zero, so a zeroed region never
+yields a valid canary.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..rdma import MemoryRegion
+
+__all__ = ["RingReader", "RingWriter", "RingError", "ring_region_size"]
+
+_LEN_BYTES = 4
+_GENERATIONS = 251  # prime, and fits a byte with zero excluded
+
+
+class RingError(Exception):
+    """Ring misuse: oversized record or writer overrun."""
+
+
+def ring_region_size(slots: int, slot_size: int) -> int:
+    """Region size to pass to ``register`` for a ring of this shape."""
+    return slots * slot_size
+
+
+def _generation(index: int, slots: int) -> int:
+    return 1 + (index // slots) % _GENERATIONS
+
+
+def parse_record(slot: bytes, index: int, slots: int) -> Optional[bytes]:
+    """Parse one slot's bytes as the record for absolute ``index``.
+
+    Returns the full record prefix (length + payload + canary) when the
+    slot holds a valid record of ``index``'s generation, else None.
+    Shared by the ring reader and Mu's log reconciliation.
+    """
+    (length,) = struct.unpack_from("<I", slot, 0)
+    if length > len(slot) - _LEN_BYTES - 1:
+        return None
+    if slot[_LEN_BYTES + length] != _generation(index, slots):
+        return None
+    return bytes(slot[: _LEN_BYTES + length + 1])
+
+
+class RingWriter:
+    """The single remote writer's view: produces (offset, bytes) records.
+
+    The writer does not touch the region directly — it renders each
+    record and hands (offset, payload) to the caller, which issues one
+    RDMA write per record.  A local mirror tracks how many records were
+    produced; ``credits`` throttling is the writer's guard against
+    lapping a slow reader (the runtime sizes rings generously and
+    asserts on overrun rather than blocking).
+    """
+
+    def __init__(self, slots: int, slot_size: int):
+        if slots <= 0 or slot_size <= _LEN_BYTES + 1:
+            raise RingError("ring too small")
+        self.slots = slots
+        self.slot_size = slot_size
+        self.tail = 0  # kept locally by the single writer
+        #: Optional flow-control feedback; None disables the overrun
+        #: check (the runtime sizes rings so the reader never lags a
+        #: full lap, and the reader independently detects being lapped).
+        self.reader_acked: Optional[int] = None
+
+    @property
+    def max_payload(self) -> int:
+        return self.slot_size - _LEN_BYTES - 1
+
+    def render(self, payload: bytes) -> tuple[int, bytes]:
+        """Render the next record; returns (region offset, record bytes).
+
+        Only the used prefix of the slot is rendered — length, payload,
+        and the canary byte immediately after the payload (the paper:
+        "each call in the buffer contains a canary bit as the last
+        bit") — so the RDMA write ships record-sized, not slot-sized.
+        """
+        if len(payload) > self.max_payload:
+            raise RingError(
+                f"payload of {len(payload)} bytes exceeds slot capacity "
+                f"{self.max_payload}"
+            )
+        if (
+            self.reader_acked is not None
+            and self.tail - self.reader_acked >= self.slots
+        ):
+            raise RingError("ring overrun: writer lapped the reader")
+        record = bytearray(_LEN_BYTES + len(payload) + 1)
+        struct.pack_into("<I", record, 0, len(payload))
+        record[_LEN_BYTES : _LEN_BYTES + len(payload)] = payload
+        record[-1] = _generation(self.tail, self.slots)
+        offset = (self.tail % self.slots) * self.slot_size
+        self.tail += 1
+        return offset, bytes(record)
+
+    def ack_up_to(self, count: int) -> None:
+        """Record reader progress (fed back out of band for flow control).
+
+        A no-op while tracking is disabled (``reader_acked is None``) —
+        once a writer stops throttling on a dead reader it stays in
+        ring-sizing mode.
+        """
+        if self.reader_acked is not None:
+            self.reader_acked = max(self.reader_acked, count)
+
+
+class RingReader:
+    """The local reader's view over its own memory region."""
+
+    def __init__(self, region: MemoryRegion, slots: int, slot_size: int):
+        if slots * slot_size > region.size:
+            raise RingError("region too small for ring shape")
+        self.region = region
+        self.slots = slots
+        self.slot_size = slot_size
+        self.head = 0  # kept locally by the single reader
+
+    def peek(self) -> Optional[bytes]:
+        """The record at the head, or None if it has not landed yet.
+
+        A canary mismatch means either nothing has been written to the
+        slot this lap or a write is still in flight — in both cases the
+        paper's traversal simply retries later.
+        """
+        offset = (self.head % self.slots) * self.slot_size
+        slot = self.region.read(offset, self.slot_size)
+        (length,) = struct.unpack_from("<I", slot, 0)
+        if length > self.slot_size - _LEN_BYTES - 1:
+            return None  # stale or garbage length: retry later
+        canary = slot[_LEN_BYTES + length]
+        if canary != _generation(self.head, self.slots):
+            if canary == _generation(self.head + self.slots, self.slots):
+                raise RingError(
+                    "reader lapped: a record was overwritten before it "
+                    "was consumed (size the ring larger)"
+                )
+            return None
+        return slot[_LEN_BYTES : _LEN_BYTES + length]
+
+    def advance(self) -> None:
+        """Consume the head record (caller must have peeked it)."""
+        self.head += 1
+
+    def try_read(self) -> Optional[bytes]:
+        payload = self.peek()
+        if payload is not None:
+            self.advance()
+        return payload

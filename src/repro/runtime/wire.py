@@ -1,0 +1,234 @@
+"""Wire format: calls and dependency arrays as byte streams (paper §4).
+
+Hamband serializes each call, its unique id, and its variable-sized
+dependency arrays into a byte stream before the remote write.  This is
+a compact self-describing binary codec for the value shapes the
+bundled data types use: None, bool, int, float, str, bytes, tuple,
+list, frozenset, and dict.  No pickle: the format is explicit, stable,
+and fuzzable (tests/runtime/test_wire.py round-trips it under
+hypothesis).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from ..core import Call
+from ..core.rdma_semantics import DependencyMap
+
+__all__ = [
+    "WireError",
+    "decode_call_batch",
+    "decode_call_packet",
+    "decode_value",
+    "encode_call_batch",
+    "encode_call_packet",
+    "encode_value",
+]
+
+
+class WireError(Exception):
+    """Malformed wire data."""
+
+
+_NONE = b"N"
+_TRUE = b"T"
+_FALSE = b"F"
+_INT = b"i"
+_FLOAT = b"f"
+_STR = b"s"
+_BYTES = b"b"
+_TUPLE = b"t"
+_LIST = b"l"
+_FROZENSET = b"z"
+_DICT = b"d"
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one value; raises :class:`WireError` on unsupported types."""
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += _NONE
+    elif value is True:
+        out += _TRUE
+    elif value is False:
+        out += _FALSE
+    elif isinstance(value, int):
+        payload = str(value).encode("ascii")
+        out += _INT + struct.pack("<I", len(payload)) + payload
+    elif isinstance(value, float):
+        out += _FLOAT + struct.pack("<d", value)
+    elif isinstance(value, str):
+        payload = value.encode("utf-8")
+        out += _STR + struct.pack("<I", len(payload)) + payload
+    elif isinstance(value, bytes):
+        out += _BYTES + struct.pack("<I", len(value)) + value
+    elif isinstance(value, tuple):
+        out += _TUPLE + struct.pack("<I", len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, list):
+        out += _LIST + struct.pack("<I", len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, frozenset):
+        # Canonical order so equal sets encode identically.
+        items = sorted(value, key=lambda x: (repr(type(x)), repr(x)))
+        out += _FROZENSET + struct.pack("<I", len(items))
+        for item in items:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+        out += _DICT + struct.pack("<I", len(items))
+        for key, item in items:
+            _encode_into(key, out)
+            _encode_into(item, out)
+    else:
+        raise WireError(f"unsupported wire type {type(value).__name__}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode one value; the whole buffer must be consumed.
+
+    Malformed input of any shape raises :class:`WireError` — lower-level
+    decoding errors never leak.
+    """
+    try:
+        value, offset = _decode_from(data, 0)
+    except WireError:
+        raise
+    except (
+        struct.error,
+        TypeError,  # e.g. an unhashable element inside a frozenset
+        ValueError,
+        UnicodeDecodeError,
+        RecursionError,
+    ) as exc:
+        raise WireError(f"malformed wire data: {exc}") from exc
+    if offset != len(data):
+        raise WireError(f"{len(data) - offset} trailing bytes")
+    return value
+
+
+def _decode_from(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise WireError("truncated value")
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == _NONE:
+        return None, offset
+    if tag == _TRUE:
+        return True, offset
+    if tag == _FALSE:
+        return False, offset
+    if tag == _FLOAT:
+        return struct.unpack_from("<d", data, offset)[0], offset + 8
+    if tag in (_INT, _STR, _BYTES):
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        payload = data[offset : offset + length]
+        if len(payload) != length:
+            raise WireError("truncated payload")
+        offset += length
+        if tag == _INT:
+            return int(payload.decode("ascii")), offset
+        if tag == _STR:
+            return payload.decode("utf-8"), offset
+        return bytes(payload), offset
+    if tag in (_TUPLE, _LIST, _FROZENSET):
+        (count,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        if count > len(data) - offset:  # each element is >= 1 byte
+            raise WireError("container count exceeds remaining bytes")
+        items = []
+        for _ in range(count):
+            item, offset = _decode_from(data, offset)
+            items.append(item)
+        if tag == _TUPLE:
+            return tuple(items), offset
+        if tag == _LIST:
+            return items, offset
+        return frozenset(items), offset
+    if tag == _DICT:
+        (count,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        if count > len(data) - offset:
+            raise WireError("container count exceeds remaining bytes")
+        result = {}
+        for _ in range(count):
+            key, offset = _decode_from(data, offset)
+            value, offset = _decode_from(data, offset)
+            result[key] = value
+        return result, offset
+    raise WireError(f"unknown tag {tag!r}")
+
+
+def encode_call_batch(entries: list[tuple[Call, DependencyMap]]) -> bytes:
+    """A batched record: several calls (with their dependency arrays)
+    decided together by the leader and shipped in one remote write."""
+    return encode_value(
+        [
+            (
+                call.method,
+                call.arg,
+                call.origin,
+                call.rid,
+                tuple(
+                    (proc, method, count)
+                    for (proc, method), count in sorted(dep.items())
+                ),
+            )
+            for call, dep in entries
+        ]
+    )
+
+
+def decode_call_batch(data: bytes) -> list[tuple[Call, DependencyMap]]:
+    """Decode either a batched record or a single call packet.
+
+    Single packets (tuples) decode to a one-element batch, so readers
+    handle both shapes uniformly.
+    """
+    decoded = decode_value(data)
+    if isinstance(decoded, tuple):
+        decoded = [decoded]
+    if not isinstance(decoded, list):
+        raise WireError("malformed batch packet")
+    entries = []
+    for item in decoded:
+        if not isinstance(item, tuple) or len(item) != 5:
+            raise WireError("malformed batch entry")
+        method, arg, origin, rid, dep_triples = item
+        dep = {(proc, m): count for (proc, m, count) in dep_triples}
+        entries.append((Call(method, arg, origin, rid), dep))
+    return entries
+
+
+def encode_call_packet(call: Call, dep: DependencyMap) -> bytes:
+    """A buffered record: the call plus its dependency arrays.
+
+    The dependency map is shipped as (process, method, count) triples —
+    the paper's variable-sized per-method arrays.
+    """
+    dep_triples = tuple(
+        (proc, method, count)
+        for (proc, method), count in sorted(dep.items())
+    )
+    return encode_value(
+        (call.method, call.arg, call.origin, call.rid, dep_triples)
+    )
+
+
+def decode_call_packet(data: bytes) -> tuple[Call, DependencyMap]:
+    decoded = decode_value(data)
+    if not isinstance(decoded, tuple) or len(decoded) != 5:
+        raise WireError("malformed call packet")
+    method, arg, origin, rid, dep_triples = decoded
+    dep = {(proc, m): count for (proc, m, count) in dep_triples}
+    return Call(method, arg, origin, rid), dep

@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate.
+
+Time is a float that all other packages interpret as microseconds.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Resource, Store
+from .rng import SeedSequence
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SeedSequence",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,380 @@
+"""Discrete-event simulation engine.
+
+The engine drives every subsystem in this repository: the simulated RDMA
+fabric, the Hamband runtime threads, the consensus protocol, and the
+message-passing baseline all run as generator-based processes inside a
+single :class:`Environment`.
+
+The programming model follows the classic process-interaction style:
+a *process* is a Python generator that yields :class:`Event` objects and
+is resumed when the event triggers.  Simulated time is a float; the
+benchmarks interpret it as microseconds.
+
+Example
+-------
+>>> env = Environment()
+>>> def worker(env, log):
+...     yield env.timeout(5)
+...     log.append(env.now)
+>>> log = []
+>>> _ = env.process(worker(env, log))
+>>> env.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation API."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupting party supplies an arbitrary ``cause`` that the
+    interrupted process can inspect (for instance, a failure notice).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle: created -> triggered (scheduled) -> processed (callbacks ran).
+_PENDING = object()
+
+
+class Event:
+    """A condition that processes can wait for.
+
+    Events carry a value once they *succeed* or an exception once they
+    *fail*.  Waiting on a failed event re-raises the exception inside
+    the waiting process.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or will be) processed."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately at the current time via
+            # a zero-delay bridge event so ordering stays deterministic.
+            bridge = Event(self.env)
+            bridge.callbacks.append(callback)
+            bridge._ok = self._ok
+            bridge._value = self._value
+            self.env._schedule(bridge)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running process; itself an event that triggers on termination."""
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator")
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick-start the process at the current simulation time.
+        start = Event(env)
+        start._ok = True
+        start._value = None
+        start.callbacks.append(self._resume)
+        env._schedule(start)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has already terminated")
+        if self._target is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        bridge = Event(self.env)
+        bridge._ok = False
+        bridge._value = Interrupt(cause)
+        bridge.callbacks.append(self._resume_interrupt)
+        self.env._schedule(bridge)
+
+    def _resume_interrupt(self, bridge: Event) -> None:
+        if not self.is_alive:
+            return  # Terminated before the interrupt was delivered.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._step(bridge.value, ok=False)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self._step(event._value, ok=event._ok)
+
+    def _step(self, value: Any, ok: bool) -> None:
+        env = self.env
+        while True:
+            prev, env.active_process = env.active_process, self
+            try:
+                if ok:
+                    target = self._generator.send(value)
+                else:
+                    target = self._generator.throw(value)
+            except StopIteration as exc:
+                env.active_process = prev
+                self._ok = True
+                self._value = exc.value
+                env._schedule(self)
+                return
+            except BaseException as exc:
+                env.active_process = prev
+                self._ok = False
+                self._value = exc
+                env._schedule(self)
+                if not self.callbacks and env.strict:
+                    raise
+                return
+            env.active_process = prev
+            if not isinstance(target, Event):
+                value, ok = (
+                    SimulationError(f"process yielded non-event {target!r}"),
+                    False,
+                )
+                continue
+            if target.env is not env:
+                value, ok = (
+                    SimulationError(
+                        "process yielded event from another environment"
+                    ),
+                    False,
+                )
+                continue
+            self._target = target
+            target._add_callback(self._resume)
+            return
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("all events must share one environment")
+        self._done = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            ev._add_callback(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only events whose callbacks already ran count as "arrived"; a
+        # pending Timeout holds its value from construction, so checking
+        # `triggered` would wrongly include it.
+        return {ev: ev._value for ev in self.events if ev.processed}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when all child events have triggered."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers when any child event triggers."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0, strict: bool = False):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self.active_process: Optional[Process] = None
+        #: When True, exceptions escaping a process with no waiter propagate
+        #: out of run(); otherwise they are stored on the process event.
+        self.strict = strict
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    # -- public API ------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` without spawning a process.
+
+        This is the cheap primitive the RDMA fabric uses to apply remote
+        writes at their arrival time; a full process per in-flight verb
+        would dominate simulation cost.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        bridge = Event(self)
+        bridge._ok = True
+        bridge._value = None
+        bridge.callbacks.append(lambda _event: callback())
+        self._schedule(bridge, delay=delay)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or infinity if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process one event from the queue."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline, or an event triggers.
+
+        ``until`` may be a simulation time or an :class:`Event`; when it
+        is an event, its value is returned (failures re-raise).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "queue drained before the awaited event triggered"
+                    )
+                self.step()
+            if not stop._ok:
+                raise stop._value
+            return stop._value
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise SimulationError("cannot run into the past")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

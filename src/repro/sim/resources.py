@@ -1,0 +1,135 @@
+"""Waitable resources built on the event engine.
+
+Two primitives cover everything the substrates need:
+
+- :class:`Store` — an unbounded (or bounded) FIFO queue with blocking
+  ``get``.  Message channels, completion queues, and request queues are
+  stores.
+- :class:`Resource` — a counted semaphore.  Each simulated CPU core is a
+  ``Resource(capacity=1)``; holding it while yielding a timeout models
+  CPU occupancy, which is what makes throughput saturate realistically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Store", "Resource"]
+
+
+class Store:
+    """FIFO queue of items with event-based blocking get/put."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; the returned event triggers when stored."""
+        event = Event(self.env)
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            self._putters.append((event, item))
+            return event
+        self._deposit(item)
+        event.succeed()
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; False when the store is full."""
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            return False
+        self._deposit(item)
+        return True
+
+    def get(self) -> Event:
+        """Returned event triggers with the next item."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; ``(False, None)`` when empty."""
+        if not self.items:
+            return False, None
+        item = self.items.popleft()
+        self._admit_putter()
+        return True, item
+
+    def _deposit(self, item: Any) -> None:
+        # Hand the item straight to a waiting getter when one exists.
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self.items.append(item)
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self.items) < self.capacity
+        ):
+            event, item = self._putters.popleft()
+            self._deposit(item)
+            event.succeed()
+
+
+class Resource:
+    """A counted semaphore with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self) -> Event:
+        """Returned event triggers once a unit is granted."""
+        event = Event(self.env)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError("release without acquire")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+                return
+        self.in_use -= 1
+
+    def use(self, duration: float) -> Generator[Event, None, None]:
+        """Process helper: hold one unit for ``duration`` time units.
+
+        Usage: ``yield from resource.use(cost)``.
+        """
+        yield self.acquire()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()

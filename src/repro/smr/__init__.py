@@ -1,0 +1,14 @@
+"""The SMR baseline: strong consistency for every update (paper §5).
+
+Mu-style state machine replication is the degenerate point of the
+well-coordination spectrum: *every* pair of update methods conflicts,
+so all calls form one synchronization group, are totally ordered by a
+single leader, and flow through the L buffers.  Rather than a separate
+code base, :func:`smr_coordination` produces exactly that coordination
+and hands it to the unchanged Hamband runtime — which then behaves as a
+Mu SMR, one one-sided write per follower per decision.
+"""
+
+from .baseline import SmrCluster, smr_coordination
+
+__all__ = ["SmrCluster", "smr_coordination"]

@@ -1,0 +1,21 @@
+"""Workload generation, driving, and measurement (paper §5 setup)."""
+
+from .driver import DriverConfig, run_workload
+from .generators import GENERATOR_NAMES, make_generator, setup_calls
+from .metrics import LatencySeries, RunResult
+from .openloop import OpenLoopConfig, run_open_loop
+from .visibility import VisibilityReport, visibility_report
+
+__all__ = [
+    "DriverConfig",
+    "GENERATOR_NAMES",
+    "LatencySeries",
+    "RunResult",
+    "VisibilityReport",
+    "OpenLoopConfig",
+    "make_generator",
+    "run_open_loop",
+    "run_workload",
+    "setup_calls",
+    "visibility_report",
+]

@@ -1,0 +1,229 @@
+"""The closed-loop workload driver (paper §5 "Platform and setup").
+
+One client per node issues requests back to back.  Update calls are
+drawn from the data type's generator and spread uniformly; calls on
+conflicting methods are redirected to the current leader, exactly as
+the paper's harness does ("calls on conflicting methods are
+automatically redirected to the corresponding leader node(s); all the
+other calls including conflict-free and query calls are divided equally
+between the nodes").  Queries interleave per the update ratio.
+
+The driver works unchanged against :class:`HambandCluster`, the SMR
+deployment (same class, all-conflicting coordination), and the
+message-passing baseline (duck-typed: no leaders there).
+
+Failure injection: ``fail_node``/``fail_at_fraction`` suspends a node's
+heartbeat partway through the run and redirects its client's remaining
+requests to the next available node — the paper's §5 methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core import Category
+from ..sim import Environment
+from .generators import make_generator, setup_calls
+from .metrics import LatencySeries, RunResult
+
+__all__ = ["DriverConfig", "run_workload"]
+
+
+@dataclass
+class DriverConfig:
+    workload: str  # generator/spec name
+    total_ops: int = 1200
+    update_ratio: float = 0.25
+    seed: int = 1
+    system_label: str = "hamband"
+    #: Closed-loop concurrency: how many independent clients each node
+    #: serves (the paper uses several client threads per node).
+    clients_per_node: int = 1
+    #: Suspend this node's heartbeat (None = no failure injection)...
+    fail_node: Optional[str] = None
+    #: ...once this fraction of each client's ops has been issued.
+    fail_at_fraction: float = 0.3
+    quiesce_timeout_us: float = 5_000_000.0
+
+
+def run_workload(env: Environment, cluster: Any,
+                 config: DriverConfig) -> RunResult:
+    """Drive ``cluster`` to completion and return measurements.
+
+    Runs the simulation to quiescence internally; the environment must
+    be the one the cluster was built on.
+    """
+    names = cluster.node_names()
+    state = _RunState()
+    coordination = getattr(cluster, "coordination", None)
+
+    # Prologue: create referenced rows, outside the measured window.
+    prologue = setup_calls(config.workload)
+    if prologue:
+        done = env.process(
+            _run_prologue(env, cluster, names, prologue, state)
+        )
+        env.run(until=done)
+        if not done.ok:
+            raise done.value
+
+    start = env.now
+    n_clients = len(names) * config.clients_per_node
+    per_client = config.total_ops // n_clients
+    clients = [
+        env.process(
+            _client(
+                env,
+                cluster,
+                coordination,
+                name,
+                per_client,
+                config,
+                state,
+                client_index=index,
+            ),
+            name=f"client:{name}:{index}",
+        )
+        for name in names
+        for index in range(config.clients_per_node)
+    ]
+    for client in clients:
+        env.run(until=client)
+        if not client.ok:
+            raise client.value
+    target = state.base_updates + state.succeeded_updates
+    quiesce = env.process(
+        cluster.quiesce(target, timeout_us=config.quiesce_timeout_us)
+    )
+    replicated_at = env.run(until=quiesce)
+    crashed = getattr(cluster, "failures", lambda: [])()
+    if crashed:
+        raise RuntimeError(f"background workers crashed: {crashed}")
+    return RunResult(
+        system=config.system_label,
+        workload=config.workload,
+        n_nodes=len(names),
+        total_calls=state.total_calls,
+        update_calls=state.succeeded_updates,
+        rejected_calls=state.rejected,
+        start_us=start,
+        replicated_us=replicated_at,
+        latency=state.latency,
+        per_method=state.per_method,
+    )
+
+
+@dataclass
+class _RunState:
+    total_calls: int = 0
+    succeeded_updates: int = 0
+    base_updates: int = 0  # prologue updates, excluded from metrics
+    rejected: int = 0
+    latency: LatencySeries = field(default_factory=LatencySeries)
+    per_method: dict[str, LatencySeries] = field(default_factory=dict)
+
+    def record(self, method: str, elapsed: float) -> None:
+        self.latency.add(elapsed)
+        self.per_method.setdefault(method, LatencySeries()).add(elapsed)
+
+
+def _run_prologue(env, cluster, names, prologue, state):
+    for i, (method, arg) in enumerate(prologue):
+        node = cluster.node(names[i % len(names)])
+        yield from _submit_with_redirect(env, cluster, node, method, arg)
+        state.base_updates += 1
+    # Let the prologue replicate before measuring.
+    yield env.timeout(200.0)
+
+
+def _client(env, cluster, coordination, name, n_ops, config, state,
+            client_index=0):
+    # Distinct per-client stream identity keeps causal tags (OR-set,
+    # cart) and LWW tiebreaks unique across a node's clients.
+    rng_stream = make_generator(
+        config.workload, config.seed, f"{name}#{client_index}"
+    )
+    import random
+
+    rng = random.Random(f"{config.seed}:mix:{name}:{client_index}")
+    current = name
+    fail_after = (
+        int(n_ops * config.fail_at_fraction)
+        if config.fail_node is not None
+        else None
+    )
+    names = cluster.node_names()
+    for i in range(n_ops):
+        if (
+            fail_after is not None
+            and i == fail_after
+            and name == names[0]
+            and client_index == 0
+        ):
+            cluster.suspend_heartbeat(config.fail_node)
+        if config.fail_node is not None and current == config.fail_node:
+            # Redirect to the next available node (paper §5).
+            alive = [n for n in names if n != config.fail_node]
+            current = alive[names.index(name) % len(alive)]
+        node = cluster.node(current)
+        if rng.random() < config.update_ratio:
+            method, arg = next(rng_stream)
+        else:
+            method, arg = _pick_query(cluster, rng), None
+        issued_at = env.now
+        ok = yield from _submit_with_redirect(
+            env, cluster, node, method, arg, coordination
+        )
+        state.total_calls += 1
+        state.record(method, env.now - issued_at)
+        if _is_update(cluster, method):
+            if ok:
+                state.succeeded_updates += 1
+            else:
+                state.rejected += 1
+
+
+def _pick_query(cluster, rng) -> str:
+    spec = getattr(cluster, "coordination", None)
+    if spec is not None:
+        queries = spec.spec.query_names()
+    else:
+        queries = cluster.spec.query_names()
+    return queries[rng.randrange(len(queries))]
+
+
+def _is_update(cluster, method: str) -> bool:
+    coordination = getattr(cluster, "coordination", None)
+    spec = coordination.spec if coordination is not None else cluster.spec
+    return method in spec.updates
+
+
+def _submit_with_redirect(env, cluster, node, method, arg,
+                          coordination=None):
+    """Submit, following leader redirects; returns False on rejection."""
+    from ..runtime import ImpermissibleError, NotLeaderError, SubmitError
+
+    # Conflicting calls wait out leader changes (paper §5: they "have to
+    # wait until the leader-change protocol elects the new leader").
+    target = node
+    for _attempt in range(50):
+        if (
+            coordination is not None
+            and _is_update(cluster, method)
+            and coordination.category(method) is Category.CONFLICTING
+            and hasattr(target, "current_leader")
+        ):
+            leader = target.current_leader(method)
+            target = cluster.node(leader)
+        try:
+            request = target.submit(method, arg)
+            yield request
+            return True
+        except NotLeaderError as redirect:
+            target = cluster.node(redirect.leader)
+        except ImpermissibleError:
+            return False
+        except SubmitError:
+            yield env.timeout(50.0)  # e.g. mid-failover; retry
+    return False

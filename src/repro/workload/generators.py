@@ -1,0 +1,209 @@
+"""Workload generators: causally well-formed call streams per data type.
+
+The paper's experiments "randomly generate method calls and uniformly
+distribute update calls between update methods".  Each generator yields
+``(method, arg)`` pairs with the minimal statefulness the data type's
+semantics demands (unique tags for OR-set adds, Lamport stamps for LWW
+writes, removes restricted to same-client tags so per-origin FIFO
+delivery suffices for causality — the discipline op-based CRDTs
+assume).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Callable, Iterator
+
+__all__ = ["CallGen", "make_generator", "setup_calls", "GENERATOR_NAMES"]
+
+#: A generator yields (method, arg) forever.
+CallGen = Iterator[tuple[str, Any]]
+
+_ELEMS = [f"k{i}" for i in range(64)]
+_ITEMS = [f"item{i}" for i in range(16)]
+
+
+def _counter(rng: random.Random, node: str) -> CallGen:
+    while True:
+        yield "add", rng.randrange(-5, 10)
+
+
+def _lww(rng: random.Random, node: str) -> CallGen:
+    for stamp in itertools.count(1):
+        yield "write", (stamp, node, rng.randrange(1000))
+
+
+def _gset(rng: random.Random, node: str) -> CallGen:
+    while True:
+        yield "add", rng.choice(_ELEMS)
+
+
+def _gset_union(rng: random.Random, node: str) -> CallGen:
+    while True:
+        yield "add_all", frozenset(rng.sample(_ELEMS, rng.randrange(1, 4)))
+
+
+def _orset(rng: random.Random, node: str) -> CallGen:
+    """80% adds with unique tags; removes cancel this client's own tags
+    (per-origin FIFO then guarantees the causal add-before-remove)."""
+    counter = itertools.count(1)
+    live: list[tuple[str, tuple[str, int]]] = []
+    while True:
+        if live and rng.random() < 0.2:
+            index = rng.randrange(len(live))
+            element, tag = live.pop(index)
+            yield "remove", (element, frozenset({tag}))
+        else:
+            element = rng.choice(_ELEMS)
+            tag = (node, next(counter))
+            live.append((element, tag))
+            yield "add", (element, tag)
+
+
+def _cart(rng: random.Random, node: str) -> CallGen:
+    counter = itertools.count(1)
+    live: list[tuple[str, tuple[str, int]]] = []
+    while True:
+        if live and rng.random() < 0.2:
+            index = rng.randrange(len(live))
+            item, tag = live.pop(index)
+            yield "remove_item", (item, frozenset({tag}))
+        else:
+            item = rng.choice(_ITEMS)
+            tag = (node, next(counter))
+            live.append((item, tag))
+            yield "add_item", (item, rng.randrange(1, 4), tag)
+
+
+def _account(rng: random.Random, node: str) -> CallGen:
+    """Deposits skew larger than withdrawals, so overdrafts stay rare."""
+    while True:
+        if rng.random() < 0.5:
+            yield "deposit", rng.randrange(5, 15)
+        else:
+            yield "withdraw", rng.randrange(1, 6)
+
+
+def _bankmap(rng: random.Random, node: str) -> CallGen:
+    accounts = [f"acct{i}" for i in range(8)]
+    while True:
+        roll = rng.random()
+        account = rng.choice(accounts)
+        if roll < 0.5:
+            yield "deposit", (account, rng.randrange(5, 15))
+        else:
+            yield "withdraw", (account, rng.randrange(1, 6))
+
+
+def _rga(rng: random.Random, node: str) -> CallGen:
+    """Collaborative typing: anchors only to this client's own elements
+    (per-origin FIFO then provides the causal delivery RGA assumes)."""
+    counter = itertools.count(1)
+    own: list[tuple[int, str]] = []
+    while True:
+        if own and rng.random() < 0.15:
+            index = rng.randrange(len(own))
+            yield "delete", own.pop(index)
+        else:
+            anchor = rng.choice(own) if own and rng.random() < 0.8 else None
+            new_id = (next(counter), node)
+            own.append(new_id)
+            yield "insert", (anchor, new_id, chr(97 + rng.randrange(26)))
+
+
+def _twophase_set(rng: random.Random, node: str) -> CallGen:
+    """Adds dominate so the set keeps growing despite remove-wins."""
+    while True:
+        if rng.random() < 0.25:
+            yield "remove", rng.choice(_ELEMS)
+        else:
+            yield "add", rng.choice(_ELEMS)
+
+
+def _movie(rng: random.Random, node: str) -> CallGen:
+    customers = [f"cust{i}" for i in range(24)]
+    movies = [f"mov{i}" for i in range(24)]
+    methods = ["addCustomer", "deleteCustomer", "addMovie", "deleteMovie"]
+    while True:
+        method = rng.choice(methods)
+        pool = customers if "Customer" in method else movies
+        yield method, rng.choice(pool)
+
+
+def _project_mgmt(rng: random.Random, node: str) -> CallGen:
+    """Uniform over the four update methods; references target the
+    stable rows created by :func:`setup_calls` so worksOn is usually
+    permissible, with occasional deletes exercising the retries."""
+    projects = [f"proj{i}" for i in range(8)]
+    employees = [f"emp{i}" for i in range(8)]
+    while True:
+        roll = rng.random()
+        if roll < 0.25:
+            yield "addProject", rng.choice(projects)
+        elif roll < 0.30:
+            yield "deleteProject", f"proj-tmp-{rng.randrange(4)}"
+        elif roll < 0.55:
+            yield "addEmployee", frozenset(
+                rng.sample(employees, rng.randrange(1, 3))
+            )
+        else:
+            yield "worksOn", (rng.choice(employees), rng.choice(projects))
+
+
+def _courseware(rng: random.Random, node: str) -> CallGen:
+    courses = [f"crs{i}" for i in range(8)]
+    students = [f"stu{i}" for i in range(16)]
+    while True:
+        roll = rng.random()
+        if roll < 0.25:
+            yield "addCourse", rng.choice(courses)
+        elif roll < 0.30:
+            yield "deleteCourse", f"crs-tmp-{rng.randrange(4)}"
+        elif roll < 0.60:
+            yield "registerStudent", rng.choice(students)
+        else:
+            yield "enroll", (rng.choice(students), rng.choice(courses))
+
+
+_GENERATORS: dict[str, Callable[[random.Random, str], CallGen]] = {
+    "counter": _counter,
+    "lww": _lww,
+    "gset": _gset,
+    "gset_union": _gset_union,
+    "orset": _orset,
+    "cart": _cart,
+    "account": _account,
+    "bankmap": _bankmap,
+    "movie": _movie,
+    "project_mgmt": _project_mgmt,
+    "courseware": _courseware,
+    "twophase_set": _twophase_set,
+    "rga": _rga,
+}
+
+GENERATOR_NAMES = sorted(_GENERATORS)
+
+
+def make_generator(name: str, seed: int, node: str) -> CallGen:
+    """A deterministic per-(workload, seed, node) call stream."""
+    try:
+        factory = _GENERATORS[name]
+    except KeyError:
+        raise ValueError(f"no workload generator named {name!r}") from None
+    return factory(random.Random(f"{seed}:{name}:{node}"), node)
+
+
+def setup_calls(name: str) -> list[tuple[str, Any]]:
+    """Prologue calls that create the rows the main stream references."""
+    if name == "bankmap":
+        return [("open", f"acct{i}") for i in range(8)]
+    if name == "project_mgmt":
+        return [("addProject", f"proj{i}") for i in range(8)] + [
+            ("addEmployee", frozenset({f"emp{i}"})) for i in range(8)
+        ]
+    if name == "courseware":
+        return [("addCourse", f"crs{i}") for i in range(8)] + [
+            ("registerStudent", f"stu{i}") for i in range(16)
+        ]
+    return []

@@ -1,0 +1,89 @@
+"""Run metrics: throughput and response-time aggregation.
+
+Throughput follows the paper: the total number of calls divided by the
+time it takes for all update calls to be replicated on all nodes.
+Response time is the average over all calls; per-method distributions
+feed the per-method figures (11b, 13b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LatencySeries", "RunResult"]
+
+
+@dataclass
+class LatencySeries:
+    """Latency samples (microseconds) for one method or the whole run."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+
+@dataclass
+class RunResult:
+    """The outcome of one driven experiment run."""
+
+    system: str
+    workload: str
+    n_nodes: int
+    total_calls: int
+    update_calls: int
+    rejected_calls: int
+    start_us: float
+    replicated_us: float
+    latency: LatencySeries
+    per_method: dict[str, LatencySeries]
+
+    @property
+    def duration_us(self) -> float:
+        return self.replicated_us - self.start_us
+
+    @property
+    def throughput_ops_per_us(self) -> float:
+        """Paper's metric: calls / time-to-full-replication."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.total_calls / self.duration_us
+
+    @property
+    def mean_response_us(self) -> float:
+        return self.latency.mean
+
+    def method_mean(self, method: str) -> float:
+        series = self.per_method.get(method)
+        return series.mean if series else 0.0
+
+    def summary_row(self) -> str:
+        return (
+            f"{self.system:10s} {self.workload:14s} n={self.n_nodes} "
+            f"tput={self.throughput_ops_per_us:7.3f} ops/us "
+            f"rt={self.mean_response_us:8.2f} us "
+            f"({self.total_calls} calls, {self.rejected_calls} rejected)"
+        )

@@ -1,0 +1,160 @@
+"""Open-loop driving: Poisson arrivals at a configured offered load.
+
+The paper's harness is closed-loop (each client issues the next call
+when the previous returns), which measures *capacity*.  Open-loop
+driving decouples arrivals from completions, exposing the
+latency-vs-load curve and the saturation knee — the methodology of the
+Odyssey line of work the paper cites.  `benchmarks/test_saturation.py`
+uses it as an extension experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from ..sim import Environment
+from .driver import _is_update, _pick_query, _submit_with_redirect
+from .generators import make_generator, setup_calls
+from .metrics import LatencySeries, RunResult
+
+__all__ = ["OpenLoopConfig", "run_open_loop"]
+
+
+@dataclass
+class OpenLoopConfig:
+    workload: str
+    #: Aggregate offered load across the cluster, in calls per µs.
+    offered_load_ops_per_us: float = 1.0
+    duration_us: float = 2000.0
+    update_ratio: float = 0.25
+    seed: int = 1
+    system_label: str = "hamband"
+    #: Drop arrivals when this many requests are already in flight at a
+    #: node (an overload guard; dropped arrivals are counted).
+    max_outstanding_per_node: int = 64
+    quiesce_timeout_us: float = 5_000_000.0
+
+
+@dataclass
+class _OpenState:
+    total_calls: int = 0
+    succeeded_updates: int = 0
+    base_updates: int = 0
+    rejected: int = 0
+    dropped: int = 0
+    outstanding: int = 0
+
+
+def run_open_loop(env: Environment, cluster: Any,
+                  config: OpenLoopConfig) -> RunResult:
+    """Drive Poisson arrivals; returns the usual RunResult plus the
+    drop count folded into ``rejected_calls``."""
+    names = cluster.node_names()
+    coordination = getattr(cluster, "coordination", None)
+    state = _OpenState()
+    latency = LatencySeries()
+    per_method: dict[str, LatencySeries] = {}
+
+    prologue = setup_calls(config.workload)
+    if prologue:
+        done = env.process(
+            _prologue(env, cluster, names, prologue, state)
+        )
+        env.run(until=done)
+        if not done.ok:
+            raise done.value
+
+    start = env.now
+    arrivals_done = [
+        env.process(
+            _arrival_process(
+                env, cluster, coordination, name, config, state, latency,
+                per_method,
+            ),
+            name=f"openloop:{name}",
+        )
+        for name in names
+    ]
+    for proc in arrivals_done:
+        env.run(until=proc)
+        if not proc.ok:
+            raise proc.value
+    # Drain in-flight requests before quiescing.
+    while state.outstanding > 0:
+        env.run(until=env.now + 10.0)
+    target = state.base_updates + state.succeeded_updates
+    quiesce = env.process(
+        cluster.quiesce(target, timeout_us=config.quiesce_timeout_us)
+    )
+    replicated_at = env.run(until=quiesce)
+    return RunResult(
+        system=config.system_label,
+        workload=config.workload,
+        n_nodes=len(names),
+        total_calls=state.total_calls,
+        update_calls=state.succeeded_updates,
+        rejected_calls=state.rejected + state.dropped,
+        start_us=start,
+        replicated_us=replicated_at,
+        latency=latency,
+        per_method=per_method,
+    )
+
+
+def _prologue(env, cluster, names, prologue, state):
+    for i, (method, arg) in enumerate(prologue):
+        node = cluster.node(names[i % len(names)])
+        yield from _submit_with_redirect(env, cluster, node, method, arg)
+        state.base_updates += 1
+    yield env.timeout(200.0)
+
+
+def _arrival_process(env, cluster, coordination, name, config, state,
+                     latency, per_method):
+    rng = random.Random(f"{config.seed}:openloop:{name}")
+    stream = make_generator(config.workload, config.seed, name)
+    per_node_rate = config.offered_load_ops_per_us / len(
+        cluster.node_names()
+    )
+    deadline = env.now + config.duration_us
+    while env.now < deadline:
+        yield env.timeout(rng.expovariate(per_node_rate))
+        if env.now >= deadline:
+            break
+        if state.outstanding >= config.max_outstanding_per_node * len(
+            cluster.node_names()
+        ):
+            state.dropped += 1
+            continue
+        if rng.random() < config.update_ratio:
+            method, arg = next(stream)
+        else:
+            method, arg = _pick_query(cluster, rng), None
+        env.process(
+            _one_request(
+                env, cluster, coordination, name, method, arg, state,
+                latency, per_method,
+            )
+        )
+
+
+def _one_request(env, cluster, coordination, name, method, arg, state,
+                 latency, per_method):
+    state.outstanding += 1
+    issued_at = env.now
+    node = cluster.node(name)
+    ok = yield from _submit_with_redirect(
+        env, cluster, node, method, arg, coordination
+    )
+    state.outstanding -= 1
+    state.total_calls += 1
+    elapsed = env.now - issued_at
+    latency.add(elapsed)
+    per_method.setdefault(method, LatencySeries()).add(elapsed)
+    if _is_update(cluster, method):
+        if ok:
+            state.succeeded_updates += 1
+        else:
+            state.rejected += 1

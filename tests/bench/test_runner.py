@@ -1,0 +1,109 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentConfig,
+    average_results,
+    fig_header,
+    per_method_table,
+    ratio_line,
+    run_averaged,
+    run_experiment,
+    series_table,
+)
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize("system", ["hamband", "mu", "msg"])
+    def test_each_system_runs(self, system):
+        result = run_experiment(
+            ExperimentConfig(
+                system=system, workload="counter", n_nodes=3, total_ops=120
+            )
+        )
+        assert result.system == system
+        assert result.total_calls == 120
+        assert result.throughput_ops_per_us > 0
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            run_experiment(
+                ExperimentConfig(system="nope", workload="counter")
+            )
+
+    def test_reproducible(self):
+        config = ExperimentConfig(
+            system="hamband", workload="counter", n_nodes=3, total_ops=120
+        )
+        a = run_experiment(config)
+        b = run_experiment(config)
+        assert a.replicated_us == b.replicated_us
+        assert a.latency.mean == b.latency.mean
+
+    def test_force_buffered_flag(self):
+        result = run_experiment(
+            ExperimentConfig(
+                system="hamband",
+                workload="gset_union",
+                n_nodes=3,
+                total_ops=120,
+                force_buffered=True,
+            )
+        )
+        assert result.update_calls > 0
+
+
+class TestAveraging:
+    def test_run_averaged_merges_samples(self):
+        config = ExperimentConfig(
+            system="hamband", workload="counter", n_nodes=3, total_ops=90
+        )
+        merged = run_averaged(config, repeats=2)
+        assert merged.total_calls == 180
+        assert merged.latency.count == 180
+
+    def test_average_of_one_is_identity(self):
+        config = ExperimentConfig(
+            system="hamband", workload="counter", n_nodes=3, total_ops=90
+        )
+        result = run_experiment(config)
+        assert average_results([result]) is result
+
+    def test_empty_average_rejected(self):
+        with pytest.raises(ValueError):
+            average_results([])
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            ExperimentConfig(
+                system="hamband", workload="counter", n_nodes=3, total_ops=120
+            )
+        )
+
+    def test_fig_header(self):
+        text = fig_header("Figure 1", "caption")
+        assert "Figure 1: caption" in text
+
+    def test_series_table(self, result):
+        text = series_table("title", [("row-a", result)])
+        assert "row-a" in text
+        assert "tput" in text
+
+    def test_per_method_table(self, result):
+        text = per_method_table("methods", result)
+        assert "add" in text or "value" in text
+
+    def test_per_method_table_skips_missing(self, result):
+        text = per_method_table("methods", result, methods=["missing"])
+        assert "missing" not in text
+
+    def test_ratio_line_throughput_and_latency(self, result):
+        assert "x" in ratio_line("r", result, result)
+        assert (
+            ratio_line("r", result, result, metric="latency")
+            == "r: 1.00x"
+        )

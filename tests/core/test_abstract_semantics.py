@@ -1,0 +1,161 @@
+"""Unit tests for the abstract WRDT semantics (paper Figure 5)."""
+
+import pytest
+
+from repro.core import (
+    AbstractMachine,
+    Call,
+    Coordination,
+    GuardViolation,
+)
+from repro.datatypes import account_spec, counter_spec, gset_spec
+
+PROCS = ["p1", "p2", "p3"]
+
+
+def machine_for(spec_factory):
+    coordination = Coordination.analyze(spec_factory())
+    return AbstractMachine(
+        coordination.spec, coordination.call_relations(), PROCS
+    )
+
+
+class TestCallRule:
+    def test_call_applies_locally(self):
+        m = machine_for(account_spec)
+        call = Call("deposit", 5, "p1", 1)
+        m.do_call("p1", call)
+        assert m.ss["p1"] == 5
+        assert m.ss["p2"] == 0
+        assert m.xs["p1"] == [call]
+
+    def test_call_rejects_impermissible(self):
+        m = machine_for(account_spec)
+        with pytest.raises(GuardViolation, match="permissible"):
+            m.do_call("p1", Call("withdraw", 1, "p1", 1))
+
+    def test_call_rejects_wrong_origin(self):
+        m = machine_for(account_spec)
+        with pytest.raises(GuardViolation, match="originates"):
+            m.do_call("p2", Call("deposit", 5, "p1", 1))
+
+    def test_call_rejects_duplicate_rid(self):
+        m = machine_for(account_spec)
+        call = Call("deposit", 5, "p1", 1)
+        m.do_call("p1", call)
+        with pytest.raises(GuardViolation, match="already"):
+            m.do_call("p1", call)
+
+    def test_conf_sync_blocks_concurrent_conflicting_calls(self):
+        """Two racing withdraws: the second CALL must wait for PROP."""
+        m = machine_for(account_spec)
+        m.do_call("p1", Call("deposit", 10, "p1", 1))
+        m.do_prop("p2", Call("deposit", 10, "p1", 1))
+        m.do_call("p1", Call("withdraw", 10, "p1", 2))
+        # p2 has not yet received p1's withdraw, so its own withdraw
+        # would break conflict synchronization.
+        assert m.can_call("p2", Call("withdraw", 10, "p2", 1)) is not None
+        # After propagation the withdraw at p2 becomes impermissible —
+        # which is the point: the overdraft is prevented.
+        m.do_prop("p2", Call("withdraw", 10, "p1", 2))
+        assert m.can_call("p2", Call("withdraw", 10, "p2", 1)) is not None
+        m.do_call("p2", Call("deposit", 3, "p2", 1))
+        assert m.ss["p2"] == 3
+
+    def test_conflict_free_calls_race_freely(self):
+        m = machine_for(counter_spec)
+        m.do_call("p1", Call("add", 1, "p1", 1))
+        m.do_call("p2", Call("add", 2, "p2", 1))
+        assert m.ss["p1"] == 1
+        assert m.ss["p2"] == 2
+
+
+class TestPropRule:
+    def test_prop_applies_remote_call(self):
+        m = machine_for(counter_spec)
+        call = Call("add", 4, "p1", 1)
+        m.do_call("p1", call)
+        m.do_prop("p2", call)
+        assert m.ss["p2"] == 4
+        assert m.xs["p2"] == [call]
+
+    def test_prop_requires_issuer_executed(self):
+        m = machine_for(counter_spec)
+        with pytest.raises(GuardViolation, match="has not executed"):
+            m.do_prop("p2", Call("add", 4, "p1", 1))
+
+    def test_prop_rejects_double_delivery(self):
+        m = machine_for(counter_spec)
+        call = Call("add", 4, "p1", 1)
+        m.do_call("p1", call)
+        m.do_prop("p2", call)
+        with pytest.raises(GuardViolation, match="already"):
+            m.do_prop("p2", call)
+
+    def test_prop_dep_blocks_out_of_order_dependency(self):
+        """The paper's §2 scenario: withdraw must not overtake deposit."""
+        m = machine_for(account_spec)
+        deposit = Call("deposit", 10, "p1", 1)
+        withdraw = Call("withdraw", 10, "p1", 2)
+        m.do_call("p1", deposit)
+        m.do_call("p1", withdraw)
+        # Withdraw depends on the deposit that preceded it at p1.
+        assert m.can_prop("p2", withdraw) is not None
+        m.do_prop("p2", deposit)
+        m.do_prop("p2", withdraw)
+        assert m.ss["p2"] == 0
+
+    def test_prop_conf_sync_orders_conflicting_calls(self):
+        m = machine_for(account_spec)
+        d = Call("deposit", 10, "p1", 1)
+        w1 = Call("withdraw", 4, "p1", 2)
+        w2 = Call("withdraw", 5, "p1", 3)
+        m.do_call("p1", d)
+        m.do_call("p1", w1)
+        m.do_call("p1", w2)
+        m.do_prop("p2", d)
+        # w2 conflicts with w1 and follows it at p1: w1 must arrive first.
+        assert m.can_prop("p2", w2) is not None
+        m.do_prop("p2", w1)
+        m.do_prop("p2", w2)
+        assert m.ss["p2"] == 1
+
+
+class TestQueryRule:
+    def test_query_reads_local_state(self):
+        m = machine_for(account_spec)
+        m.do_call("p1", Call("deposit", 9, "p1", 1))
+        assert m.do_query("p1", "balance") == 9
+        assert m.do_query("p2", "balance") == 0
+
+
+class TestGuarantees:
+    def test_integrity_after_interleaving(self):
+        m = machine_for(account_spec)
+        m.do_call("p1", Call("deposit", 5, "p1", 1))
+        m.do_call("p2", Call("deposit", 3, "p2", 1))
+        m.do_prop("p2", Call("deposit", 5, "p1", 1))
+        assert m.integrity_holds()
+
+    def test_convergence_with_same_call_sets(self):
+        m = machine_for(gset_spec)
+        a = Call("add", "x", "p1", 1)
+        b = Call("add", "y", "p2", 1)
+        m.do_call("p1", a)
+        m.do_call("p2", b)
+        m.do_prop("p1", b)
+        m.do_prop("p2", a)
+        m.do_prop("p3", a)
+        m.do_prop("p3", b)
+        assert m.histories_equivalent("p1", "p2")
+        assert m.convergence_holds()
+        assert m.ss["p1"] == frozenset({"x", "y"})
+
+    def test_enabled_props_enumeration(self):
+        m = machine_for(counter_spec)
+        call = Call("add", 1, "p1", 1)
+        m.do_call("p1", call)
+        enabled = m.enabled_props()
+        assert ("p2", call) in enabled
+        assert ("p3", call) in enabled
+        assert len(enabled) == 2

@@ -1,0 +1,175 @@
+"""Unit tests for the coordination analysis primitives (paper §3.2).
+
+The account object is the paper's own worked example (Figure 1), so
+each relation is pinned against the ground truth stated there.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Call,
+    CoordinationAnalyzer,
+    invariant_sufficient,
+    p_l_commutes,
+    p_r_commutes,
+    s_commute,
+)
+from repro.datatypes import account_spec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return account_spec()
+
+
+@pytest.fixture(scope="module")
+def states(spec):
+    return spec.sample_states(random.Random(0), 50)
+
+
+def dep(amount, rid=1):
+    return Call("deposit", amount, "probe", rid)
+
+def wd(amount, rid=1):
+    return Call("withdraw", amount, "probe", rid)
+
+
+class TestSCommute:
+    def test_deposits_commute(self, spec, states):
+        assert s_commute(spec, dep(3), dep(4, rid=2), states)
+
+    def test_deposit_withdraw_commute_on_state(self, spec, states):
+        # -/+ compose to the same balance; only permissibility differs.
+        assert s_commute(spec, dep(3), wd(2), states)
+
+    def test_withdraws_commute_on_state(self, spec, states):
+        assert s_commute(spec, wd(1), wd(2, rid=2), states)
+
+    def test_set_add_remove_do_not_commute(self):
+        """The paper's §2 example of a state-conflict."""
+        from repro.core import ObjectSpec, UpdateDef, QueryDef
+
+        spec = ObjectSpec(
+            "set",
+            frozenset,
+            lambda s: True,
+            [
+                UpdateDef("add", lambda e, s: s | {e}),
+                UpdateDef("remove", lambda e, s: s - {e}),
+            ],
+            [QueryDef("contains", lambda e, s: e in s)],
+        )
+        states = [frozenset(), frozenset({"x"})]
+        add = Call("add", "x", "probe", 1)
+        remove = Call("remove", "x", "probe", 2)
+        assert not s_commute(spec, add, remove, states)
+
+
+class TestInvariantSufficiency:
+    def test_deposit_is_invariant_sufficient(self, spec, states):
+        assert invariant_sufficient(spec, dep(5), states)
+
+    def test_withdraw_is_not(self, spec, states):
+        assert not invariant_sufficient(spec, wd(5), states)
+
+
+class TestPRCommute:
+    def test_withdraw_after_deposit_stays_permissible(self, spec, states):
+        assert p_r_commutes(spec, wd(3), dep(5, rid=2), states)
+
+    def test_withdraw_after_withdraw_can_overdraft(self, spec, states):
+        assert not p_r_commutes(spec, wd(5), wd(5, rid=2), states)
+
+
+class TestPLCommute:
+    def test_withdraw_not_l_commute_over_deposit(self, spec, states):
+        """The paper's dependency example: withdraw needs the deposit."""
+        assert not p_l_commutes(spec, wd(5), dep(5, rid=2), states)
+
+    def test_withdraw_l_commutes_over_withdraw(self, spec, states):
+        assert p_l_commutes(spec, wd(2), wd(3, rid=2), states)
+
+
+class TestAnalyzer:
+    def test_account_relations_match_figure_1(self, spec):
+        relations = CoordinationAnalyzer(spec, seed=1).analyze()
+        assert relations.conflicts == {frozenset({"withdraw"})}
+        assert relations.dependencies == {
+            "deposit": set(),
+            "withdraw": {"deposit"},
+        }
+        assert relations.invariant_sufficient == {"deposit"}
+
+    def test_conflict_is_symmetric_api(self, spec):
+        relations = CoordinationAnalyzer(spec, seed=1).analyze()
+        assert relations.conflict("withdraw", "withdraw")
+        assert not relations.conflict("deposit", "withdraw")
+        assert not relations.conflict("withdraw", "deposit")
+
+    def test_conflicting_methods(self, spec):
+        relations = CoordinationAnalyzer(spec, seed=1).analyze()
+        assert relations.conflicting_methods() == {"withdraw"}
+
+    def test_summarizer_verification_passes_for_account(self, spec):
+        assert CoordinationAnalyzer(spec, seed=1).verify_summarizers() == []
+
+    def test_summarizer_verification_catches_bad_combine(self):
+        from repro.core import ObjectSpec, Summarizer, UpdateDef, QueryDef
+
+        bad = ObjectSpec(
+            "bad_counter",
+            lambda: 0,
+            lambda s: True,
+            [UpdateDef("add", lambda a, s: s + a)],
+            [QueryDef("value", lambda a, s: s)],
+            summarizers=[
+                Summarizer(
+                    "adds",
+                    frozenset({"add"}),
+                    # Wrong: multiplies instead of adds.
+                    lambda c1, c2: Call("add", c1.arg * c2.arg, "x", 0),
+                    lambda origin: Call("add", 0, origin, 0),
+                )
+            ],
+            state_gen=lambda rng: rng.randrange(10),
+            arg_gens={"add": lambda rng: rng.randrange(1, 5)},
+        )
+        problems = CoordinationAnalyzer(bad, seed=1).verify_summarizers()
+        assert problems
+
+    def test_summarizer_verification_catches_bad_identity(self):
+        from repro.core import ObjectSpec, Summarizer, UpdateDef, QueryDef
+
+        bad = ObjectSpec(
+            "bad_identity",
+            lambda: 0,
+            lambda s: True,
+            [UpdateDef("add", lambda a, s: s + a)],
+            [QueryDef("value", lambda a, s: s)],
+            summarizers=[
+                Summarizer(
+                    "adds",
+                    frozenset({"add"}),
+                    lambda c1, c2: Call("add", c1.arg + c2.arg, "x", 0),
+                    # Wrong: identity mutates the state.
+                    lambda origin: Call("add", 1, origin, 0),
+                )
+            ],
+            state_gen=lambda rng: rng.randrange(10),
+            arg_gens={"add": lambda rng: rng.randrange(1, 5)},
+        )
+        problems = CoordinationAnalyzer(bad, seed=1).verify_summarizers()
+        assert any("identity" in p for p in problems)
+
+    def test_declared_relations_bypass_checking(self):
+        from repro.datatypes import orset_spec
+        from repro.core import Coordination
+
+        coordination = Coordination.analyze(orset_spec())
+        assert coordination.relations.conflicts == set()
+        assert all(
+            not deps
+            for deps in coordination.relations.dependencies.values()
+        )

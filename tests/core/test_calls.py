@@ -1,0 +1,63 @@
+"""Unit tests for calls, labels, traces, request ids."""
+
+from repro.core import Call, Label, QueryCall, RequestIdAllocator, Trace
+
+
+class TestCall:
+    def test_key_is_origin_and_rid(self):
+        call = Call("deposit", 5, "p1", 3)
+        assert call.key() == ("p1", 3)
+
+    def test_equality_and_hash(self):
+        a = Call("deposit", 5, "p1", 3)
+        b = Call("deposit", 5, "p1", 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Call("deposit", 5, "p1", 4)
+
+    def test_str_is_informative(self):
+        text = str(Call("withdraw", 7, "p2", 1))
+        assert "withdraw" in text
+        assert "p2" in text
+
+    def test_query_call_str(self):
+        assert "balance" in str(QueryCall("balance"))
+
+
+class TestRequestIdAllocator:
+    def test_ids_unique_per_process(self):
+        alloc = RequestIdAllocator()
+        ids = [alloc.next_for("p1") for _ in range(5)]
+        assert len(set(ids)) == 5
+
+    def test_processes_independent(self):
+        alloc = RequestIdAllocator()
+        assert alloc.next_for("p1") == 1
+        assert alloc.next_for("p2") == 1
+        assert alloc.next_for("p1") == 2
+
+    def test_make_call_sets_origin(self):
+        alloc = RequestIdAllocator()
+        call = alloc.make_call("p3", "add", 1)
+        assert call.origin == "p3"
+        assert call.method == "add"
+        assert call.key() == ("p3", 1)
+
+    def test_make_call_keys_never_collide(self):
+        alloc = RequestIdAllocator()
+        keys = {
+            alloc.make_call(p, "m", None).key()
+            for p in ("p1", "p2")
+            for _ in range(10)
+        }
+        assert len(keys) == 20
+
+
+class TestTrace:
+    def test_append_and_iterate(self):
+        trace = Trace()
+        call = Call("add", 1, "p1", 1)
+        trace.append("p1", call)
+        assert len(trace) == 1
+        assert trace[0] == Label("p1", call)
+        assert list(trace) == [Label("p1", call)]

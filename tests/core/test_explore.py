@@ -1,0 +1,143 @@
+"""Bounded exhaustive exploration of the concrete semantics.
+
+Small scopes, every interleaving: the executable counterpart of the
+paper's Lemma 3 / Corollaries 1-2 for the bundled data types.
+"""
+
+import pytest
+
+from repro.core import Coordination
+from repro.core.explore import ExplorationResult, Request, explore
+from repro.datatypes import (
+    account_spec,
+    bankmap_spec,
+    counter_spec,
+    gset_spec,
+    movie_spec,
+)
+
+PROCS = ["p1", "p2"]
+
+
+def run_scope(spec_factory, requests, processes=PROCS, max_states=100_000):
+    coordination = Coordination.analyze(spec_factory())
+    return explore(coordination, processes, requests, max_states=max_states)
+
+
+class TestConflictFreeScopes:
+    def test_counter_all_interleavings(self):
+        result = run_scope(
+            counter_spec,
+            [
+                Request("p1", "add", 3),
+                Request("p2", "add", -1),
+                Request("p1", "add", 7),
+            ],
+        )
+        assert result.ok, result.violation
+        assert result.traces_completed > 1
+        assert result.states_explored > 10
+
+    def test_gset_three_processes(self):
+        result = run_scope(
+            gset_spec,
+            [
+                Request("p1", "add", "x"),
+                Request("p2", "add", "y"),
+                Request("p3", "add", "x"),
+            ],
+            processes=["p1", "p2", "p3"],
+        )
+        assert result.ok, result.violation
+
+
+class TestMixedScopes:
+    def test_account_deposit_withdraw_races(self):
+        result = run_scope(
+            account_spec,
+            [
+                Request("p1", "deposit", 5),
+                Request("p2", "deposit", 3),
+                Request("p1", "withdraw", 5),
+                Request("p1", "withdraw", 3),
+            ],
+        )
+        assert result.ok, result.violation
+        assert result.traces_completed > 5
+
+    def test_bankmap_dependency_scope(self):
+        result = run_scope(
+            bankmap_spec,
+            [
+                Request("p1", "open", "a"),
+                Request("p1", "deposit", ("a", 5)),
+                Request("p2", "withdraw", ("a", 2)),
+            ],
+        )
+        assert result.ok, result.violation
+
+    def test_movie_two_groups_scope(self):
+        result = run_scope(
+            movie_spec,
+            [
+                Request("p1", "addCustomer", "c"),
+                Request("p2", "deleteCustomer", "c"),
+                Request("p2", "addMovie", "m"),
+            ],
+        )
+        assert result.ok, result.violation
+
+
+class TestExplorerMechanics:
+    def test_state_budget_respected(self):
+        result = run_scope(
+            counter_spec,
+            [Request("p1", "add", i) for i in range(6)],
+            max_states=500,
+        )
+        assert result.states_explored <= 500
+
+    def test_detects_seeded_divergence(self):
+        """A broken 'CRDT' whose adds do not commute must be caught."""
+        from repro.core import ObjectSpec, UpdateDef, QueryDef
+
+        broken = ObjectSpec(
+            "broken",
+            lambda: 0,
+            lambda s: True,
+            # Not commutative, yet declared conflict-free:
+            [UpdateDef("mix", lambda a, s: s * 2 + a)],
+            [QueryDef("value", lambda a, s: s)],
+            declared_conflicts=set(),
+            declared_dependencies={},
+        )
+        coordination = Coordination.analyze(broken)
+        result = explore(
+            coordination,
+            PROCS,
+            [Request("p1", "mix", 1), Request("p2", "mix", 2)],
+        )
+        assert not result.ok
+        assert "divergent" in result.violation
+
+    def test_detects_seeded_integrity_breach(self):
+        """A method mis-declared invariant-sufficient must be caught."""
+        from repro.core import ObjectSpec, UpdateDef, QueryDef
+
+        broken = ObjectSpec(
+            "broken_integrity",
+            lambda: 1,
+            lambda s: s >= 0,
+            [UpdateDef("dec", lambda a, s: s - a)],
+            [QueryDef("value", lambda a, s: s)],
+            # Lie: dec conflicts with nothing, depends on nothing.
+            declared_conflicts=set(),
+            declared_dependencies={},
+        )
+        coordination = Coordination.analyze(broken)
+        result = explore(
+            coordination,
+            PROCS,
+            [Request("p1", "dec", 1), Request("p2", "dec", 1)],
+        )
+        assert not result.ok

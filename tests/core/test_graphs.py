@@ -1,0 +1,129 @@
+"""Unit tests for conflict/dependency graphs and sync groups."""
+
+import pytest
+
+from repro.core import Category, Coordination
+from repro.datatypes import (
+    account_spec,
+    courseware_spec,
+    movie_spec,
+    project_mgmt_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def account():
+    return Coordination.analyze(account_spec())
+
+
+@pytest.fixture(scope="module")
+def movie():
+    return Coordination.analyze(movie_spec())
+
+
+@pytest.fixture(scope="module")
+def courseware():
+    return Coordination.analyze(courseware_spec())
+
+
+class TestConflictGraph:
+    def test_account_self_loop_forms_group(self, account):
+        groups = account.sync_groups()
+        assert len(groups) == 1
+        assert groups[0].methods == frozenset({"withdraw"})
+
+    def test_conflict_free_method_has_no_group(self, account):
+        assert account.sync_group("deposit") is None
+
+    def test_movie_has_two_groups(self, movie):
+        groups = movie.sync_groups()
+        assert len(groups) == 2
+        members = {g.methods for g in groups}
+        assert frozenset({"addCustomer", "deleteCustomer"}) in members
+        assert frozenset({"addMovie", "deleteMovie"}) in members
+
+    def test_courseware_single_group_of_three(self, courseware):
+        groups = courseware.sync_groups()
+        assert len(groups) == 1
+        assert groups[0].methods == frozenset(
+            {"addCourse", "deleteCourse", "enroll"}
+        )
+
+    def test_group_membership_operator(self, courseware):
+        group = courseware.sync_group("enroll")
+        assert "addCourse" in group
+        assert "registerStudent" not in group
+
+
+class TestLeaders:
+    def test_each_group_gets_a_leader(self, movie):
+        leaders = movie.conflict_graph.assign_leaders(["p1", "p2", "p3"])
+        assert len(leaders) == 2
+
+    def test_distinct_groups_get_distinct_leaders_when_possible(self, movie):
+        leaders = movie.conflict_graph.assign_leaders(["p1", "p2"])
+        assert len(set(leaders.values())) == 2
+
+    def test_single_process_hosts_all_leaders(self, movie):
+        leaders = movie.conflict_graph.assign_leaders(["p1"])
+        assert set(leaders.values()) == {"p1"}
+
+    def test_empty_process_list_rejected(self, movie):
+        with pytest.raises(ValueError):
+            movie.conflict_graph.assign_leaders([])
+
+
+class TestDotExport:
+    def test_conflict_graph_dot(self, courseware):
+        dot = courseware.conflict_graph.to_dot()
+        assert dot.startswith("graph conflicts {")
+        assert '"addCourse" -- "deleteCourse";' in dot
+        assert "subgraph cluster_0" in dot
+        assert '"registerStudent";' in dot  # conflict-free node listed
+
+    def test_conflict_graph_dot_self_loop(self, account):
+        dot = account.conflict_graph.to_dot()
+        assert '"withdraw" -- "withdraw";' in dot
+
+    def test_dependency_graph_dot(self, courseware):
+        dot = courseware.dependency_graph.to_dot()
+        assert dot.startswith("digraph dependencies {")
+        assert '"enroll" -> "addCourse";' in dot
+        assert '"enroll" -> "registerStudent";' in dot
+
+
+class TestDependencyGraph:
+    def test_account_dependency(self, account):
+        assert account.dep("withdraw") == {"deposit"}
+        assert account.dependency_graph.is_dependence_free("deposit")
+
+    def test_courseware_enroll_dependencies(self, courseware):
+        assert courseware.dep("enroll") == {"addCourse", "registerStudent"}
+
+    def test_dependents_reverse_view(self, courseware):
+        deps = courseware.dependency_graph.dependents("registerStudent")
+        assert deps == {"enroll"}
+
+    def test_project_mgmt_works_on(self):
+        coordination = Coordination.analyze(project_mgmt_spec())
+        assert coordination.dep("worksOn") == {"addProject", "addEmployee"}
+
+
+class TestCategories:
+    def test_account_categories(self, account):
+        assert account.category("deposit") is Category.REDUCIBLE
+        assert account.category("withdraw") is Category.CONFLICTING
+
+    def test_courseware_categories(self, courseware):
+        assert (
+            courseware.category("registerStudent")
+            is Category.IRREDUCIBLE_CONFLICT_FREE
+        )
+        assert courseware.category("enroll") is Category.CONFLICTING
+
+    def test_methods_in(self, courseware):
+        assert courseware.methods_in(Category.CONFLICTING) == [
+            "addCourse",
+            "deleteCourse",
+            "enroll",
+        ]

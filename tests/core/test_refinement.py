@@ -1,0 +1,246 @@
+"""Refinement, integrity, and convergence across random schedules.
+
+These are the executable forms of the paper's Lemma 3 (refinement) and
+its corollaries: every trace of the concrete RDMA machine, under
+arbitrary interleavings of issue and apply transitions, must replay
+through the abstract machine with all guards passing.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Coordination, GuardViolation, RdmaMachine, check_refinement
+from repro.datatypes import (
+    account_spec,
+    bankmap_spec,
+    counter_spec,
+    courseware_spec,
+    gset_spec,
+    movie_spec,
+    project_mgmt_spec,
+)
+
+PROCS = ["p1", "p2", "p3"]
+
+
+def machine_for(spec_factory):
+    return RdmaMachine(Coordination.analyze(spec_factory()), PROCS)
+
+
+def random_run(machine, rng, n_issues, issue_fn):
+    """Interleave issues with apply transitions at random."""
+    issued = 0
+    while issued < n_issues or machine.enabled_apps():
+        do_issue = issued < n_issues and (
+            rng.random() < 0.5 or not machine.enabled_apps()
+        )
+        if do_issue:
+            issue_fn(machine, rng)
+            issued += 1
+        else:
+            rule, p, key = rng.choice(machine.enabled_apps())
+            if rule == "FREE_APP":
+                machine.free_app(p, key)
+            else:
+                machine.conf_app(p, key)
+
+
+def issue_account(machine, rng):
+    p = rng.choice(PROCS)
+    if rng.random() < 0.6:
+        machine.issue(p, "deposit", rng.randrange(1, 10))
+    else:
+        leader = machine.leader_of("withdraw")
+        amount = rng.randrange(1, 10)
+        try:
+            machine.conf(leader, "withdraw", amount)
+        except GuardViolation:
+            pass  # insufficient funds: the system rejects the request
+
+
+def issue_gset(machine, rng):
+    machine.free(rng.choice(PROCS), "add", f"e{rng.randrange(6)}")
+
+
+def issue_movie(machine, rng):
+    method = rng.choice(
+        ["addCustomer", "deleteCustomer", "addMovie", "deleteMovie"]
+    )
+    machine.issue(rng.choice(PROCS), method, f"x{rng.randrange(3)}")
+
+
+def issue_courseware(machine, rng):
+    roll = rng.random()
+    try:
+        if roll < 0.3:
+            machine.issue(rng.choice(PROCS), "addCourse", f"c{rng.randrange(3)}")
+        elif roll < 0.45:
+            machine.issue(
+                rng.choice(PROCS), "deleteCourse", f"c{rng.randrange(3)}"
+            )
+        elif roll < 0.75:
+            machine.issue(
+                rng.choice(PROCS), "registerStudent", f"s{rng.randrange(3)}"
+            )
+        else:
+            machine.issue(
+                rng.choice(PROCS),
+                "enroll",
+                (f"s{rng.randrange(3)}", f"c{rng.randrange(3)}"),
+            )
+    except GuardViolation:
+        pass  # impermissible request rejected at the issuing process
+
+
+def issue_bankmap(machine, rng):
+    roll = rng.random()
+    account = f"a{rng.randrange(2)}"
+    try:
+        if roll < 0.3:
+            machine.issue(rng.choice(PROCS), "open", account)
+        elif roll < 0.7:
+            machine.issue(
+                rng.choice(PROCS), "deposit", (account, rng.randrange(1, 5))
+            )
+        else:
+            machine.issue(
+                rng.choice(PROCS), "withdraw", (account, rng.randrange(1, 5))
+            )
+    except GuardViolation:
+        pass
+
+
+SCENARIOS = {
+    "account": (account_spec, issue_account),
+    "gset": (gset_spec, issue_gset),
+    "movie": (movie_spec, issue_movie),
+    "courseware": (courseware_spec, issue_courseware),
+    "bankmap": (bankmap_spec, issue_bankmap),
+}
+
+
+class TestRefinementDirected:
+    def test_counter_reduce_trace_refines(self):
+        m = machine_for(counter_spec)
+        m.reduce("p1", "add", 5)
+        m.reduce("p2", "add", -3)
+        abstract = check_refinement(m)
+        assert abstract.integrity_holds()
+        assert abstract.convergence_holds()
+        assert abstract.ss["p3"] == 2
+
+    def test_mixed_category_trace_refines(self):
+        m = machine_for(account_spec)
+        m.reduce("p1", "deposit", 10)
+        leader = m.leader_of("withdraw")
+        m.conf(leader, "withdraw", 7)
+        m.drain()
+        abstract = check_refinement(m)
+        assert abstract.integrity_holds()
+        assert abstract.convergence_holds()
+
+    def test_broken_schedule_is_caught(self):
+        """Sanity: the checker does reject non-refining event logs."""
+        from repro.core import ConcreteEvent, Call, RefinementChecker
+
+        coordination = Coordination.analyze(account_spec())
+        checker = RefinementChecker(coordination, PROCS)
+        # A withdraw from an empty account is impermissible.
+        bogus = [ConcreteEvent("CONF", "p1", Call("withdraw", 5, "p1", 1))]
+        with pytest.raises(GuardViolation):
+            checker.replay(bogus)
+
+    def test_out_of_order_prop_is_caught(self):
+        from repro.core import ConcreteEvent, Call, RefinementChecker
+
+        coordination = Coordination.analyze(account_spec())
+        checker = RefinementChecker(coordination, PROCS)
+        deposit = Call("deposit", 5, "p1", 1)
+        withdraw = Call("withdraw", 5, "p1", 2)
+        events = [
+            ConcreteEvent("FREE", "p1", deposit),  # wrong category on purpose
+            ConcreteEvent("CONF", "p1", withdraw),
+            # withdraw applied at p2 before its deposit dependency:
+            ConcreteEvent("CONF_APP", "p2", withdraw),
+        ]
+        with pytest.raises(GuardViolation):
+            checker.replay(events)
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("seed", range(5))
+def test_random_schedules_refine(scenario, seed):
+    spec_factory, issue_fn = SCENARIOS[scenario]
+    machine = machine_for(spec_factory)
+    rng = random.Random(hash((scenario, seed)) & 0xFFFFFFFF)
+    random_run(machine, rng, n_issues=30, issue_fn=issue_fn)
+    abstract = check_refinement(machine)
+    assert abstract.integrity_holds()
+    assert machine.integrity_holds()
+    assert machine.buffers_empty()
+    assert machine.convergence_holds()
+
+
+class TestHypothesisSchedules:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n_issues=st.integers(1, 40))
+    def test_account_schedules_always_wellcoordinated(self, seed, n_issues):
+        machine = machine_for(account_spec)
+        rng = random.Random(seed)
+        random_run(machine, rng, n_issues, issue_account)
+        abstract = check_refinement(machine)
+        assert abstract.integrity_holds()
+        assert machine.convergence_holds()
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n_issues=st.integers(1, 40))
+    def test_courseware_schedules_always_wellcoordinated(self, seed, n_issues):
+        machine = machine_for(courseware_spec)
+        rng = random.Random(seed)
+        random_run(machine, rng, n_issues, issue_courseware)
+        abstract = check_refinement(machine)
+        assert abstract.integrity_holds()
+        assert machine.convergence_holds()
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_project_mgmt_schedules(self, seed):
+        coordination = Coordination.analyze(project_mgmt_spec())
+        machine = RdmaMachine(coordination, PROCS)
+        rng = random.Random(seed)
+
+        def issue(machine, rng):
+            roll = rng.random()
+            try:
+                if roll < 0.25:
+                    machine.issue(
+                        rng.choice(PROCS), "addProject", f"p{rng.randrange(3)}"
+                    )
+                elif roll < 0.4:
+                    machine.issue(
+                        rng.choice(PROCS),
+                        "deleteProject",
+                        f"p{rng.randrange(3)}",
+                    )
+                elif roll < 0.7:
+                    machine.issue(
+                        rng.choice(PROCS),
+                        "addEmployee",
+                        frozenset({f"e{rng.randrange(3)}"}),
+                    )
+                else:
+                    machine.issue(
+                        rng.choice(PROCS),
+                        "worksOn",
+                        (f"e{rng.randrange(3)}", f"p{rng.randrange(3)}"),
+                    )
+            except GuardViolation:
+                pass
+
+        random_run(machine, rng, 25, issue)
+        abstract = check_refinement(machine)
+        assert abstract.integrity_holds()
+        assert machine.convergence_holds()

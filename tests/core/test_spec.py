@@ -1,0 +1,120 @@
+"""Unit tests for ObjectSpec."""
+
+import random
+
+import pytest
+
+from repro.core import Call, ObjectSpec, QueryDef, SpecError, UpdateDef
+from repro.datatypes import account_spec
+
+
+class TestSpecValidation:
+    def test_no_methods_rejected(self):
+        with pytest.raises(SpecError):
+            ObjectSpec("empty", lambda: 0, lambda s: True, [], [])
+
+    def test_update_query_name_clash_rejected(self):
+        with pytest.raises(SpecError, match="both update and query"):
+            ObjectSpec(
+                "clash",
+                lambda: 0,
+                lambda s: True,
+                [UpdateDef("m", lambda a, s: s)],
+                [QueryDef("m", lambda a, s: s)],
+            )
+
+    def test_initial_state_must_satisfy_invariant(self):
+        with pytest.raises(SpecError, match="invariant"):
+            ObjectSpec(
+                "bad",
+                lambda: -1,
+                lambda s: s >= 0,
+                [UpdateDef("m", lambda a, s: s)],
+                [],
+            )
+
+    def test_summarizer_unknown_method_rejected(self):
+        from repro.core import Summarizer
+
+        with pytest.raises(SpecError, match="unknown methods"):
+            ObjectSpec(
+                "bad",
+                lambda: 0,
+                lambda s: True,
+                [UpdateDef("m", lambda a, s: s)],
+                [],
+                summarizers=[
+                    Summarizer(
+                        "g",
+                        frozenset({"nope"}),
+                        lambda a, b: a,
+                        lambda o: Call("m", 0, o, 0),
+                    )
+                ],
+            )
+
+    def test_partial_declaration_rejected(self):
+        with pytest.raises(SpecError, match="declare both"):
+            ObjectSpec(
+                "partial",
+                lambda: 0,
+                lambda s: True,
+                [UpdateDef("m", lambda a, s: s)],
+                [],
+                declared_conflicts=set(),
+            )
+
+
+class TestSpecSemantics:
+    def test_apply_call(self):
+        spec = account_spec(initial_balance=10)
+        post = spec.apply_call(Call("deposit", 5, "p1", 1), 10)
+        assert post == 15
+
+    def test_apply_unknown_method_rejected(self):
+        spec = account_spec()
+        with pytest.raises(SpecError, match="unknown update"):
+            spec.apply_call(Call("nope", 0, "p1", 1), 0)
+
+    def test_run_query(self):
+        spec = account_spec()
+        assert spec.run_query("balance", None, 42) == 42
+
+    def test_unknown_query_rejected(self):
+        spec = account_spec()
+        with pytest.raises(SpecError, match="unknown query"):
+            spec.run_query("nope", None, 0)
+
+    def test_permissible_matches_invariant_of_post_state(self):
+        spec = account_spec()
+        assert spec.permissible(10, Call("withdraw", 10, "p1", 1))
+        assert not spec.permissible(10, Call("withdraw", 11, "p1", 1))
+
+    def test_summarizer_of(self):
+        spec = account_spec()
+        assert spec.summarizer_of("deposit").group == "deposits"
+        assert spec.summarizer_of("withdraw") is None
+
+
+class TestSampling:
+    def test_sample_states_includes_initial(self):
+        spec = account_spec(initial_balance=7)
+        states = spec.sample_states(random.Random(0), 5)
+        assert states[0] == 7
+        assert len(states) == 6
+
+    def test_sample_args_without_generator_is_none(self):
+        spec = ObjectSpec(
+            "plain",
+            lambda: 0,
+            lambda s: True,
+            [UpdateDef("m", lambda a, s: s)],
+            [],
+        )
+        assert spec.sample_args("m", random.Random(0), 4) == [None]
+
+    def test_sample_args_deterministic_under_seed(self):
+        spec = account_spec()
+        a = spec.sample_args("deposit", random.Random(3), 10)
+        b = spec.sample_args("deposit", random.Random(3), 10)
+        assert a == b

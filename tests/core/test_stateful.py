@@ -1,0 +1,130 @@
+"""Hypothesis stateful testing of the RDMA WRDT semantics.
+
+A RuleBasedStateMachine issues updates and fires apply transitions in
+arbitrary orders chosen by hypothesis; invariants re-checked after
+every rule: integrity always, convergence at quiescence, and refinement
+of the whole trace at teardown.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import Coordination, GuardViolation, RdmaMachine, check_refinement
+from repro.datatypes import account_spec, bankmap_spec, movie_spec
+
+PROCS = ["p1", "p2", "p3"]
+
+
+class _WrdtMachine(RuleBasedStateMachine):
+    """Shared skeleton; subclasses choose the data type and call pool."""
+
+    spec_factory = None
+
+    def __init__(self):
+        super().__init__()
+        coordination = Coordination.analyze(self.spec_factory())
+        self.machine = RdmaMachine(coordination, PROCS)
+
+    def try_issue(self, process, method, arg):
+        try:
+            self.machine.issue(process, method, arg)
+        except GuardViolation:
+            pass  # impermissible request: the system rejects it
+
+    @precondition(lambda self: self.machine.enabled_apps())
+    @rule(index=st.integers(0, 10**6))
+    def fire_apply(self, index):
+        enabled = self.machine.enabled_apps()
+        rule_name, process, key = enabled[index % len(enabled)]
+        if rule_name == "FREE_APP":
+            self.machine.free_app(process, key)
+        else:
+            self.machine.conf_app(process, key)
+
+    @invariant()
+    def integrity(self):
+        assert self.machine.integrity_holds()
+
+    @invariant()
+    def convergence_at_quiescence(self):
+        assert self.machine.convergence_holds()
+
+    def teardown(self):
+        self.machine.drain()
+        abstract = check_refinement(self.machine)
+        assert abstract.integrity_holds()
+        assert abstract.convergence_holds()
+
+
+class AccountMachine(_WrdtMachine):
+    spec_factory = staticmethod(account_spec)
+
+    @rule(
+        process=st.sampled_from(PROCS),
+        amount=st.integers(1, 10),
+    )
+    def deposit(self, process, amount):
+        self.try_issue(process, "deposit", amount)
+
+    @rule(
+        process=st.sampled_from(PROCS),
+        amount=st.integers(1, 10),
+    )
+    def withdraw(self, process, amount):
+        self.try_issue(process, "withdraw", amount)
+
+
+class MovieMachine(_WrdtMachine):
+    spec_factory = staticmethod(movie_spec)
+
+    @rule(
+        process=st.sampled_from(PROCS),
+        method=st.sampled_from(
+            ["addCustomer", "deleteCustomer", "addMovie", "deleteMovie"]
+        ),
+        entity=st.sampled_from(["x", "y"]),
+    )
+    def update(self, process, method, entity):
+        self.try_issue(process, method, entity)
+
+
+class BankMapMachine(_WrdtMachine):
+    spec_factory = staticmethod(bankmap_spec)
+
+    @rule(process=st.sampled_from(PROCS), account=st.sampled_from(["a", "b"]))
+    def open(self, process, account):
+        self.try_issue(process, "open", account)
+
+    @rule(
+        process=st.sampled_from(PROCS),
+        account=st.sampled_from(["a", "b"]),
+        amount=st.integers(1, 5),
+    )
+    def deposit(self, process, account, amount):
+        self.try_issue(process, "deposit", (account, amount))
+
+    @rule(
+        process=st.sampled_from(PROCS),
+        account=st.sampled_from(["a", "b"]),
+        amount=st.integers(1, 5),
+    )
+    def withdraw(self, process, account, amount):
+        self.try_issue(process, "withdraw", (account, amount))
+
+
+_settings = settings(max_examples=25, stateful_step_count=25, deadline=None)
+
+TestAccountStateful = AccountMachine.TestCase
+TestAccountStateful.settings = _settings
+TestMovieStateful = MovieMachine.TestCase
+TestMovieStateful.settings = _settings
+TestBankMapStateful = BankMapMachine.TestCase
+TestBankMapStateful.settings = _settings

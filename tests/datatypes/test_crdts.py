@@ -1,0 +1,210 @@
+"""Unit tests for the CRDT specs: Counter, LWW, GSet, ORSet, Cart."""
+
+import pytest
+
+from repro.core import Call, Category, Coordination
+from repro.datatypes import (
+    cart_spec,
+    counter_spec,
+    gset_spec,
+    gset_union_spec,
+    lww_spec,
+    orset_spec,
+)
+
+
+def apply_all(spec, state, calls):
+    for call in calls:
+        state = spec.apply_call(call, state)
+    return state
+
+
+class TestCounter:
+    def test_sequential_behaviour(self):
+        spec = counter_spec()
+        state = apply_all(
+            spec,
+            spec.initial_state(),
+            [Call("add", 5, "p1", 1), Call("add", -2, "p1", 2)],
+        )
+        assert spec.run_query("value", None, state) == 3
+
+    def test_category_reducible(self):
+        coordination = Coordination.analyze(counter_spec())
+        assert coordination.category("add") is Category.REDUCIBLE
+
+    def test_summarizer_combines_by_sum(self):
+        spec = counter_spec()
+        summarizer = spec.summarizer_of("add")
+        combined = summarizer.combine(
+            Call("add", 3, "p1", 1), Call("add", 4, "p1", 2)
+        )
+        assert combined.arg == 7
+
+    def test_identity_is_zero(self):
+        spec = counter_spec()
+        identity = spec.summarizer_of("add").identity("p1")
+        assert spec.apply_call(identity, 42) == 42
+
+
+class TestLww:
+    def test_higher_stamp_wins(self):
+        spec = lww_spec()
+        state = apply_all(
+            spec,
+            spec.initial_state(),
+            [
+                Call("write", (2, "p1", "new"), "p1", 1),
+                Call("write", (1, "p2", "old"), "p2", 1),
+            ],
+        )
+        assert spec.run_query("read", None, state) == "new"
+
+    def test_order_independent(self):
+        spec = lww_spec()
+        w1 = Call("write", (5, "p1", "a"), "p1", 1)
+        w2 = Call("write", (6, "p2", "b"), "p2", 1)
+        s12 = apply_all(spec, spec.initial_state(), [w1, w2])
+        s21 = apply_all(spec, spec.initial_state(), [w2, w1])
+        assert s12 == s21
+
+    def test_tiebreak_by_origin_is_deterministic(self):
+        spec = lww_spec()
+        w1 = Call("write", (5, "p1", "a"), "p1", 1)
+        w2 = Call("write", (5, "p2", "b"), "p2", 1)
+        state = apply_all(spec, spec.initial_state(), [w1, w2])
+        assert spec.run_query("read", None, state) == "b"
+
+    def test_category_reducible(self):
+        coordination = Coordination.analyze(lww_spec())
+        assert coordination.category("write") is Category.REDUCIBLE
+
+    def test_summarizer_keeps_winner(self):
+        spec = lww_spec()
+        summarizer = spec.summarizer_of("write")
+        combined = summarizer.combine(
+            Call("write", (9, "p1", "hi"), "p1", 1),
+            Call("write", (3, "p2", "lo"), "p2", 1),
+        )
+        assert combined.arg == (9, "p1", "hi")
+
+
+class TestGSet:
+    def test_add_and_queries(self):
+        spec = gset_spec()
+        state = apply_all(
+            spec,
+            spec.initial_state(),
+            [Call("add", "x", "p1", 1), Call("add", "y", "p2", 1)],
+        )
+        assert spec.run_query("contains", "x", state)
+        assert not spec.run_query("contains", "z", state)
+        assert spec.run_query("size", None, state) == 2
+
+    def test_single_add_is_irreducible(self):
+        coordination = Coordination.analyze(gset_spec())
+        assert (
+            coordination.category("add") is Category.IRREDUCIBLE_CONFLICT_FREE
+        )
+
+    def test_union_variant_is_reducible(self):
+        coordination = Coordination.analyze(gset_union_spec())
+        assert coordination.category("add_all") is Category.REDUCIBLE
+
+    def test_union_summarizer(self):
+        spec = gset_union_spec()
+        summarizer = spec.summarizer_of("add_all")
+        combined = summarizer.combine(
+            Call("add_all", frozenset({"a"}), "p1", 1),
+            Call("add_all", frozenset({"b"}), "p1", 2),
+        )
+        assert combined.arg == frozenset({"a", "b"})
+
+
+class TestOrSet:
+    def test_remove_only_observed_tags(self):
+        spec = orset_spec()
+        tag1, tag2 = ("p1", 1), ("p2", 1)
+        state = apply_all(
+            spec,
+            spec.initial_state(),
+            [
+                Call("add", ("x", tag1), "p1", 1),
+                Call("add", ("x", tag2), "p2", 1),
+                # p3 only observed p1's add:
+                Call("remove", ("x", frozenset({tag1})), "p3", 1),
+            ],
+        )
+        assert spec.run_query("contains", "x", state)  # tag2 survives
+
+    def test_add_remove_commute_with_causal_tags(self):
+        spec = orset_spec()
+        tag1, tag2 = ("p1", 1), ("p2", 1)
+        add = Call("add", ("x", tag2), "p2", 1)
+        remove = Call("remove", ("x", frozenset({tag1})), "p3", 1)
+        base = spec.apply_call(Call("add", ("x", tag1), "p1", 1),
+                               spec.initial_state())
+        assert spec.apply_call(remove, spec.apply_call(add, base)) == (
+            spec.apply_call(add, spec.apply_call(remove, base))
+        )
+
+    def test_categories_irreducible(self):
+        coordination = Coordination.analyze(orset_spec())
+        assert (
+            coordination.category("add") is Category.IRREDUCIBLE_CONFLICT_FREE
+        )
+        assert (
+            coordination.category("remove")
+            is Category.IRREDUCIBLE_CONFLICT_FREE
+        )
+
+    def test_elements_query(self):
+        spec = orset_spec()
+        state = apply_all(
+            spec,
+            spec.initial_state(),
+            [
+                Call("add", ("x", ("p1", 1)), "p1", 1),
+                Call("add", ("y", ("p1", 2)), "p1", 2),
+            ],
+        )
+        assert spec.run_query("elements", None, state) == frozenset({"x", "y"})
+
+
+class TestCart:
+    def test_quantities_accumulate(self):
+        spec = cart_spec()
+        state = apply_all(
+            spec,
+            spec.initial_state(),
+            [
+                Call("add_item", ("apple", 2, ("p1", 1)), "p1", 1),
+                Call("add_item", ("apple", 3, ("p2", 1)), "p2", 1),
+            ],
+        )
+        assert spec.run_query("quantity", "apple", state) == 5
+        assert spec.run_query("contents", None, state) == {"apple": 5}
+
+    def test_remove_observed_entries(self):
+        spec = cart_spec()
+        state = apply_all(
+            spec,
+            spec.initial_state(),
+            [
+                Call("add_item", ("apple", 2, ("p1", 1)), "p1", 1),
+                Call(
+                    "remove_item",
+                    ("apple", frozenset({("p1", 1)})),
+                    "p2",
+                    1,
+                ),
+            ],
+        )
+        assert spec.run_query("quantity", "apple", state) == 0
+
+    def test_categories_irreducible(self):
+        coordination = Coordination.analyze(cart_spec())
+        assert coordination.methods_in(Category.IRREDUCIBLE_CONFLICT_FREE) == [
+            "add_item",
+            "remove_item",
+        ]

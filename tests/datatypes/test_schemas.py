@@ -1,0 +1,160 @@
+"""Unit tests for the relational schemas and the bank examples.
+
+Pins every inferred relation against the structure the paper states in
+§5 ("Use-cases and benchmarks") and §2.
+"""
+
+import pytest
+
+from repro.core import Call, Category, Coordination
+from repro.datatypes import (
+    account_spec,
+    bankmap_spec,
+    courseware_spec,
+    movie_spec,
+    project_mgmt_spec,
+)
+
+
+class TestAccount:
+    def test_figure_1_analysis(self):
+        c = Coordination.analyze(account_spec())
+        assert c.relations.conflicts == {frozenset({"withdraw"})}
+        assert c.dep("withdraw") == {"deposit"}
+        assert c.category("deposit") is Category.REDUCIBLE
+        assert c.category("withdraw") is Category.CONFLICTING
+
+    def test_sequential_behaviour(self):
+        spec = account_spec()
+        state = spec.apply_call(Call("deposit", 10, "p1", 1), 0)
+        state = spec.apply_call(Call("withdraw", 4, "p1", 2), state)
+        assert spec.run_query("balance", None, state) == 6
+
+    def test_invariant_rejects_overdraft(self):
+        spec = account_spec()
+        assert not spec.invariant(-1)
+        assert not spec.permissible(3, Call("withdraw", 4, "p1", 1))
+
+
+class TestBankMap:
+    def test_section_2_analysis(self):
+        c = Coordination.analyze(bankmap_spec())
+        assert c.relations.conflicts == {frozenset({"withdraw"})}
+        assert c.dep("deposit") == {"open"}
+        assert c.dep("withdraw") == {"deposit"}
+        assert c.category("deposit") is Category.IRREDUCIBLE_CONFLICT_FREE
+        assert c.category("open") is Category.IRREDUCIBLE_CONFLICT_FREE
+        assert c.category("withdraw") is Category.CONFLICTING
+
+    def test_deposit_into_unopened_account_impermissible(self):
+        spec = bankmap_spec()
+        state = spec.initial_state()
+        assert not spec.permissible(state, Call("deposit", ("a", 5), "p", 1))
+        state = spec.apply_call(Call("open", "a", "p", 1), state)
+        assert spec.permissible(state, Call("deposit", ("a", 5), "p", 2))
+
+    def test_balances_roundtrip(self):
+        spec = bankmap_spec()
+        state = spec.initial_state()
+        for call in [
+            Call("open", "a", "p", 1),
+            Call("deposit", ("a", 7), "p", 2),
+            Call("withdraw", ("a", 3), "p", 3),
+        ]:
+            state = spec.apply_call(call, state)
+        assert spec.run_query("balance", "a", state) == 4
+
+    def test_zero_balance_rows_are_canonical(self):
+        """Depositing then withdrawing everything equals never touching."""
+        spec = bankmap_spec()
+        opened = spec.apply_call(Call("open", "a", "p", 1),
+                                 spec.initial_state())
+        state = spec.apply_call(Call("deposit", ("a", 5), "p", 2), opened)
+        state = spec.apply_call(Call("withdraw", ("a", 5), "p", 3), state)
+        assert spec.state_eq(state, opened)
+
+
+class TestProjectManagement:
+    def test_paper_analysis(self):
+        c = Coordination.analyze(project_mgmt_spec())
+        group = c.sync_group("worksOn")
+        assert group.methods == frozenset(
+            {"addProject", "deleteProject", "worksOn"}
+        )
+        assert c.dep("worksOn") == {"addProject", "addEmployee"}
+        assert c.category("addEmployee") is Category.REDUCIBLE
+
+    def test_delete_cascades_assignments(self):
+        spec = project_mgmt_spec()
+        state = spec.initial_state()
+        for call in [
+            Call("addProject", "p1", "x", 1),
+            Call("addEmployee", frozenset({"e1"}), "x", 2),
+            Call("worksOn", ("e1", "p1"), "x", 3),
+            Call("deleteProject", "p1", "x", 4),
+        ]:
+            state = spec.apply_call(call, state)
+        assert spec.run_query("query", None, state) == (0, 1, 0)
+        assert spec.invariant(state)
+
+    def test_works_on_without_refs_impermissible(self):
+        spec = project_mgmt_spec()
+        call = Call("worksOn", ("e1", "p1"), "x", 1)
+        assert not spec.permissible(spec.initial_state(), call)
+
+
+class TestCourseware:
+    def test_paper_analysis(self):
+        c = Coordination.analyze(courseware_spec())
+        group = c.sync_group("enroll")
+        assert group.methods == frozenset(
+            {"addCourse", "deleteCourse", "enroll"}
+        )
+        assert c.dep("enroll") == {"addCourse", "registerStudent"}
+        assert (
+            c.category("registerStudent")
+            is Category.IRREDUCIBLE_CONFLICT_FREE
+        )
+
+    def test_delete_course_cascades_enrollments(self):
+        spec = courseware_spec()
+        state = spec.initial_state()
+        for call in [
+            Call("addCourse", "c1", "x", 1),
+            Call("registerStudent", "s1", "x", 2),
+            Call("enroll", ("s1", "c1"), "x", 3),
+            Call("deleteCourse", "c1", "x", 4),
+        ]:
+            state = spec.apply_call(call, state)
+        assert spec.run_query("query", None, state) == (0, 1, 0)
+        assert spec.invariant(state)
+
+    def test_enroll_requires_both_references(self):
+        spec = courseware_spec()
+        state = spec.apply_call(Call("addCourse", "c1", "x", 1),
+                                spec.initial_state())
+        assert not spec.permissible(state, Call("enroll", ("s1", "c1"), "x", 2))
+        state = spec.apply_call(Call("registerStudent", "s1", "x", 2), state)
+        assert spec.permissible(state, Call("enroll", ("s1", "c1"), "x", 3))
+
+
+class TestMovie:
+    def test_two_sync_groups_no_dependencies(self):
+        c = Coordination.analyze(movie_spec())
+        assert len(c.sync_groups()) == 2
+        assert all(not c.dep(m) for m in c.relations.methods)
+
+    def test_relations_are_independent(self):
+        spec = movie_spec()
+        state = spec.initial_state()
+        state = spec.apply_call(Call("addCustomer", "alice", "x", 1), state)
+        state = spec.apply_call(Call("addMovie", "heat", "x", 2), state)
+        state = spec.apply_call(Call("deleteCustomer", "alice", "x", 3), state)
+        assert spec.run_query("count", None, state) == (0, 1)
+
+    def test_delete_nonexistent_is_noop(self):
+        spec = movie_spec()
+        state = spec.apply_call(
+            Call("deleteMovie", "ghost", "x", 1), spec.initial_state()
+        )
+        assert state == spec.initial_state()

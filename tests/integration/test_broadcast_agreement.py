@@ -1,0 +1,91 @@
+"""Reliable-broadcast agreement under source crashes (paper §4).
+
+"If a message m is delivered by some correct node, then m is eventually
+delivered by every correct node."  The backup-slot protocol must hold
+this across every crash point of the source: before any remote write,
+between writes, and after all writes but before the clear.
+"""
+
+import pytest
+
+from repro.datatypes import counter_spec, gset_spec
+from repro.runtime import HambandCluster
+from repro.sim import Environment
+
+
+def crash_source_during_broadcast(halt_delay_us):
+    """p1 issues an add and its 'process' dies mid-broadcast."""
+    env = Environment()
+    cluster = HambandCluster.build(env, gset_spec(), n_nodes=4)
+    node = cluster.node("p1")
+
+    def killer(env):
+        yield env.timeout(halt_delay_us)
+        node.broadcast.halted = True
+        node.heartbeat.suspend()
+
+    env.process(killer(env))
+    node.submit("add", "fragile")
+    env.run(until=env.now + 4000)  # detect + recover + settle
+    survivors = [n for n in cluster.node_names() if n != "p1"]
+    delivered = {
+        name: "fragile" in cluster.node(name).effective_state()
+        for name in survivors
+    }
+    return delivered
+
+
+class TestAgreement:
+    @pytest.mark.parametrize(
+        "halt_delay_us",
+        [0.05, 0.12, 0.2, 0.35, 0.5, 0.8, 1.2, 2.0],
+    )
+    def test_all_or_nothing_delivery(self, halt_delay_us):
+        """Whatever the crash point, survivors agree: either every
+        correct node delivers the call, or none does."""
+        delivered = crash_source_during_broadcast(halt_delay_us)
+        assert len(set(delivered.values())) == 1, delivered
+
+    def test_crash_after_backup_before_writes_delivers_via_backup(self):
+        """Halt before any ring write: only the backup slot carries the
+        call, and the survivors still converge on delivering it."""
+        env = Environment()
+        cluster = HambandCluster.build(env, gset_spec(), n_nodes=4)
+        node = cluster.node("p1")
+        node.broadcast.halted = True  # dies the instant fan-out starts
+        node.heartbeat.suspend()
+        node.submit("add", "backup-only")
+        env.run(until=env.now + 4000)
+        survivors = [n for n in cluster.node_names() if n != "p1"]
+        states = {
+            name: cluster.node(name).effective_state()
+            for name in survivors
+        }
+        assert all(s == frozenset({"backup-only"}) for s in states.values())
+
+    def test_completed_broadcast_leaves_nothing_to_recover(self):
+        env = Environment()
+        cluster = HambandCluster.build(env, gset_spec(), n_nodes=4)
+        env.run(until=cluster.node("p1").submit("add", "done"))
+        cluster.suspend_heartbeat("p1")
+        env.run(until=env.now + 3000)
+        # Recovery ran but found a cleared backup: no duplicates.
+        survivors = [n for n in cluster.node_names() if n != "p1"]
+        for name in survivors:
+            assert cluster.node(name).applied_count("p1", "add") == 1
+
+    def test_summary_broadcast_recovery(self):
+        """A reducible call's summary crash-recovers through the backup
+        slot as well (the 'S' message path)."""
+        env = Environment()
+        cluster = HambandCluster.build(env, counter_spec(), n_nodes=4)
+        node = cluster.node("p1")
+        node.broadcast.halted = True
+        node.heartbeat.suspend()
+        node.submit("add", 42)
+        env.run(until=env.now + 4000)
+        survivors = [n for n in cluster.node_names() if n != "p1"]
+        states = {
+            name: cluster.node(name).effective_state() for name in survivors
+        }
+        assert all(s == 42 for s in states.values()), states

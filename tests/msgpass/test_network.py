@@ -1,0 +1,137 @@
+"""Unit tests for the message-passing network substrate."""
+
+import pytest
+
+from repro.msgpass import MsgConfig, MsgNetwork
+from repro.sim import Environment
+
+
+def build(n=2, **config_kwargs):
+    env = Environment()
+    network = MsgNetwork.build(
+        env, n, config=MsgConfig(**config_kwargs) if config_kwargs else None
+    )
+    return env, network
+
+
+class TestDelivery:
+    def test_send_recv_roundtrip(self):
+        env, network = build()
+
+        def sender(env):
+            yield from network.hosts["p1"].send("p2", "hello", want_ack=False)
+
+        def receiver(env):
+            delivery = yield from network.hosts["p2"].recv()
+            return delivery
+
+        env.process(sender(env))
+        r = env.process(receiver(env))
+        env.run()
+        assert r.value.payload == "hello"
+        assert r.value.src == "p1"
+
+    def test_wire_latency_applied(self):
+        env, network = build(wire_us=25.0)
+
+        def sender(env):
+            yield from network.hosts["p1"].send("p2", "x", want_ack=False)
+
+        def receiver(env):
+            yield from network.hosts["p2"].recv()
+            return env.now
+
+        env.process(sender(env))
+        r = env.process(receiver(env))
+        env.run()
+        assert r.value >= 25.0
+
+    def test_fifo_per_pair(self):
+        env, network = build()
+        got = []
+
+        def sender(env):
+            for i in range(4):
+                yield from network.hosts["p1"].send("p2", i, want_ack=False)
+
+        def receiver(env):
+            for _ in range(4):
+                delivery = yield from network.hosts["p2"].recv()
+                got.append(delivery.payload)
+
+        env.process(sender(env))
+        env.process(receiver(env))
+        env.run()
+        assert got == [0, 1, 2, 3]
+
+    def test_ack_completes_after_receiver_processes(self):
+        env, network = build()
+        times = {}
+
+        def sender(env):
+            ack = yield from network.hosts["p1"].send("p2", "m")
+            yield ack
+            times["acked"] = env.now
+
+        def receiver(env):
+            delivery = yield from network.hosts["p2"].recv()
+            times["received"] = env.now
+            network.hosts["p2"].ack_back(delivery)
+
+        env.process(sender(env))
+        env.process(receiver(env))
+        env.run()
+        assert times["acked"] > times["received"]
+
+    def test_send_costs_sender_cpu(self):
+        env, network = build(send_cpu_us=5.0)
+
+        def sender(env):
+            yield from network.hosts["p1"].send("p2", "m", want_ack=False)
+            return env.now
+
+        r = env.process(sender(env))
+        env.run()
+        assert r.value >= 5.0
+
+
+class TestFailures:
+    def test_send_to_crashed_host_fails_ack(self):
+        env, network = build()
+        network.hosts["p2"].crash()
+        caught = []
+
+        def sender(env):
+            ack = yield from network.hosts["p1"].send("p2", "m")
+            try:
+                yield ack
+            except ConnectionError:
+                caught.append(True)
+
+        env.process(sender(env))
+        env.run()
+        assert caught == [True]
+
+    def test_crashed_host_receives_nothing(self):
+        env, network = build()
+        network.hosts["p2"].crash()
+
+        def sender(env):
+            yield from network.hosts["p1"].send("p2", "m", want_ack=False)
+
+        env.process(sender(env))
+        env.run()
+        assert len(network.hosts["p2"].inbox) == 0
+
+
+class TestConstruction:
+    def test_duplicate_host_rejected(self):
+        env = Environment()
+        network = MsgNetwork(env)
+        network.add_host("p1")
+        with pytest.raises(ValueError):
+            network.add_host("p1")
+
+    def test_build_names_hosts(self):
+        _env, network = build(n=3)
+        assert sorted(network.hosts) == ["p1", "p2", "p3"]

@@ -1,0 +1,116 @@
+"""Unit tests for RDMA reliable broadcast."""
+
+import pytest
+
+from repro.rdma import Access, Fabric
+from repro.runtime import ReliableBroadcast
+from repro.sim import Environment
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    fabric = Fabric.build(env, 3)
+    endpoints = {
+        name: ReliableBroadcast(fabric.nodes[name])
+        for name in fabric.node_names()
+    }
+    targets = {}
+    for name in fabric.node_names():
+        targets[name] = fabric.nodes[name].register("inbox", 64)
+    return env, fabric, endpoints, targets
+
+
+def run_proc(env, gen):
+    proc = env.process(gen)
+    env.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestBroadcast:
+    def test_message_lands_at_all_targets(self, setup):
+        env, fabric, endpoints, targets = setup
+        source = fabric.nodes["p1"]
+
+        def proc(env):
+            writes = [
+                (source.qp_to(peer), targets[peer], 0, b"payload!")
+                for peer in ("p2", "p3")
+            ]
+            results = yield from endpoints["p1"].broadcast(b"payload!", writes)
+            return results
+
+        results = run_proc(env, proc(env))
+        assert all(wc.ok for wc in results)
+        assert targets["p2"].read(0, 8) == b"payload!"
+        assert targets["p3"].read(0, 8) == b"payload!"
+
+    def test_backup_cleared_after_success(self, setup):
+        env, fabric, endpoints, targets = setup
+        source = fabric.nodes["p1"]
+
+        def proc(env):
+            writes = [(source.qp_to("p2"), targets["p2"], 0, b"m")]
+            yield from endpoints["p1"].broadcast(b"m", writes)
+
+        run_proc(env, proc(env))
+
+        def fetch(env):
+            result = yield from endpoints["p2"].fetch_backup_of("p1")
+            return result
+
+        assert run_proc(env, fetch(env)) is None
+
+    def test_backup_readable_while_in_flight(self, setup):
+        """The agreement window: backup holds the message mid-broadcast."""
+        env, fabric, endpoints, targets = setup
+        source = fabric.nodes["p1"]
+        observed = []
+
+        def sender(env):
+            writes = [(source.qp_to("p2"), targets["p2"], 0, b"pending")]
+            yield from endpoints["p1"].broadcast(b"pending", writes)
+
+        def prober(env):
+            yield env.timeout(0.3)  # mid-flight
+            result = yield from endpoints["p3"].fetch_backup_of("p1")
+            observed.append(result)
+
+        env.process(sender(env))
+        env.process(prober(env))
+        env.run()
+        assert observed == [b"pending"]
+
+    def test_crashed_source_leaves_recoverable_backup(self, setup):
+        env, fabric, endpoints, targets = setup
+        # Simulate a crash mid-broadcast: backup written, writes never sent.
+        endpoints["p1"]._write_backup(b"orphan")
+        fabric.nodes["p1"].crash()
+        # p1's region memory survives for remote reads in our model only
+        # if the node is alive; a full crash loses it.  Recover instead
+        # from the suspended-heartbeat case: node alive, thread stopped.
+        fabric.nodes["p1"].recover()
+
+        def fetch(env):
+            result = yield from endpoints["p2"].fetch_backup_of("p1")
+            return result
+
+        assert run_proc(env, fetch(env)) == b"orphan"
+
+    def test_fetch_from_crashed_node_returns_none(self, setup):
+        env, fabric, endpoints, _targets = setup
+        endpoints["p1"]._write_backup(b"lost")
+        fabric.nodes["p1"].crash()
+
+        def fetch(env):
+            result = yield from endpoints["p2"].fetch_backup_of("p1")
+            return result
+
+        assert run_proc(env, fetch(env)) is None
+
+    def test_oversized_message_rejected(self, setup):
+        env, _fabric, endpoints, _targets = setup
+        with pytest.raises(ValueError, match="exceeds"):
+            endpoints["p1"]._write_backup(b"x" * 4096)

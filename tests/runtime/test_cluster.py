@@ -1,0 +1,232 @@
+"""Integration tests for the Hamband cluster runtime."""
+
+import pytest
+
+from repro.core import Category
+from repro.datatypes import (
+    account_spec,
+    bankmap_spec,
+    counter_spec,
+    courseware_spec,
+    gset_spec,
+    gset_union_spec,
+    lww_spec,
+    movie_spec,
+    orset_spec,
+)
+from repro.runtime import (
+    HambandCluster,
+    ImpermissibleError,
+    NotLeaderError,
+    RuntimeConfig,
+)
+from repro.sim import Environment
+
+
+def build(spec, n=3, **kwargs):
+    env = Environment()
+    cluster = HambandCluster.build(env, spec, n_nodes=n, **kwargs)
+    return env, cluster
+
+
+def finish(env, event):
+    result = env.run(until=event)
+    return result
+
+
+def settle(env, cluster, us=400):
+    env.run(until=env.now + us)
+
+
+class TestReduciblePath:
+    def test_counter_converges_via_summaries(self):
+        env, cluster = build(counter_spec())
+        finish(env, cluster.node("p1").submit("add", 5))
+        finish(env, cluster.node("p2").submit("add", 7))
+        settle(env, cluster)
+        assert cluster.effective_states() == {"p1": 12, "p2": 12, "p3": 12}
+        assert cluster.converged()
+
+    def test_no_buffer_records_for_reducible(self):
+        env, cluster = build(counter_spec())
+        finish(env, cluster.node("p1").submit("add", 5))
+        settle(env, cluster)
+        for node in cluster.nodes.values():
+            assert all(r.head == 0 for r in node.f_readers.values())
+
+    def test_repeated_adds_summarize(self):
+        env, cluster = build(counter_spec())
+        for i in range(10):
+            finish(env, cluster.node("p1").submit("add", 1))
+        settle(env, cluster)
+        assert cluster.node("p3").applied_count("p1", "add") == 10
+        assert cluster.effective_states()["p3"] == 10
+
+    def test_lww_register_order_insensitive(self):
+        env, cluster = build(lww_spec())
+        finish(env, cluster.node("p1").submit("write", (5, "p1", "old")))
+        finish(env, cluster.node("p2").submit("write", (9, "p2", "new")))
+        settle(env, cluster)
+        query = cluster.node("p3").submit("read")
+        assert finish(env, query) == "new"
+
+    def test_gset_union_reducible(self):
+        env, cluster = build(gset_union_spec())
+        finish(env, cluster.node("p1").submit("add_all", frozenset({"a"})))
+        finish(env, cluster.node("p2").submit("add_all", frozenset({"b"})))
+        settle(env, cluster)
+        assert cluster.effective_states()["p3"] == frozenset({"a", "b"})
+
+    def test_force_buffered_uses_rings_instead(self):
+        env, cluster = build(
+            gset_union_spec(), config=RuntimeConfig(force_buffered=True)
+        )
+        finish(env, cluster.node("p1").submit("add_all", frozenset({"a"})))
+        settle(env, cluster)
+        assert cluster.effective_states()["p2"] == frozenset({"a"})
+        assert cluster.node("p2").f_readers["p1"].head == 1  # ring used
+
+
+class TestConflictFreePath:
+    def test_gset_fans_out_through_f_rings(self):
+        env, cluster = build(gset_spec())
+        finish(env, cluster.node("p1").submit("add", "x"))
+        finish(env, cluster.node("p2").submit("add", "y"))
+        settle(env, cluster)
+        assert cluster.converged()
+        assert cluster.effective_states()["p3"] == frozenset({"x", "y"})
+
+    def test_orset_concurrent_add_remove(self):
+        env, cluster = build(orset_spec())
+        tag = ("p1", 1)
+        finish(env, cluster.node("p1").submit("add", ("x", tag)))
+        settle(env, cluster)
+        finish(env, cluster.node("p2").submit("remove", ("x", frozenset({tag}))))
+        # Concurrent add with a fresh tag survives the remove.
+        finish(env, cluster.node("p3").submit("add", ("x", ("p3", 1))))
+        settle(env, cluster)
+        assert cluster.converged()
+        query = cluster.node("p1").submit("contains", "x")
+        assert finish(env, query) is True
+
+    def test_dependency_respected_across_nodes(self):
+        """bankmap: deposit must not apply before its open anywhere."""
+        env, cluster = build(bankmap_spec())
+        finish(env, cluster.node("p1").submit("open", "acc1"))
+        finish(env, cluster.node("p1").submit("deposit", ("acc1", 5)))
+        settle(env, cluster)
+        assert cluster.integrity_holds()
+        assert cluster.converged()
+        query = cluster.node("p3").submit("balance", "acc1")
+        assert finish(env, query) == 5
+
+    def test_impermissible_free_call_rejected(self):
+        env, cluster = build(bankmap_spec())
+        request = cluster.node("p1").submit("deposit", ("ghost", 5))
+        with pytest.raises(ImpermissibleError):
+            finish(env, request)
+
+
+class TestConflictingPath:
+    def test_withdraw_serialized_by_leader(self):
+        env, cluster = build(account_spec())
+        finish(env, cluster.node("p2").submit("deposit", 10))
+        leader = cluster.node("p1").current_leader("withdraw")
+        finish(env, cluster.node(leader).submit("withdraw", 4))
+        finish(env, cluster.node(leader).submit("withdraw", 6))
+        settle(env, cluster)
+        assert cluster.effective_states() == {"p1": 0, "p2": 0, "p3": 0}
+        assert cluster.integrity_holds()
+
+    def test_non_leader_gets_redirect_error(self):
+        env, cluster = build(account_spec())
+        leader = cluster.node("p1").current_leader("withdraw")
+        follower = next(n for n in cluster.node_names() if n != leader)
+        request = cluster.node(follower).submit("withdraw", 1)
+        with pytest.raises(NotLeaderError) as info:
+            finish(env, request)
+        assert info.value.leader == leader
+
+    def test_overdraft_rejected_after_retries(self):
+        env, cluster = build(
+            account_spec(),
+            config=RuntimeConfig(conf_retry_limit=3, conf_retry_us=1.0),
+        )
+        leader = cluster.node("p1").current_leader("withdraw")
+        request = cluster.node(leader).submit("withdraw", 100)
+        with pytest.raises(ImpermissibleError):
+            finish(env, request)
+
+    def test_conf_waits_for_dependencies_then_succeeds(self):
+        """enroll waits at the leader until its references arrive."""
+        env, cluster = build(courseware_spec())
+        leader = cluster.node("p1").current_leader("enroll")
+        other = next(n for n in cluster.node_names() if n != leader)
+        # Issue enroll first; its deps follow shortly after.
+        enroll = cluster.node(leader).submit("enroll", ("s1", "c1"))
+        course = cluster.node(leader).submit("addCourse", "c1")
+        student = cluster.node(other).submit("registerStudent", "s1")
+        finish(env, enroll)
+        settle(env, cluster)
+        assert cluster.converged()
+        assert cluster.integrity_holds()
+
+    def test_movie_two_leaders(self):
+        env, cluster = build(movie_spec())
+        any_node = cluster.node("p1")
+        leader_customers = any_node.current_leader("addCustomer")
+        leader_movies = any_node.current_leader("addMovie")
+        assert leader_customers != leader_movies
+        finish(env, cluster.node(leader_customers).submit("addCustomer", "a"))
+        finish(env, cluster.node(leader_movies).submit("addMovie", "m"))
+        settle(env, cluster)
+        assert cluster.converged()
+        query = cluster.node("p3").submit("count")
+        assert finish(env, query) == (1, 1)
+
+
+class TestRefinementOfRuntime:
+    @pytest.mark.parametrize(
+        "spec_factory", [counter_spec, gset_spec, account_spec, movie_spec]
+    )
+    def test_run_replays_against_abstract_machine(self, spec_factory):
+        env, cluster = build(spec_factory())
+        spec = cluster.coordination.spec
+        import random
+
+        rng = random.Random(7)
+        methods = spec.update_names()
+        for _ in range(15):
+            method = rng.choice(methods)
+            if cluster.coordination.category(method) is Category.CONFLICTING:
+                node = cluster.node(cluster.node("p1").current_leader(method))
+            else:
+                node = cluster.node(rng.choice(cluster.node_names()))
+            arg = spec.sample_args(method, rng, 1)[0]
+            request = node.submit(method, arg)
+            env.run(until=env.now + 3)
+            # Let impermissible requests fail quietly.
+            try:
+                env.run(until=request)
+            except Exception:
+                pass
+        settle(env, cluster, us=1500)
+        abstract = cluster.check_refinement()
+        assert abstract.integrity_holds()
+        assert cluster.converged()
+
+
+class TestQueries:
+    def test_query_includes_summaries(self):
+        env, cluster = build(account_spec())
+        finish(env, cluster.node("p1").submit("deposit", 42))
+        settle(env, cluster)
+        assert finish(env, cluster.node("p3").submit("balance")) == 42
+
+    def test_query_is_local_and_fast(self):
+        env, cluster = build(counter_spec())
+        settle(env, cluster, us=10)
+        before = env.now
+        finish(env, cluster.node("p2").submit("value"))
+        # Purely local: well under one network round trip.
+        assert env.now - before < 1.0

@@ -1,0 +1,56 @@
+"""Tests for the failed-node semantics of the paper's failure injection."""
+
+import pytest
+
+from repro.datatypes import account_spec, gset_spec
+from repro.runtime import HambandCluster, SubmitError
+from repro.sim import Environment
+
+
+class TestFailedNode:
+    def test_failed_node_refuses_requests(self):
+        env = Environment()
+        cluster = HambandCluster.build(env, gset_spec(), n_nodes=3)
+        cluster.suspend_heartbeat("p2")
+        with pytest.raises(SubmitError, match="failed"):
+            cluster.node("p2").submit("add", "x")
+
+    def test_failed_node_memory_still_receives_writes(self):
+        """One-sided writes land at a failed node's memory — live nodes
+        keep it in sync, exactly the RDMA model the paper exploits."""
+        env = Environment()
+        cluster = HambandCluster.build(env, gset_spec(), n_nodes=3)
+        cluster.suspend_heartbeat("p2")
+        env.run(until=cluster.node("p1").submit("add", "x"))
+        env.run(until=env.now + 400)
+        # p2's traversal threads keep running (only requests refused),
+        # so the write it received gets applied.
+        assert "x" in cluster.node("p2").effective_state()
+
+    def test_failed_leader_bounces_queued_conflicting_calls(self):
+        env = Environment()
+        cluster = HambandCluster.build(env, account_spec(), n_nodes=3)
+        env.run(until=cluster.node("p2").submit("deposit", 50))
+        leader = cluster.node("p1").current_leader("withdraw")
+        # Enqueue, then fail the leader before the worker picks it up.
+        request = cluster.node(leader).submit("withdraw", 5)
+        cluster.suspend_heartbeat(leader)
+        with pytest.raises(SubmitError):
+            env.run(until=request)
+
+    def test_resume_via_flag_reset(self):
+        env = Environment()
+        cluster = HambandCluster.build(env, gset_spec(), n_nodes=3)
+        cluster.suspend_heartbeat("p2")
+        cluster.nodes["p2"].failed = False
+        cluster.nodes["p2"].heartbeat.resume()
+        env.run(until=cluster.node("p2").submit("add", "back"))
+        env.run(until=env.now + 300)
+        assert cluster.converged()
+
+    def test_crash_also_marks_failed(self):
+        env = Environment()
+        cluster = HambandCluster.build(env, gset_spec(), n_nodes=3)
+        cluster.crash("p3")
+        with pytest.raises(SubmitError):
+            cluster.node("p3").submit("add", "x")

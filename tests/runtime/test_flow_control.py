@@ -1,0 +1,109 @@
+"""Tests for reader-ack flow control and writer backpressure."""
+
+import pytest
+
+from repro.datatypes import account_spec, gset_spec
+from repro.runtime import HambandCluster, RuntimeConfig
+from repro.sim import Environment
+
+
+def tiny_ring_config(**overrides):
+    """A deliberately small ring with a lazy reader: stress overrun."""
+    defaults = dict(
+        ring_slots=8,
+        ack_every=2,
+        poll_interval_us=20.0,  # slow reader
+        poll_hot_us=5.0,
+        backpressure_wait_us=1.0,
+    )
+    defaults.update(overrides)
+    return RuntimeConfig(**defaults)
+
+
+class TestBackpressure:
+    def test_burst_larger_than_ring_completes_without_loss(self):
+        """24 records through an 8-slot ring: the writer must pace
+        itself on the reader's acks instead of lapping it."""
+        env = Environment()
+        cluster = HambandCluster.build(
+            env, gset_spec(), n_nodes=3, config=tiny_ring_config()
+        )
+        requests = [
+            cluster.node("p1").submit("add", f"e{i}") for i in range(24)
+        ]
+        for request in requests:
+            env.run(until=request)
+        env.run(until=env.now + 3000)
+        assert cluster.converged()
+        states = set(cluster.effective_states().values())
+        assert states == {frozenset(f"e{i}" for i in range(24))}
+
+    def test_backpressure_shows_up_as_latency_not_corruption(self):
+        env = Environment()
+        cluster = HambandCluster.build(
+            env, gset_spec(), n_nodes=3, config=tiny_ring_config()
+        )
+        durations = []
+        for i in range(24):
+            start = env.now
+            env.run(until=cluster.node("p1").submit("add", f"e{i}"))
+            durations.append(env.now - start)
+        env.run(until=env.now + 3000)
+        assert cluster.converged()
+        # Early submissions fly; later ones wait for reader drain.
+        assert max(durations[10:]) > min(durations[:4])
+
+    def test_conflicting_log_backpressure(self):
+        """The Mu log applies the same pacing toward follower rings."""
+        env = Environment()
+        cluster = HambandCluster.build(
+            env, account_spec(), n_nodes=3, config=tiny_ring_config()
+        )
+        env.run(until=cluster.node("p2").submit("deposit", 1000))
+        leader = cluster.node("p1").current_leader("withdraw")
+        requests = [
+            cluster.node(leader).submit("withdraw", 1) for _ in range(24)
+        ]
+        for request in requests:
+            env.run(until=request)
+        env.run(until=env.now + 5000)
+        assert cluster.converged()
+        assert cluster.effective_states()[leader] == 1000 - 24
+
+    def test_suspected_reader_does_not_wedge_writer(self):
+        """A dead reader stops acking; the writer must fall back to
+        ring-sizing mode instead of blocking forever."""
+        env = Environment()
+        cluster = HambandCluster.build(
+            env,
+            gset_spec(),
+            n_nodes=3,
+            config=tiny_ring_config(backpressure_wait_us=5.0),
+        )
+        cluster.crash("p3")
+        env.run(until=env.now + 2000)  # let p1 suspect p3
+        requests = [
+            cluster.node("p1").submit("add", f"e{i}") for i in range(24)
+        ]
+        for request in requests:
+            env.run(until=request)
+        env.run(until=env.now + 3000)
+        survivors = ["p1", "p2"]
+        states = {
+            n: cluster.node(n).effective_state() for n in survivors
+        }
+        assert states["p1"] == states["p2"]
+        assert len(states["p1"]) == 24
+
+    def test_acks_disabled_still_works_with_big_rings(self):
+        env = Environment()
+        cluster = HambandCluster.build(
+            env,
+            gset_spec(),
+            n_nodes=3,
+            config=RuntimeConfig(ack_every=0),
+        )
+        for i in range(30):
+            env.run(until=cluster.node("p1").submit("add", f"e{i}"))
+        env.run(until=env.now + 1000)
+        assert cluster.converged()

@@ -1,0 +1,79 @@
+"""Tests for node-side forwarding of conflicting calls."""
+
+import pytest
+
+from repro.datatypes import account_spec, courseware_spec
+from repro.runtime import HambandCluster, ImpermissibleError, RuntimeConfig
+from repro.sim import Environment
+
+
+def build(spec, n=3, **kwargs):
+    env = Environment()
+    return env, HambandCluster.build(env, spec, n_nodes=n, **kwargs)
+
+
+class TestSubmitAny:
+    def test_conflicting_call_forwarded_to_leader(self):
+        env, cluster = build(account_spec())
+        env.run(until=cluster.node("p2").submit("deposit", 10))
+        leader = cluster.node("p1").current_leader("withdraw")
+        follower = next(n for n in cluster.node_names() if n != leader)
+        request = cluster.node(follower).submit_any("withdraw", 4)
+        call = env.run(until=request)
+        assert call.method == "withdraw"
+        assert call.origin == leader  # executed as the leader's call
+        env.run(until=env.now + 300)
+        assert cluster.effective_states()[follower] == 6
+
+    def test_forwarding_costs_a_control_round_trip(self):
+        env, cluster = build(account_spec())
+        env.run(until=cluster.node("p2").submit("deposit", 10))
+        leader = cluster.node("p1").current_leader("withdraw")
+        follower = next(n for n in cluster.node_names() if n != leader)
+
+        start = env.now
+        env.run(until=cluster.node(leader).submit_any("withdraw", 1))
+        direct = env.now - start
+
+        start = env.now
+        env.run(until=cluster.node(follower).submit_any("withdraw", 1))
+        forwarded = env.now - start
+        assert forwarded > direct
+
+    def test_non_conflicting_calls_not_forwarded(self):
+        env, cluster = build(account_spec())
+        request = cluster.node("p2").submit_any("deposit", 3)
+        call = env.run(until=request)
+        assert call.origin == "p2"
+
+    def test_queries_served_locally(self):
+        env, cluster = build(account_spec())
+        env.run(until=cluster.node("p1").submit("deposit", 9))
+        env.run(until=env.now + 100)
+        assert env.run(until=cluster.node("p3").submit_any("balance")) == 9
+
+    def test_impermissible_error_propagates_through_forwarding(self):
+        env, cluster = build(
+            account_spec(),
+            config=RuntimeConfig(conf_retry_limit=3, conf_retry_us=1.0),
+        )
+        leader = cluster.node("p1").current_leader("withdraw")
+        follower = next(n for n in cluster.node_names() if n != leader)
+        request = cluster.node(follower).submit_any("withdraw", 50)
+        with pytest.raises(ImpermissibleError):
+            env.run(until=request)
+
+    def test_forwarding_follows_leader_change(self):
+        env, cluster = build(courseware_spec(), n=4)
+        gid = cluster.coordination.sync_group("enroll").gid
+        old_leader = cluster.leaders[gid]
+        cluster.crash(old_leader)
+        env.run(until=env.now + 3000)  # detect + elect
+        survivor = next(
+            n for n in cluster.node_names() if n != old_leader
+        )
+        request = cluster.node(survivor).submit_any("addCourse", "crs9")
+        call = env.run(until=request)
+        new_leader = cluster.node(survivor).current_leader("addCourse")
+        assert call.origin == new_leader
+        assert new_leader != old_leader

@@ -1,0 +1,88 @@
+"""Unit tests for heartbeats and the remote-read failure detector."""
+
+import pytest
+
+from repro.rdma import Fabric
+from repro.runtime.heartbeat import FailureDetector, Heartbeat
+from repro.sim import Environment
+
+
+def build(n=3, fd_poll=50.0, suspect_after=3):
+    env = Environment()
+    fabric = Fabric.build(env, n)
+    heartbeats = {
+        name: Heartbeat(fabric.nodes[name], interval_us=20.0)
+        for name in fabric.node_names()
+    }
+    suspicions = []
+    detectors = {
+        name: FailureDetector(
+            fabric.nodes[name],
+            fabric.node_names(),
+            poll_interval_us=fd_poll,
+            suspect_after=suspect_after,
+            on_suspect=lambda peer, me=name: suspicions.append((me, peer)),
+        )
+        for name in fabric.node_names()
+    }
+    return env, fabric, heartbeats, detectors, suspicions
+
+
+class TestHealthy:
+    def test_no_suspicion_under_normal_operation(self):
+        env, _fabric, _hbs, detectors, suspicions = build()
+        env.run(until=2000)
+        assert suspicions == []
+        assert all(not d.suspected for d in detectors.values())
+
+    def test_heartbeat_counter_advances(self):
+        env, fabric, hbs, _detectors, _s = build()
+        env.run(until=500)
+        assert hbs["p1"].region.read_u64(0) >= 20
+
+
+class TestSuspension:
+    def test_suspended_node_gets_suspected_by_all_peers(self):
+        env, _fabric, hbs, detectors, suspicions = build()
+        env.run(until=300)
+        hbs["p2"].suspend()
+        env.run(until=1500)
+        assert detectors["p1"].is_suspected("p2")
+        assert detectors["p3"].is_suspected("p2")
+        assert not detectors["p1"].is_suspected("p3")
+        assert ("p1", "p2") in suspicions
+
+    def test_resume_clears_suspicion(self):
+        env, _fabric, hbs, detectors, _s = build()
+        hbs["p2"].suspend()
+        env.run(until=1500)
+        assert detectors["p1"].is_suspected("p2")
+        hbs["p2"].resume()
+        env.run(until=3000)
+        assert not detectors["p1"].is_suspected("p2")
+
+    def test_suspicion_needs_consecutive_stale_polls(self):
+        env, _fabric, hbs, detectors, _s = build(suspect_after=5)
+        hbs["p2"].suspend()
+        env.run(until=220)  # only 4 polls at 50us: below the threshold
+        assert not detectors["p1"].is_suspected("p2")
+        env.run(until=2000)
+        assert detectors["p1"].is_suspected("p2")
+
+
+class TestCrash:
+    def test_crashed_node_suspected_via_failed_reads(self):
+        env, fabric, _hbs, detectors, _s = build()
+        env.run(until=200)
+        fabric.nodes["p3"].crash()
+        env.run(until=1500)
+        assert detectors["p1"].is_suspected("p3")
+        assert detectors["p2"].is_suspected("p3")
+
+    def test_crashed_node_stops_detecting(self):
+        env, fabric, hbs, detectors, _s = build()
+        fabric.nodes["p1"].crash()
+        hbs["p2"].suspend()
+        env.run(until=2000)
+        # The dead detector never polled, so it suspects no one.
+        assert not detectors["p1"].suspected

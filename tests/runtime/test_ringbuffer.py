@@ -1,0 +1,166 @@
+"""Unit and property tests for single-writer ring buffers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdma import Access, MemoryRegion
+from repro.runtime import RingError, RingReader, RingWriter, ring_region_size
+
+SLOTS, SLOT_SIZE = 8, 32
+
+
+@pytest.fixture
+def ring():
+    region = MemoryRegion(
+        "host", "ring", ring_region_size(SLOTS, SLOT_SIZE), Access.ALL
+    )
+    return (
+        RingWriter(SLOTS, SLOT_SIZE),
+        RingReader(region, SLOTS, SLOT_SIZE),
+        region,
+    )
+
+
+def push(writer, region, payload):
+    offset, slot = writer.render(payload)
+    region.write(offset, slot)
+
+
+class TestBasics:
+    def test_roundtrip(self, ring):
+        writer, reader, region = ring
+        push(writer, region, b"hello")
+        assert reader.try_read() == b"hello"
+
+    def test_empty_ring_reads_none(self, ring):
+        _writer, reader, _region = ring
+        assert reader.try_read() is None
+
+    def test_fifo_order(self, ring):
+        writer, reader, region = ring
+        for i in range(5):
+            push(writer, region, bytes([i]))
+        assert [reader.try_read() for _ in range(5)] == [
+            bytes([i]) for i in range(5)
+        ]
+
+    def test_peek_does_not_consume(self, ring):
+        writer, reader, region = ring
+        push(writer, region, b"x")
+        assert reader.peek() == b"x"
+        assert reader.peek() == b"x"
+        reader.advance()
+        assert reader.peek() is None
+
+    def test_unlanded_record_invisible(self, ring):
+        """A rendered but not-yet-written record must not be readable."""
+        writer, reader, region = ring
+        writer.render(b"in-flight")  # never written to the region
+        assert reader.try_read() is None
+        push(writer, region, b"second")
+        # The reader is stuck at the missing first record: FIFO holds.
+        assert reader.try_read() is None
+
+    def test_empty_payload(self, ring):
+        writer, reader, region = ring
+        push(writer, region, b"")
+        assert reader.try_read() == b""
+
+
+class TestWraparound:
+    def test_ring_reuses_slots(self, ring):
+        writer, reader, region = ring
+        for lap in range(3):
+            for i in range(SLOTS):
+                push(writer, region, bytes([lap, i]))
+                assert reader.try_read() == bytes([lap, i])
+
+    def test_stale_generation_not_readable(self, ring):
+        """After a full lap, old canaries must not satisfy the reader."""
+        writer, reader, region = ring
+        for i in range(SLOTS):
+            push(writer, region, bytes([i]))
+            reader.try_read()
+        # Next lap: slot 0 still holds lap-0 bytes; reader expects lap 1.
+        assert reader.try_read() is None
+
+    def test_reader_lap_detection(self, ring):
+        writer, reader, region = ring
+        for i in range(SLOTS + 1):  # writer laps the unread reader
+            push(writer, region, bytes([i]))
+        with pytest.raises(RingError, match="lapped"):
+            reader.peek()
+
+
+class TestLimits:
+    def test_oversized_payload_rejected(self, ring):
+        writer, _reader, _region = ring
+        with pytest.raises(RingError, match="exceeds"):
+            writer.render(b"x" * SLOT_SIZE)
+
+    def test_max_payload_fits(self, ring):
+        writer, reader, region = ring
+        payload = b"y" * writer.max_payload
+        push(writer, region, payload)
+        assert reader.try_read() == payload
+
+    def test_flow_control_overrun_detected(self):
+        writer = RingWriter(4, 16)
+        writer.reader_acked = 0
+        for _ in range(4):
+            writer.render(b"z")
+        with pytest.raises(RingError, match="overrun"):
+            writer.render(b"z")
+
+    def test_flow_control_ack_releases(self):
+        writer = RingWriter(4, 16)
+        writer.reader_acked = 0
+        for _ in range(4):
+            writer.render(b"z")
+        writer.ack_up_to(2)
+        writer.render(b"z")  # no raise
+
+    def test_tiny_ring_rejected(self):
+        with pytest.raises(RingError):
+            RingWriter(0, 16)
+        with pytest.raises(RingError):
+            RingWriter(4, 5)
+
+    def test_region_too_small_rejected(self):
+        region = MemoryRegion("h", "r", 15, Access.ALL)
+        with pytest.raises(RingError):
+            RingReader(region, 4, 16)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        payloads=st.lists(st.binary(max_size=SLOT_SIZE - 6), max_size=40),
+        read_pattern=st.lists(st.booleans(), max_size=80),
+    )
+    def test_never_loses_or_reorders(self, payloads, read_pattern):
+        """Arbitrary interleaving of writes and reads preserves FIFO."""
+        region = MemoryRegion(
+            "h", "r", ring_region_size(SLOTS, SLOT_SIZE), Access.ALL
+        )
+        writer = RingWriter(SLOTS, SLOT_SIZE)
+        reader = RingReader(region, SLOTS, SLOT_SIZE)
+        to_write = list(payloads)
+        expected = list(payloads)
+        got = []
+        pattern = iter(read_pattern)
+        while to_write or len(got) < len(payloads):
+            do_write = bool(to_write) and (
+                writer.tail - reader.head < SLOTS
+            ) and next(pattern, True)
+            if do_write:
+                push(writer, region, to_write.pop(0))
+            else:
+                payload = reader.try_read()
+                if payload is not None:
+                    got.append(payload)
+                elif not to_write:
+                    break
+        assert got == expected[: len(got)]
+        assert len(got) == len(payloads)

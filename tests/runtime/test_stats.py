@@ -1,0 +1,102 @@
+"""Tests for runtime counters and fabric statistics."""
+
+import pytest
+
+from repro.datatypes import account_spec, counter_spec, gset_spec
+from repro.rdma import Opcode
+from repro.runtime import HambandCluster
+from repro.sim import Environment
+from repro.workload import DriverConfig, run_workload
+
+
+def run(spec, workload, total_ops=200, update_ratio=0.5, n=3):
+    env = Environment()
+    cluster = HambandCluster.build(env, spec, n_nodes=n)
+    result = run_workload(
+        env,
+        cluster,
+        DriverConfig(
+            workload=workload, total_ops=total_ops, update_ratio=update_ratio
+        ),
+    )
+    return env, cluster, result
+
+
+class TestNodeCounters:
+    def test_reducible_workload_counts_reduces(self):
+        _env, cluster, result = run(counter_spec(), "counter")
+        total_reduced = sum(
+            node.counters["reduced"] for node in cluster.nodes.values()
+        )
+        assert total_reduced == result.update_calls
+        assert all(
+            node.counters["freed"] == 0 for node in cluster.nodes.values()
+        )
+        assert all(
+            node.counters["buffer_applied"] == 0
+            for node in cluster.nodes.values()
+        )
+
+    def test_conflict_free_workload_counts_frees_and_applies(self):
+        _env, cluster, result = run(gset_spec(), "gset")
+        total_freed = sum(
+            node.counters["freed"] for node in cluster.nodes.values()
+        )
+        total_applied = sum(
+            node.counters["buffer_applied"]
+            for node in cluster.nodes.values()
+        )
+        assert total_freed == result.update_calls
+        # Every free call is applied at each of the other 2 nodes.
+        assert total_applied == 2 * total_freed
+
+    def test_queries_counted(self):
+        _env, cluster, result = run(counter_spec(), "counter",
+                                    update_ratio=0.2)
+        total_queries = sum(
+            node.counters["queries"] for node in cluster.nodes.values()
+        )
+        assert total_queries == result.total_calls - result.update_calls
+
+    def test_conflicting_decisions_counted_at_leader(self):
+        _env, cluster, result = run(account_spec(), "account")
+        leader = cluster.node("p1").current_leader("withdraw")
+        decided = cluster.node(leader).counters["conf_decided"]
+        assert decided > 0
+        for name, node in cluster.nodes.items():
+            if name != leader:
+                assert node.counters["conf_decided"] == 0
+
+
+class TestFabricStats:
+    def test_healthy_data_path_is_purely_one_sided(self):
+        """The paper's design point: no two-sided verbs off the control
+        plane — and the control plane is silent without failures."""
+        _env, cluster, _result = run(counter_spec(), "counter")
+        stats = cluster.fabric.stats
+        assert stats.one_sided_ops > 0
+        assert stats.two_sided_ops == 0
+
+    def test_reducible_workload_uses_writes_and_fd_reads_only(self):
+        env, cluster, _result = run(counter_spec(), "counter")
+        stats = cluster.fabric.stats
+        assert stats.ops[Opcode.WRITE] > 0
+        assert stats.ops[Opcode.CAS] == 0  # single-writer design
+        # READs come from the failure detector's heartbeat polling,
+        # which runs on a coarser period than a short workload burst.
+        env.run(until=env.now + 500)
+        assert stats.ops[Opcode.READ] > 0
+
+    def test_leader_change_uses_control_sends(self):
+        env = Environment()
+        cluster = HambandCluster.build(env, account_spec(), n_nodes=4)
+        env.run(until=cluster.node("p2").submit("deposit", 50))
+        leader = cluster.node("p1").current_leader("withdraw")
+        cluster.crash(leader)
+        env.run(until=env.now + 3000)
+        assert cluster.fabric.stats.two_sided_ops > 0  # vote messages
+
+    def test_write_bytes_accounted(self):
+        _env, cluster, _result = run(counter_spec(), "counter")
+        stats = cluster.fabric.stats
+        assert stats.bytes[Opcode.WRITE] > 0

@@ -1,0 +1,75 @@
+"""Unit tests for summary slots."""
+
+import pytest
+
+from repro.core import Call
+from repro.rdma import Access, MemoryRegion
+from repro.runtime import SummarySlot, render_summary, slot_size_for
+
+SLOT = slot_size_for(128)
+
+
+@pytest.fixture
+def slot():
+    region = MemoryRegion("host", "summary", SLOT, Access.ALL)
+    return SummarySlot(region, 0, SLOT), region
+
+
+class TestSummarySlot:
+    def test_empty_slot_reads_none(self, slot):
+        reader, _region = slot
+        assert reader.read() is None
+        assert reader.applied_count("add") == 0
+
+    def test_roundtrip(self, slot):
+        reader, region = slot
+        call = Call("add", 17, "p2", 5)
+        region.write(0, render_summary(1, call, {"add": 3}, SLOT))
+        value = reader.read()
+        assert value == (call, {"add": 3})
+        assert reader.applied_count("add") == 3
+        assert reader.applied_count("other") == 0
+
+    def test_overwrite_takes_latest(self, slot):
+        reader, region = slot
+        region.write(
+            0, render_summary(1, Call("add", 1, "p", 1), {"add": 1}, SLOT)
+        )
+        region.write(
+            0, render_summary(2, Call("add", 9, "p", 2), {"add": 2}, SLOT)
+        )
+        assert reader.read()[0].arg == 9
+        assert reader.applied_count("add") == 2
+
+    def test_torn_write_detected(self, slot):
+        """Mismatched seqlock halves mean a write in flight: read None."""
+        reader, region = slot
+        good = render_summary(3, Call("add", 1, "p", 1), {"add": 1}, SLOT)
+        region.write(0, good)
+        # Corrupt the trailing sequence number (last 8 record bytes).
+        region.write(len(good) - 8, b"\x99" + b"\x00" * 7)
+        assert reader.read() is None
+
+    def test_cache_invalidated_by_new_seq(self, slot):
+        reader, region = slot
+        region.write(
+            0, render_summary(1, Call("add", 1, "p", 1), {"add": 1}, SLOT)
+        )
+        assert reader.read()[1] == {"add": 1}
+        region.write(
+            0, render_summary(2, Call("add", 5, "p", 2), {"add": 2}, SLOT)
+        )
+        assert reader.read()[1] == {"add": 2}
+
+    def test_oversized_payload_rejected(self):
+        big = Call("add", "x" * 500, "p", 1)
+        with pytest.raises(ValueError, match="exceeds"):
+            render_summary(1, big, {}, SLOT)
+
+    def test_complex_args_roundtrip(self, slot):
+        reader, region = slot
+        call = Call("addEmployee", frozenset({"e1", "e2"}), "p3", 7)
+        region.write(
+            0, render_summary(4, call, {"addEmployee": 4}, SLOT)
+        )
+        assert reader.read()[0].arg == frozenset({"e1", "e2"})

@@ -1,0 +1,169 @@
+"""Unit and property tests for the wire format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Call
+from repro.runtime import (
+    WireError,
+    decode_call_packet,
+    decode_value,
+    encode_call_packet,
+    encode_value,
+)
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, -1, 42, 10**30, 3.5, -0.25, "", "héllo", b"",
+         b"\x00\xffraw"],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(WireError, match="unsupported"):
+            encode_value(object())
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(WireError, match="trailing"):
+            decode_value(encode_value(1) + b"x")
+
+    def test_truncated_rejected(self):
+        data = encode_value("hello")
+        with pytest.raises(WireError):
+            decode_value(data[:-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(WireError):
+            decode_value(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(WireError, match="unknown tag"):
+            decode_value(b"@")
+
+
+class TestContainers:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            (),
+            (1, "two", None),
+            ((1, 2), (3, (4,))),
+            [],
+            [1, [2, [3]]],
+            frozenset(),
+            frozenset({1, 2, 3}),
+            frozenset({("a", 1), ("b", 2)}),
+            {},
+            {"k": 1, "nested": {"x": (1, 2)}},
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_equal_frozensets_encode_identically(self):
+        a = frozenset(["x", "y", "z"])
+        b = frozenset(["z", "x", "y"])
+        assert encode_value(a) == encode_value(b)
+
+    def test_equal_dicts_encode_identically(self):
+        assert encode_value({"a": 1, "b": 2}) == encode_value({"b": 2, "a": 1})
+
+    def test_tuple_list_distinguished(self):
+        assert decode_value(encode_value((1, 2))) == (1, 2)
+        assert decode_value(encode_value([1, 2])) == [1, 2]
+
+
+# Value shapes actually used by the bundled data types.
+_leaf = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(10**12), 10**12),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+_value = st.recursive(
+    _leaf,
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.lists(children, max_size=4),
+        st.frozensets(
+            st.one_of(
+                st.integers(-100, 100),
+                st.text(max_size=8),
+                st.tuples(st.text(max_size=4), st.integers(0, 100)),
+            ),
+            max_size=5,
+        ),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(value=_value)
+    def test_roundtrip_arbitrary(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        method=st.text(min_size=1, max_size=12),
+        arg=_value,
+        origin=st.sampled_from(["p1", "p2", "p3"]),
+        rid=st.integers(1, 10**6),
+        dep=st.dictionaries(
+            st.tuples(
+                st.sampled_from(["p1", "p2", "p3"]),
+                st.sampled_from(["a", "b"]),
+            ),
+            st.integers(0, 1000),
+            max_size=5,
+        ),
+    )
+    def test_call_packet_roundtrip(self, method, arg, origin, rid, dep):
+        call = Call(method, arg, origin, rid)
+        decoded_call, decoded_dep = decode_call_packet(
+            encode_call_packet(call, dep)
+        )
+        assert decoded_call == call
+        assert decoded_dep == dep
+
+
+class TestFuzzDecoding:
+    @settings(max_examples=300, deadline=None)
+    @given(garbage=st.binary(max_size=64))
+    def test_random_bytes_never_crash(self, garbage):
+        """Arbitrary bytes either decode or raise WireError — nothing
+        else (no IndexError/UnicodeDecodeError leaking out)."""
+        try:
+            decode_value(garbage)
+        except WireError:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(value=_value, flip=st.integers(0, 2**16))
+    def test_bitflipped_encodings_never_crash(self, value, flip):
+        data = bytearray(encode_value(value))
+        if data:
+            data[flip % len(data)] ^= 1 + (flip >> 8) % 255
+        try:
+            decode_value(bytes(data))
+        except WireError:
+            pass
+
+
+class TestCallPacket:
+    def test_malformed_packet_rejected(self):
+        with pytest.raises(WireError, match="malformed"):
+            decode_call_packet(encode_value((1, 2)))
+
+    def test_dependency_arrays_preserved(self):
+        call = Call("worksOn", ("e1", "p1"), "p2", 9)
+        dep = {("p1", "addEmployee"): 3, ("p2", "addProject"): 1}
+        _, decoded = decode_call_packet(encode_call_packet(call, dep))
+        assert decoded == dep

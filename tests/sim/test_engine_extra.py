@@ -1,0 +1,147 @@
+"""Additional engine coverage: call_later, condition failures, peek."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestCallLater:
+    def test_fires_at_the_right_time(self, env):
+        fired = []
+        env.call_later(5.0, lambda: fired.append(env.now))
+        env.run()
+        assert fired == [5.0]
+
+    def test_zero_delay(self, env):
+        fired = []
+        env.call_later(0.0, lambda: fired.append(True))
+        env.run()
+        assert fired == [True]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.call_later(-1.0, lambda: None)
+
+    def test_ordering_among_same_time_callbacks(self, env):
+        order = []
+        env.call_later(1.0, lambda: order.append("a"))
+        env.call_later(1.0, lambda: order.append("b"))
+        env.run()
+        assert order == ["a", "b"]
+
+    def test_callback_may_schedule_more(self, env):
+        hits = []
+
+        def chain():
+            hits.append(env.now)
+            if len(hits) < 3:
+                env.call_later(2.0, chain)
+
+        env.call_later(1.0, chain)
+        env.run()
+        assert hits == [1.0, 3.0, 5.0]
+
+
+class TestPeek:
+    def test_peek_empty_is_infinite(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_time(self, env):
+        env.timeout(7.0)
+        assert env.peek() == 7.0
+
+    def test_step_on_empty_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+
+class TestConditionFailures:
+    def test_all_of_fails_when_child_fails(self, env):
+        bad = env.event()
+        good = env.timeout(5)
+
+        def proc(env):
+            try:
+                yield env.all_of([bad, good])
+            except ValueError:
+                return "caught"
+
+        p = env.process(proc(env))
+        bad.fail(ValueError("child"))
+        env.run()
+        assert p.value == "caught"
+
+    def test_any_of_fails_when_first_event_fails(self, env):
+        bad = env.event()
+
+        def proc(env):
+            try:
+                yield env.any_of([bad, env.timeout(50)])
+            except ValueError:
+                return env.now
+
+        p = env.process(proc(env))
+
+        def failer(env):
+            yield env.timeout(1)
+            bad.fail(ValueError("boom"))
+
+        env.process(failer(env))
+        env.run()
+        assert p.value == 1.0
+
+    def test_cross_environment_condition_rejected(self, env):
+        other = Environment()
+        with pytest.raises(SimulationError):
+            env.all_of([other.timeout(1)])
+
+    def test_cross_environment_yield_fails_process(self, env):
+        other = Environment()
+
+        def proc(env):
+            try:
+                yield other.timeout(1)
+            except SimulationError:
+                return "rejected"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "rejected"
+
+
+class TestNestedProcesses:
+    def test_three_levels_of_waiting(self, env):
+        def leaf(env):
+            yield env.timeout(3)
+            return "leaf"
+
+        def middle(env):
+            value = yield env.process(leaf(env))
+            yield env.timeout(2)
+            return value + "+middle"
+
+        def root(env):
+            value = yield env.process(middle(env))
+            return value + "+root"
+
+        p = env.process(root(env))
+        env.run()
+        assert p.value == "leaf+middle+root"
+        assert env.now == 5.0
+
+    def test_many_concurrent_processes(self, env):
+        done = []
+
+        def worker(env, k):
+            yield env.timeout(k % 7)
+            done.append(k)
+
+        for k in range(200):
+            env.process(worker(env, k))
+        env.run()
+        assert len(done) == 200

@@ -1,0 +1,178 @@
+"""Unit tests for Store and Resource."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.sim.resources import Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+
+        def proc(env):
+            yield store.put("m1")
+            got = yield store.get()
+            return got
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "m1"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def consumer(env):
+            got = yield store.get()
+            return (env.now, got)
+
+        def producer(env):
+            yield env.timeout(7)
+            yield store.put("late")
+
+        c = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert c.value == (7.0, "late")
+
+    def test_fifo_ordering(self, env):
+        store = Store(env)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def consumer(env):
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_multiple_getters_served_in_order(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env, tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        env.process(consumer(env, "first"))
+        env.process(consumer(env, "second"))
+
+        def producer(env):
+            yield env.timeout(1)
+            store.put("a")
+            store.put("b")
+
+        env.process(producer(env))
+        env.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_bounded_capacity_blocks_putter(self, env):
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield store.put("a")
+            times.append(("a", env.now))
+            yield store.put("b")
+            times.append(("b", env.now))
+
+        def consumer(env):
+            yield env.timeout(10)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [("a", 0.0), ("b", 10.0)]
+
+    def test_try_get_nonblocking(self, env):
+        store = Store(env)
+        assert store.try_get() == (False, None)
+        store.put("x")
+        env.run()
+        assert store.try_get() == (True, "x")
+
+    def test_try_put_respects_capacity(self, env):
+        store = Store(env, capacity=2)
+        assert store.try_put(1)
+        assert store.try_put(2)
+        assert not store.try_put(3)
+        assert len(store) == 2
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+
+class TestResource:
+    def test_capacity_one_serializes(self, env):
+        cpu = Resource(env, capacity=1)
+        spans = []
+
+        def job(env, tag):
+            yield cpu.acquire()
+            start = env.now
+            yield env.timeout(4)
+            cpu.release()
+            spans.append((tag, start, env.now))
+
+        for tag in ("a", "b", "c"):
+            env.process(job(env, tag))
+        env.run()
+        assert spans == [("a", 0.0, 4.0), ("b", 4.0, 8.0), ("c", 8.0, 12.0)]
+
+    def test_capacity_two_allows_parallelism(self, env):
+        cpu = Resource(env, capacity=2)
+        ends = []
+
+        def job(env):
+            yield cpu.acquire()
+            yield env.timeout(4)
+            cpu.release()
+            ends.append(env.now)
+
+        for _ in range(4):
+            env.process(job(env))
+        env.run()
+        assert ends == [4.0, 4.0, 8.0, 8.0]
+
+    def test_release_without_acquire_rejected(self, env):
+        cpu = Resource(env)
+        with pytest.raises(SimulationError):
+            cpu.release()
+
+    def test_use_helper_releases_on_completion(self, env):
+        cpu = Resource(env)
+
+        def job(env):
+            yield from cpu.use(3)
+            return env.now
+
+        p = env.process(job(env))
+        env.run()
+        assert p.value == 3.0
+        assert cpu.available == 1
+
+    def test_available_accounting(self, env):
+        cpu = Resource(env, capacity=3)
+
+        def job(env):
+            yield cpu.acquire()
+
+        env.process(job(env))
+        env.process(job(env))
+        env.run()
+        assert cpu.available == 1
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_datatypes_and_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "account" in out
+        assert "courseware" in out
+        assert "workload generators" in out
+
+
+class TestAnalyze:
+    def test_account_figure_1(self, capsys):
+        assert main(["analyze", "account"]) == 0
+        out = capsys.readouterr().out
+        assert "withdraw >< withdraw" in out
+        assert "Dep(withdraw) = {deposit}" in out
+        assert "reducible" in out
+        assert "conflicting" in out
+
+    def test_movie_two_groups(self, capsys):
+        assert main(["analyze", "movie"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("sync:") == 2
+
+    def test_counter_no_conflicts(self, capsys):
+        assert main(["analyze", "counter"]) == 0
+        out = capsys.readouterr().out
+        assert "(none)" in out
+
+    def test_orset_available(self, capsys):
+        assert main(["analyze", "orset"]) == 0
+        out = capsys.readouterr().out
+        assert "irreducible_conflict_free" in out
+
+    def test_unknown_datatype_fails(self, capsys):
+        assert main(["analyze", "nope"]) == 1
+
+
+class TestExplore:
+    def test_small_scope_passes(self, capsys):
+        assert main(
+            ["explore", "account", "--requests", "3", "--procs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no violation" in out
+        assert "states=" in out
+
+    def test_unknown_datatype_fails(self, capsys):
+        assert main(["explore", "nope"]) == 1
+
+    def test_state_budget_flag(self, capsys):
+        assert main(
+            [
+                "explore",
+                "counter",
+                "--requests",
+                "5",
+                "--max-states",
+                "300",
+            ]
+        ) == 0
+
+
+class TestRun:
+    def test_small_hamband_run(self, capsys):
+        assert main(
+            ["run", "counter", "--ops", "120", "--nodes", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tput=" in out
+        assert "hamband" in out
+
+    def test_msg_system(self, capsys):
+        assert main(
+            ["run", "counter", "--system", "msg", "--ops", "120"]
+        ) == 0
+        assert "msg" in capsys.readouterr().out
+
+    def test_per_method_flag(self, capsys):
+        assert main(
+            ["run", "counter", "--ops", "120", "--per-method"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "add" in out
+        assert "p95=" in out
+
+    def test_unknown_workload_fails(self, capsys):
+        assert main(["run", "nope", "--ops", "10"]) == 1

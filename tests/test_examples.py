@@ -1,0 +1,25 @@
+"""Every example script must run clean end to end.
+
+Examples are the public face of the API; this keeps them from rotting.
+Each runs in-process (runpy) against the real library.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_FILES) >= 3
+    assert "quickstart.py" in EXAMPLE_FILES
+
+
+@pytest.mark.parametrize("script", EXAMPLE_FILES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "OK" in out or "x" in out  # every example ends with a verdict

@@ -1,0 +1,195 @@
+"""Integration tests for the workload driver across all three systems."""
+
+import pytest
+
+from repro.datatypes import (
+    account_spec,
+    counter_spec,
+    courseware_spec,
+    gset_spec,
+    orset_spec,
+)
+from repro.msgpass import MsgCrdtCluster
+from repro.runtime import HambandCluster
+from repro.smr import SmrCluster
+from repro.sim import Environment
+from repro.workload import DriverConfig, LatencySeries, run_workload
+
+
+def drive(make_cluster, workload, total_ops=240, **config_kwargs):
+    env = Environment()
+    cluster = make_cluster(env)
+    config = DriverConfig(workload=workload, total_ops=total_ops,
+                          **config_kwargs)
+    result = run_workload(env, cluster, config)
+    return env, cluster, result
+
+
+class TestHambandRuns:
+    def test_counter_run_replicates_and_converges(self):
+        env, cluster, result = drive(
+            lambda env: HambandCluster.build(env, counter_spec(), 3),
+            "counter",
+        )
+        assert cluster.converged()
+        assert result.total_calls == 240
+        assert result.throughput_ops_per_us > 0
+        assert result.update_calls > 0
+
+    def test_orset_run(self):
+        from repro.datatypes import orset_spec
+
+        env, cluster, result = drive(
+            lambda env: HambandCluster.build(env, orset_spec(), 3), "orset"
+        )
+        assert cluster.converged()
+        assert cluster.integrity_holds()
+
+    def test_account_run_with_conflicts(self):
+        env, cluster, result = drive(
+            lambda env: HambandCluster.build(env, account_spec(), 3),
+            "account",
+            update_ratio=0.5,
+        )
+        assert cluster.converged()
+        assert cluster.integrity_holds()
+        # The run refines the abstract semantics end to end.
+        abstract = cluster.check_refinement()
+        assert abstract.integrity_holds()
+
+    def test_courseware_run_with_prologue(self):
+        env, cluster, result = drive(
+            lambda env: HambandCluster.build(env, courseware_spec(), 3),
+            "courseware",
+            update_ratio=0.4,
+        )
+        assert cluster.converged()
+        assert cluster.integrity_holds()
+
+    def test_per_method_latency_collected(self):
+        env, cluster, result = drive(
+            lambda env: HambandCluster.build(env, counter_spec(), 3),
+            "counter",
+            update_ratio=1.0,
+        )
+        assert "add" in result.per_method
+        assert result.per_method["add"].count == result.total_calls
+
+    def test_seeded_runs_are_reproducible(self):
+        def one():
+            env, _cluster, result = drive(
+                lambda env: HambandCluster.build(env, counter_spec(), 3),
+                "counter",
+                seed=9,
+            )
+            return (result.replicated_us, result.latency.mean)
+
+        assert one() == one()
+
+
+class TestBaselineRuns:
+    def test_smr_run(self):
+        env, cluster, result = drive(
+            lambda env: SmrCluster.build_smr(env, counter_spec(), 3),
+            "counter",
+        )
+        assert cluster.converged()
+
+    def test_msg_run(self):
+        env, cluster, result = drive(
+            lambda env: MsgCrdtCluster(env, counter_spec(), 3), "counter"
+        )
+        assert cluster.converged()
+
+    def test_relative_ordering_of_systems(self):
+        """The paper's headline shape on a small run: Hamband beats Mu
+        beats MSG on throughput; MSG response time is far higher."""
+        results = {}
+        for label, make in [
+            ("hamband", lambda env: HambandCluster.build(env, counter_spec(), 3)),
+            ("mu", lambda env: SmrCluster.build_smr(env, counter_spec(), 3)),
+            ("msg", lambda env: MsgCrdtCluster(env, counter_spec(), 3)),
+        ]:
+            _env, _cluster, result = drive(
+                make, "counter", total_ops=300, update_ratio=0.5,
+                system_label=label,
+            )
+            results[label] = result
+        assert (
+            results["hamband"].throughput_ops_per_us
+            > results["mu"].throughput_ops_per_us
+            > results["msg"].throughput_ops_per_us
+        )
+        assert (
+            results["msg"].mean_response_us
+            > 5 * results["hamband"].mean_response_us
+        )
+
+
+class TestMultipleClients:
+    def test_concurrency_raises_throughput(self):
+        def tput(clients):
+            _env, cluster, result = drive(
+                lambda env: HambandCluster.build(env, counter_spec(), 3),
+                "counter",
+                total_ops=600,
+                update_ratio=0.25,
+                clients_per_node=clients,
+            )
+            assert cluster.converged()
+            return result.throughput_ops_per_us
+
+        assert tput(4) > 1.5 * tput(1)
+
+    def test_orset_tags_stay_unique_across_clients(self):
+        _env, cluster, _result = drive(
+            lambda env: HambandCluster.build(env, orset_spec(), 3),
+            "orset",
+            total_ops=300,
+            update_ratio=1.0,
+            clients_per_node=3,
+        )
+        assert cluster.converged()
+        assert cluster.integrity_holds()
+
+    def test_op_count_split_across_clients(self):
+        _env, _cluster, result = drive(
+            lambda env: HambandCluster.build(env, counter_spec(), 3),
+            "counter",
+            total_ops=300,
+            clients_per_node=2,
+        )
+        # 3 nodes x 2 clients x 50 ops each.
+        assert result.total_calls == 300
+
+
+class TestFailureInjection:
+    def test_failed_node_requests_redirected(self):
+        env, cluster, result = drive(
+            lambda env: HambandCluster.build(env, counter_spec(), 4),
+            "counter",
+            total_ops=400,
+            update_ratio=0.5,
+            fail_node="p3",
+            fail_at_fraction=0.3,
+        )
+        # All ops completed despite the failure.
+        assert result.total_calls == 400
+        survivors = [n for n in cluster.node_names() if n != "p3"]
+        states = {n: cluster.node(n).effective_state() for n in survivors}
+        assert len(set(states.values())) == 1
+
+
+class TestLatencySeries:
+    def test_percentiles(self):
+        series = LatencySeries()
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0]:
+            series.add(v)
+        assert series.mean == 22.0
+        assert series.p50 == 3.0
+        assert series.p95 == 100.0
+
+    def test_empty_series_safe(self):
+        series = LatencySeries()
+        assert series.mean == 0.0
+        assert series.p50 == 0.0

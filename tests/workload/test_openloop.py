@@ -1,0 +1,61 @@
+"""Tests for the open-loop (Poisson) driver."""
+
+import pytest
+
+from repro.datatypes import counter_spec, courseware_spec
+from repro.runtime import HambandCluster
+from repro.sim import Environment
+from repro.workload import OpenLoopConfig, run_open_loop
+
+
+def drive(load, duration=800.0, workload="counter", spec=None, n=3,
+          **kwargs):
+    env = Environment()
+    cluster = HambandCluster.build(env, spec or counter_spec(), n_nodes=n)
+    config = OpenLoopConfig(
+        workload=workload,
+        offered_load_ops_per_us=load,
+        duration_us=duration,
+        **kwargs,
+    )
+    return env, cluster, run_open_loop(env, cluster, config)
+
+
+class TestOpenLoop:
+    def test_achieved_tracks_offered_below_saturation(self):
+        _env, _cluster, result = drive(load=2.0)
+        assert result.throughput_ops_per_us == pytest.approx(2.0, rel=0.25)
+
+    def test_cluster_converges_after_run(self):
+        _env, cluster, _result = drive(load=3.0)
+        assert cluster.converged()
+
+    def test_latency_flat_at_light_load(self):
+        _env, _cluster, light = drive(load=0.5)
+        _env, _cluster, moderate = drive(load=4.0)
+        assert moderate.mean_response_us < 3 * light.mean_response_us
+
+    def test_reproducible_under_seed(self):
+        def one():
+            _env, _cluster, result = drive(load=2.0, seed=5)
+            return (result.total_calls, result.latency.mean)
+
+        assert one() == one()
+
+    def test_prologue_workloads_supported(self):
+        _env, cluster, result = drive(
+            load=1.0,
+            workload="courseware",
+            spec=courseware_spec(),
+            update_ratio=0.4,
+        )
+        assert cluster.integrity_holds()
+        assert cluster.converged()
+
+    def test_outstanding_cap_drops_arrivals(self):
+        _env, _cluster, result = drive(
+            load=50.0,
+            duration=300.0,
+            max_outstanding_per_node=1,
+        )
+        assert result.rejected_calls > 0

@@ -1,0 +1,92 @@
+"""Tests for the visibility (replication-lag) analysis."""
+
+import pytest
+
+from repro.core import Call, ConcreteEvent
+from repro.datatypes import courseware_spec, gset_spec
+from repro.runtime import HambandCluster
+from repro.sim import Environment
+from repro.workload import (
+    DriverConfig,
+    run_workload,
+    visibility_report,
+)
+
+
+class TestVisibilityReport:
+    def test_hand_built_log(self):
+        call = Call("add", "x", "p1", 1)
+        events = [
+            ConcreteEvent("FREE", "p1", call, at=10.0),
+            ConcreteEvent("FREE_APP", "p2", call, at=12.0),
+            ConcreteEvent("FREE_APP", "p3", call, at=15.0),
+        ]
+        report = visibility_report(events, n_processes=3)
+        assert report.issued == 1
+        assert report.applied == 2
+        assert report.incomplete == 0
+        assert report.per_apply.samples == [2.0, 5.0]
+        assert report.full_replication.samples == [5.0]
+
+    def test_incomplete_call_counted(self):
+        call = Call("add", "x", "p1", 1)
+        events = [
+            ConcreteEvent("FREE", "p1", call, at=10.0),
+            ConcreteEvent("FREE_APP", "p2", call, at=12.0),
+        ]
+        report = visibility_report(events, n_processes=3)
+        assert report.incomplete == 1
+        assert report.full_replication.count == 0
+
+    def test_reduce_events_excluded(self):
+        call = Call("add", 1, "p1", 1)
+        events = [ConcreteEvent("REDUCE", "p1", call, at=10.0)]
+        report = visibility_report(events, n_processes=3)
+        assert report.issued == 0
+
+    def test_by_rule_split(self):
+        free = Call("registerStudent", "s", "p1", 1)
+        conf = Call("addCourse", "c", "p1", 2)
+        events = [
+            ConcreteEvent("FREE", "p1", free, at=0.0),
+            ConcreteEvent("FREE_APP", "p2", free, at=1.0),
+            ConcreteEvent("CONF", "p1", conf, at=0.0),
+            ConcreteEvent("CONF_APP", "p2", conf, at=4.0),
+        ]
+        report = visibility_report(events, n_processes=2)
+        assert report.by_rule["FREE"].samples == [1.0]
+        assert report.by_rule["CONF"].samples == [4.0]
+
+
+class TestVisibilityEndToEnd:
+    def test_gset_replication_lag_is_microseconds(self):
+        env = Environment()
+        cluster = HambandCluster.build(env, gset_spec(), n_nodes=4)
+        run_workload(
+            env, cluster,
+            DriverConfig(workload="gset", total_ops=300, update_ratio=0.5),
+        )
+        report = visibility_report(cluster.events, 4)
+        assert report.incomplete == 0
+        assert 0 < report.per_apply.mean < 20.0
+        assert report.full_replication.count == report.issued
+
+    def test_dependent_calls_lag_more(self):
+        """courseware: enroll (dependency-laden CONF) waits on more than
+        the conflict-free registerStudent."""
+        env = Environment()
+        cluster = HambandCluster.build(env, courseware_spec(), n_nodes=4)
+        run_workload(
+            env, cluster,
+            DriverConfig(
+                workload="courseware", total_ops=500, update_ratio=0.5
+            ),
+        )
+        report = visibility_report(cluster.events, 4)
+        assert report.by_rule["CONF"].count > 0
+        assert report.by_rule["FREE"].count > 0
+        # Conflicting calls are ordered first at the leader, so their
+        # remote visibility includes the consensus step.
+        assert (
+            report.by_rule["CONF"].mean > 0.5 * report.by_rule["FREE"].mean
+        )
