@@ -26,12 +26,13 @@ def series_table(title: str, rows: list[tuple[str, RunResult]],
     lines = [f"\n-- {title} --"]
     lines.append(
         f"{'config':34s} {'tput (ops/us)':>14s} {'mean rt (us)':>13s} "
-        f"{'p95 rt (us)':>12s}"
+        f"{'p95 rt (us)':>12s} {'p99 rt (us)':>12s}"
     )
     for label, result in rows:
         lines.append(
             f"{label:34s} {result.throughput_ops_per_us:14.3f} "
-            f"{result.mean_response_us:13.3f} {result.latency.p95:12.3f}"
+            f"{result.mean_response_us:13.3f} {result.latency.p95:12.3f} "
+            f"{result.latency.p99:12.3f}"
         )
     return "\n".join(lines)
 

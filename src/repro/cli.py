@@ -189,7 +189,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             series = result.per_method[method]
             print(
                 f"  {method:20s} mean={series.mean:8.3f}us "
-                f"p95={series.p95:8.3f}us n={series.count}"
+                f"p95={series.p95:8.3f}us p99={series.p99:8.3f}us "
+                f"n={series.count}"
             )
     return 0
 

@@ -1,7 +1,18 @@
-"""The Hamband runtime (paper §4) over the simulated RDMA fabric."""
+"""The Hamband runtime (paper §4) over the simulated RDMA fabric.
 
+The runtime is a layered composition (see docs/runtime_architecture.md):
+:class:`RingTransport` (one-sided ring data plane), :class:`ApplyEngine`
+(σ/A/summaries + traversal), :class:`ConflictCoordinator` (Mu-backed
+leader path), and :class:`ControlPlane` (rare-path two-sided messaging),
+instrumented through the :class:`RuntimeProbe` seam and fronted by the
+:class:`HambandNode` façade.
+"""
+
+from .applier import ApplyEngine
 from .broadcast import ReliableBroadcast
 from .cluster import HambandCluster
+from .conflict import ConflictCoordinator
+from .control import ControlPlane
 from .heartbeat import FailureDetector, Heartbeat
 from .node import (
     HambandNode,
@@ -10,7 +21,9 @@ from .node import (
     RuntimeConfig,
     SubmitError,
 )
+from .probe import CountingProbe, RuntimeProbe
 from .ringbuffer import RingError, RingReader, RingWriter, ring_region_size
+from .transport import RingTransport
 from .summary import SummarySlot, render_summary, slot_size_for
 from .wire import (
     WireError,
@@ -21,10 +34,16 @@ from .wire import (
 )
 
 __all__ = [
+    "ApplyEngine",
+    "ConflictCoordinator",
+    "ControlPlane",
+    "CountingProbe",
     "FailureDetector",
     "HambandCluster",
     "HambandNode",
     "Heartbeat",
+    "RingTransport",
+    "RuntimeProbe",
     "ImpermissibleError",
     "NotLeaderError",
     "ReliableBroadcast",

@@ -1,0 +1,330 @@
+"""Layer 2 — buffered-call application (paper §4, Fig. 7 transitions).
+
+:class:`ApplyEngine` owns the replicated-object *state* of one node and
+every rule that mutates it:
+
+- the stored state ``σ`` and the applied-calls map ``A``,
+- the dedup set of applied call keys,
+- the summary mirror and summary-slot readers (``S``),
+- dependency projection (``A | Dep(u)``) and dependency checks,
+- permissibility (the invariant folded over the summaries),
+- the REDUCE / FREE / QUERY request paths,
+- the buffer-traversal loop that drives the transport's F drains, the
+  conflict coordinator's L drains, and the recovered-call queue.
+
+It deliberately knows nothing about ring layouts (transport), leaders
+(conflict), or control messages (control): those layers are handed in
+through :meth:`bind` by the façade, and every state transition funnels
+through :meth:`log_event`, where the instrumentation probe counts
+per-rule applies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from ..core import Call, Category, ConcreteEvent, Coordination
+from ..core.rdma_semantics import DependencyMap
+from ..rdma import RdmaNode
+from .config import RuntimeConfig, s_region
+from .errors import ImpermissibleError
+from .probe import RuntimeProbe
+from .summary import (
+    SummarySlot,
+    current_record_bytes,
+    render_summary,
+    slot_size_for,
+)
+from .wire import encode_call_packet, encode_value
+
+__all__ = ["ApplyEngine"]
+
+
+class ApplyEngine:
+    """σ, A, S and the machinery that advances them at one node."""
+
+    def __init__(self, rnode: RdmaNode, coordination: Coordination,
+                 config: RuntimeConfig, event_log: list,
+                 probe: Optional[RuntimeProbe] = None,
+                 counters: Optional[dict[str, int]] = None):
+        self.rnode = rnode
+        self.env = rnode.env
+        self.name = rnode.name
+        self.coordination = coordination
+        self.spec = coordination.spec
+        self.processes: list[str] = []  # filled by the summary init
+        self.config = config
+        self.event_log = event_log
+        self.probe = probe or RuntimeProbe()
+        self.counters = counters if counters is not None else {}
+
+        self.sigma = self.spec.initial_state()
+        #: A — applied counts for buffered (F/L) calls, incl. our own.
+        self.applied: dict[tuple[str, str], int] = {}
+        #: Call keys applied via buffers or recovery, for dedup.
+        self.seen: set[tuple[str, int]] = set()
+        self._rid = itertools.count(1)
+        #: Recovered-from-backup calls awaiting their dependencies.
+        self.pending_recovered: list[tuple[Call, DependencyMap]] = []
+        # Collaborators, wired by the façade via bind().
+        self.transport = None
+        self.conflict = None
+        self.broadcast = None
+        self.is_suspected: Callable[[str], bool] = lambda peer: False
+
+    def init_summaries(self, processes: list[str]) -> None:
+        """Build summary-slot readers over the registered S regions.
+
+        Requires the transport (or a test harness) to have registered
+        the ``s_region`` memory regions first.
+        """
+        self.processes = sorted(processes)
+        summary_size = slot_size_for(self.config.summary_payload)
+        self.summary_readers: dict[tuple[str, str], SummarySlot] = {}
+        #: Our in-memory mirror: group -> (seq, summary call, counts).
+        self.summary_mirror: dict[str, tuple[int, Call, dict[str, int]]] = {}
+        for summarizer in self.spec.summarizers:
+            for owner in self.processes:
+                region = self.rnode.regions[s_region(summarizer.group, owner)]
+                self.summary_readers[(summarizer.group, owner)] = SummarySlot(
+                    region, 0, summary_size
+                )
+            self.summary_mirror[summarizer.group] = (
+                0,
+                summarizer.identity(self.name),
+                {},
+            )
+
+    def bind(self, transport, conflict, broadcast,
+             is_suspected: Callable[[str], bool]) -> None:
+        """Wire the sibling layers (composition root: the façade)."""
+        self.transport = transport
+        self.conflict = conflict
+        self.broadcast = broadcast
+        self.is_suspected = is_suspected
+
+    # -- call/event bookkeeping ------------------------------------------
+
+    def next_rid(self) -> int:
+        return next(self._rid)
+
+    def make_call(self, method: str, arg: Any) -> Call:
+        return Call(method, arg, self.name, self.next_rid())
+
+    def log_event(self, rule: str, call: Call) -> ConcreteEvent:
+        event = ConcreteEvent(rule, self.name, call, at=self.env.now)
+        self.event_log.append(event)
+        self.probe.apply(rule)
+        return event
+
+    def category(self, method: str) -> Category:
+        category = self.coordination.category(method)
+        if self.config.force_buffered and category is Category.REDUCIBLE:
+            return Category.IRREDUCIBLE_CONFLICT_FREE
+        return category
+
+    # -- state views -----------------------------------------------------
+
+    def effective_state(self) -> Any:
+        """``Apply(S)(σ)``: summaries folded over the stored state."""
+        sigma = self.sigma
+        for (_group, _owner), slot in self.summary_readers.items():
+            value = slot.read()
+            if value is not None:
+                sigma = self.spec.apply_call(value[0], sigma)
+        return sigma
+
+    def applied_count(self, process: str, method: str) -> int:
+        """A(p, u), consulting summary slots for reducible methods."""
+        if self.category(method) is Category.REDUCIBLE:
+            summarizer = self.spec.summarizer_of(method)
+            slot = self.summary_readers[(summarizer.group, process)]
+            return slot.applied_count(method)
+        return self.applied.get((process, method), 0)
+
+    def applied_total(self) -> int:
+        """Total update calls reflected at this node (A summed)."""
+        total = sum(self.applied.values())
+        for slot in self.summary_readers.values():
+            value = slot.read()
+            if value is not None:
+                total += sum(value[1].values())
+        return total
+
+    def invariant_with_summaries(self, sigma: Any) -> bool:
+        state = sigma
+        for slot in self.summary_readers.values():
+            value = slot.read()
+            if value is not None:
+                state = self.spec.apply_call(value[0], state)
+        return bool(self.spec.invariant(state))
+
+    # -- dependency arrays -----------------------------------------------
+
+    def dep_projection(self, method: str,
+                       overlay: Optional[dict] = None) -> DependencyMap:
+        """``A | Dep(u)``, plus the batch's speculative counts."""
+        if self.config.full_dep_barrier:
+            dep_methods = list(self.spec.updates)
+        else:
+            dep_methods = self.coordination.dep(method)
+        dep: DependencyMap = {}
+        for dep_method in dep_methods:
+            for process in self.processes:
+                count = self.applied_count(process, dep_method)
+                if overlay:
+                    count += overlay.get((process, dep_method), 0)
+                if count:
+                    dep[(process, dep_method)] = count
+        return dep
+
+    def dep_ok(self, dep: DependencyMap) -> bool:
+        return all(
+            self.applied_count(process, method) >= need
+            for (process, method), need in dep.items()
+        )
+
+    def bump_applied(self, process: str, method: str) -> None:
+        key = (process, method)
+        self.applied[key] = self.applied.get(key, 0) + 1
+
+    def has_seen(self, key: tuple[str, int]) -> bool:
+        return key in self.seen
+
+    # -- applying buffered calls -----------------------------------------
+
+    def apply(self, call: Call, rule: str):
+        """Generator: pay the apply CPU cost, then commit the call."""
+        yield from self.rnode.cpu.use(self.config.apply_cpu_us)
+        self.apply_buffered(call, rule)
+
+    def apply_buffered(self, call: Call, rule: str) -> None:
+        self.counters["buffer_applied"] = (
+            self.counters.get("buffer_applied", 0) + 1
+        )
+        self.sigma = self.spec.apply_call(call, self.sigma)
+        self.bump_applied(call.origin, call.method)
+        self.seen.add(call.key())
+        self.log_event(rule, call)
+
+    def add_recovered(self, call: Call, dep: DependencyMap) -> None:
+        self.pending_recovered.append((call, dep))
+
+    def drain_recovered(self):
+        progressed = False
+        remaining = []
+        for call, dep in self.pending_recovered:
+            if call.key() in self.seen:
+                continue
+            if self.dep_ok(dep):
+                yield from self.apply(call, "FREE_APP")
+                self.counters["recovered_applied"] = (
+                    self.counters.get("recovered_applied", 0) + 1
+                )
+                self.probe.recovered()
+                progressed = True
+            else:
+                remaining.append((call, dep))
+        self.pending_recovered = remaining
+        return progressed
+
+    # -- request paths (cases 1-3) ---------------------------------------
+
+    def do_query(self, method: str, arg: Any):
+        yield from self.rnode.cpu.use(self.config.query_cpu_us)
+        self.counters["queries"] = self.counters.get("queries", 0) + 1
+        self.probe.apply("QUERY")
+        return self.spec.run_query(method, arg, self.effective_state())
+
+    # Case 2: reducible — summarize locally, one remote write per peer.
+    def do_reduce(self, method: str, arg: Any):
+        yield from self.rnode.cpu.use(self.config.local_cpu_us)
+        call = self.make_call(method, arg)
+        state = self.effective_state()
+        if not self.spec.invariant(self.spec.apply_call(call, state)):
+            self.probe.rejected("impermissible")
+            raise ImpermissibleError(f"{call} violates the invariant")
+        summarizer = self.spec.summarizer_of(method)
+        seq, current, counts = self.summary_mirror[summarizer.group]
+        combined = summarizer.combine(current, call)
+        counts = dict(counts)
+        counts[method] = counts.get(method, 0) + 1
+        seq += 1
+        self.summary_mirror[summarizer.group] = (seq, combined, counts)
+        slot_bytes = render_summary(
+            seq, combined, counts, slot_size_for(self.config.summary_payload)
+        )
+        region_name = s_region(summarizer.group, self.name)
+        # Local install first (the REDUCE transition's own-process part).
+        self.rnode.regions[region_name].write(0, slot_bytes)
+        self.log_event("REDUCE", call)
+        self.counters["reduced"] = self.counters.get("reduced", 0) + 1
+        own_region = self.rnode.regions[region_name]
+        # A retried summary write re-renders the region's CURRENT bytes
+        # (used prefix only), so it never replaces a newer summary with
+        # a stale one and never ships the whole reserved region.
+        writes = [
+            (
+                self.rnode.qp_to(peer),
+                self.rnode.region_of(peer, region_name),
+                0,
+                lambda region=own_region: current_record_bytes(region),
+            )
+            for peer in self.transport.peers
+        ]
+        message = encode_value(("S", summarizer.group, slot_bytes))
+        yield from self.broadcast.broadcast(
+            message, writes, is_suspected=self.is_suspected
+        )
+        return call
+
+    # Case 3: irreducible conflict-free — local apply + F-ring fan-out.
+    def do_free(self, method: str, arg: Any):
+        yield from self.rnode.cpu.use(self.config.local_cpu_us)
+        call = self.make_call(method, arg)
+        post_sigma = self.spec.apply_call(call, self.sigma)
+        if not self.invariant_with_summaries(post_sigma):
+            self.probe.rejected("impermissible")
+            raise ImpermissibleError(f"{call} violates the invariant")
+        dep = self.dep_projection(method)
+        self.sigma = post_sigma
+        self.bump_applied(self.name, method)
+        self.seen.add(call.key())
+        self.log_event("FREE", call)
+        self.counters["freed"] = self.counters.get("freed", 0) + 1
+        packet = encode_call_packet(call, dep)
+        writes = yield from self.transport.prepare_f_writes(
+            packet, self.is_suspected
+        )
+        message = encode_value(("F", packet))
+        yield from self.broadcast.broadcast(
+            message, writes, is_suspected=self.is_suspected
+        )
+        return call
+
+    # -- buffer traversal ------------------------------------------------
+
+    def poll_loop(self):
+        cfg = self.config
+        while True:
+            progressed = False
+            if self.rnode.alive:
+                progressed = yield from self.traverse_once()
+            yield self.env.timeout(
+                cfg.poll_hot_us if progressed else cfg.poll_interval_us
+            )
+
+    def traverse_once(self):
+        progressed = False
+        for origin, reader in self.transport.f_readers.items():
+            progressed |= yield from self.transport.drain(
+                reader, "FREE_APP", self, label=f"F<-{origin}"
+            )
+        for gid in self.transport.l_readers:
+            progressed |= yield from self.conflict.drain_l(gid)
+        if self.pending_recovered:
+            progressed |= yield from self.drain_recovered()
+        if self.config.ack_every:
+            yield from self.transport.flush_acks(self.conflict.leader_of)
+        return progressed

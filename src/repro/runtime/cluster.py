@@ -16,7 +16,7 @@ Call(...)
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+from typing import Any, Callable, Optional, Union
 
 from ..consensus.mu import mu_channel
 from ..core import (
@@ -38,7 +38,8 @@ class HambandCluster:
 
     def __init__(self, env: Environment, coordination: Coordination,
                  fabric: Fabric, config: Optional[RuntimeConfig] = None,
-                 leaders: Optional[dict[str, str]] = None):
+                 leaders: Optional[dict[str, str]] = None,
+                 probe_factory: Optional[Callable[[str], Any]] = None):
         self.env = env
         self.coordination = coordination
         self.fabric = fabric
@@ -60,6 +61,7 @@ class HambandCluster:
                 self.leaders,
                 self.config,
                 self.events,
+                probe=probe_factory(name) if probe_factory else None,
             )
             for name in names
         }
@@ -81,8 +83,16 @@ class HambandCluster:
               n_nodes: int, config: Optional[RuntimeConfig] = None,
               rdma_config: Optional[RdmaConfig] = None,
               cpu_cores: int = 2,
-              leaders: Optional[dict[str, str]] = None) -> "HambandCluster":
-        """Construct a fully wired n-node cluster (nodes p1..pn)."""
+              leaders: Optional[dict[str, str]] = None,
+              probe_factory: Optional[Callable[[str], Any]] = None,
+              ) -> "HambandCluster":
+        """Construct a fully wired n-node cluster (nodes p1..pn).
+
+        ``probe_factory(name)`` may supply a custom
+        :class:`~repro.runtime.probe.RuntimeProbe` per node (e.g. the
+        no-op base class to run uninstrumented); by default every node
+        installs its own :class:`~repro.runtime.probe.CountingProbe`.
+        """
         if isinstance(spec_or_coordination, Coordination):
             coordination = spec_or_coordination
         else:
@@ -90,7 +100,8 @@ class HambandCluster:
         fabric = Fabric.build(
             env, n_nodes, config=rdma_config, cpu_cores=cpu_cores
         )
-        return cls(env, coordination, fabric, config=config, leaders=leaders)
+        return cls(env, coordination, fabric, config=config, leaders=leaders,
+                   probe_factory=probe_factory)
 
     # -- convenience -----------------------------------------------------------
 
@@ -102,6 +113,10 @@ class HambandCluster:
 
     def applied_totals(self) -> dict[str, int]:
         return {name: node.applied_total() for name, node in self.nodes.items()}
+
+    def stats(self) -> dict[str, dict]:
+        """Per-node runtime statistics (see ``HambandNode.stats``)."""
+        return {name: node.stats() for name, node in self.nodes.items()}
 
     def quiesce(self, total_updates: int, check_every_us: float = 5.0,
                 timeout_us: float = 1_000_000.0):

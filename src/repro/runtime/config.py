@@ -1,0 +1,85 @@
+"""Runtime tunables, shared by all four runtime layers.
+
+Kept in a leaf module (like :mod:`.errors`) so layers can type against
+:class:`RuntimeConfig` without importing the node façade.  Region name
+helpers for the F/L/S rings and their flow-control ack slots also live
+here: every layer and the Mu wiring agree on the naming scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "RuntimeConfig",
+    "f_ack_region",
+    "f_region",
+    "l_ack_region",
+    "l_region",
+    "s_region",
+]
+
+
+@dataclass
+class RuntimeConfig:
+    """Tunables of the Hamband runtime (times in microseconds)."""
+
+    ring_slots: int = 8192
+    slot_size: int = 512
+    summary_payload: int = 4096
+    backup_size: int = 4608
+    #: Buffer-traversal cadence when the last sweep found nothing.
+    poll_interval_us: float = 1.0
+    #: Cadence right after progress (records often arrive in trains).
+    poll_hot_us: float = 0.2
+    apply_cpu_us: float = 0.15
+    local_cpu_us: float = 0.08
+    query_cpu_us: float = 0.20
+    hb_interval_us: float = 20.0
+    fd_poll_us: float = 60.0
+    suspect_after: int = 3
+    #: Conflicting calls waiting for permissibility retry at this pace.
+    conf_retry_us: float = 2.0
+    conf_retry_limit: int = 800
+    #: Leader-side decision batching: up to this many queued conflicting
+    #: calls are ordered, applied, and replicated in ONE remote write
+    #: per follower.  1 disables batching (the paper's configuration).
+    conf_batch: int = 1
+    vote_timeout_us: float = 800.0
+    #: Treat reducible methods as irreducible conflict-free (the paper's
+    #: Figure 9 GSet-with-buffers configuration).
+    force_buffered: bool = False
+    #: Flow control: readers acknowledge ring progress every this many
+    #: applied records (one tiny one-sided write back to the writer);
+    #: writers block (backpressure) instead of lapping a slow reader.
+    #: 0 disables acks — then writers rely on ring sizing alone.
+    ack_every: int = 64
+    backpressure_wait_us: float = 1.0
+    backpressure_limit: int = 20000
+    #: Ablation: ship the issuer's *entire* applied map as the
+    #: dependency record instead of the projection over Dep(u) —
+    #: receivers then wait for everything the issuer had seen (a causal
+    #: barrier), not just the calls the invariant actually needs.
+    full_dep_barrier: bool = False
+
+
+def f_region(writer: str) -> str:
+    return f"hamband:F:{writer}"
+
+
+def l_region(gid: str) -> str:
+    return f"hamband:L:{gid}"
+
+
+def s_region(group: str, owner: str) -> str:
+    return f"hamband:S:{group}:{owner}"
+
+
+def f_ack_region(reader: str) -> str:
+    """At a writer: the reader's progress ack for the writer's F records."""
+    return f"hamband:ack:F:{reader}"
+
+
+def l_ack_region(gid: str, reader: str) -> str:
+    """At a (potential) leader: the reader's progress ack for L:{gid}."""
+    return f"hamband:ack:L:{gid}:{reader}"

@@ -1,0 +1,414 @@
+"""Layer 3 — leader-ordered conflicting calls (paper §4 + Mu).
+
+:class:`ConflictCoordinator` owns everything leader-shaped at one node:
+
+- the Mu consensus endpoint per synchronization group,
+- the per-group serialization queue and its worker (speculative accept,
+  decision batching, apply-on-commit),
+- the L-ring drain, including partially applied leader batches,
+- hole detection on the L log and the self-repair it triggers,
+- demotion handling (head fast-forward + rejoin repair), campaigns on
+  leader suspicion, and leader discovery for deposed nodes.
+
+State (σ, A, permissibility, dependency projection) is read and
+mutated exclusively through the :class:`~repro.runtime.applier.ApplyEngine`;
+ring mechanics come from :class:`~repro.runtime.transport.RingTransport`;
+control messages go through a ``control_send`` callable so the layer
+never imports the control plane.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from ..consensus.mu import MuConfig, MuGroup
+from ..core import Coordination
+from ..rdma import RdmaNode
+from ..sim import Store
+from .config import RuntimeConfig, l_ack_region, l_region
+from .errors import ImpermissibleError, NotLeaderError, SubmitError
+from .probe import RuntimeProbe
+from .ringbuffer import parse_record
+from .wire import decode_call_batch, encode_call_batch
+
+__all__ = ["ConflictCoordinator"]
+
+
+class ConflictCoordinator:
+    """The Mu-backed ordering path of one node."""
+
+    def __init__(self, rnode: RdmaNode, coordination: Coordination,
+                 processes: list[str], initial_leaders: dict[str, str],
+                 config: RuntimeConfig, applier, transport,
+                 control_send: Callable, spawn: Callable,
+                 is_failed: Callable[[], bool],
+                 is_suspected: Callable[[str], bool],
+                 suspected: Callable[[], set],
+                 probe: Optional[RuntimeProbe] = None,
+                 counters: Optional[dict[str, int]] = None):
+        self.rnode = rnode
+        self.env = rnode.env
+        self.name = rnode.name
+        self.coordination = coordination
+        self.spec = coordination.spec
+        self.processes = sorted(processes)
+        self.config = config
+        self.applier = applier
+        self.transport = transport
+        self.control_send = control_send
+        self.spawn = spawn
+        self.is_failed = is_failed
+        self.is_suspected = is_suspected
+        self.suspected = suspected
+        self.probe = probe or RuntimeProbe()
+        self.counters = counters if counters is not None else {}
+        # Partially applied leader batches, per group (see drain_l).
+        self._l_partial: dict[str, deque] = {
+            group.gid: deque() for group in coordination.sync_groups()
+        }
+        #: Empty-head streak counters for hole detection.
+        self._l_hole_misses: dict[str, int] = {}
+        self._init_consensus(initial_leaders)
+
+    def _init_consensus(self, initial_leaders: dict[str, str]) -> None:
+        mu_config = MuConfig(
+            ring_slots=self.config.ring_slots,
+            slot_size=self.config.slot_size,
+            vote_timeout_us=self.config.vote_timeout_us,
+        )
+        self.mu_groups: dict[str, MuGroup] = {}
+        self.conf_queues: dict[str, Store] = {}
+        for group in self.coordination.sync_groups():
+            gid = group.gid
+            self.mu_groups[gid] = MuGroup(
+                self.rnode,
+                gid,
+                self.processes,
+                initial_leaders[gid],
+                l_region(gid),
+                mu_config,
+                control_send=self.control_send,
+                local_head=lambda gid=gid: (
+                    self.transport.l_readers[gid].head
+                ),
+                ack_of=(
+                    (
+                        lambda peer, gid=gid: self.rnode.regions[
+                            l_ack_region(gid, peer)
+                        ].read_u64(0)
+                    )
+                    if self.config.ack_every
+                    else None
+                ),
+                on_demoted=lambda gid=gid: self.on_demoted(gid),
+            )
+            self.conf_queues[gid] = Store(self.env)
+            self.spawn(self._conf_worker(gid), f"conf:{self.name}:{gid}")
+
+    # -- leader views ----------------------------------------------------
+
+    def leader_of(self, gid: str) -> str:
+        return self.mu_groups[gid].leader
+
+    def set_leader_view(self, gid: str, leader: str) -> None:
+        """Adopt a peer's view of who leads (forwarding redirects)."""
+        self.mu_groups[gid].leader = leader
+
+    def current_leader(self, method: str) -> str:
+        group = self.coordination.sync_group(method)
+        if group is None:
+            raise ValueError(f"{method} is conflict-free")
+        return self.mu_groups[group.gid].leader
+
+    def mu_for(self, gid: str) -> Optional[MuGroup]:
+        return self.mu_groups.get(gid)
+
+    # -- case 4: conflicting calls ---------------------------------------
+
+    def submit_conf(self, method: str, arg: Any):
+        """Generator serving one conflicting call at the leader."""
+        group = self.coordination.sync_group(method)
+        mu = self.mu_groups[group.gid]
+        if mu.leader != self.name:
+            self.probe.rejected("not_leader")
+            raise NotLeaderError(method, mu.leader)
+        done = self.env.event()
+        self.conf_queues[group.gid].put((method, arg, done))
+        result = yield done
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    def _conf_worker(self, gid: str):
+        """Serializes conflicting calls of one group at the leader."""
+        queue = self.conf_queues[gid]
+        mu = self.mu_groups[gid]
+        cfg = self.config
+        applier = self.applier
+        while True:
+            item = yield queue.get()
+            method, arg, done, call, retries = (
+                item if len(item) == 5 else (*item, None, 0)
+            )
+            if self.is_failed():
+                done.succeed(SubmitError(f"node {self.name} has failed"))
+                continue
+            if mu.leader != self.name:
+                done.succeed(NotLeaderError(method, mu.leader))
+                continue
+            if call is None:
+                yield from self.rnode.cpu.use(cfg.local_cpu_us)
+                call = applier.make_call(method, arg)
+            post_sigma = self.spec.apply_call(call, applier.sigma)
+            if not applier.invariant_with_summaries(post_sigma):
+                # Not (yet) permissible: its dependencies may still be
+                # in flight toward this leader (Fig. 11b/13b).  Other
+                # calls of the group must not head-block behind it —
+                # the leader is free to order any enabled call first —
+                # so requeue it and move on.
+                if retries >= cfg.conf_retry_limit:
+                    self.probe.rejected("impermissible")
+                    done.succeed(
+                        ImpermissibleError(f"{call} violates the invariant")
+                    )
+                else:
+                    self.probe.conflict_retry(gid)
+                    yield self.env.timeout(cfg.conf_retry_us)
+                    queue.put((method, arg, done, call, retries + 1))
+                continue
+            # Accepted speculatively: no local state changes until the
+            # decision commits (a deposed leader's failed replication
+            # must leave no trace; see docs/protocols.md).
+            overlay = {(self.name, method): 1}
+            dep = applier.dep_projection(method)
+            try:
+                packet = encode_call_batch([(call, dep)])
+            except Exception as exc:
+                done.succeed(SubmitError(f"cannot encode {call}: {exc}"))
+                continue
+            if len(packet) > cfg.slot_size - 5:
+                done.succeed(
+                    SubmitError(
+                        f"record of {len(packet)} bytes exceeds ring slots"
+                    )
+                )
+                continue
+            entries = [(call, dep)]
+            dones = [(done, call)]
+            spec_sigma = post_sigma
+            # Piggyback more queued calls onto the same decision (one
+            # remote write carries the whole batch when conf_batch > 1).
+            while len(entries) < cfg.conf_batch:
+                available, extra = queue.try_get()
+                if not available:
+                    break
+                accepted = yield from self._try_accept_conf(
+                    queue, extra, entries, spec_sigma, overlay, gid
+                )
+                if accepted in ("requeued", "full"):
+                    # Do not spin pulling the same call back out of the
+                    # queue within one batch round.
+                    break
+                if accepted is not None:
+                    entries.append(accepted[0])
+                    dones.append(accepted[1])
+                    packet = accepted[2]
+                    spec_sigma = accepted[3]
+            # Commit point: log the issue events at post time so every
+            # follower application orders after them in the event log.
+            logged = [
+                applier.log_event("CONF", batched_call)
+                for batched_call, _dep in entries
+            ]
+            ok = yield from mu.replicate(packet)
+            if ok:
+                # Conflict-free calls the poller applied meanwhile all
+                # S-commute with this batch, so re-applying the batch on
+                # the evolved state is exactly the decided execution.
+                for batched_call, _dep in entries:
+                    applier.sigma = self.spec.apply_call(
+                        batched_call, applier.sigma
+                    )
+                    applier.bump_applied(self.name, batched_call.method)
+                    applier.seen.add(batched_call.key())
+                self.probe.conflict_batch(gid, len(entries))
+            else:
+                for event in logged:
+                    self.applier.event_log.remove(event)
+                if not mu.is_leader and mu.leader == self.name:
+                    # Deposed without having voted (e.g. cut off by a
+                    # partition): learn who leads now so redirects point
+                    # somewhere useful instead of back at us.
+                    yield from self.discover_leader(gid)
+            for waiting, batched_call in dones:
+                if ok:
+                    self.counters["conf_decided"] = (
+                        self.counters.get("conf_decided", 0) + 1
+                    )
+                    waiting.succeed(batched_call)
+                else:
+                    waiting.succeed(
+                        NotLeaderError(batched_call.method, mu.leader)
+                        if not mu.is_leader
+                        else SubmitError("replication failed")
+                    )
+
+    def _try_accept_conf(self, queue: Store, item, entries, spec_sigma,
+                         overlay, gid: str):
+        """Accept one queued conflicting call into the current batch.
+
+        Speculative: permissibility is checked on ``spec_sigma`` (the
+        batch's evolving state) and dependency counts on ``overlay``,
+        with no node-state mutation — the worker commits the whole batch
+        only after replication succeeds.
+
+        Returns ``((call, dep), (done, call), packet, post_sigma)`` on
+        success, ``"requeued"`` when the call must wait (put back),
+        ``"full"`` when it does not fit this batch's record, or None
+        when it was rejected with an error.
+        """
+        cfg = self.config
+        applier = self.applier
+        method, arg, done, call, retries = (
+            item if len(item) == 5 else (*item, None, 0)
+        )
+        if call is None:
+            yield from self.rnode.cpu.use(cfg.local_cpu_us)
+            call = applier.make_call(method, arg)
+        post_sigma = self.spec.apply_call(call, spec_sigma)
+        if not applier.invariant_with_summaries(post_sigma):
+            if retries >= cfg.conf_retry_limit:
+                self.probe.rejected("impermissible")
+                done.succeed(
+                    ImpermissibleError(f"{call} violates the invariant")
+                )
+                return None
+            self.probe.conflict_retry(gid)
+            queue.put((method, arg, done, call, retries + 1))
+            return "requeued"
+        dep = applier.dep_projection(method, overlay)
+        try:
+            packet = encode_call_batch(entries + [(call, dep)])
+        except Exception as exc:
+            done.succeed(SubmitError(f"cannot encode {call}: {exc}"))
+            return None
+        if len(packet) > cfg.slot_size - 5:
+            # Record full: leave the call for the next decision.
+            queue.put((method, arg, done, call, retries))
+            return "full"
+        overlay[(self.name, method)] = overlay.get((self.name, method), 0) + 1
+        return (call, dep), (done, call), packet, post_sigma
+
+    # -- L-ring drain ----------------------------------------------------
+
+    def drain_l(self, gid: str):
+        """Apply conflicting records, which may be leader-side batches.
+
+        A consumed ring record expands into the partial queue; entries
+        are applied strictly in order, blocking at the first whose
+        dependencies are unsatisfied — exactly the per-call semantics,
+        with the batch only changing the wire framing.
+        """
+        reader = self.transport.l_readers[gid]
+        applier = self.applier
+        progressed = False
+        drained = 0
+        partial = self._l_partial[gid]
+        while True:
+            if not partial:
+                payload = reader.peek()
+                if payload is None:
+                    self._maybe_detect_hole(gid, reader)
+                    break
+                partial.extend(decode_call_batch(payload))
+                reader.advance()
+                continue
+            call, dep = partial[0]
+            if applier.has_seen(call.key()):
+                partial.popleft()
+                continue
+            if not applier.dep_ok(dep):
+                break
+            yield from applier.apply(call, "CONF_APP")
+            partial.popleft()
+            drained += 1
+            progressed = True
+        if drained:
+            self.probe.ring_depth(f"L<-{gid}", drained)
+        return progressed
+
+    def _maybe_detect_hole(self, gid: str, reader) -> None:
+        """A valid record AHEAD of an empty head means our log copy has
+        a hole (e.g. writes lost while we were partitioned): repair it
+        from peers.  Probed exponentially and rate-limited — the common
+        empty-head case costs a few slot reads every 256 misses."""
+        misses = self._l_hole_misses.get(gid, 0) + 1
+        self._l_hole_misses[gid] = misses
+        if misses % 256:
+            return
+        slots = self.config.ring_slots
+        slot_size = self.config.slot_size
+        offset_index = 1
+        while offset_index <= 1024:
+            index = reader.head + offset_index
+            offset = (index % slots) * slot_size
+            slot = reader.region.read(offset, slot_size)
+            if parse_record(slot, index, slots) is not None:
+                self.probe.hole_repair(gid)
+                self.spawn(
+                    self.rejoin_repair(gid), f"hole-repair:{self.name}"
+                )
+                return
+            offset_index *= 2
+
+    # -- leader change ---------------------------------------------------
+
+    def on_demoted(self, gid: str) -> None:
+        """This node just stopped leading ``gid``: rejoin as follower.
+
+        As leader it applied its decided records directly (its own L
+        ring was never written), so the ring reader fast-forwards to
+        ``decided`` and a self-repair scan copies any records it missed
+        from healthy peers' log copies.
+        """
+        mu = self.mu_groups[gid]
+        reader = self.transport.l_readers[gid]
+        reader.head = max(reader.head, mu.decided)
+        self.probe.demoted(gid)
+        self.spawn(self.rejoin_repair(gid), f"rejoin:{self.name}:{gid}")
+
+    def rejoin_repair(self, gid: str):
+        mu = self.mu_groups[gid]
+        yield from mu.self_repair(set(self.suspected()))
+
+    def discover_leader(self, gid: str):
+        """Ask reachable peers who currently leads ``gid``."""
+        for peer in self.processes:
+            if peer == self.name or self.is_suspected(peer):
+                continue
+            yield from self.control_send(peer, ("who_leads", gid))
+        # Replies arrive through the control listener, which updates
+        # the Mu group's view; give them one control round trip.
+        yield self.env.timeout(3.0)
+
+    def handle_suspect(self, peer: str) -> None:
+        """Campaign for any group the suspected peer was leading."""
+        for gid, mu in self.mu_groups.items():
+            if mu.leader == peer:
+                candidates = [
+                    p
+                    for p in self.processes
+                    if p != peer and not self.is_suspected(p)
+                ]
+                if candidates and candidates[0] == self.name:
+                    self.env.process(
+                        self.campaign(gid), name=f"campaign:{self.name}"
+                    )
+
+    def campaign(self, gid: str):
+        mu = self.mu_groups[gid]
+        won = yield from mu.campaign(set(self.suspected()))
+        if won:
+            # Old leader's queued clients at this node now proceed here.
+            pass

@@ -1,0 +1,30 @@
+"""Request-path error types shared by every runtime layer.
+
+These live in their own leaf module so the four runtime layers
+(:mod:`.transport`, :mod:`.applier`, :mod:`.conflict`, :mod:`.control`)
+can raise them without importing the :class:`~repro.runtime.HambandNode`
+façade (which imports the layers — a cycle otherwise).  The façade
+re-exports them, so ``from repro.runtime.node import SubmitError`` and
+``from repro.runtime import SubmitError`` both keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ImpermissibleError", "NotLeaderError", "SubmitError"]
+
+
+class SubmitError(Exception):
+    """A request this node cannot serve."""
+
+
+class NotLeaderError(SubmitError):
+    """Conflicting call submitted to a non-leader; redirect to ``leader``."""
+
+    def __init__(self, method: str, leader: str):
+        super().__init__(f"{method} must go to leader {leader}")
+        self.leader = leader
+
+
+class ImpermissibleError(SubmitError):
+    """The call violates the invariant and was rejected (or timed out
+    waiting for its dependencies to arrive)."""

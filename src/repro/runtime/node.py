@@ -1,61 +1,69 @@
-"""The Hamband node runtime (paper §4).
+"""The Hamband node runtime façade (paper §4).
 
-Each node hosts:
+:class:`HambandNode` composes the four runtime layers into one replica
+of a Hamband-replicated object and keeps the public request API
+(:meth:`submit`, :meth:`submit_any`, :meth:`effective_state`,
+:meth:`applied_count`, :meth:`stats`) stable while each mechanism
+lives in its own module:
 
-- the stored state ``σ`` and the applied-calls map ``A``,
-- one **F ring** per peer (irreducible conflict-free calls from that
-  peer), one **L ring** per synchronization group (conflicting calls,
-  written by the group's leader through Mu), and one **summary slot**
-  per (summarization group, process),
-- a heartbeat thread and a failure detector over remote reads,
-- a reliable-broadcast endpoint (backup slot),
-- one Mu consensus endpoint per synchronization group,
-- traversal threads that apply buffered calls whose dependency arrays
-  are satisfied,
-- a control-plane listener for the (rare) leader-change messages.
+- :class:`~repro.runtime.transport.RingTransport` — region
+  registration, F/L ring readers/writers, ack flow control,
+  backpressure (``runtime/transport.py``);
+- :class:`~repro.runtime.applier.ApplyEngine` — σ, the applied-calls
+  map A, summaries, dependency projection/checks, permissibility, the
+  buffer-traversal loop, and the QUERY/REDUCE/FREE request paths
+  (``runtime/applier.py``);
+- :class:`~repro.runtime.conflict.ConflictCoordinator` — the Mu-backed
+  leader path: decision batching, demotion/campaign/rejoin repair,
+  hole detection, the L-ring drain (``runtime/conflict.py``);
+- :class:`~repro.runtime.control.ControlPlane` — the two-sided
+  listener, leader discovery dispatch, request forwarding, and
+  broadcast recovery (``runtime/control.py``).
+
+A single :class:`~repro.runtime.probe.RuntimeProbe` instrumentation
+seam is threaded through all four layers (a no-op interface by
+default; the node installs a :class:`~repro.runtime.probe.CountingProbe`
+unless told otherwise) and surfaces through :meth:`stats`.
 
 Request processing follows the paper's four cases: queries run locally;
 reducible calls are summarized and remotely overwritten; irreducible
 conflict-free calls are applied locally and reliably broadcast into F
 rings; conflicting calls are ordered by the group leader through Mu
-into L rings.
+into L rings.  Every issue/apply also appends a
+:class:`~repro.core.ConcreteEvent` to the cluster log, so integration
+tests replay entire runs against the abstract semantics.
 
-Every issue/apply also appends a :class:`~repro.core.ConcreteEvent` to
-the cluster log, so integration tests replay entire runs against the
-abstract semantics (the runtime refines the machine that refines the
-spec).
+This module re-exports :class:`RuntimeConfig` and the request errors
+from their leaf modules, keeping historical import paths stable.
 """
 
 from __future__ import annotations
 
-import itertools
-import struct
-from collections import deque
-from dataclasses import dataclass
 from typing import Any, Optional
 
-from ..consensus.mu import MuConfig, MuGroup
-from ..core import Call, Category, ConcreteEvent, Coordination
-from ..core.rdma_semantics import DependencyMap
+from ..core import Category, Coordination
 from ..rdma import RdmaNode
-from ..sim import Environment, Event, Store
+from ..sim import Environment, Event
+from .applier import ApplyEngine
 from .broadcast import ReliableBroadcast
+from .config import (  # noqa: F401  (re-exported for import stability)
+    RuntimeConfig,
+    f_ack_region,
+    f_region,
+    l_ack_region,
+    l_region,
+    s_region,
+)
+from .conflict import ConflictCoordinator
+from .control import ControlPlane
+from .errors import (  # noqa: F401  (re-exported for import stability)
+    ImpermissibleError,
+    NotLeaderError,
+    SubmitError,
+)
 from .heartbeat import FailureDetector, Heartbeat
-from .ringbuffer import RingError, RingReader, RingWriter
-from .summary import (
-    SummarySlot,
-    current_record_bytes,
-    render_summary,
-    slot_size_for,
-)
-from .wire import (
-    decode_call_batch,
-    decode_call_packet,
-    decode_value,
-    encode_call_batch,
-    encode_call_packet,
-    encode_value,
-)
+from .probe import CountingProbe, RuntimeProbe
+from .transport import RingTransport
 
 __all__ = [
     "HambandNode",
@@ -66,90 +74,13 @@ __all__ = [
 ]
 
 
-class SubmitError(Exception):
-    """A request this node cannot serve."""
-
-
-class NotLeaderError(SubmitError):
-    """Conflicting call submitted to a non-leader; redirect to ``leader``."""
-
-    def __init__(self, method: str, leader: str):
-        super().__init__(f"{method} must go to leader {leader}")
-        self.leader = leader
-
-
-class ImpermissibleError(SubmitError):
-    """The call violates the invariant and was rejected (or timed out
-    waiting for its dependencies to arrive)."""
-
-
-@dataclass
-class RuntimeConfig:
-    """Tunables of the Hamband runtime (times in microseconds)."""
-
-    ring_slots: int = 8192
-    slot_size: int = 512
-    summary_payload: int = 4096
-    backup_size: int = 4608
-    #: Buffer-traversal cadence when the last sweep found nothing.
-    poll_interval_us: float = 1.0
-    #: Cadence right after progress (records often arrive in trains).
-    poll_hot_us: float = 0.2
-    apply_cpu_us: float = 0.15
-    local_cpu_us: float = 0.08
-    query_cpu_us: float = 0.20
-    hb_interval_us: float = 20.0
-    fd_poll_us: float = 60.0
-    suspect_after: int = 3
-    #: Conflicting calls waiting for permissibility retry at this pace.
-    conf_retry_us: float = 2.0
-    conf_retry_limit: int = 800
-    #: Leader-side decision batching: up to this many queued conflicting
-    #: calls are ordered, applied, and replicated in ONE remote write
-    #: per follower.  1 disables batching (the paper's configuration).
-    conf_batch: int = 1
-    vote_timeout_us: float = 800.0
-    #: Treat reducible methods as irreducible conflict-free (the paper's
-    #: Figure 9 GSet-with-buffers configuration).
-    force_buffered: bool = False
-    #: Flow control: readers acknowledge ring progress every this many
-    #: applied records (one tiny one-sided write back to the writer);
-    #: writers block (backpressure) instead of lapping a slow reader.
-    #: 0 disables acks — then writers rely on ring sizing alone.
-    ack_every: int = 64
-    backpressure_wait_us: float = 1.0
-    backpressure_limit: int = 20000
-    #: Ablation: ship the issuer's *entire* applied map as the
-    #: dependency record instead of the projection over Dep(u) —
-    #: receivers then wait for everything the issuer had seen (a causal
-    #: barrier), not just the calls the invariant actually needs.
-    full_dep_barrier: bool = False
-
-
-def f_region(writer: str) -> str:
-    return f"hamband:F:{writer}"
-
-def l_region(gid: str) -> str:
-    return f"hamband:L:{gid}"
-
-def s_region(group: str, owner: str) -> str:
-    return f"hamband:S:{group}:{owner}"
-
-def f_ack_region(reader: str) -> str:
-    """At a writer: the reader's progress ack for the writer's F records."""
-    return f"hamband:ack:F:{reader}"
-
-def l_ack_region(gid: str, reader: str) -> str:
-    """At a (potential) leader: the reader's progress ack for L:{gid}."""
-    return f"hamband:ack:L:{gid}:{reader}"
-
-
 class HambandNode:
-    """One replica of a Hamband-replicated object."""
+    """One replica of a Hamband-replicated object (a thin façade)."""
 
     def __init__(self, rnode: RdmaNode, coordination: Coordination,
                  processes: list[str], initial_leaders: dict[str, str],
-                 config: RuntimeConfig, event_log: list):
+                 config: RuntimeConfig, event_log: list,
+                 probe: Optional[RuntimeProbe] = None):
         self.rnode = rnode
         self.env: Environment = rnode.env
         self.name = rnode.name
@@ -159,17 +90,6 @@ class HambandNode:
         self.peers = [p for p in self.processes if p != self.name]
         self.config = config
         self.event_log = event_log
-
-        self.sigma = self.spec.initial_state()
-        #: A — applied counts for buffered (F/L) calls, incl. our own.
-        self.applied: dict[tuple[str, str], int] = {}
-        #: Call keys applied via buffers or recovery, for dedup.
-        self.seen: set[tuple[str, int]] = set()
-        self._rid = itertools.count(1)
-        #: Recovered-from-backup calls awaiting their dependencies.
-        self.pending_recovered: list[tuple[Call, DependencyMap]] = []
-        #: Outstanding forwarded-request waiters, by token.
-        self._fwd_waiters: dict[str, Event] = {}
         #: Failure injection: a failed node refuses new requests (the
         #: paper's model — requests are redirected to live nodes) while
         #: its memory stays remotely accessible.
@@ -187,10 +107,18 @@ class HambandNode:
             "recovered_applied": 0,
             "forwarded": 0,
         }
+        #: The instrumentation seam shared by all four layers.
+        self.probe = probe if probe is not None else CountingProbe()
 
-        self._register_regions()
-        self._init_rings()
-        self._init_summaries()
+        # -- compose the four layers -----------------------------------
+        self.transport = RingTransport(
+            rnode, coordination, self.processes, config, self.probe
+        )
+        self.applier = ApplyEngine(
+            rnode, coordination, config, event_log, self.probe,
+            self.counters,
+        )
+        self.applier.init_summaries(self.processes)
         self.broadcast = ReliableBroadcast(rnode, config.backup_size)
         self.heartbeat = Heartbeat(rnode, config.hb_interval_us)
         self.detector = FailureDetector(
@@ -200,12 +128,30 @@ class HambandNode:
             suspect_after=config.suspect_after,
             on_suspect=self._on_suspect,
         )
-        self._init_consensus(initial_leaders)
-        self._spawn_supervised(self._poll_loop(), f"poll:{self.name}")
-        for peer in self.peers:
-            self._spawn_supervised(
-                self._control_listener(peer), f"ctl:{self.name}<-{peer}"
-            )
+        self.control = ControlPlane(
+            rnode, config, self.probe, self.counters
+        )
+        self.conflict = ConflictCoordinator(
+            rnode, coordination, self.processes, initial_leaders, config,
+            applier=self.applier,
+            transport=self.transport,
+            control_send=self.control.send,
+            spawn=self._spawn_supervised,
+            is_failed=lambda: self.failed,
+            is_suspected=self.detector.is_suspected,
+            suspected=lambda: self.detector.suspected,
+            probe=self.probe,
+            counters=self.counters,
+        )
+        self.applier.bind(
+            self.transport, self.conflict, self.broadcast,
+            self.detector.is_suspected,
+        )
+        self.control.bind(
+            self.conflict, self.applier, self.broadcast, self.submit
+        )
+        self._spawn_supervised(self.applier.poll_loop(), f"poll:{self.name}")
+        self.control.start(self.peers, self._spawn_supervised)
 
     def _spawn_supervised(self, generator, name: str):
         """Run a background worker; record (never swallow) its death.
@@ -224,126 +170,10 @@ class HambandNode:
 
         return self.env.process(wrapper(), name=name)
 
-    # -- setup -------------------------------------------------------------
-
-    def _register_regions(self) -> None:
-        cfg = self.config
-        for peer in self.peers:
-            self.rnode.register(
-                f_region(peer), cfg.ring_slots * cfg.slot_size
-            )
-        for group in self.coordination.sync_groups():
-            self.rnode.register(
-                l_region(group.gid), cfg.ring_slots * cfg.slot_size
-            )
-        for reader in self.peers:
-            self.rnode.register(f_ack_region(reader), 8)
-            for group in self.coordination.sync_groups():
-                self.rnode.register(l_ack_region(group.gid, reader), 8)
-        summary_size = slot_size_for(cfg.summary_payload)
-        for summarizer in self.spec.summarizers:
-            for owner in self.processes:
-                self.rnode.register(
-                    s_region(summarizer.group, owner), summary_size
-                )
-
-    def _init_rings(self) -> None:
-        cfg = self.config
-        self.f_readers = {
-            peer: RingReader(
-                self.rnode.regions[f_region(peer)],
-                cfg.ring_slots,
-                cfg.slot_size,
-            )
-            for peer in self.peers
-        }
-        #: Our writer state toward each peer's F ring for our calls.
-        self.f_writers = {
-            peer: RingWriter(cfg.ring_slots, cfg.slot_size)
-            for peer in self.peers
-        }
-        if cfg.ack_every:
-            for writer in self.f_writers.values():
-                writer.reader_acked = 0
-        #: Last ring-head count acknowledged back to each writer.
-        self._acked: dict[str, int] = {}
-        self.l_readers = {
-            group.gid: RingReader(
-                self.rnode.regions[l_region(group.gid)],
-                cfg.ring_slots,
-                cfg.slot_size,
-            )
-            for group in self.coordination.sync_groups()
-        }
-        # Partially applied leader batches, per group (see _drain_l).
-        self._l_partial = {
-            group.gid: deque()
-            for group in self.coordination.sync_groups()
-        }
-        #: Empty-head streak counters for hole detection (see
-        #: _maybe_detect_hole).
-        self._l_hole_misses: dict[str, int] = {}
-
-    def _init_summaries(self) -> None:
-        cfg = self.config
-        summary_size = slot_size_for(cfg.summary_payload)
-        self.summary_readers: dict[tuple[str, str], SummarySlot] = {}
-        #: Our in-memory mirror: group -> (seq, summary call, counts).
-        self.summary_mirror: dict[str, tuple[int, Call, dict[str, int]]] = {}
-        for summarizer in self.spec.summarizers:
-            for owner in self.processes:
-                region = self.rnode.regions[s_region(summarizer.group, owner)]
-                self.summary_readers[(summarizer.group, owner)] = SummarySlot(
-                    region, 0, summary_size
-                )
-            self.summary_mirror[summarizer.group] = (
-                0,
-                summarizer.identity(self.name),
-                {},
-            )
-
-    def _init_consensus(self, initial_leaders: dict[str, str]) -> None:
-        mu_config = MuConfig(
-            ring_slots=self.config.ring_slots,
-            slot_size=self.config.slot_size,
-            vote_timeout_us=self.config.vote_timeout_us,
-        )
-        self.mu_groups: dict[str, MuGroup] = {}
-        self.conf_queues: dict[str, Store] = {}
-        for group in self.coordination.sync_groups():
-            gid = group.gid
-            self.mu_groups[gid] = MuGroup(
-                self.rnode,
-                gid,
-                self.processes,
-                initial_leaders[gid],
-                l_region(gid),
-                mu_config,
-                control_send=self._control_send,
-                local_head=lambda gid=gid: self.l_readers[gid].head,
-                ack_of=(
-                    (
-                        lambda peer, gid=gid: self.rnode.regions[
-                            l_ack_region(gid, peer)
-                        ].read_u64(0)
-                    )
-                    if self.config.ack_every
-                    else None
-                ),
-                on_demoted=lambda gid=gid: self._on_demoted(gid),
-            )
-            self.conf_queues[gid] = Store(self.env)
-            self._spawn_supervised(
-                self._conf_worker(gid), f"conf:{self.name}:{gid}"
-            )
-
-    # -- public API ------------------------------------------------------------
+    # -- public API ------------------------------------------------------
 
     def current_leader(self, method: str) -> str:
-        group = self.coordination.sync_group(method)
-        if group is None:
-            raise ValueError(f"{method} is conflict-free")
-        return self.mu_groups[group.gid].leader
+        return self.conflict.current_leader(method)
 
     def submit(self, method: str, arg: Any = None) -> Event:
         """Issue a request; the returned event carries the response.
@@ -356,588 +186,17 @@ class HambandNode:
             raise SubmitError(f"node {self.name} has failed")
         if method in self.spec.queries:
             return self.env.process(
-                self._do_query(method, arg), name=f"q:{self.name}:{method}"
+                self.applier.do_query(method, arg),
+                name=f"q:{self.name}:{method}",
             )
-        category = self._category(method)
+        category = self.applier.category(method)
         if category is Category.REDUCIBLE:
-            gen = self._do_reduce(method, arg)
+            gen = self.applier.do_reduce(method, arg)
         elif category is Category.IRREDUCIBLE_CONFLICT_FREE:
-            gen = self._do_free(method, arg)
+            gen = self.applier.do_free(method, arg)
         else:
-            gen = self._do_conf(method, arg)
+            gen = self.conflict.submit_conf(method, arg)
         return self.env.process(gen, name=f"u:{self.name}:{method}")
-
-    def effective_state(self) -> Any:
-        """``Apply(S)(σ)``: summaries folded over the stored state."""
-        sigma = self.sigma
-        for (_group, _owner), slot in self.summary_readers.items():
-            value = slot.read()
-            if value is not None:
-                sigma = self.spec.apply_call(value[0], sigma)
-        return sigma
-
-    def applied_count(self, process: str, method: str) -> int:
-        """A(p, u), consulting summary slots for reducible methods."""
-        if self._category(method) is Category.REDUCIBLE:
-            summarizer = self.spec.summarizer_of(method)
-            slot = self.summary_readers[(summarizer.group, process)]
-            return slot.applied_count(method)
-        return self.applied.get((process, method), 0)
-
-    def applied_total(self) -> int:
-        """Total update calls reflected at this node (A summed)."""
-        total = sum(self.applied.values())
-        for slot in self.summary_readers.values():
-            value = slot.read()
-            if value is not None:
-                total += sum(value[1].values())
-        return total
-
-    # -- category dispatch -------------------------------------------------
-
-    def _category(self, method: str) -> Category:
-        category = self.coordination.category(method)
-        if (
-            self.config.force_buffered
-            and category is Category.REDUCIBLE
-        ):
-            return Category.IRREDUCIBLE_CONFLICT_FREE
-        return category
-
-    def _make_call(self, method: str, arg: Any) -> Call:
-        return Call(method, arg, self.name, next(self._rid))
-
-    def _log(self, rule: str, call: Call) -> None:
-        self.event_log.append(
-            ConcreteEvent(rule, self.name, call, at=self.env.now)
-        )
-
-    def _do_query(self, method: str, arg: Any):
-        yield from self.rnode.cpu.use(self.config.query_cpu_us)
-        self.counters["queries"] += 1
-        return self.spec.run_query(method, arg, self.effective_state())
-
-    # Case 2: reducible — summarize locally, one remote write per peer.
-    def _do_reduce(self, method: str, arg: Any):
-        yield from self.rnode.cpu.use(self.config.local_cpu_us)
-        call = self._make_call(method, arg)
-        state = self.effective_state()
-        if not self.spec.invariant(self.spec.apply_call(call, state)):
-            raise ImpermissibleError(f"{call} violates the invariant")
-        summarizer = self.spec.summarizer_of(method)
-        seq, current, counts = self.summary_mirror[summarizer.group]
-        combined = summarizer.combine(current, call)
-        counts = dict(counts)
-        counts[method] = counts.get(method, 0) + 1
-        seq += 1
-        self.summary_mirror[summarizer.group] = (seq, combined, counts)
-        slot_bytes = render_summary(
-            seq, combined, counts, slot_size_for(self.config.summary_payload)
-        )
-        region_name = s_region(summarizer.group, self.name)
-        # Local install first (the REDUCE transition's own-process part).
-        self.rnode.regions[region_name].write(0, slot_bytes)
-        self._log("REDUCE", call)
-        self.counters["reduced"] += 1
-        own_region = self.rnode.regions[region_name]
-        # A retried summary write re-renders the region's CURRENT bytes
-        # (used prefix only), so it never replaces a newer summary with
-        # a stale one and never ships the whole reserved region.
-        refresh = lambda: current_record_bytes(own_region)
-        writes = [
-            (
-                self.rnode.qp_to(peer),
-                self.rnode.region_of(peer, region_name),
-                0,
-                refresh,
-            )
-            for peer in self.peers
-        ]
-        message = encode_value(("S", summarizer.group, slot_bytes))
-        yield from self.broadcast.broadcast(
-            message, writes, is_suspected=self.detector.is_suspected
-        )
-        return call
-
-    # Case 3: irreducible conflict-free — local apply + F-ring fan-out.
-    def _do_free(self, method: str, arg: Any):
-        yield from self.rnode.cpu.use(self.config.local_cpu_us)
-        call = self._make_call(method, arg)
-        post_sigma = self.spec.apply_call(call, self.sigma)
-        if not self._invariant_with_summaries(post_sigma):
-            raise ImpermissibleError(f"{call} violates the invariant")
-        dep = self._dep_projection(method)
-        self.sigma = post_sigma
-        self._bump_applied(self.name, method)
-        self.seen.add(call.key())
-        self._log("FREE", call)
-        self.counters["freed"] += 1
-        packet = encode_call_packet(call, dep)
-        writes = []
-        for peer in self.peers:
-            offset, slot = yield from self._render_with_backpressure(
-                self.f_writers[peer], f_ack_region(peer), packet
-            )
-            writes.append(
-                (
-                    self.rnode.qp_to(peer),
-                    self.rnode.region_of(peer, f_region(self.name)),
-                    offset,
-                    slot,
-                )
-            )
-        message = encode_value(("F", packet))
-        yield from self.broadcast.broadcast(
-            message, writes, is_suspected=self.detector.is_suspected
-        )
-        return call
-
-    def _render_with_backpressure(self, writer: RingWriter,
-                                  ack_region_name: str, payload: bytes):
-        """Render a ring record, waiting for reader progress when full.
-
-        The reader's acks land in our local ack region; refreshing it is
-        a local memory read.  A reader that stops acking entirely (dead
-        or suspected) stops throttling us: we fall back to ring-sizing
-        mode rather than blocking behind a corpse.
-        """
-        cfg = self.config
-        waited = 0
-        while True:
-            if cfg.ack_every:
-                acked = self.rnode.regions[ack_region_name].read_u64(0)
-                writer.ack_up_to(acked)
-            try:
-                return writer.render(payload)
-            except RingError:
-                waited += 1
-                if (
-                    waited > cfg.backpressure_limit
-                    or self._reader_of(ack_region_name) in
-                    self.detector.suspected
-                ):
-                    writer.reader_acked = None  # stop throttling
-                    return writer.render(payload)
-                yield self.env.timeout(cfg.backpressure_wait_us)
-
-    @staticmethod
-    def _reader_of(ack_region_name: str) -> str:
-        return ack_region_name.rsplit(":", 1)[-1]
-
-    # Case 4: conflicting — ordered by the group leader through Mu.
-    def _do_conf(self, method: str, arg: Any):
-        group = self.coordination.sync_group(method)
-        mu = self.mu_groups[group.gid]
-        if mu.leader != self.name:
-            raise NotLeaderError(method, mu.leader)
-        done = self.env.event()
-        self.conf_queues[group.gid].put((method, arg, done))
-        result = yield done
-        if isinstance(result, Exception):
-            raise result
-        return result
-
-    def _conf_worker(self, gid: str):
-        """Serializes conflicting calls of one group at the leader."""
-        queue = self.conf_queues[gid]
-        mu = self.mu_groups[gid]
-        cfg = self.config
-        while True:
-            item = yield queue.get()
-            method, arg, done, call, retries = (
-                item if len(item) == 5 else (*item, None, 0)
-            )
-            if self.failed:
-                done.succeed(SubmitError(f"node {self.name} has failed"))
-                continue
-            if mu.leader != self.name:
-                done.succeed(NotLeaderError(method, mu.leader))
-                continue
-            if call is None:
-                yield from self.rnode.cpu.use(cfg.local_cpu_us)
-                call = self._make_call(method, arg)
-            post_sigma = self.spec.apply_call(call, self.sigma)
-            if not self._invariant_with_summaries(post_sigma):
-                # Not (yet) permissible: its dependencies may still be
-                # in flight toward this leader (Fig. 11b/13b).  Other
-                # calls of the group must not head-block behind it —
-                # the leader is free to order any enabled call first —
-                # so requeue it and move on.
-                if retries >= cfg.conf_retry_limit:
-                    done.succeed(
-                        ImpermissibleError(f"{call} violates the invariant")
-                    )
-                else:
-                    yield self.env.timeout(cfg.conf_retry_us)
-                    queue.put((method, arg, done, call, retries + 1))
-                continue
-            # Accepted speculatively: no local state changes until the
-            # decision commits (a deposed leader's failed replication
-            # must leave no trace; see docs/protocols.md).
-            overlay = {(self.name, method): 1}
-            dep = self._dep_projection(method)
-            try:
-                packet = encode_call_batch([(call, dep)])
-            except Exception as exc:
-                done.succeed(SubmitError(f"cannot encode {call}: {exc}"))
-                continue
-            if len(packet) > cfg.slot_size - 5:
-                done.succeed(
-                    SubmitError(
-                        f"record of {len(packet)} bytes exceeds ring slots"
-                    )
-                )
-                continue
-            entries = [(call, dep)]
-            dones = [(done, call)]
-            spec_sigma = post_sigma
-            # Piggyback more queued calls onto the same decision (one
-            # remote write carries the whole batch when conf_batch > 1).
-            while len(entries) < cfg.conf_batch:
-                available, extra = queue.try_get()
-                if not available:
-                    break
-                accepted = yield from self._try_accept_conf(
-                    queue, extra, entries, spec_sigma, overlay
-                )
-                if accepted in ("requeued", "full"):
-                    # Do not spin pulling the same call back out of the
-                    # queue within one batch round.
-                    break
-                if accepted is not None:
-                    entries.append(accepted[0])
-                    dones.append(accepted[1])
-                    packet = accepted[2]
-                    spec_sigma = accepted[3]
-            # Commit point: log the issue events at post time so every
-            # follower application orders after them in the event log.
-            logged = []
-            for batched_call, _dep in entries:
-                event = ConcreteEvent(
-                    "CONF", self.name, batched_call, at=self.env.now
-                )
-                self.event_log.append(event)
-                logged.append(event)
-            ok = yield from mu.replicate(packet)
-            if ok:
-                # Conflict-free calls the poller applied meanwhile all
-                # S-commute with this batch, so re-applying the batch on
-                # the evolved state is exactly the decided execution.
-                for batched_call, _dep in entries:
-                    self.sigma = self.spec.apply_call(
-                        batched_call, self.sigma
-                    )
-                    self._bump_applied(self.name, batched_call.method)
-                    self.seen.add(batched_call.key())
-            else:
-                for event in logged:
-                    self.event_log.remove(event)
-                if not mu.is_leader and mu.leader == self.name:
-                    # Deposed without having voted (e.g. cut off by a
-                    # partition): learn who leads now so redirects point
-                    # somewhere useful instead of back at us.
-                    yield from self._discover_leader(gid)
-            for waiting, batched_call in dones:
-                if ok:
-                    self.counters["conf_decided"] += 1
-                    waiting.succeed(batched_call)
-                else:
-                    waiting.succeed(
-                        NotLeaderError(batched_call.method, mu.leader)
-                        if not mu.is_leader
-                        else SubmitError("replication failed")
-                    )
-
-    def _on_demoted(self, gid: str) -> None:
-        """This node just stopped leading ``gid``: rejoin as follower.
-
-        As leader it applied its decided records directly (its own L
-        ring was never written), so the ring reader fast-forwards to
-        ``decided`` and a self-repair scan copies any records it missed
-        from healthy peers' log copies.
-        """
-        mu = self.mu_groups[gid]
-        reader = self.l_readers[gid]
-        reader.head = max(reader.head, mu.decided)
-        self._spawn_supervised(
-            self._rejoin_repair(gid), f"rejoin:{self.name}:{gid}"
-        )
-
-    def _rejoin_repair(self, gid: str):
-        mu = self.mu_groups[gid]
-        yield from mu.self_repair(set(self.detector.suspected))
-
-    def _discover_leader(self, gid: str):
-        """Ask reachable peers who currently leads ``gid``."""
-        for peer in self.peers:
-            if self.detector.is_suspected(peer):
-                continue
-            yield from self._control_send(peer, ("who_leads", gid))
-        # Replies arrive through the control listener, which updates
-        # the Mu group's view; give them one control round trip.
-        yield self.env.timeout(3.0)
-
-    def _try_accept_conf(self, queue: Store, item, entries, spec_sigma,
-                         overlay):
-        """Accept one queued conflicting call into the current batch.
-
-        Speculative: permissibility is checked on ``spec_sigma`` (the
-        batch's evolving state) and dependency counts on ``overlay``,
-        with no node-state mutation — the worker commits the whole batch
-        only after replication succeeds.
-
-        Returns ``((call, dep), (done, call), packet, post_sigma)`` on
-        success, ``"requeued"`` when the call must wait (put back),
-        ``"full"`` when it does not fit this batch's record, or None
-        when it was rejected with an error.
-        """
-        cfg = self.config
-        method, arg, done, call, retries = (
-            item if len(item) == 5 else (*item, None, 0)
-        )
-        if call is None:
-            yield from self.rnode.cpu.use(cfg.local_cpu_us)
-            call = self._make_call(method, arg)
-        post_sigma = self.spec.apply_call(call, spec_sigma)
-        if not self._invariant_with_summaries(post_sigma):
-            if retries >= cfg.conf_retry_limit:
-                done.succeed(
-                    ImpermissibleError(f"{call} violates the invariant")
-                )
-                return None
-            queue.put((method, arg, done, call, retries + 1))
-            return "requeued"
-        dep = self._dep_projection(method, overlay)
-        try:
-            packet = encode_call_batch(entries + [(call, dep)])
-        except Exception as exc:
-            done.succeed(SubmitError(f"cannot encode {call}: {exc}"))
-            return None
-        if len(packet) > cfg.slot_size - 5:
-            # Record full: leave the call for the next decision.
-            queue.put((method, arg, done, call, retries))
-            return "full"
-        overlay[(self.name, method)] = overlay.get((self.name, method), 0) + 1
-        return (call, dep), (done, call), packet, post_sigma
-
-    # -- shared helpers ----------------------------------------------------
-
-    def _invariant_with_summaries(self, sigma: Any) -> bool:
-        state = sigma
-        for slot in self.summary_readers.values():
-            value = slot.read()
-            if value is not None:
-                state = self.spec.apply_call(value[0], state)
-        return bool(self.spec.invariant(state))
-
-    def _dep_projection(self, method: str,
-                        overlay: Optional[dict] = None) -> DependencyMap:
-        """``A | Dep(u)``, plus the batch's speculative counts."""
-        if self.config.full_dep_barrier:
-            dep_methods = list(self.spec.updates)
-        else:
-            dep_methods = self.coordination.dep(method)
-        dep: DependencyMap = {}
-        for dep_method in dep_methods:
-            for process in self.processes:
-                count = self.applied_count(process, dep_method)
-                if overlay:
-                    count += overlay.get((process, dep_method), 0)
-                if count:
-                    dep[(process, dep_method)] = count
-        return dep
-
-    def _dep_ok(self, dep: DependencyMap) -> bool:
-        return all(
-            self.applied_count(process, method) >= need
-            for (process, method), need in dep.items()
-        )
-
-    def _bump_applied(self, process: str, method: str) -> None:
-        key = (process, method)
-        self.applied[key] = self.applied.get(key, 0) + 1
-
-    # -- buffer traversal -----------------------------------------------------
-
-    def _poll_loop(self):
-        cfg = self.config
-        while True:
-            progressed = False
-            if self.rnode.alive:
-                progressed = yield from self._traverse_once()
-            yield self.env.timeout(
-                cfg.poll_hot_us if progressed else cfg.poll_interval_us
-            )
-
-    def _traverse_once(self):
-        progressed = False
-        for origin, reader in self.f_readers.items():
-            progressed |= yield from self._drain_ring(reader, "FREE_APP")
-        for gid, reader in self.l_readers.items():
-            progressed |= yield from self._drain_l(gid, reader)
-        if self.pending_recovered:
-            progressed |= yield from self._drain_recovered()
-        if self.config.ack_every:
-            yield from self._flush_acks()
-        return progressed
-
-    def _flush_acks(self):
-        """Push ring-progress acks back to the writers (flow control)."""
-        cfg = self.config
-        for origin, reader in self.f_readers.items():
-            key = f"F:{origin}"
-            if reader.head - self._acked.get(key, 0) >= cfg.ack_every:
-                yield from self._post_ack(
-                    origin, f_ack_region(self.name), reader.head
-                )
-                self._acked[key] = reader.head
-        for gid, reader in self.l_readers.items():
-            key = f"L:{gid}"
-            if reader.head - self._acked.get(key, 0) >= cfg.ack_every:
-                leader = self.mu_groups[gid].leader
-                if leader != self.name:
-                    yield from self._post_ack(
-                        leader, l_ack_region(gid, self.name), reader.head
-                    )
-                self._acked[key] = reader.head
-
-    def _post_ack(self, target: str, region_name: str, head: int):
-        region = self.rnode.region_of(target, region_name)
-        qp = self.rnode.qp_to(target)
-        yield from self.rnode.cpu.use(qp.config.post_cpu_us)
-        qp.post_write(region, 0, head.to_bytes(8, "little"))
-
-    def _drain_ring(self, reader: RingReader, rule: str):
-        progressed = False
-        while True:
-            payload = reader.peek()
-            if payload is None:
-                break
-            call, dep = decode_call_packet(payload)
-            if call.key() in self.seen:
-                reader.advance()  # duplicate via recovery path
-                continue
-            if not self._dep_ok(dep):
-                break  # the head blocks the buffer, as in the semantics
-            yield from self.rnode.cpu.use(self.config.apply_cpu_us)
-            self._apply_buffered(call, rule)
-            reader.advance()
-            progressed = True
-        return progressed
-
-    def _drain_l(self, gid: str, reader: RingReader):
-        """Apply conflicting records, which may be leader-side batches.
-
-        A consumed ring record expands into the partial queue; entries
-        are applied strictly in order, blocking at the first whose
-        dependencies are unsatisfied — exactly the per-call semantics,
-        with the batch only changing the wire framing.
-        """
-        progressed = False
-        partial = self._l_partial[gid]
-        while True:
-            if not partial:
-                payload = reader.peek()
-                if payload is None:
-                    self._maybe_detect_hole(gid, reader)
-                    break
-                partial.extend(decode_call_batch(payload))
-                reader.advance()
-                continue
-            call, dep = partial[0]
-            if call.key() in self.seen:
-                partial.popleft()
-                continue
-            if not self._dep_ok(dep):
-                break
-            yield from self.rnode.cpu.use(self.config.apply_cpu_us)
-            self._apply_buffered(call, "CONF_APP")
-            partial.popleft()
-            progressed = True
-        return progressed
-
-    def _maybe_detect_hole(self, gid: str, reader: RingReader) -> None:
-        """A valid record AHEAD of an empty head means our log copy has
-        a hole (e.g. writes lost while we were partitioned): repair it
-        from peers.  Probed exponentially and rate-limited — the common
-        empty-head case costs a few slot reads every 256 misses."""
-        misses = self._l_hole_misses.get(gid, 0) + 1
-        self._l_hole_misses[gid] = misses
-        if misses % 256:
-            return
-        from .ringbuffer import parse_record
-
-        slots = self.config.ring_slots
-        slot_size = self.config.slot_size
-        offset_index = 1
-        while offset_index <= 1024:
-            index = reader.head + offset_index
-            offset = (index % slots) * slot_size
-            slot = reader.region.read(offset, slot_size)
-            if parse_record(slot, index, slots) is not None:
-                self._spawn_supervised(
-                    self._rejoin_repair(gid), f"hole-repair:{self.name}"
-                )
-                return
-            offset_index *= 2
-
-    def _drain_recovered(self):
-        progressed = False
-        remaining = []
-        for call, dep in self.pending_recovered:
-            if call.key() in self.seen:
-                continue
-            if self._dep_ok(dep):
-                yield from self.rnode.cpu.use(self.config.apply_cpu_us)
-                self._apply_buffered(call, "FREE_APP")
-                self.counters["recovered_applied"] += 1
-                progressed = True
-            else:
-                remaining.append((call, dep))
-        self.pending_recovered = remaining
-        return progressed
-
-    def _apply_buffered(self, call: Call, rule: str) -> None:
-        self.counters["buffer_applied"] += 1
-        self.sigma = self.spec.apply_call(call, self.sigma)
-        self._bump_applied(call.origin, call.method)
-        self.seen.add(call.key())
-        self._log(rule, call)
-
-    # -- control plane and failure handling -----------------------------------
-
-    def _control_send(self, peer: str, message: Any):
-        qp = self.rnode.qp_to(peer)
-        yield from qp.send(encode_value(message))
-
-    def _control_listener(self, peer: str):
-        qp = self.rnode.qp_to(peer)
-        while True:
-            incoming = yield from qp.recv()
-            if not self.rnode.alive:
-                continue
-            message = decode_value(incoming.payload)
-            kind = message[0]
-            if kind in ("vote_req", "vote_ack", "who_leads", "leader_is"):
-                mu = self.mu_groups.get(message[1])
-                if mu is None:
-                    continue
-                reply = mu.handle_control(incoming.src, message)
-                if reply is not None:
-                    yield from self._control_send(incoming.src, reply)
-            elif kind == "fwd_req":
-                self.env.process(
-                    self._serve_forwarded(incoming.src, message),
-                    name=f"fwd:{self.name}",
-                )
-            elif kind == "fwd_resp":
-                _kind, token, outcome, data = message
-                waiter = self._fwd_waiters.pop(token, None)
-                if waiter is not None and not waiter.triggered:
-                    waiter.succeed((outcome, data))
-
-    # -- request forwarding (paper: conflicting calls are "automatically
-    # redirected to the corresponding leader node(s)") -----------------------
 
     def submit_any(self, method: str, arg: Any = None) -> Event:
         """Like :meth:`submit`, but a conflicting call at a non-leader
@@ -945,102 +204,100 @@ class HambandNode:
         erroring with a redirect."""
         if method in self.spec.queries:
             return self.submit(method, arg)
-        category = self._category(method)
+        category = self.applier.category(method)
         if category is not Category.CONFLICTING:
             return self.submit(method, arg)
         group = self.coordination.sync_group(method)
-        if self.mu_groups[group.gid].leader == self.name:
+        if self.conflict.leader_of(group.gid) == self.name:
             return self.submit(method, arg)
         return self.env.process(
-            self._forward_to_leader(group.gid, method, arg),
+            self.control.forward_to_leader(group.gid, method, arg),
             name=f"fwd-client:{self.name}:{method}",
         )
 
-    def _forward_to_leader(self, gid: str, method: str, arg: Any,
-                           max_hops: int = 5):
-        for _hop in range(max_hops):
-            leader = self.mu_groups[gid].leader
-            if leader == self.name:
-                result = yield self.submit(method, arg)
-                return result
-            token = f"{self.name}:{next(self._rid)}"
-            waiter = self.env.event()
-            self._fwd_waiters[token] = waiter
-            yield from self._control_send(
-                leader, ("fwd_req", token, method, arg)
-            )
-            outcome, data = yield waiter
-            if outcome == "ok":
-                m, a, origin, rid = data
-                return Call(m, a, origin, rid)
-            if outcome == "impermissible":
-                raise ImpermissibleError(data)
-            if outcome == "redirect":
-                # The peer no longer leads; adopt its view and retry.
-                self.mu_groups[gid].leader = data
-                continue
-            raise SubmitError(str(data))
-        raise SubmitError(f"no stable leader found for {method}")
+    def effective_state(self) -> Any:
+        """``Apply(S)(σ)``: summaries folded over the stored state."""
+        return self.applier.effective_state()
 
-    def _serve_forwarded(self, src: str, message: Any):
-        _kind, token, method, arg = message
-        self.counters["forwarded"] += 1
-        try:
-            result = yield self.submit(method, arg)
-            reply = ("ok", (result.method, result.arg, result.origin,
-                            result.rid))
-        except NotLeaderError as redirect:
-            reply = ("redirect", redirect.leader)
-        except ImpermissibleError as exc:
-            reply = ("impermissible", str(exc))
-        except SubmitError as exc:
-            reply = ("error", str(exc))
-        yield from self._control_send(
-            src, ("fwd_resp", token, reply[0], reply[1])
-        )
+    def applied_count(self, process: str, method: str) -> int:
+        """A(p, u), consulting summary slots for reducible methods."""
+        return self.applier.applied_count(process, method)
+
+    def applied_total(self) -> int:
+        """Total update calls reflected at this node (A summed)."""
+        return self.applier.applied_total()
+
+    def stats(self) -> dict[str, Any]:
+        """Live runtime statistics: legacy counters + probe snapshot.
+
+        The ``probe`` section carries whatever the installed
+        :class:`~repro.runtime.probe.RuntimeProbe` accumulated — with
+        the default :class:`~repro.runtime.probe.CountingProbe`:
+        per-rule applies, ring-occupancy high-water marks, backpressure
+        stalls, conflict retries/batches, demotions, hole repairs,
+        forwards, redirects, rejections, and broadcast recoveries.
+        """
+        return {
+            "node": self.name,
+            "counters": dict(self.counters),
+            "probe": self.probe.snapshot(),
+        }
+
+    # -- failure handling -------------------------------------------------
 
     def _on_suspect(self, peer: str) -> None:
         self.env.process(
-            self._recover_broadcasts(peer), name=f"recover:{self.name}"
+            self.control.recover_broadcasts(peer),
+            name=f"recover:{self.name}",
         )
-        for gid, mu in self.mu_groups.items():
-            if mu.leader == peer:
-                candidates = [
-                    p
-                    for p in self.processes
-                    if p != peer and not self.detector.is_suspected(p)
-                ]
-                if candidates and candidates[0] == self.name:
-                    self.env.process(
-                        self._campaign(gid), name=f"campaign:{self.name}"
-                    )
+        self.conflict.handle_suspect(peer)
 
-    def _campaign(self, gid: str):
-        mu = self.mu_groups[gid]
-        won = yield from mu.campaign(set(self.detector.suspected))
-        if won:
-            # Old leader's queued clients at this node now proceed here.
-            pass
+    # -- legacy layer-state views (pre-split attribute compatibility) ------
 
-    def _recover_broadcasts(self, peer: str):
-        """Pull a suspected source's backup slot (reliable broadcast).
+    @property
+    def sigma(self) -> Any:
+        return self.applier.sigma
 
-        The slot holds a tagged message: an F-ring call packet or a
-        summary slot image.  Either is delivered if not already seen —
-        agreement for the calls the source broadcast half-way.
-        """
-        message = yield from self.broadcast.fetch_backup_of(peer)
-        if message is None:
-            return
-        tagged = decode_value(message)
-        if tagged[0] == "F":
-            call, dep = decode_call_packet(tagged[1])
-            if call.key() not in self.seen:
-                self.pending_recovered.append((call, dep))
-        elif tagged[0] == "S":
-            _tag, group, slot_bytes = tagged
-            (recovered_seq,) = struct.unpack_from("<Q", slot_bytes, 0)
-            region = self.rnode.regions[s_region(group, peer)]
-            (local_seq,) = struct.unpack_from("<Q", region.read(0, 8), 0)
-            if recovered_seq > local_seq:
-                region.write(0, slot_bytes)
+    @sigma.setter
+    def sigma(self, value: Any) -> None:
+        self.applier.sigma = value
+
+    @property
+    def applied(self) -> dict[tuple[str, str], int]:
+        return self.applier.applied
+
+    @property
+    def seen(self) -> set[tuple[str, int]]:
+        return self.applier.seen
+
+    @property
+    def pending_recovered(self) -> list:
+        return self.applier.pending_recovered
+
+    @property
+    def summary_readers(self) -> dict:
+        return self.applier.summary_readers
+
+    @property
+    def summary_mirror(self) -> dict:
+        return self.applier.summary_mirror
+
+    @property
+    def f_readers(self) -> dict:
+        return self.transport.f_readers
+
+    @property
+    def f_writers(self) -> dict:
+        return self.transport.f_writers
+
+    @property
+    def l_readers(self) -> dict:
+        return self.transport.l_readers
+
+    @property
+    def mu_groups(self) -> dict:
+        return self.conflict.mu_groups
+
+    @property
+    def conf_queues(self) -> dict:
+        return self.conflict.conf_queues

@@ -1,0 +1,162 @@
+"""Instrumentation seam threaded through the four runtime layers.
+
+Every layer calls a handful of :class:`RuntimeProbe` hooks on its hot
+and rare paths.  The base class is a **no-op** — layers can be used
+bare (e.g. in micro-tests) with zero instrumentation cost beyond an
+empty method call.  :class:`CountingProbe` is the live implementation
+the :class:`~repro.runtime.HambandNode` façade installs by default and
+surfaces through ``HambandNode.stats()``, so perf work can measure
+before optimizing:
+
+- per-rule applies (REDUCE / FREE / CONF / FREE_APP / CONF_APP / QUERY),
+- ring occupancy high-water marks (writer-side in-flight depth and
+  reader-side per-sweep drain trains),
+- backpressure stalls per ring,
+- conflict-path retries, decided-batch sizes, demotions, hole repairs,
+- control-plane forwards, redirects, and rejected calls,
+- flow-control ack flushes and broadcast recoveries.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["CountingProbe", "RuntimeProbe"]
+
+
+class RuntimeProbe:
+    """No-op instrumentation interface (override what you measure).
+
+    Hooks are deliberately tiny and exception-free: a probe must never
+    change runtime behaviour.  All hooks take plain strings/ints so a
+    probe can aggregate however it likes (counters, histograms, traces).
+    """
+
+    # -- apply engine ----------------------------------------------------
+
+    def apply(self, rule: str) -> None:
+        """One concrete-semantics transition fired (per-rule counter)."""
+
+    def recovered(self) -> None:
+        """One broadcast-recovered call delivered via the pending queue."""
+
+    # -- transport -------------------------------------------------------
+
+    def ring_depth(self, ring: str, depth: int) -> None:
+        """Observed occupancy of ``ring`` (high-water mark is kept)."""
+
+    def backpressure_stall(self, ring: str) -> None:
+        """A writer waited one backpressure round on ``ring``."""
+
+    def ack_flush(self, ring: str) -> None:
+        """One flow-control ack write pushed back to ``ring``'s writer."""
+
+    # -- conflict coordinator --------------------------------------------
+
+    def conflict_retry(self, gid: str) -> None:
+        """A conflicting call was requeued awaiting permissibility."""
+
+    def conflict_batch(self, gid: str, size: int) -> None:
+        """A decision of ``size`` calls committed for group ``gid``."""
+
+    def demoted(self, gid: str) -> None:
+        """This node stopped leading ``gid``."""
+
+    def hole_repair(self, gid: str) -> None:
+        """The hole detector triggered a log self-repair for ``gid``."""
+
+    # -- control plane ---------------------------------------------------
+
+    def forwarded(self, method: str) -> None:
+        """A conflicting call was served on behalf of a remote client."""
+
+    def redirected(self, method: str) -> None:
+        """A forwarded call bounced: the serving peer no longer leads."""
+
+    def rejected(self, reason: str) -> None:
+        """A request failed (reason: impermissible / not_leader / ...)."""
+
+    # -- reporting -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A point-in-time copy of whatever the probe accumulated."""
+        return {}
+
+
+class CountingProbe(RuntimeProbe):
+    """Counter/high-water-mark probe backing ``HambandNode.stats()``."""
+
+    def __init__(self) -> None:
+        self.applies: dict[str, int] = {}
+        self.ring_highwater: dict[str, int] = {}
+        self.backpressure_stalls: dict[str, int] = {}
+        self.ack_flushes: dict[str, int] = {}
+        self.conflict_retries: dict[str, int] = {}
+        self.conflict_batches: dict[str, int] = {}
+        self.conflict_batch_max: dict[str, int] = {}
+        self.demotions: dict[str, int] = {}
+        self.hole_repairs: dict[str, int] = {}
+        self.forwards: dict[str, int] = {}
+        self.redirects: dict[str, int] = {}
+        self.rejections: dict[str, int] = {}
+        self.recoveries = 0
+
+    @staticmethod
+    def _bump(table: dict[str, int], key: str, by: int = 1) -> None:
+        table[key] = table.get(key, 0) + by
+
+    def apply(self, rule: str) -> None:
+        self._bump(self.applies, rule)
+
+    def recovered(self) -> None:
+        self.recoveries += 1
+
+    def ring_depth(self, ring: str, depth: int) -> None:
+        if depth > self.ring_highwater.get(ring, 0):
+            self.ring_highwater[ring] = depth
+
+    def backpressure_stall(self, ring: str) -> None:
+        self._bump(self.backpressure_stalls, ring)
+
+    def ack_flush(self, ring: str) -> None:
+        self._bump(self.ack_flushes, ring)
+
+    def conflict_retry(self, gid: str) -> None:
+        self._bump(self.conflict_retries, gid)
+
+    def conflict_batch(self, gid: str, size: int) -> None:
+        self._bump(self.conflict_batches, gid)
+        if size > self.conflict_batch_max.get(gid, 0):
+            self.conflict_batch_max[gid] = size
+
+    def demoted(self, gid: str) -> None:
+        self._bump(self.demotions, gid)
+
+    def hole_repair(self, gid: str) -> None:
+        self._bump(self.hole_repairs, gid)
+
+    def forwarded(self, method: str) -> None:
+        self._bump(self.forwards, method)
+
+    def redirected(self, method: str) -> None:
+        self._bump(self.redirects, method)
+
+    def rejected(self, reason: str) -> None:
+        self._bump(self.rejections, reason)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "applies": dict(self.applies),
+            "ring_highwater": dict(self.ring_highwater),
+            "backpressure_stalls": dict(self.backpressure_stalls),
+            "ack_flushes": dict(self.ack_flushes),
+            "conflict_retries": dict(self.conflict_retries),
+            "conflict_batches": dict(self.conflict_batches),
+            "conflict_batch_max": dict(self.conflict_batch_max),
+            "demotions": dict(self.demotions),
+            "hole_repairs": dict(self.hole_repairs),
+            "forwards": dict(self.forwards),
+            "redirects": dict(self.redirects),
+            "rejections": dict(self.rejections),
+            "recoveries": self.recoveries,
+        }

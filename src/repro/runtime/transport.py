@@ -1,0 +1,237 @@
+"""Layer 1 — one-sided ring transport (paper §4 "Meta-data").
+
+:class:`RingTransport` owns everything about moving buffered-call
+records between nodes over one-sided writes:
+
+- registration of every Hamband memory region at this node (F ring per
+  peer, L ring per synchronization group, summary slot per
+  (summarization group, process), and the tiny flow-control ack slots),
+- the F-ring reader per peer and the writer mirror toward each peer's
+  copy of *our* F ring,
+- the L-ring reader per synchronization group (the leader-side L
+  writers live inside Mu, which shares the ring layout),
+- writer backpressure against reader acks (`render_with_backpressure`)
+  and the reader-side ack flush (`flush_acks` / `post_ack`),
+- the generic drain loop over a ring (`drain`), which delegates all
+  application *decisions* (dedup, dependency checks, the apply itself)
+  to an apply sink — the transport never touches σ or A.
+
+The sink protocol (duck-typed; :class:`~repro.runtime.applier.ApplyEngine`
+implements it):
+
+- ``sink.has_seen(key) -> bool`` — drop duplicates,
+- ``sink.dep_ok(dep) -> bool`` — may the head record apply yet?
+- ``sink.apply(call, rule)`` — a generator applying the call (CPU cost
+  included).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core import Coordination
+from ..rdma import RdmaNode
+from .config import (
+    RuntimeConfig,
+    f_ack_region,
+    f_region,
+    l_ack_region,
+    l_region,
+    s_region,
+)
+from .probe import RuntimeProbe
+from .ringbuffer import RingError, RingReader, RingWriter
+from .summary import slot_size_for
+from .wire import decode_call_packet
+
+__all__ = ["RingTransport"]
+
+
+class RingTransport:
+    """Ring-buffer data plane of one node: regions, readers, writers."""
+
+    def __init__(self, rnode: RdmaNode, coordination: Coordination,
+                 processes: list[str], config: RuntimeConfig,
+                 probe: Optional[RuntimeProbe] = None):
+        self.rnode = rnode
+        self.env = rnode.env
+        self.name = rnode.name
+        self.coordination = coordination
+        self.processes = sorted(processes)
+        self.peers = [p for p in self.processes if p != self.name]
+        self.config = config
+        self.probe = probe or RuntimeProbe()
+        self._register_regions()
+        self._init_rings()
+
+    # -- setup -----------------------------------------------------------
+
+    def _register_regions(self) -> None:
+        cfg = self.config
+        for peer in self.peers:
+            self.rnode.register(
+                f_region(peer), cfg.ring_slots * cfg.slot_size
+            )
+        for group in self.coordination.sync_groups():
+            self.rnode.register(
+                l_region(group.gid), cfg.ring_slots * cfg.slot_size
+            )
+        for reader in self.peers:
+            self.rnode.register(f_ack_region(reader), 8)
+            for group in self.coordination.sync_groups():
+                self.rnode.register(l_ack_region(group.gid, reader), 8)
+        summary_size = slot_size_for(cfg.summary_payload)
+        for summarizer in self.coordination.spec.summarizers:
+            for owner in self.processes:
+                self.rnode.register(
+                    s_region(summarizer.group, owner), summary_size
+                )
+
+    def _init_rings(self) -> None:
+        cfg = self.config
+        self.f_readers = {
+            peer: RingReader(
+                self.rnode.regions[f_region(peer)],
+                cfg.ring_slots,
+                cfg.slot_size,
+            )
+            for peer in self.peers
+        }
+        #: Our writer state toward each peer's copy of our F ring.
+        self.f_writers = {
+            peer: RingWriter(cfg.ring_slots, cfg.slot_size)
+            for peer in self.peers
+        }
+        if cfg.ack_every:
+            for writer in self.f_writers.values():
+                writer.reader_acked = 0
+        #: Last ring-head count acknowledged back to each writer.
+        self._acked: dict[str, int] = {}
+        self.l_readers = {
+            group.gid: RingReader(
+                self.rnode.regions[l_region(group.gid)],
+                cfg.ring_slots,
+                cfg.slot_size,
+            )
+            for group in self.coordination.sync_groups()
+        }
+
+    # -- writer path -----------------------------------------------------
+
+    def render_with_backpressure(self, writer: RingWriter,
+                                 ack_region_name: str, payload: bytes,
+                                 is_suspected: Callable[[str], bool]):
+        """Render a ring record, waiting for reader progress when full.
+
+        The reader's acks land in our local ack region; refreshing it is
+        a local memory read.  A reader that stops acking entirely (dead
+        or suspected) stops throttling us: we fall back to ring-sizing
+        mode rather than blocking behind a corpse.
+        """
+        cfg = self.config
+        reader = self._reader_of(ack_region_name)
+        waited = 0
+        while True:
+            if cfg.ack_every:
+                acked = self.rnode.regions[ack_region_name].read_u64(0)
+                writer.ack_up_to(acked)
+                if writer.reader_acked is not None:
+                    self.probe.ring_depth(
+                        f"F->{reader}", writer.tail - writer.reader_acked
+                    )
+            try:
+                return writer.render(payload)
+            except RingError:
+                waited += 1
+                self.probe.backpressure_stall(f"F->{reader}")
+                if waited > cfg.backpressure_limit or is_suspected(reader):
+                    writer.reader_acked = None  # stop throttling
+                    return writer.render(payload)
+                yield self.env.timeout(cfg.backpressure_wait_us)
+
+    @staticmethod
+    def _reader_of(ack_region_name: str) -> str:
+        return ack_region_name.rsplit(":", 1)[-1]
+
+    def prepare_f_writes(self, packet: bytes,
+                         is_suspected: Callable[[str], bool]):
+        """Render ``packet`` into every peer's F writer; return the
+        (qp, region, offset, bytes) write list for the broadcaster."""
+        writes = []
+        for peer in self.peers:
+            offset, slot = yield from self.render_with_backpressure(
+                self.f_writers[peer], f_ack_region(peer), packet,
+                is_suspected,
+            )
+            writes.append(
+                (
+                    self.rnode.qp_to(peer),
+                    self.rnode.region_of(peer, f_region(self.name)),
+                    offset,
+                    slot,
+                )
+            )
+        return writes
+
+    # -- reader path -----------------------------------------------------
+
+    def drain(self, reader: RingReader, rule: str, sink, label: str = ""):
+        """Apply consecutive ready records at ``reader``'s head.
+
+        Blocks at the first record whose dependency array is not yet
+        satisfied — the head blocks the buffer, as in the semantics.
+        Returns True when at least one record applied.
+        """
+        progressed = False
+        drained = 0
+        while True:
+            payload = reader.peek()
+            if payload is None:
+                break
+            call, dep = decode_call_packet(payload)
+            if sink.has_seen(call.key()):
+                reader.advance()  # duplicate via recovery path
+                continue
+            if not sink.dep_ok(dep):
+                break
+            yield from sink.apply(call, rule)
+            reader.advance()
+            drained += 1
+            progressed = True
+        if drained and label:
+            self.probe.ring_depth(label, drained)
+        return progressed
+
+    # -- flow-control acks -----------------------------------------------
+
+    def flush_acks(self, leader_of: Callable[[str], str]):
+        """Push ring-progress acks back to the writers (flow control).
+
+        ``leader_of(gid)`` names the current writer of an L ring (the
+        group's leader owns the corresponding ack slot).
+        """
+        cfg = self.config
+        for origin, reader in self.f_readers.items():
+            key = f"F:{origin}"
+            if reader.head - self._acked.get(key, 0) >= cfg.ack_every:
+                yield from self.post_ack(
+                    origin, f_ack_region(self.name), reader.head
+                )
+                self._acked[key] = reader.head
+                self.probe.ack_flush(key)
+        for gid, reader in self.l_readers.items():
+            key = f"L:{gid}"
+            if reader.head - self._acked.get(key, 0) >= cfg.ack_every:
+                leader = leader_of(gid)
+                if leader != self.name:
+                    yield from self.post_ack(
+                        leader, l_ack_region(gid, self.name), reader.head
+                    )
+                    self.probe.ack_flush(key)
+                self._acked[key] = reader.head
+
+    def post_ack(self, target: str, region_name: str, head: int):
+        region = self.rnode.region_of(target, region_name)
+        qp = self.rnode.qp_to(target)
+        yield from self.rnode.cpu.use(qp.config.post_cpu_us)
+        qp.post_write(region, 0, head.to_bytes(8, "little"))

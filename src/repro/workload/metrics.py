@@ -8,6 +8,7 @@ feed the per-method figures (11b, 13b).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 __all__ = ["LatencySeries", "RunResult"]
@@ -31,10 +32,19 @@ class LatencySeries:
         return sum(self.samples) / len(self.samples) if self.samples else 0.0
 
     def percentile(self, q: float) -> float:
+        """Nearest-rank percentile: the smallest sample such that at
+        least ``q`` of the distribution is at or below it.
+
+        The nearest-rank rank is ``ceil(q*n)`` (1-based), i.e. index
+        ``ceil(q*n) - 1``.  The previous ``int(q*n)`` over-indexed by
+        one position whenever ``q*n`` was not integral (e.g. the p50 of
+        4 samples picked the 3rd instead of the 2nd), biasing every
+        reported percentile high.
+        """
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, int(q * len(ordered)))
+        index = max(0, min(len(ordered), math.ceil(q * len(ordered))) - 1)
         return ordered[index]
 
     @property
@@ -44,6 +54,10 @@ class LatencySeries:
     @property
     def p95(self) -> float:
         return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
 
 
 @dataclass

@@ -1,0 +1,117 @@
+"""Regression tests for the HambandNode façade after the layer split.
+
+The runtime decomposition (transport / applier / conflict / control)
+must not move any public name: these tests pin the historical import
+paths and the legacy attribute views other tests and downstream code
+rely on.
+"""
+
+from repro.datatypes import account_spec, gset_spec
+from repro.runtime import HambandCluster
+from repro.sim import Environment
+
+
+class TestImportPathStability:
+    def test_errors_importable_from_node_module(self):
+        from repro.runtime.node import (  # noqa: F401
+            ImpermissibleError,
+            NotLeaderError,
+            RuntimeConfig,
+            SubmitError,
+        )
+
+    def test_errors_importable_from_package(self):
+        from repro.runtime import (  # noqa: F401
+            ImpermissibleError,
+            NotLeaderError,
+            RuntimeConfig,
+            SubmitError,
+        )
+
+    def test_same_objects_either_way(self):
+        import repro.runtime as pkg
+        import repro.runtime.errors as errors
+        import repro.runtime.node as node
+
+        for name in ("SubmitError", "NotLeaderError", "ImpermissibleError"):
+            assert getattr(node, name) is getattr(errors, name)
+            assert getattr(pkg, name) is getattr(errors, name)
+        import repro.runtime.config as config
+
+        assert node.RuntimeConfig is config.RuntimeConfig
+        assert pkg.RuntimeConfig is config.RuntimeConfig
+
+    def test_exception_hierarchy_preserved(self):
+        from repro.runtime import (
+            ImpermissibleError,
+            NotLeaderError,
+            SubmitError,
+        )
+
+        assert issubclass(NotLeaderError, SubmitError)
+        assert issubclass(ImpermissibleError, SubmitError)
+        redirect = NotLeaderError("withdraw", "p2")
+        assert redirect.leader == "p2"
+
+    def test_layer_classes_exported(self):
+        from repro.runtime import (  # noqa: F401
+            ApplyEngine,
+            ConflictCoordinator,
+            ControlPlane,
+            CountingProbe,
+            RingTransport,
+            RuntimeProbe,
+        )
+
+    def test_each_layer_module_imports_standalone(self):
+        import importlib
+
+        for module in ("transport", "applier", "conflict", "control",
+                       "probe", "errors", "config"):
+            assert importlib.import_module(f"repro.runtime.{module}")
+
+
+class TestFacadeComposition:
+    def test_node_composes_the_four_layers(self):
+        from repro.runtime import (
+            ApplyEngine,
+            ConflictCoordinator,
+            ControlPlane,
+            RingTransport,
+        )
+
+        env = Environment()
+        cluster = HambandCluster.build(env, account_spec(), n_nodes=3)
+        node = cluster.node("p1")
+        assert isinstance(node.transport, RingTransport)
+        assert isinstance(node.applier, ApplyEngine)
+        assert isinstance(node.conflict, ConflictCoordinator)
+        assert isinstance(node.control, ControlPlane)
+        # One probe threaded through all four layers.
+        assert node.transport.probe is node.probe
+        assert node.applier.probe is node.probe
+        assert node.conflict.probe is node.probe
+        assert node.control.probe is node.probe
+
+    def test_legacy_attribute_views_alias_layer_state(self):
+        env = Environment()
+        cluster = HambandCluster.build(env, gset_spec(), n_nodes=3)
+        node = cluster.node("p1")
+        assert node.sigma is node.applier.sigma
+        assert node.applied is node.applier.applied
+        assert node.seen is node.applier.seen
+        assert node.f_readers is node.transport.f_readers
+        assert node.f_writers is node.transport.f_writers
+        assert node.l_readers is node.transport.l_readers
+        assert node.mu_groups is node.conflict.mu_groups
+        assert node.conf_queues is node.conflict.conf_queues
+        assert node.summary_readers is node.applier.summary_readers
+
+    def test_state_flows_through_facade_views(self):
+        env = Environment()
+        cluster = HambandCluster.build(env, gset_spec(), n_nodes=3)
+        env.run(until=cluster.node("p1").submit("add", "x"))
+        node = cluster.node("p1")
+        assert "x" in node.sigma
+        assert node.applied[("p1", "add")] == 1
+        assert node.effective_state() == node.applier.effective_state()

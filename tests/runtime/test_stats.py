@@ -1,10 +1,15 @@
-"""Tests for runtime counters and fabric statistics."""
+"""Tests for runtime counters, probe statistics, and fabric statistics."""
 
 import pytest
 
 from repro.datatypes import account_spec, counter_spec, gset_spec
 from repro.rdma import Opcode
-from repro.runtime import HambandCluster
+from repro.runtime import (
+    CountingProbe,
+    HambandCluster,
+    RuntimeConfig,
+    RuntimeProbe,
+)
 from repro.sim import Environment
 from repro.workload import DriverConfig, run_workload
 
@@ -66,6 +71,135 @@ class TestNodeCounters:
         for name, node in cluster.nodes.items():
             if name != leader:
                 assert node.counters["conf_decided"] == 0
+
+
+class TestStatsSurface:
+    """HambandNode.stats(): live probe counters through the seam."""
+
+    def test_stats_shape(self):
+        env = Environment()
+        cluster = HambandCluster.build(env, gset_spec(), n_nodes=3)
+        stats = cluster.node("p1").stats()
+        assert stats["node"] == "p1"
+        assert set(stats) == {"node", "counters", "probe"}
+        for key in ("applies", "ring_highwater", "backpressure_stalls",
+                    "conflict_retries", "conflict_batches", "forwards",
+                    "rejections", "recoveries"):
+            assert key in stats["probe"]
+
+    def test_per_rule_applies_advance_end_to_end(self):
+        _env, cluster, result = run(gset_spec(), "gset")
+        applies = {}
+        for node in cluster.nodes.values():
+            for rule, count in node.stats()["probe"]["applies"].items():
+                applies[rule] = applies.get(rule, 0) + count
+        assert applies["FREE"] == result.update_calls
+        assert applies["FREE_APP"] == 2 * result.update_calls
+        assert applies.get("QUERY", 0) == result.total_calls - result.update_calls
+
+    def test_reduce_and_conf_rules_counted(self):
+        _env, cluster, _result = run(counter_spec(), "counter")
+        reduced = sum(
+            node.stats()["probe"]["applies"].get("REDUCE", 0)
+            for node in cluster.nodes.values()
+        )
+        assert reduced > 0
+        _env2, cluster2, _r2 = run(account_spec(), "account")
+        conf = sum(
+            node.stats()["probe"]["applies"].get("CONF", 0)
+            for node in cluster2.nodes.values()
+        )
+        assert conf > 0
+
+    def test_backpressure_stalls_and_highwater_advance(self):
+        """A burst through a tiny ring with a lazy reader must register
+        stalls and a non-trivial occupancy high-water mark."""
+        env = Environment()
+        cluster = HambandCluster.build(
+            env,
+            gset_spec(),
+            n_nodes=3,
+            config=RuntimeConfig(
+                ring_slots=8,
+                ack_every=2,
+                poll_interval_us=20.0,
+                poll_hot_us=5.0,
+                backpressure_wait_us=1.0,
+            ),
+        )
+        for i in range(24):
+            env.run(until=cluster.node("p1").submit("add", f"e{i}"))
+        env.run(until=env.now + 3000)
+        assert cluster.converged()
+        probe = cluster.node("p1").stats()["probe"]
+        assert sum(probe["backpressure_stalls"].values()) > 0
+        assert max(probe["ring_highwater"].values()) > 1
+
+    def test_conflict_retries_advance_when_dependency_lags(self):
+        """A withdraw ordered before its deposit has replicated to the
+        leader retries on permissibility (Fig. 11b/13b path)."""
+        env = Environment()
+        cluster = HambandCluster.build(env, account_spec(), n_nodes=3)
+        leader = cluster.node("p1").current_leader("withdraw")
+        follower = next(
+            n for n in cluster.node_names() if n != leader
+        )
+        # Deposit at a follower: its summary needs a round trip to the
+        # leader, while the withdraw is queued at the leader at once.
+        deposit = cluster.node(follower).submit("deposit", 10)
+        withdraw = cluster.node(leader).submit("withdraw", 5)
+        env.run(until=deposit)
+        env.run(until=withdraw)
+        env.run(until=env.now + 2000)
+        probe = cluster.node(leader).stats()["probe"]
+        assert sum(probe["conflict_retries"].values()) > 0
+        assert cluster.effective_states()[leader] == 5
+
+    def test_ack_flushes_counted(self):
+        env = Environment()
+        cluster = HambandCluster.build(
+            env, gset_spec(), n_nodes=3,
+            config=RuntimeConfig(ack_every=2),
+        )
+        for i in range(12):
+            env.run(until=cluster.node("p1").submit("add", i))
+        env.run(until=env.now + 2000)
+        flushed = sum(
+            sum(node.stats()["probe"]["ack_flushes"].values())
+            for node in cluster.nodes.values()
+        )
+        assert flushed > 0
+
+    def test_noop_probe_opt_out(self):
+        """probe_factory lets a run go uninstrumented: stats()['probe']
+        stays empty while the legacy counters still advance."""
+        env = Environment()
+        cluster = HambandCluster.build(
+            env, gset_spec(), n_nodes=3,
+            probe_factory=lambda name: RuntimeProbe(),
+        )
+        env.run(until=cluster.node("p1").submit("add", "x"))
+        env.run(until=env.now + 1000)
+        stats = cluster.node("p1").stats()
+        assert stats["probe"] == {}
+        assert stats["counters"]["freed"] == 1
+
+    def test_custom_counting_probe_instance(self):
+        env = Environment()
+        probes = {}
+
+        def factory(name):
+            probes[name] = CountingProbe()
+            return probes[name]
+
+        cluster = HambandCluster.build(
+            env, gset_spec(), n_nodes=3, probe_factory=factory
+        )
+        env.run(until=cluster.node("p1").submit("add", "x"))
+        env.run(until=env.now + 1000)
+        assert cluster.node("p1").probe is probes["p1"]
+        assert probes["p1"].applies["FREE"] == 1
+        assert probes["p2"].applies["FREE_APP"] == 1
 
 
 class TestFabricStats:

@@ -193,3 +193,24 @@ class TestLatencySeries:
         series = LatencySeries()
         assert series.mean == 0.0
         assert series.p50 == 0.0
+        assert series.p99 == 0.0
+
+    def test_nearest_rank_is_unbiased(self):
+        """ceil(q*n)-1 indexing: the old int(q*n) over-indexed by one
+        whole position whenever q*n was not integral."""
+        series = LatencySeries()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            series.add(v)
+        # p50 of 4 samples is the 2nd (ceil(0.5*4)=2), not the 3rd.
+        assert series.p50 == 2.0
+        assert series.percentile(0.25) == 1.0
+        assert series.percentile(0.75) == 3.0
+        assert series.percentile(1.0) == 4.0
+
+    def test_p99_on_a_hundred_samples(self):
+        series = LatencySeries()
+        for v in range(1, 101):
+            series.add(float(v))
+        assert series.p50 == 50.0
+        assert series.p95 == 95.0
+        assert series.p99 == 99.0
