@@ -1,20 +1,31 @@
 """Benchmark harness shared by benchmarks/ (one module per figure)."""
 
-from .report import fig_header, per_method_table, ratio_line, series_table
+from .report import (
+    fig_header,
+    per_method_table,
+    phase_latency_table,
+    ratio_line,
+    series_table,
+)
 from .runner import (
     ExperimentConfig,
+    TracedRun,
     average_results,
     run_averaged,
     run_experiment,
+    run_traced,
 )
 
 __all__ = [
     "ExperimentConfig",
+    "TracedRun",
     "average_results",
     "fig_header",
     "per_method_table",
+    "phase_latency_table",
     "ratio_line",
     "run_averaged",
     "run_experiment",
+    "run_traced",
     "series_table",
 ]

@@ -8,11 +8,17 @@ copy next to the paper's numbers.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
-from ..workload import RunResult
+from ..workload import Histogram, RunResult
 
-__all__ = ["fig_header", "series_table", "per_method_table", "ratio_line"]
+__all__ = [
+    "fig_header",
+    "phase_latency_table",
+    "series_table",
+    "per_method_table",
+    "ratio_line",
+]
 
 
 def fig_header(figure: str, caption: str) -> str:
@@ -46,6 +52,40 @@ def per_method_table(title: str, result: RunResult,
         if series is None or series.count == 0:
             continue
         lines.append(f"{method:20s} {series.mean:13.3f} {series.count:7d}")
+    return "\n".join(lines)
+
+
+#: Display order for lifecycle phases in the phase-latency table.
+PHASE_ORDER = ("invoke", "propagate", "decide", "apply", "forward")
+
+
+def phase_latency_table(title: str,
+                        phases: Mapping[str, Histogram]) -> str:
+    """Per-phase latency columns from a traced run.
+
+    ``phases`` is the output of
+    :meth:`~repro.runtime.TraceRecorder.phase_histograms`: the call
+    lifecycle broken into invoke (local commit), propagate (ring
+    fan-out + reliable broadcast), decide (leader batch replication
+    through Mu), apply (remote buffered apply), and forward (control
+    plane round trips).
+    """
+    lines = [f"\n-- {title} --"]
+    lines.append(
+        f"{'phase':12s} {'count':>7s} {'mean (us)':>10s} "
+        f"{'p50 (us)':>9s} {'p95 (us)':>9s} {'p99 (us)':>9s}"
+    )
+    ordered = [p for p in PHASE_ORDER if p in phases]
+    ordered += sorted(set(phases) - set(PHASE_ORDER))
+    for phase in ordered:
+        histogram = phases[phase]
+        if histogram.count == 0:
+            continue
+        lines.append(
+            f"{phase:12s} {histogram.count:7d} {histogram.mean:10.3f} "
+            f"{histogram.p50:9.3f} {histogram.p95:9.3f} "
+            f"{histogram.p99:9.3f}"
+        )
     return "\n".join(lines)
 
 

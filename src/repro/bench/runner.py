@@ -15,12 +15,18 @@ from typing import Callable, Optional
 from ..datatypes import SPEC_FACTORIES
 from ..datatypes.orset import orset_spec
 from ..msgpass import MsgCrdtCluster
-from ..runtime import HambandCluster, RuntimeConfig
+from ..runtime import HambandCluster, RuntimeConfig, TraceRecorder
 from ..sim import Environment
 from ..smr import SmrCluster
 from ..workload import DriverConfig, RunResult, run_workload
 
-__all__ = ["ExperimentConfig", "average_results", "run_experiment"]
+__all__ = [
+    "ExperimentConfig",
+    "TracedRun",
+    "average_results",
+    "run_experiment",
+    "run_traced",
+]
 
 SYSTEMS = ("hamband", "mu", "msg")
 
@@ -53,10 +59,8 @@ class ExperimentConfig:
     full_dep_barrier: bool = False
 
 
-def run_experiment(config: ExperimentConfig) -> RunResult:
-    if config.system not in SYSTEMS:
-        raise ValueError(f"unknown system {config.system!r}")
-    env = Environment()
+def _build_cluster(env: Environment, config: ExperimentConfig,
+                   probe_factory: Optional[Callable] = None):
     spec = _spec_factory(config.workload)()
     if config.system == "hamband":
         runtime_config = RuntimeConfig(
@@ -64,23 +68,27 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
             conf_retry_limit=config.conf_retry_limit,
             full_dep_barrier=config.full_dep_barrier,
         )
-        cluster = HambandCluster.build(
+        return HambandCluster.build(
             env,
             spec,
             n_nodes=config.n_nodes,
             config=runtime_config,
             leaders=config.leaders,
+            probe_factory=probe_factory,
         )
-    elif config.system == "mu":
+    if config.system == "mu":
         runtime_config = RuntimeConfig(
             conf_retry_limit=config.conf_retry_limit
         )
-        cluster = SmrCluster.build_smr(
-            env, spec, n_nodes=config.n_nodes, config=runtime_config
+        return SmrCluster.build_smr(
+            env, spec, n_nodes=config.n_nodes, config=runtime_config,
+            probe_factory=probe_factory,
         )
-    else:
-        cluster = MsgCrdtCluster(env, spec, config.n_nodes)
-    driver = DriverConfig(
+    return MsgCrdtCluster(env, spec, config.n_nodes)
+
+
+def _driver(config: ExperimentConfig) -> DriverConfig:
+    return DriverConfig(
         workload=config.workload,
         total_ops=config.total_ops,
         update_ratio=config.update_ratio,
@@ -89,7 +97,58 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         fail_node=config.fail_node,
         fail_at_fraction=config.fail_at_fraction,
     )
-    return run_workload(env, cluster, driver)
+
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    if config.system not in SYSTEMS:
+        raise ValueError(f"unknown system {config.system!r}")
+    env = Environment()
+    cluster = _build_cluster(env, config)
+    return run_workload(env, cluster, _driver(config))
+
+
+@dataclass
+class TracedRun:
+    """One experiment run with its flight recorder still attached."""
+
+    result: RunResult
+    cluster: object
+    recorder: TraceRecorder
+
+    def check(self):
+        """Run the offline integrity/convergence checker on the trace."""
+        from ..runtime import TraceChecker
+
+        checker = TraceChecker(
+            self.cluster.coordination,
+            processes=self.cluster.node_names(),
+        )
+        return checker.check(
+            self.recorder.events(), dropped=self.recorder.dropped()
+        )
+
+
+def run_traced(config: ExperimentConfig,
+               capacity: int = 1 << 20) -> TracedRun:
+    """Like :func:`run_experiment`, but with a flight recorder installed.
+
+    Only the Hamband-runtime systems (``hamband``, ``mu``) expose the
+    probe seam; the message-passing baseline has nothing to trace.
+    ``capacity`` bounds the per-node event ring buffer — size it to the
+    run (the offline checker refuses truncated traces).
+    """
+    if config.system not in ("hamband", "mu"):
+        raise ValueError(
+            f"system {config.system!r} has no probe seam to trace"
+        )
+    env = Environment()
+    recorder = TraceRecorder(env, capacity=capacity)
+    cluster = _build_cluster(
+        env, config, probe_factory=recorder.probe_factory
+    )
+    recorder.attach(cluster.coordination)
+    result = run_workload(env, cluster, _driver(config))
+    return TracedRun(result=result, cluster=cluster, recorder=recorder)
 
 
 def run_averaged(config: ExperimentConfig, repeats: int = 3) -> RunResult:

@@ -8,7 +8,11 @@ Commands:
   dependencies, and per-method categories.
 - ``run <workload>`` — drive one experiment (system, node count, ops,
   update ratio configurable) and print the measured throughput and
-  response times.
+  response times.  ``--stats`` prints per-node probe snapshots, the
+  cluster rollup, and per-phase latency columns; ``--trace FILE``
+  records a flight-recorder trace (Chrome ``trace_event`` JSON or
+  JSONL); ``--check`` replays the trace through the offline
+  integrity/convergence checker (exit code 2 on violations).
 """
 
 from __future__ import annotations
@@ -59,6 +63,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fail-node", default=None, help="suspend this node's heartbeat"
     )
     run.add_argument("--per-method", action="store_true")
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-node probe snapshots, the cluster rollup, and "
+        "per-phase latencies after the run",
+    )
+    run.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record a flight-recorder trace and export it: *.jsonl "
+        "gets JSON lines, anything else the Chrome trace_event format "
+        "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    run.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=1 << 20,
+        help="per-node trace ring-buffer capacity (events)",
+    )
+    run.add_argument(
+        "--check",
+        action="store_true",
+        help="replay the recorded trace through the offline "
+        "integrity/convergence checker; exit 2 on violations",
+    )
     return parser
 
 
@@ -167,8 +197,20 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .bench import ExperimentConfig, run_experiment
+    import json
 
+    from .bench import (
+        ExperimentConfig,
+        phase_latency_table,
+        run_experiment,
+        run_traced,
+    )
+
+    instrumented = args.stats or args.trace is not None or args.check
+    if instrumented and args.system == "msg":
+        print("--stats/--trace/--check need the Hamband probe seam; "
+              "the msg baseline has none (use --system hamband or mu)")
+        return 1
     config = ExperimentConfig(
         system=args.system,
         workload=args.workload,
@@ -178,8 +220,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         fail_node=args.fail_node,
     )
+    traced = None
     try:
-        result = run_experiment(config)
+        if instrumented:
+            traced = run_traced(config, capacity=args.trace_capacity)
+            result = traced.result
+        else:
+            result = run_experiment(config)
     except KeyError:
         print(f"unknown workload {args.workload!r}; try `repro list`")
         return 1
@@ -192,6 +239,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"p95={series.p95:8.3f}us p99={series.p99:8.3f}us "
                 f"n={series.count}"
             )
+    if args.stats:
+        print(json.dumps(traced.cluster.stats(), indent=2, default=str))
+        print(phase_latency_table(
+            "per-phase latency (trace spans)",
+            traced.recorder.phase_histograms(),
+        ))
+    if args.trace is not None:
+        if args.trace.endswith(".jsonl"):
+            count = traced.recorder.export_jsonl(args.trace)
+        else:
+            count = traced.recorder.export_chrome(args.trace)
+        dropped = traced.recorder.dropped()
+        print(f"trace: {count} events -> {args.trace}"
+              + (f" ({dropped} dropped)" if dropped else ""))
+    if args.check:
+        report = traced.check()
+        print(report.summary())
+        if not report.ok:
+            return 2
     return 0
 
 

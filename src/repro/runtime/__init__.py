@@ -6,10 +6,17 @@ The runtime is a layered composition (see docs/runtime_architecture.md):
 leader path), and :class:`ControlPlane` (rare-path two-sided messaging),
 instrumented through the :class:`RuntimeProbe` seam and fronted by the
 :class:`HambandNode` façade.
+
+Observability rides on the probe seam: :class:`TracingProbe` /
+:class:`TraceRecorder` (``runtime/trace.py``) record causal event
+traces with per-phase latency histograms, and :class:`TraceChecker`
+(``runtime/checker.py``) replays a recorded trace offline to verify
+the paper's integrity and convergence obligations.
 """
 
 from .applier import ApplyEngine
 from .broadcast import ReliableBroadcast
+from .checker import CheckReport, TraceChecker, Violation
 from .cluster import HambandCluster
 from .conflict import ConflictCoordinator
 from .control import ControlPlane
@@ -21,8 +28,9 @@ from .node import (
     RuntimeConfig,
     SubmitError,
 )
-from .probe import CountingProbe, RuntimeProbe
+from .probe import CountingProbe, RuntimeProbe, rollup_snapshots
 from .ringbuffer import RingError, RingReader, RingWriter, ring_region_size
+from .trace import TraceEvent, TraceRecorder, TracingProbe
 from .transport import RingTransport
 from .summary import SummarySlot, render_summary, slot_size_for
 from .wire import (
@@ -35,6 +43,7 @@ from .wire import (
 
 __all__ = [
     "ApplyEngine",
+    "CheckReport",
     "ConflictCoordinator",
     "ControlPlane",
     "CountingProbe",
@@ -53,6 +62,11 @@ __all__ = [
     "RuntimeConfig",
     "SubmitError",
     "SummarySlot",
+    "TraceChecker",
+    "TraceEvent",
+    "TraceRecorder",
+    "TracingProbe",
+    "Violation",
     "WireError",
     "decode_call_packet",
     "decode_value",
@@ -60,5 +74,6 @@ __all__ = [
     "encode_value",
     "render_summary",
     "ring_region_size",
+    "rollup_snapshots",
     "slot_size_for",
 ]

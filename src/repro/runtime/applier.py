@@ -196,8 +196,10 @@ class ApplyEngine:
 
     def apply(self, call: Call, rule: str):
         """Generator: pay the apply CPU cost, then commit the call."""
+        self.probe.span_begin("apply", call.method, call.origin, call.rid)
         yield from self.rnode.cpu.use(self.config.apply_cpu_us)
         self.apply_buffered(call, rule)
+        self.probe.span_end("apply", call.method, call.origin, call.rid)
 
     def apply_buffered(self, call: Call, rule: str) -> None:
         self.counters["buffer_applied"] = (
@@ -207,6 +209,9 @@ class ApplyEngine:
         self.bump_applied(call.origin, call.method)
         self.seen.add(call.key())
         self.log_event(rule, call)
+        self.probe.trace_apply(
+            rule, call.method, call.origin, call.rid, call.arg
+        )
 
     def add_recovered(self, call: Call, dep: DependencyMap) -> None:
         self.pending_recovered.append((call, dep))
@@ -235,14 +240,17 @@ class ApplyEngine:
         yield from self.rnode.cpu.use(self.config.query_cpu_us)
         self.counters["queries"] = self.counters.get("queries", 0) + 1
         self.probe.apply("QUERY")
+        self.probe.trace_apply("QUERY", method, self.name, 0, arg)
         return self.spec.run_query(method, arg, self.effective_state())
 
     # Case 2: reducible — summarize locally, one remote write per peer.
     def do_reduce(self, method: str, arg: Any):
         yield from self.rnode.cpu.use(self.config.local_cpu_us)
         call = self.make_call(method, arg)
+        self.probe.span_begin("invoke", method, call.origin, call.rid)
         state = self.effective_state()
         if not self.spec.invariant(self.spec.apply_call(call, state)):
+            self.probe.span_end("invoke", method, call.origin, call.rid)
             self.probe.rejected("impermissible")
             raise ImpermissibleError(f"{call} violates the invariant")
         summarizer = self.spec.summarizer_of(method)
@@ -259,6 +267,8 @@ class ApplyEngine:
         # Local install first (the REDUCE transition's own-process part).
         self.rnode.regions[region_name].write(0, slot_bytes)
         self.log_event("REDUCE", call)
+        self.probe.trace_apply("REDUCE", method, call.origin, call.rid, arg)
+        self.probe.span_end("invoke", method, call.origin, call.rid)
         self.counters["reduced"] = self.counters.get("reduced", 0) + 1
         own_region = self.rnode.regions[region_name]
         # A retried summary write re-renders the region's CURRENT bytes
@@ -274,17 +284,25 @@ class ApplyEngine:
             for peer in self.transport.peers
         ]
         message = encode_value(("S", summarizer.group, slot_bytes))
+        self.probe.span_begin("propagate", method, call.origin, call.rid)
+        self.probe.trace_transfer(
+            f"S:{summarizer.group}", method, call.origin, call.rid,
+            len(slot_bytes),
+        )
         yield from self.broadcast.broadcast(
             message, writes, is_suspected=self.is_suspected
         )
+        self.probe.span_end("propagate", method, call.origin, call.rid)
         return call
 
     # Case 3: irreducible conflict-free — local apply + F-ring fan-out.
     def do_free(self, method: str, arg: Any):
         yield from self.rnode.cpu.use(self.config.local_cpu_us)
         call = self.make_call(method, arg)
+        self.probe.span_begin("invoke", method, call.origin, call.rid)
         post_sigma = self.spec.apply_call(call, self.sigma)
         if not self.invariant_with_summaries(post_sigma):
+            self.probe.span_end("invoke", method, call.origin, call.rid)
             self.probe.rejected("impermissible")
             raise ImpermissibleError(f"{call} violates the invariant")
         dep = self.dep_projection(method)
@@ -292,8 +310,14 @@ class ApplyEngine:
         self.bump_applied(self.name, method)
         self.seen.add(call.key())
         self.log_event("FREE", call)
+        self.probe.trace_apply("FREE", method, call.origin, call.rid, arg)
+        self.probe.span_end("invoke", method, call.origin, call.rid)
         self.counters["freed"] = self.counters.get("freed", 0) + 1
         packet = encode_call_packet(call, dep)
+        self.probe.span_begin("propagate", method, call.origin, call.rid)
+        self.probe.trace_transfer(
+            "F", method, call.origin, call.rid, len(packet)
+        )
         writes = yield from self.transport.prepare_f_writes(
             packet, self.is_suspected
         )
@@ -301,6 +325,7 @@ class ApplyEngine:
         yield from self.broadcast.broadcast(
             message, writes, is_suspected=self.is_suspected
         )
+        self.probe.span_end("propagate", method, call.origin, call.rid)
         return call
 
     # -- buffer traversal ------------------------------------------------

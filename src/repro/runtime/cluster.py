@@ -29,6 +29,7 @@ from ..core import (
 from ..rdma import Fabric, RdmaConfig
 from ..sim import Environment
 from .node import HambandNode, RuntimeConfig
+from .probe import rollup_snapshots
 
 __all__ = ["HambandCluster"]
 
@@ -115,8 +116,25 @@ class HambandCluster:
         return {name: node.applied_total() for name, node in self.nodes.items()}
 
     def stats(self) -> dict[str, dict]:
-        """Per-node runtime statistics (see ``HambandNode.stats``)."""
-        return {name: node.stats() for name, node in self.nodes.items()}
+        """Per-node runtime statistics plus a cluster-wide rollup.
+
+        Node names map to ``HambandNode.stats()`` snapshots; the extra
+        ``"cluster"`` key aggregates them (counters summed, probe
+        counters summed, high-water marks maxed — see
+        :func:`~repro.runtime.probe.rollup_snapshots`) so dashboards
+        and tests don't re-implement the aggregation.
+        """
+        per_node = {name: node.stats() for name, node in self.nodes.items()}
+        per_node["cluster"] = {
+            "counters": rollup_snapshots(
+                {name: {"counters": stats["counters"]}
+                 for name, stats in per_node.items()}
+            ).get("counters", {}),
+            "probe": rollup_snapshots(
+                {name: stats["probe"] for name, stats in per_node.items()}
+            ),
+        }
+        return per_node
 
     def quiesce(self, total_updates: int, check_every_us: float = 5.0,
                 timeout_us: float = 1_000_000.0):

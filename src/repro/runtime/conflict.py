@@ -221,7 +221,21 @@ class ConflictCoordinator:
                 applier.log_event("CONF", batched_call)
                 for batched_call, _dep in entries
             ]
+            for batched_call, _dep in entries:
+                self.probe.span_begin(
+                    "decide", batched_call.method, batched_call.origin,
+                    batched_call.rid,
+                )
+                self.probe.trace_transfer(
+                    f"L:{gid}", batched_call.method, batched_call.origin,
+                    batched_call.rid, len(packet),
+                )
             ok = yield from mu.replicate(packet)
+            for batched_call, _dep in entries:
+                self.probe.span_end(
+                    "decide", batched_call.method, batched_call.origin,
+                    batched_call.rid,
+                )
             if ok:
                 # Conflict-free calls the poller applied meanwhile all
                 # S-commute with this batch, so re-applying the batch on
@@ -232,6 +246,13 @@ class ConflictCoordinator:
                     )
                     applier.bump_applied(self.name, batched_call.method)
                     applier.seen.add(batched_call.key())
+                    # The trace records CONF at *commit* time: a deposed
+                    # leader's failed batch never reaches the trace, so
+                    # the offline checker replays only decided calls.
+                    self.probe.trace_apply(
+                        "CONF", batched_call.method, batched_call.origin,
+                        batched_call.rid, batched_call.arg,
+                    )
                 self.probe.conflict_batch(gid, len(entries))
             else:
                 for event in logged:
@@ -330,6 +351,9 @@ class ConflictCoordinator:
                 continue
             if not applier.dep_ok(dep):
                 break
+            self.probe.trace_transfer(
+                f"L<-{gid}", call.method, call.origin, call.rid, 0
+            )
             yield from applier.apply(call, "CONF_APP")
             partial.popleft()
             drained += 1

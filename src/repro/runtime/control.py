@@ -105,11 +105,14 @@ class ControlPlane:
             if leader == self.name:
                 result = yield self.submit(method, arg)
                 return result
-            token = f"{self.name}:{self.applier.next_rid()}"
+            token_rid = self.applier.next_rid()
+            token = f"{self.name}:{token_rid}"
             waiter = self.env.event()
             self._fwd_waiters[token] = waiter
+            self.probe.span_begin("forward", method, self.name, token_rid)
             yield from self.send(leader, ("fwd_req", token, method, arg))
             outcome, data = yield waiter
+            self.probe.span_end("forward", method, self.name, token_rid)
             if outcome == "ok":
                 m, a, origin, rid = data
                 return Call(m, a, origin, rid)

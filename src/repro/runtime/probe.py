@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["CountingProbe", "RuntimeProbe"]
+__all__ = ["CountingProbe", "RuntimeProbe", "rollup_snapshots"]
 
 
 class RuntimeProbe:
@@ -75,6 +75,37 @@ class RuntimeProbe:
 
     def rejected(self, reason: str) -> None:
         """A request failed (reason: impermissible / not_leader / ...)."""
+
+    # -- causal tracing (no-op unless a TracingProbe is installed) --------
+    #
+    # The span/trace hooks carry enough identity (method, origin, rid)
+    # for a tracing probe to stitch per-call lifecycles —
+    # invoke → propagate → decide → apply → visible — without the
+    # layers ever building strings or dicts on the hot path.  ``rid=0``
+    # marks calls without a request id (queries).
+
+    def span_begin(self, phase: str, method: str, origin: str,
+                   rid: int) -> None:
+        """A per-call lifecycle phase started at this node."""
+
+    def span_end(self, phase: str, method: str, origin: str,
+                 rid: int) -> None:
+        """The matching phase finished (latency = end - begin)."""
+
+    def trace_apply(self, rule: str, method: str, origin: str, rid: int,
+                    arg: Any = None) -> None:
+        """A concrete-semantics transition became *visible* in σ here.
+
+        Fired at commit time — REDUCE/FREE at the issuing node, CONF at
+        the leader only after replication succeeded, FREE_APP/CONF_APP
+        at the applying node, QUERY at evaluation.  ``arg`` rides along
+        so a recorded trace can be replayed offline (the no-op and
+        counting probes ignore it).
+        """
+
+    def trace_transfer(self, ring: str, method: str, origin: str,
+                       rid: int, size: int) -> None:
+        """``size`` payload bytes for one call crossed ``ring``."""
 
     # -- reporting -------------------------------------------------------
 
@@ -160,3 +191,40 @@ class CountingProbe(RuntimeProbe):
             "rejections": dict(self.rejections),
             "recoveries": self.recoveries,
         }
+
+
+#: Snapshot sections that aggregate by maximum instead of by sum
+#: (high-water marks are not additive across nodes).
+MAX_SECTIONS = ("ring_highwater", "conflict_batch_max")
+
+
+def rollup_snapshots(snapshots: dict[str, dict[str, Any]],
+                     max_sections: tuple[str, ...] = MAX_SECTIONS,
+                     ) -> dict[str, Any]:
+    """Aggregate per-node probe snapshots into one cluster-wide view.
+
+    Plain integers and ``{key: int}`` sections are summed across nodes;
+    sections named in ``max_sections`` keep the per-key maximum (a
+    cluster high-water mark is the worst node's, not the total).
+    Non-numeric sections (e.g. a tracing probe's nested phase
+    summaries) are skipped — dashboards read those per node.
+    """
+    rollup: dict[str, Any] = {}
+    for snapshot in snapshots.values():
+        for section, value in snapshot.items():
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                rollup[section] = rollup.get(section, 0) + value
+            elif isinstance(value, dict):
+                merged = rollup.setdefault(section, {})
+                for key, count in value.items():
+                    if not isinstance(count, (int, float)) or isinstance(
+                        count, bool
+                    ):
+                        continue
+                    if section in max_sections:
+                        merged[key] = max(merged.get(key, 0), count)
+                    else:
+                        merged[key] = merged.get(key, 0) + count
+    return rollup

@@ -1,0 +1,506 @@
+"""Flight recorder: causal event tracing over the probe seam.
+
+PR 1 threaded a :class:`~repro.runtime.probe.RuntimeProbe` through all
+four runtime layers but only backed it with flat counters.  This module
+turns the seam into a real observability layer:
+
+- :class:`TracingProbe` — a per-node probe recording sim-timestamped
+  structured :class:`TraceEvent`\\ s into a bounded ring buffer: one
+  *rule* event per concrete-semantics transition that became visible in
+  σ (REDUCE / FREE / CONF / FREE_APP / CONF_APP / QUERY), begin/end
+  *span* events for per-call lifecycle phases (invoke → propagate →
+  decide → apply → … → visible, where "visible" is the rule instant),
+  and *transfer* events for payload bytes crossing a ring.  Span pairs
+  feed per-phase latency :class:`~repro.workload.Histogram`\\ s.
+- :class:`TraceRecorder` — the cluster-side aggregator: hand its
+  :meth:`~TraceRecorder.probe_factory` to
+  :meth:`~repro.runtime.HambandCluster.build` and every node records
+  into one globally sequenced trace.
+- Exporters — newline-delimited JSON (:func:`export_jsonl`, one event
+  per line, deterministic bytes for a deterministic run) and the Chrome
+  ``trace_event`` format (:func:`export_chrome_trace`, loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev, with flow arrows
+  linking each call's issue event to its applies — the causal chain).
+
+The offline integrity/convergence analyzer over recorded traces lives
+in :mod:`repro.runtime.checker`.
+
+Probes must never change runtime behaviour: :class:`TracingProbe` adds
+no simulated delays, allocates one small tuple-backed event per hook,
+and drops the *oldest* events once the ring buffer is full (the
+``dropped`` counter records how many — the offline checker refuses to
+attest convergence for a truncated trace).
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, TextIO
+
+from ..workload.metrics import Histogram
+from .probe import CountingProbe
+from .wire import WireError, decode_value, encode_value
+
+__all__ = [
+    "TraceEvent",
+    "TracingProbe",
+    "TraceRecorder",
+    "export_chrome_trace",
+    "export_jsonl",
+    "load_jsonl",
+]
+
+#: Canonical lifecycle phase order (also the Chrome-export lane order).
+PHASES = ("invoke", "propagate", "decide", "apply", "forward")
+
+#: The concrete-semantics rule vocabulary recorded by rule events.
+RULES = ("REDUCE", "FREE", "CONF", "FREE_APP", "CONF_APP", "QUERY")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded probe event.
+
+    ``kind`` is ``"rule"`` (a transition became visible in σ at
+    ``node``), ``"B"``/``"E"`` (a lifecycle span began/ended), or
+    ``"xfer"`` (payload bytes crossed a ring).  ``name`` holds the rule
+    name, the phase, or the ring label respectively.  ``(origin, rid)``
+    is the call's globally unique identity (``rid == 0`` for queries);
+    ``arg`` rides along on rule events so the offline checker can
+    replay state.
+    """
+
+    seq: int
+    t: float
+    node: str
+    kind: str
+    name: str
+    method: str
+    origin: str
+    rid: int
+    gid: str = ""
+    size: int = 0
+    arg: Any = None
+
+    def call_id(self) -> str:
+        return f"{self.origin}#{self.rid}"
+
+
+class TracingProbe(CountingProbe):
+    """A :class:`CountingProbe` that additionally records a trace.
+
+    Counters keep backing ``HambandNode.stats()`` exactly as before;
+    on top, every span/trace hook appends a :class:`TraceEvent` to a
+    bounded ring buffer and span ends feed per-phase
+    :class:`~repro.workload.Histogram`\\ s.
+
+    ``clock`` supplies timestamps (pass ``lambda: env.now``); ``seq``
+    may be a shared :func:`itertools.count` so events from several
+    nodes interleave into one total order (see :class:`TraceRecorder`).
+    """
+
+    def __init__(self, clock: Callable[[], float], node: str,
+                 capacity: int = 65536,
+                 seq: Optional[Iterable[int]] = None,
+                 gid_of: Optional[Callable[[str], str]] = None):
+        super().__init__()
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.clock = clock
+        self.node = node
+        self.capacity = capacity
+        #: Raw event tuples ``(seq, t, kind, name, method, origin, rid,
+        #: gid, size, arg)``; materialized into :class:`TraceEvent`\ s
+        #: lazily by :attr:`events` so the hot path only pays one tuple
+        #: allocation and a deque append per hook.
+        self._buffer: deque[tuple] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._seq = iter(seq) if seq is not None else itertools.count()
+        self._gid_of = gid_of or (lambda method: "")
+        #: Latency histograms per lifecycle phase, fed by span pairs.
+        self.phases: dict[str, Histogram] = {}
+        #: Open span start times, keyed by (phase, method, origin, rid).
+        self._open: dict[tuple[str, str, str, int], float] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def _record(self, kind: str, name: str, method: str, origin: str,
+                rid: int, gid: str = "", size: int = 0,
+                arg: Any = None) -> float:
+        buffer = self._buffer
+        if len(buffer) == self.capacity:
+            self.dropped += 1
+        t = self.clock()
+        buffer.append(
+            (next(self._seq), t, kind, name, method, origin, rid, gid,
+             size, arg)
+        )
+        return t
+
+    def span_begin(self, phase: str, method: str, origin: str,
+                   rid: int) -> None:
+        t = self._record("B", phase, method, origin, rid)
+        self._open[(phase, method, origin, rid)] = t
+
+    def span_end(self, phase: str, method: str, origin: str,
+                 rid: int) -> None:
+        t = self._record("E", phase, method, origin, rid)
+        started = self._open.pop((phase, method, origin, rid), None)
+        if started is not None:
+            self.phases.setdefault(phase, Histogram()).add(t - started)
+
+    def trace_apply(self, rule: str, method: str, origin: str, rid: int,
+                    arg: Any = None) -> None:
+        self._record(
+            "rule", rule, method, origin, rid,
+            gid=self._gid_of(method), arg=arg,
+        )
+
+    def trace_transfer(self, ring: str, method: str, origin: str,
+                       rid: int, size: int) -> None:
+        self._record("xfer", ring, method, origin, rid, size=size)
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The buffered events, materialized (oldest first)."""
+        node = self.node
+        return [
+            TraceEvent(seq, t, node, kind, name, method, origin, rid,
+                       gid, size, arg)
+            for (seq, t, kind, name, method, origin, rid, gid, size,
+                 arg) in self._buffer
+        ]
+
+    def snapshot(self) -> dict[str, Any]:
+        snapshot = super().snapshot()
+        snapshot["trace"] = {
+            "events": len(self._buffer),
+            "dropped": self.dropped,
+            "phases": {
+                phase: histogram.summary()
+                for phase, histogram in sorted(self.phases.items())
+            },
+        }
+        return snapshot
+
+
+class TraceRecorder:
+    """Cluster-wide flight recorder built from per-node tracing probes.
+
+    >>> from repro.sim import Environment
+    >>> from repro.datatypes import gset_spec
+    >>> from repro.runtime import HambandCluster, TraceRecorder
+    >>> env = Environment()
+    >>> recorder = TraceRecorder(env)
+    >>> cluster = HambandCluster.build(
+    ...     env, gset_spec(), n_nodes=3,
+    ...     probe_factory=recorder.probe_factory)
+    >>> recorder.attach(cluster.coordination)
+
+    Each probe draws sequence numbers from one shared counter, so
+    :meth:`events` is a single total order consistent with both sim
+    time and per-node program order.
+    """
+
+    def __init__(self, env, capacity: int = 65536,
+                 coordination: Any = None):
+        self.env = env
+        self.capacity = capacity
+        self.probes: dict[str, TracingProbe] = {}
+        self._seq = itertools.count()
+        self._gid_cache: dict[str, str] = {}
+        self.coordination = None
+        if coordination is not None:
+            self.attach(coordination)
+
+    def attach(self, coordination: Any) -> "TraceRecorder":
+        """Teach the recorder the object's sync groups (for gid tags)."""
+        self.coordination = coordination
+        self._gid_cache.clear()
+        return self
+
+    def _gid_of(self, method: str) -> str:
+        gid = self._gid_cache.get(method)
+        if gid is None:
+            gid = ""
+            if self.coordination is not None:
+                try:
+                    group = self.coordination.sync_group(method)
+                except Exception:  # queries / unknown methods
+                    group = None
+                if group is not None:
+                    gid = group.gid
+            self._gid_cache[method] = gid
+        return gid
+
+    def probe_factory(self, name: str) -> TracingProbe:
+        """Build (and remember) the tracing probe for node ``name``."""
+        probe = TracingProbe(
+            clock=lambda: self.env.now,
+            node=name,
+            capacity=self.capacity,
+            seq=self._seq,
+            gid_of=self._gid_of,
+        )
+        self.probes[name] = probe
+        return probe
+
+    # -- views -----------------------------------------------------------
+
+    def events(self) -> list[TraceEvent]:
+        """All nodes' events merged into the global total order."""
+        merged = [
+            event for probe in self.probes.values() for event in probe.events
+        ]
+        merged.sort(key=lambda event: event.seq)
+        return merged
+
+    def dropped(self) -> int:
+        return sum(probe.dropped for probe in self.probes.values())
+
+    def nodes(self) -> list[str]:
+        return sorted(self.probes)
+
+    def phase_histograms(self) -> dict[str, Histogram]:
+        """Per-phase latency histograms merged across all nodes."""
+        merged: dict[str, Histogram] = {}
+        for probe in self.probes.values():
+            for phase, histogram in probe.phases.items():
+                merged.setdefault(phase, Histogram()).merge(histogram)
+        return merged
+
+    # -- exports ---------------------------------------------------------
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the merged trace as JSON lines; returns the count."""
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as fp:
+            export_jsonl(events, fp, dropped=self.dropped(),
+                         nodes=self.nodes())
+        return len(events)
+
+    def export_chrome(self, path: str) -> int:
+        """Write a ``chrome://tracing`` / Perfetto JSON file."""
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as fp:
+            json.dump(chrome_trace_dict(events), fp)
+        return len(events)
+
+
+# -- serialization ---------------------------------------------------------
+
+
+def _encode_arg(arg: Any) -> tuple[str, str]:
+    """Encode a rule event's argument for JSONL.
+
+    Uses the runtime wire codec (exact round-trip for every value shape
+    the bundled data types use) with a ``repr`` fallback for anything
+    exotic a custom spec might carry.
+    """
+    try:
+        return "wire", base64.b64encode(encode_value(arg)).decode("ascii")
+    except WireError:
+        return "repr", repr(arg)
+
+
+def _decode_arg(scheme: str, payload: str) -> Any:
+    if scheme == "wire":
+        return decode_value(base64.b64decode(payload.encode("ascii")))
+    return payload  # repr fallback: opaque, not replayable exactly
+
+
+def event_to_dict(event: TraceEvent) -> dict[str, Any]:
+    record: dict[str, Any] = {
+        "seq": event.seq,
+        "t": event.t,
+        "node": event.node,
+        "kind": event.kind,
+        "name": event.name,
+        "method": event.method,
+        "origin": event.origin,
+        "rid": event.rid,
+    }
+    if event.gid:
+        record["gid"] = event.gid
+    if event.size:
+        record["size"] = event.size
+    if event.kind == "rule":
+        scheme, payload = _encode_arg(event.arg)
+        record["arg_kind"] = scheme
+        record["arg"] = payload
+    return record
+
+
+def event_from_dict(record: dict[str, Any]) -> TraceEvent:
+    arg = None
+    if record.get("kind") == "rule" and "arg" in record:
+        arg = _decode_arg(record.get("arg_kind", "wire"), record["arg"])
+    return TraceEvent(
+        seq=record["seq"],
+        t=record["t"],
+        node=record["node"],
+        kind=record["kind"],
+        name=record["name"],
+        method=record["method"],
+        origin=record["origin"],
+        rid=record["rid"],
+        gid=record.get("gid", ""),
+        size=record.get("size", 0),
+        arg=arg,
+    )
+
+
+def export_jsonl(events: Iterable[TraceEvent], fp: TextIO,
+                 dropped: int = 0,
+                 nodes: Optional[list[str]] = None) -> None:
+    """Write one meta line plus one JSON line per event.
+
+    Output bytes are a pure function of the events (sorted keys, fixed
+    separators), so identical runs export identical files — the trace
+    determinism tests pin this.
+    """
+    meta = {
+        "kind": "meta",
+        "version": 1,
+        "dropped": dropped,
+        "nodes": nodes or sorted({event.node for event in events}),
+    }
+    fp.write(json.dumps(meta, sort_keys=True, separators=(",", ":")))
+    fp.write("\n")
+    for event in events:
+        fp.write(
+            json.dumps(
+                event_to_dict(event), sort_keys=True, separators=(",", ":")
+            )
+        )
+        fp.write("\n")
+
+
+@dataclass
+class LoadedTrace:
+    """A trace read back from a JSONL export."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    dropped: int = 0
+    nodes: list[str] = field(default_factory=list)
+
+
+def load_jsonl(path: str) -> LoadedTrace:
+    trace = LoadedTrace()
+    with open(path, encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "meta":
+                trace.dropped = record.get("dropped", 0)
+                trace.nodes = list(record.get("nodes", []))
+                continue
+            trace.events.append(event_from_dict(record))
+    if not trace.nodes:
+        trace.nodes = sorted({event.node for event in trace.events})
+    return trace
+
+
+# -- Chrome trace_event export ---------------------------------------------
+
+
+def chrome_trace_dict(events: Iterable[TraceEvent]) -> dict[str, Any]:
+    """The merged trace in Chrome ``trace_event`` JSON object format.
+
+    - each node becomes one *process* (named via metadata events),
+    - lifecycle spans become complete (``X``) events on per-phase
+      thread lanes, paired B/E at export time,
+    - rule transitions and ring transfers become instant (``i``)
+      events, with flow arrows (``s``/``t``) linking every call's issue
+      event (REDUCE/FREE/CONF) to its applies on other nodes — load the
+      file in ``chrome://tracing`` or Perfetto and the causal chains
+      render as arrows across processes.
+    """
+    pids: dict[str, int] = {}
+    out: list[dict[str, Any]] = []
+
+    def pid_of(node: str) -> int:
+        pid = pids.get(node)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[node] = pid
+            out.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": node},
+            })
+            for index, phase in enumerate(PHASES):
+                out.append({
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": index + 1, "args": {"name": phase},
+                })
+            out.append({
+                "ph": "M", "name": "thread_name", "pid": pid,
+                "tid": len(PHASES) + 1, "args": {"name": "events"},
+            })
+        return pid
+
+    def tid_of(phase: str) -> int:
+        return PHASES.index(phase) + 1 if phase in PHASES else len(PHASES) + 1
+
+    open_spans: dict[tuple[str, str, str, str, int], list[float]] = {}
+    flow_started: set[str] = set()
+    for event in sorted(events, key=lambda e: e.seq):
+        pid = pid_of(event.node)
+        label = f"{event.method}@{event.call_id()}"
+        if event.kind == "B":
+            open_spans.setdefault(
+                (event.node, event.name, event.method, event.origin,
+                 event.rid), []
+            ).append(event.t)
+        elif event.kind == "E":
+            key = (event.node, event.name, event.method, event.origin,
+                   event.rid)
+            stack = open_spans.get(key)
+            if stack:
+                start = stack.pop()
+                out.append({
+                    "ph": "X", "name": f"{event.name}:{event.method}",
+                    "cat": "span", "pid": pid, "tid": tid_of(event.name),
+                    "ts": start, "dur": max(event.t - start, 0.0),
+                    "args": {"call": label},
+                })
+        elif event.kind == "rule":
+            instant = {
+                "ph": "i", "name": event.name, "cat": "rule",
+                "pid": pid, "tid": len(PHASES) + 1, "ts": event.t,
+                "s": "t",
+                "args": {"call": label, "gid": event.gid},
+            }
+            out.append(instant)
+            if event.rid:  # queries (rid 0) have no causal chain
+                flow = {
+                    "cat": "causal", "name": event.method,
+                    "id": event.call_id(), "pid": pid,
+                    "tid": len(PHASES) + 1, "ts": event.t,
+                }
+                if event.call_id() not in flow_started:
+                    flow_started.add(event.call_id())
+                    out.append({"ph": "s", **flow})
+                else:
+                    out.append({"ph": "t", **flow})
+        elif event.kind == "xfer":
+            out.append({
+                "ph": "i", "name": event.name, "cat": "xfer",
+                "pid": pid, "tid": len(PHASES) + 1, "ts": event.t,
+                "s": "t",
+                "args": {"call": label, "bytes": event.size},
+            })
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(events: Iterable[TraceEvent], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(chrome_trace_dict(events), fp)

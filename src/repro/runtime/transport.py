@@ -194,6 +194,10 @@ class RingTransport:
                 continue
             if not sink.dep_ok(dep):
                 break
+            self.probe.trace_transfer(
+                label or "F", call.method, call.origin, call.rid,
+                len(payload),
+            )
             yield from sink.apply(call, rule)
             reader.advance()
             drained += 1

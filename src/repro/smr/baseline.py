@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from ..core import Coordination, MethodRelations, ObjectSpec, categorize
 from ..core.graphs import ConflictGraph, DependencyGraph
@@ -47,7 +47,9 @@ class SmrCluster(HambandCluster):
     def build_smr(cls, env: Environment, spec: ObjectSpec, n_nodes: int,
                   config: Optional[RuntimeConfig] = None,
                   rdma_config: Optional[RdmaConfig] = None,
-                  cpu_cores: int = 2) -> "SmrCluster":
+                  cpu_cores: int = 2,
+                  probe_factory: Optional[Callable[[str], Any]] = None,
+                  ) -> "SmrCluster":
         return cls.build(
             env,
             smr_coordination(spec),
@@ -55,4 +57,5 @@ class SmrCluster(HambandCluster):
             config=config,
             rdma_config=rdma_config,
             cpu_cores=cpu_cores,
+            probe_factory=probe_factory,
         )

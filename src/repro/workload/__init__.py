@@ -2,13 +2,14 @@
 
 from .driver import DriverConfig, run_workload
 from .generators import GENERATOR_NAMES, make_generator, setup_calls
-from .metrics import LatencySeries, RunResult
+from .metrics import Histogram, LatencySeries, RunResult
 from .openloop import OpenLoopConfig, run_open_loop
 from .visibility import VisibilityReport, visibility_report
 
 __all__ = [
     "DriverConfig",
     "GENERATOR_NAMES",
+    "Histogram",
     "LatencySeries",
     "RunResult",
     "VisibilityReport",

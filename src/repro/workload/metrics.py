@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["LatencySeries", "RunResult"]
+__all__ = ["Histogram", "LatencySeries", "RunResult"]
 
 
 @dataclass
@@ -58,6 +58,52 @@ class LatencySeries:
     @property
     def p99(self) -> float:
         return self.percentile(0.99)
+
+
+@dataclass
+class Histogram(LatencySeries):
+    """A :class:`LatencySeries` with log2 buckets and a summary dict.
+
+    The tracing subsystem (``runtime/trace.py``) aggregates per-phase
+    latencies into these; buckets make the shape of a distribution
+    cheap to eyeball in a stats dump while the exact samples still back
+    the percentile queries.
+    """
+
+    def merge(self, other: "LatencySeries") -> None:
+        self.samples.extend(other.samples)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def bucket_counts(self) -> dict[str, int]:
+        """Sample counts per power-of-two microsecond bucket.
+
+        Keys are upper bounds: ``"<=1us"``, ``"<=2us"``, ``"<=4us"``, …
+        (a sample of exactly the bound lands in that bucket).
+        """
+        buckets: dict[str, int] = {}
+        for sample in self.samples:
+            exponent = 0 if sample <= 1.0 else math.ceil(
+                math.log2(max(sample, 1e-9))
+            )
+            key = f"<={2 ** max(exponent, 0):.0f}us"
+            buckets[key] = buckets.get(key, 0) + 1
+        return dict(
+            sorted(buckets.items(), key=lambda kv: float(kv[0][2:-2]))
+        )
+
+    def summary(self) -> dict:
+        """Point-in-time scalar summary (JSON-friendly)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
 
 
 @dataclass

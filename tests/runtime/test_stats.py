@@ -234,3 +234,68 @@ class TestFabricStats:
         _env, cluster, _result = run(counter_spec(), "counter")
         stats = cluster.fabric.stats
         assert stats.bytes[Opcode.WRITE] > 0
+
+
+class TestClusterRollup:
+    """HambandCluster.stats()['cluster'] aggregates the per-node view."""
+
+    def test_counters_summed_across_nodes(self):
+        _env, cluster, result = run(gset_spec(), "gset")
+        stats = cluster.stats()
+        rollup = stats["cluster"]
+        for counter in ("freed", "buffer_applied", "queries"):
+            expected = sum(
+                stats[name]["counters"][counter]
+                for name in cluster.node_names()
+            )
+            assert rollup["counters"][counter] == expected
+        assert rollup["counters"]["freed"] == result.update_calls
+
+    def test_probe_counters_summed_and_highwater_maxed(self):
+        _env, cluster, _result = run(gset_spec(), "gset")
+        stats = cluster.stats()
+        rollup = stats["cluster"]["probe"]
+        names = cluster.node_names()
+        total_free = sum(
+            stats[name]["probe"]["applies"].get("FREE", 0)
+            for name in names
+        )
+        assert rollup["applies"]["FREE"] == total_free
+        for ring, high in rollup["ring_highwater"].items():
+            assert high == max(
+                stats[name]["probe"]["ring_highwater"].get(ring, 0)
+                for name in names
+            )
+
+    def test_rollup_skips_non_numeric_sections(self):
+        from repro.runtime import TraceRecorder
+
+        env = Environment()
+        recorder = TraceRecorder(env)
+        cluster = HambandCluster.build(
+            env, gset_spec(), n_nodes=3,
+            probe_factory=recorder.probe_factory,
+        )
+        env.run(until=cluster.node("p1").submit("add", "x"))
+        env.run(until=env.now + 1000)
+        rollup = cluster.stats()["cluster"]["probe"]
+        # The tracing probe's nested per-phase summaries are per-node
+        # detail, not additive: the rollup must not mangle them.
+        trace = rollup.get("trace", {})
+        assert "phases" not in trace
+        assert trace.get("events", 0) > 0  # plain ints still sum
+
+    def test_rollup_snapshots_unit(self):
+        from repro.runtime import rollup_snapshots
+
+        merged = rollup_snapshots({
+            "p1": {"applies": {"FREE": 2}, "ring_highwater": {"F": 5},
+                   "recoveries": 1},
+            "p2": {"applies": {"FREE": 3}, "ring_highwater": {"F": 2},
+                   "recoveries": 0},
+        })
+        assert merged == {
+            "applies": {"FREE": 5},
+            "ring_highwater": {"F": 5},
+            "recoveries": 1,
+        }

@@ -1,0 +1,341 @@
+"""Tests for the flight recorder: TracingProbe, TraceRecorder, exports.
+
+Covers the observability acceptance criteria: events carry the
+rule/ring/span vocabulary, the ring buffer is bounded with a dropped
+counter, identical seeded runs export byte-identical JSONL traces, the
+no-op probe leaves runtime behaviour untouched, and tracing overhead
+stays within budget.
+"""
+
+import io
+import itertools
+import json
+import time
+
+import pytest
+
+from repro.datatypes import counter_spec, courseware_spec, gset_spec
+from repro.runtime import (
+    CountingProbe,
+    HambandCluster,
+    RuntimeProbe,
+    TraceRecorder,
+    TracingProbe,
+)
+from repro.runtime.trace import (
+    PHASES,
+    RULES,
+    event_from_dict,
+    event_to_dict,
+    export_jsonl,
+    load_jsonl,
+)
+from repro.sim import Environment
+from repro.workload import DriverConfig, run_workload
+
+
+def run_traced(spec, workload, total_ops=150, update_ratio=0.5, n=3,
+               seed=1, capacity=1 << 20):
+    env = Environment()
+    recorder = TraceRecorder(env, capacity=capacity)
+    cluster = HambandCluster.build(
+        env, spec, n_nodes=n, probe_factory=recorder.probe_factory
+    )
+    recorder.attach(cluster.coordination)
+    result = run_workload(
+        env,
+        cluster,
+        DriverConfig(
+            workload=workload,
+            total_ops=total_ops,
+            update_ratio=update_ratio,
+            seed=seed,
+        ),
+    )
+    return recorder, cluster, result
+
+
+class TestTracingProbe:
+    def test_records_rule_span_and_transfer_events(self):
+        clock = itertools.count()
+        probe = TracingProbe(lambda: float(next(clock)), "p1")
+        probe.span_begin("invoke", "add", "p1", 1)
+        probe.span_end("invoke", "add", "p1", 1)
+        probe.trace_apply("FREE", "add", "p1", 1, arg=5)
+        probe.trace_transfer("F", "add", "p1", 1, 64)
+        kinds = [event.kind for event in probe.events]
+        assert kinds == ["B", "E", "rule", "xfer"]
+        rule = list(probe.events)[2]
+        assert rule.name == "FREE"
+        assert rule.arg == 5
+        assert rule.call_id() == "p1#1"
+        xfer = list(probe.events)[3]
+        assert xfer.size == 64
+
+    def test_span_pairs_feed_phase_histograms(self):
+        times = iter([1.0, 4.0])
+        probe = TracingProbe(lambda: next(times), "p1")
+        probe.span_begin("decide", "add", "p1", 7)
+        probe.span_end("decide", "add", "p1", 7)
+        histogram = probe.phases["decide"]
+        assert histogram.count == 1
+        assert histogram.mean == pytest.approx(3.0)
+
+    def test_unmatched_span_end_is_ignored(self):
+        probe = TracingProbe(lambda: 0.0, "p1")
+        probe.span_end("apply", "add", "p2", 3)
+        assert "apply" not in probe.phases
+        assert len(probe.events) == 1  # the E event is still recorded
+
+    def test_ring_buffer_bounded_and_counts_drops(self):
+        probe = TracingProbe(lambda: 0.0, "p1", capacity=4)
+        for rid in range(10):
+            probe.trace_apply("FREE", "add", "p1", rid)
+        assert len(probe.events) == 4
+        assert probe.dropped == 6
+        # Oldest events are the ones evicted.
+        assert [event.rid for event in probe.events] == [6, 7, 8, 9]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TracingProbe(lambda: 0.0, "p1", capacity=0)
+
+    def test_counters_still_work(self):
+        probe = TracingProbe(lambda: 0.0, "p1")
+        probe.ring_depth("F", 10)
+        probe.apply("FREE")
+        probe.trace_apply("FREE", "add", "p1", 1)
+        snapshot = probe.snapshot()
+        assert snapshot["ring_highwater"]["F"] == 10
+        assert snapshot["applies"]["FREE"] == 1
+        assert snapshot["trace"]["events"] == 1
+        assert snapshot["trace"]["dropped"] == 0
+
+
+class TestTraceRecorder:
+    def test_traced_run_produces_ordered_events(self):
+        recorder, _cluster, result = run_traced(gset_spec(), "gset")
+        events = recorder.events()
+        assert events, "traced run recorded no events"
+        seqs = [event.seq for event in events]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == len(set(seqs))  # one shared counter
+        times = [event.t for event in events]
+        assert times == sorted(times)  # seq order refines sim time
+        assert recorder.dropped() == 0
+        assert recorder.nodes() == ["p1", "p2", "p3"]
+
+    def test_rule_vocabulary_and_gid_tags(self):
+        recorder, cluster, _result = run_traced(
+            courseware_spec(), "courseware"
+        )
+        rules = {e.name for e in recorder.events() if e.kind == "rule"}
+        assert rules <= set(RULES)
+        assert "CONF" in rules  # courseware has a conflicting group
+        assert "CONF_APP" in rules
+        conf = [e for e in recorder.events()
+                if e.kind == "rule" and e.name == "CONF"]
+        assert all(e.gid for e in conf), "CONF events missing gid tags"
+
+    def test_every_free_call_has_full_lifecycle(self):
+        recorder, _cluster, result = run_traced(gset_spec(), "gset")
+        events = recorder.events()
+        frees = [e for e in events if e.kind == "rule" and e.name == "FREE"]
+        assert len(frees) == result.update_calls
+        for free in frees[:10]:
+            key = (free.origin, free.rid)
+            chain = [e for e in events if (e.origin, e.rid) == key]
+            kinds = {(e.kind, e.name) for e in chain}
+            assert ("B", "invoke") in kinds
+            assert ("E", "invoke") in kinds
+            assert ("B", "propagate") in kinds
+            assert ("xfer", "F") in kinds
+            # Applied at both remote nodes.
+            applies = [e for e in chain
+                       if e.kind == "rule" and e.name == "FREE_APP"]
+            assert len(applies) == 2
+
+    def test_phase_histograms_merged_across_nodes(self):
+        recorder, _cluster, _result = run_traced(
+            courseware_spec(), "courseware"
+        )
+        phases = recorder.phase_histograms()
+        assert set(phases) <= set(PHASES)
+        for required in ("invoke", "propagate", "decide", "apply"):
+            assert required in phases
+            assert phases[required].count > 0
+        # Decide spans cross the Mu replication round trip: non-zero.
+        assert phases["decide"].mean > 0.0
+
+    def test_forwarded_call_records_a_forward_span(self):
+        from repro.datatypes import account_spec
+
+        env = Environment()
+        recorder = TraceRecorder(env)
+        cluster = HambandCluster.build(
+            env, account_spec(), n_nodes=3,
+            probe_factory=recorder.probe_factory,
+        )
+        recorder.attach(cluster.coordination)
+        env.run(until=cluster.node("p2").submit("deposit", 10))
+        leader = cluster.node("p1").current_leader("withdraw")
+        follower = next(
+            n for n in cluster.node_names() if n != leader
+        )
+        env.run(until=cluster.node(follower).submit_any("withdraw", 4))
+        env.run(until=env.now + 500)
+        phases = recorder.phase_histograms()
+        assert phases["forward"].count == 1
+        # The forward round trip subsumes the leader's decide.
+        assert phases["forward"].mean > phases["decide"].mean
+        forward_events = [
+            e for e in recorder.events()
+            if e.kind in ("B", "E") and e.name == "forward"
+        ]
+        assert [e.kind for e in forward_events] == ["B", "E"]
+        assert all(e.node == follower for e in forward_events)
+
+    def test_transfer_events_carry_payload_sizes(self):
+        recorder, _cluster, _result = run_traced(gset_spec(), "gset")
+        xfers = [e for e in recorder.events() if e.kind == "xfer"]
+        assert xfers
+        assert all(e.size > 0 for e in xfers if e.name == "F")
+
+
+class TestExports:
+    def test_jsonl_round_trip(self, tmp_path):
+        recorder, _cluster, _result = run_traced(
+            courseware_spec(), "courseware", total_ops=80
+        )
+        path = tmp_path / "trace.jsonl"
+        count = recorder.export_jsonl(str(path))
+        loaded = load_jsonl(str(path))
+        assert len(loaded.events) == count
+        assert loaded.dropped == 0
+        assert loaded.nodes == recorder.nodes()
+        assert loaded.events == recorder.events()
+
+    def test_event_dict_round_trip_preserves_args(self):
+        clock = itertools.count()
+        probe = TracingProbe(lambda: float(next(clock)), "p1")
+        probe.trace_apply("FREE", "add", "p1", 1, arg=("s1", "c2"))
+        probe.trace_apply("REDUCE", "add", "p1", 2, arg=5)
+        for event in probe.events:
+            assert event_from_dict(event_to_dict(event)) == event
+
+    def test_chrome_export_shape(self, tmp_path):
+        recorder, _cluster, _result = run_traced(
+            courseware_spec(), "courseware", total_ops=80
+        )
+        path = tmp_path / "trace.json"
+        recorder.export_chrome(str(path))
+        with open(path) as fp:
+            doc = json.load(fp)
+        events = doc["traceEvents"]
+        phs = {e["ph"] for e in events}
+        assert {"M", "X", "i", "s", "t"} <= phs
+        # Process metadata names every node.
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {"p1", "p2", "p3"}
+        # Complete spans have non-negative durations.
+        assert all(e["dur"] >= 0 for e in events if e["ph"] == "X")
+        # Causal flows: each call id starts exactly once.
+        starts = [e["id"] for e in events if e["ph"] == "s"]
+        assert len(starts) == len(set(starts))
+
+    def test_trace_determinism(self):
+        """Identical seed + config => byte-identical JSONL export."""
+
+        def export(seed):
+            recorder, _cluster, _result = run_traced(
+                courseware_spec(), "courseware", total_ops=120, seed=seed
+            )
+            buffer = io.StringIO()
+            export_jsonl(recorder.events(), buffer,
+                         dropped=recorder.dropped(),
+                         nodes=recorder.nodes())
+            return buffer.getvalue()
+
+        first, second = export(7), export(7)
+        assert first == second
+        assert first != export(8)  # the seed actually matters
+
+
+class TestBehaviouralInvariance:
+    """Probes observe; they must never change what the runtime does."""
+
+    @staticmethod
+    def run_with(probe_factory, spec_factory=gset_spec, workload="gset"):
+        env = Environment()
+        cluster = HambandCluster.build(
+            env, spec_factory(), n_nodes=3, probe_factory=probe_factory
+        )
+        result = run_workload(
+            env,
+            cluster,
+            DriverConfig(workload=workload, total_ops=150,
+                         update_ratio=0.5, seed=3),
+        )
+        log = [
+            (event.rule, event.process, str(event.call), event.at)
+            for event in cluster.events
+        ]
+        return result, log
+
+    @pytest.mark.parametrize("spec_factory,workload", [
+        (gset_spec, "gset"),
+        (courseware_spec, "courseware"),
+        (counter_spec, "counter"),
+    ])
+    def test_probe_choice_does_not_change_the_run(self, spec_factory,
+                                                  workload):
+        baseline, base_log = self.run_with(None, spec_factory, workload)
+        for factory in (
+            lambda name: RuntimeProbe(),
+            lambda name: CountingProbe(),
+            lambda name: TracingProbe(lambda: 0.0, name),
+        ):
+            result, log = self.run_with(factory, spec_factory, workload)
+            assert log == base_log
+            assert result.total_calls == baseline.total_calls
+            assert result.update_calls == baseline.update_calls
+            assert result.replicated_us == baseline.replicated_us
+            assert (result.throughput_ops_per_us
+                    == baseline.throughput_ops_per_us)
+
+
+class TestOverhead:
+    def test_tracing_overhead_within_budget(self):
+        """Full tracing costs <= 15% wall clock over counting probes."""
+
+        def run_once(tracing):
+            env = Environment()
+            if tracing:
+                recorder = TraceRecorder(env, capacity=1 << 20)
+                factory = recorder.probe_factory
+            else:
+                factory = lambda name: CountingProbe()  # noqa: E731
+            cluster = HambandCluster.build(
+                env, courseware_spec(), n_nodes=4, probe_factory=factory
+            )
+            config = DriverConfig(workload="courseware", total_ops=600,
+                                  update_ratio=0.5, seed=5)
+            start = time.perf_counter()
+            run_workload(env, cluster, config)
+            return time.perf_counter() - start
+
+        # Warm both paths once, then measure *interleaved* pairs and
+        # keep each side's best, so clock drift / CI noise hits both
+        # arms equally; the sim is deterministic so the work per run
+        # is identical.  Intrinsic overhead measures ~4-8%.
+        run_once(False), run_once(True)
+        bases, traceds = [], []
+        for _ in range(5):
+            bases.append(run_once(False))
+            traceds.append(run_once(True))
+        base, traced = min(bases), min(traceds)
+        assert traced <= base * 1.15, (
+            f"tracing overhead {traced / base - 1:.1%} exceeds 15% "
+            f"({traced:.3f}s vs {base:.3f}s)"
+        )

@@ -92,3 +92,66 @@ class TestRun:
 
     def test_unknown_workload_fails(self, capsys):
         assert main(["run", "nope", "--ops", "10"]) == 1
+
+
+class TestObservability:
+    def test_stats_prints_rollup_and_phase_table(self, capsys):
+        assert main(
+            ["run", "courseware", "--ops", "120", "--nodes", "3",
+             "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert '"cluster"' in out
+        assert "per-phase latency" in out
+        assert "decide" in out
+        assert "apply" in out
+
+    def test_trace_jsonl_export(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["run", "gset", "--ops", "100", "--trace", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) > 1
+        import json as _json
+
+        meta = _json.loads(lines[0])
+        assert meta["kind"] == "meta"
+        assert meta["dropped"] == 0
+
+    def test_trace_chrome_export_and_check(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(
+            ["run", "courseware", "--ops", "120", "--trace", str(path),
+             "--check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace check:" in out
+        assert "OK" in out
+        import json as _json
+
+        doc = _json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_check_without_trace_file(self, capsys):
+        assert main(["run", "gset", "--ops", "80", "--check"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_msg_system_has_no_probe_seam(self, capsys):
+        assert main(
+            ["run", "counter", "--system", "msg", "--ops", "40",
+             "--stats"]
+        ) == 1
+        assert "probe seam" in capsys.readouterr().out
+
+    def test_tiny_trace_capacity_refuses_check(self, capsys):
+        # A deliberately truncated ring buffer: the checker must refuse
+        # to attest convergence (exit code 2).
+        assert main(
+            ["run", "gset", "--ops", "120", "--check",
+             "--trace-capacity", "16"]
+        ) == 2
+        out = capsys.readouterr().out
+        assert "truncated" in out
