@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Benchmark smoke + regression gate.
+
+Runs a small, deterministic set of scenarios (healthy and chaos) and
+compares their throughput against the checked-in
+``benchmarks/baseline.json``.  A scenario regressing (or speeding up)
+beyond the tolerance fails the gate — sim time is deterministic, so a
+drift here is a real change in the protocol's work, not noise; large
+intentional changes re-baseline with ``--update``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_gate.py            # gate
+    PYTHONPATH=src python scripts/bench_gate.py --update   # re-baseline
+    PYTHONPATH=src python scripts/bench_gate.py --tolerance 0.25
+
+Exit codes: 0 OK, 1 regression (or missing baseline entry).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench import ExperimentConfig, run_chaos, run_experiment  # noqa: E402
+from repro.sim import FaultPlan  # noqa: E402
+
+BASELINE_PATH = REPO / "benchmarks" / "baseline.json"
+
+#: The gated scenarios: (key, system, workload, chaos-plan-or-None).
+#: Healthy runs gate the fast path; the chaos runs gate the recovery
+#: paths (retries, re-election, rejoin) staying cheap.
+SCENARIOS = (
+    ("hamband-gset", "hamband", "gset", None),
+    ("hamband-courseware", "hamband", "courseware", None),
+    ("mu-courseware", "mu", "courseware", None),
+    ("chaos-lossy-gset", "hamband", "gset", "lossy-10pct"),
+    ("chaos-crash-courseware", "hamband", "courseware", "crash-leader"),
+)
+
+OPS = 600
+HORIZON_US = 600.0
+
+
+def measure() -> dict[str, float]:
+    measured: dict[str, float] = {}
+    for key, system, workload, plan_name in SCENARIOS:
+        config = ExperimentConfig(
+            system=system,
+            workload=workload,
+            n_nodes=4,
+            total_ops=OPS,
+            update_ratio=0.25,
+            seed=1,
+        )
+        if plan_name is None:
+            result = run_experiment(config)
+        else:
+            plan = FaultPlan.named(plan_name, horizon_us=HORIZON_US)
+            run = run_chaos(config, plan)
+            if run.result is None:
+                raise SystemExit(f"{key}: chaos run did not quiesce")
+            report = run.check()
+            if not report.ok:
+                raise SystemExit(f"{key}: {report.summary()}")
+            result = run.result
+        measured[key] = result.throughput_ops_per_us
+    return measured
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite benchmarks/baseline.json with current numbers",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative drift from baseline (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    measured = measure()
+    if args.update:
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "metric": "throughput_ops_per_us",
+                    "ops": OPS,
+                    "scenarios": {
+                        k: round(v, 4) for k, v in measured.items()
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"baseline updated: {BASELINE_PATH}")
+        for key, value in measured.items():
+            print(f"  {key:24s} {value:8.3f} ops/us")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"missing {BASELINE_PATH}; run with --update first")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())["scenarios"]
+    failed = False
+    for key, value in measured.items():
+        expected = baseline.get(key)
+        if expected is None:
+            print(f"FAIL {key:24s} no baseline entry (run --update)")
+            failed = True
+            continue
+        drift = (value - expected) / expected if expected else 0.0
+        verdict = "ok" if abs(drift) <= args.tolerance else "FAIL"
+        failed |= verdict == "FAIL"
+        print(
+            f"{verdict:4s} {key:24s} {value:8.3f} ops/us "
+            f"(baseline {expected:8.3f}, drift {drift:+.1%}, "
+            f"tolerance ±{args.tolerance:.0%})"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

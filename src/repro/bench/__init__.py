@@ -8,15 +8,18 @@ from .report import (
     series_table,
 )
 from .runner import (
+    ChaosRun,
     ExperimentConfig,
     TracedRun,
     average_results,
     run_averaged,
+    run_chaos,
     run_experiment,
     run_traced,
 )
 
 __all__ = [
+    "ChaosRun",
     "ExperimentConfig",
     "TracedRun",
     "average_results",
@@ -25,6 +28,7 @@ __all__ = [
     "phase_latency_table",
     "ratio_line",
     "run_averaged",
+    "run_chaos",
     "run_experiment",
     "run_traced",
     "series_table",

@@ -16,14 +16,16 @@ from ..datatypes import SPEC_FACTORIES
 from ..datatypes.orset import orset_spec
 from ..msgpass import MsgCrdtCluster
 from ..runtime import HambandCluster, RuntimeConfig, TraceRecorder
-from ..sim import Environment
+from ..sim import Environment, FaultInjector, FaultPlan  # noqa: F401
 from ..smr import SmrCluster
 from ..workload import DriverConfig, RunResult, run_workload
 
 __all__ = [
+    "ChaosRun",
     "ExperimentConfig",
     "TracedRun",
     "average_results",
+    "run_chaos",
     "run_experiment",
     "run_traced",
 ]
@@ -149,6 +151,97 @@ def run_traced(config: ExperimentConfig,
     recorder.attach(cluster.coordination)
     result = run_workload(env, cluster, _driver(config))
     return TracedRun(result=result, cluster=cluster, recorder=recorder)
+
+
+@dataclass
+class ChaosRun(TracedRun):
+    """A traced run with a fault injector armed on the cluster.
+
+    ``result`` is ``None`` when the run failed to quiesce before the
+    driver's timeout (a recovery path too broken to finish): the trace
+    is still complete, so :meth:`TracedRun.check` remains the gate.
+    """
+
+    injector: object = None
+    plan: object = None
+    #: False when the post-horizon settle window expired before the
+    #: cluster reached a stable converged state.
+    settled: bool = True
+
+
+def run_chaos(config: ExperimentConfig, plan: "FaultPlan",
+              capacity: int = 1 << 20,
+              settle_us: float = 200_000.0) -> ChaosRun:
+    """Drive a workload while a :class:`FaultInjector` executes ``plan``.
+
+    Builds the traced cluster, arms the injector (scheduled faults fire
+    by simulated time; window faults intercept RDMA verbs and messages),
+    runs the workload, then runs past the plan's horizon and waits for a
+    short stable-convergence window.  Neither the settle window nor a
+    quiesce timeout raises: the offline :class:`TraceChecker` is the
+    gate, so a run whose recovery paths failed completes with a trace
+    that the checker rejects (this is what the negative-control test
+    relies on).  Background-worker crashes still raise — those are bugs,
+    not injected faults.
+    """
+    if config.system not in ("hamband", "mu"):
+        raise ValueError(
+            f"system {config.system!r} has no probe seam to trace"
+        )
+    env = Environment()
+    recorder = TraceRecorder(env, capacity=capacity)
+    cluster = _build_cluster(
+        env, config, probe_factory=recorder.probe_factory
+    )
+    recorder.attach(cluster.coordination)
+    injector = FaultInjector(plan)
+    injector.arm(cluster)
+    result = None
+    try:
+        result = run_workload(env, cluster, _driver(config))
+    except TimeoutError:
+        pass  # non-quiescent run: the checker will call the verdict
+    # Run past the fault horizon so late restarts/heals fire even when
+    # the workload finished early.
+    horizon = plan.horizon_us()
+    if env.now < horizon:
+        env.run(until=horizon)
+    settled = env.run(until=env.process(
+        _settle(env, cluster, settle_us), name="chaos:settle"
+    ))
+    crashed = cluster.failures()
+    if crashed:
+        raise RuntimeError(f"background workers crashed: {crashed}")
+    return ChaosRun(
+        result=result,
+        cluster=cluster,
+        recorder=recorder,
+        injector=injector,
+        plan=plan,
+        settled=bool(settled),
+    )
+
+
+def _settle(env: Environment, cluster, settle_us: float,
+            check_every_us: float = 20.0, stable_needed: int = 3):
+    """Wait for a few consecutive converged ticks; never raise.
+
+    Returns True once ``stable_needed`` consecutive checks see every
+    node at the same applied total and state-equal, False when the
+    settle budget runs out first.
+    """
+    deadline = env.now + settle_us
+    stable = 0
+    while stable < stable_needed:
+        totals = set(cluster.applied_totals().values())
+        if len(totals) == 1 and cluster.converged():
+            stable += 1
+        else:
+            stable = 0
+        if env.now > deadline:
+            return False
+        yield env.timeout(check_every_us)
+    return True
 
 
 def run_averaged(config: ExperimentConfig, repeats: int = 3) -> RunResult:

@@ -13,6 +13,14 @@ Commands:
   records a flight-recorder trace (Chrome ``trace_event`` JSON or
   JSONL); ``--check`` replays the trace through the offline
   integrity/convergence checker (exit code 2 on violations).
+- ``chaos <workload>`` — like ``run``, but with a deterministic fault
+  plan armed against the cluster: ``--faults`` names a CI preset
+  (crash-leader, partition-minority, lossy-10pct, delay-spike,
+  restart-follower) or a plan JSON file, while ``--seed N`` alone
+  generates a randomized-but-reproducible plan.  The run reports
+  injected-fault counts next to the usual metrics; ``--check`` gates it
+  with the trace checker (exit 2 on violations), which is how the CI
+  chaos matrix decides pass/fail.
 """
 
 from __future__ import annotations
@@ -88,6 +96,66 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay the recorded trace through the offline "
         "integrity/convergence checker; exit 2 on violations",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="drive one experiment under a deterministic fault plan",
+    )
+    chaos.add_argument("workload")
+    chaos.add_argument(
+        "--system", choices=("hamband", "mu"), default="hamband"
+    )
+    chaos.add_argument("--nodes", type=int, default=4)
+    chaos.add_argument("--ops", type=int, default=600)
+    chaos.add_argument("--update-ratio", type=float, default=0.25)
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload seed AND (without --faults) the fault-plan seed",
+    )
+    chaos.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help="a named CI plan (crash-leader, partition-minority, "
+        "lossy-10pct, delay-spike, restart-follower) or a plan JSON "
+        "file; omit to derive a plan from --seed",
+    )
+    chaos.add_argument(
+        "--horizon",
+        type=float,
+        default=1000.0,
+        help="fault-plan horizon in sim microseconds (preset/seeded "
+        "plans place their faults as fractions of this)",
+    )
+    chaos.add_argument(
+        "--save-plan",
+        metavar="FILE",
+        default=None,
+        help="write the resolved plan as canonical JSON (replayable "
+        "via --faults FILE)",
+    )
+    chaos.add_argument("--per-method", action="store_true")
+    chaos.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-node probe snapshots and the cluster rollup",
+    )
+    chaos.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="export the flight-recorder trace (*.jsonl for JSON "
+        "lines, anything else Chrome trace_event with FAULT markers)",
+    )
+    chaos.add_argument("--trace-capacity", type=int, default=1 << 20)
+    chaos.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the run with the offline trace checker; exit 2 on "
+        "violations",
     )
     return parser
 
@@ -261,6 +329,75 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench import ExperimentConfig, run_chaos
+    from .sim import resolve_plan
+
+    try:
+        plan = resolve_plan(
+            args.faults, args.seed, args.nodes, horizon_us=args.horizon
+        )
+    except ValueError as exc:
+        print(exc)
+        return 1
+    if args.save_plan is not None:
+        plan.save(args.save_plan)
+        print(f"plan: {plan.name} ({len(plan.actions)} actions) "
+              f"-> {args.save_plan}")
+    config = ExperimentConfig(
+        system=args.system,
+        workload=args.workload,
+        n_nodes=args.nodes,
+        total_ops=args.ops,
+        update_ratio=args.update_ratio,
+        seed=args.seed if args.seed is not None else 1,
+    )
+    try:
+        run = run_chaos(config, plan, capacity=args.trace_capacity)
+    except KeyError:
+        print(f"unknown workload {args.workload!r}; try `repro list`")
+        return 1
+    if run.result is not None:
+        print(run.result.summary_row())
+    else:
+        print(f"{args.system:10s} {args.workload:14s} n={args.nodes} "
+              "did not quiesce before the driver timeout")
+    counts = run.injector.counts()
+    injected = ", ".join(
+        f"{kind}={counts[kind]}" for kind in sorted(counts)
+    ) or "none"
+    print(f"plan: {plan.name} seed={plan.seed} "
+          f"horizon={plan.horizon_us():.0f}us")
+    print(f"faults injected: {injected}")
+    print(f"settled: {'yes' if run.settled else 'NO'}")
+    if args.per_method and run.result is not None:
+        for method in sorted(run.result.per_method):
+            series = run.result.per_method[method]
+            print(
+                f"  {method:20s} mean={series.mean:8.3f}us "
+                f"p95={series.p95:8.3f}us p99={series.p99:8.3f}us "
+                f"n={series.count}"
+            )
+    if args.stats:
+        print(json.dumps(run.cluster.stats(), indent=2, default=str))
+    if args.trace is not None:
+        if args.trace.endswith(".jsonl"):
+            count = run.recorder.export_jsonl(args.trace)
+        else:
+            count = run.recorder.export_chrome(args.trace)
+        dropped = run.recorder.dropped()
+        print(f"trace: {count} events -> {args.trace}"
+              + (f" ({dropped} dropped)" if dropped else ""))
+    if args.check:
+        report = run.check()
+        print(report.summary())
+        if not report.ok:
+            return 2
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -269,4 +406,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_analyze(args)
     if args.command == "explore":
         return _cmd_explore(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_run(args)

@@ -42,6 +42,12 @@ class MuConfig:
     vote_timeout_us: float = 500.0
     #: Pause between checks while waiting to finish applying the log.
     catchup_poll_us: float = 5.0
+    #: Transiently failed log writes (injected faults, partition blips)
+    #: retry this many times with capped exponential backoff — the same
+    #: record to the same offset, so retries are idempotent.
+    op_retry_limit: int = 6
+    op_retry_us: float = 2.0
+    op_retry_cap_us: float = 64.0
 
 
 class _WindowCache:
@@ -123,7 +129,7 @@ class MuGroup:
         """
         if not self.is_leader:
             return False
-        completions = []
+        pending = []
         for peer, writer in self._writers.items():
             ack = self._ack_of(peer)
             if ack is not None and writer.reader_acked is not None:
@@ -148,12 +154,32 @@ class MuGroup:
             region = self.node.region_of(peer, self.region_name)
             qp = self.node.qp_to(peer, mu_channel(self.gid))
             yield from self.node.cpu.use(qp.config.post_cpu_us)
-            completions.append(qp.post_write(region, offset, slot))
+            pending.append(
+                (qp, region, offset, slot, qp.post_write(region, offset, slot))
+            )
         needed = len(self.members) // 2  # + self = majority
         acked = 0
         permission_errors = 0
-        for completion in completions:
+        for qp, region, offset, slot, completion in pending:
             wc = yield completion
+            # Transient failures (injected NIC faults, partition blips)
+            # retry the SAME record to the SAME offset — idempotent.
+            # Permission errors are the leader-change signal and must
+            # surface immediately.
+            retries = 0
+            delay = self.config.op_retry_us
+            while (
+                wc.status is not WcStatus.SUCCESS
+                and wc.status is not WcStatus.PERMISSION_ERROR
+                and retries < self.config.op_retry_limit
+                and self.node.alive
+                and self.is_leader
+            ):
+                retries += 1
+                yield self.env.timeout(delay)
+                delay = min(delay * 2, self.config.op_retry_cap_us)
+                yield from self.node.cpu.use(qp.config.post_cpu_us)
+                wc = yield qp.post_write(region, offset, slot)
             if wc.status is WcStatus.SUCCESS:
                 acked += 1
             elif wc.status is WcStatus.PERMISSION_ERROR:
@@ -244,16 +270,26 @@ class MuGroup:
                 peer, ("vote_req", self.gid, term, self.node.name)
             )
         needed = len(self.members) // 2  # + self = majority
-        got = 0
+        voters: set[str] = set()
         deadline = self.env.timeout(self.config.vote_timeout_us)
-        while got < needed:
-            result = yield self.env.any_of([acks.get(), deadline])
-            if deadline.processed and deadline in result:
+        while len(voters) < needed:
+            get_ev = acks.get()
+            result = yield self.env.any_of([get_ev, deadline])
+            if get_ev in result:
+                # Dedup by voter name: a duplicated vote_ack (injected
+                # message duplication) must not fake a majority.
+                voters.add(result[get_ev])
+            elif deadline.processed and deadline in result:
                 break
-            got += 1
         del self._ack_stores[term]
-        if got < needed:
+        if len(voters) < needed:
             self.is_leader = False
+            # Lost: our provisional self-vote revoked the incumbent's
+            # write permission on this node.  Restore it, or a live
+            # leader would be permanently blocked from writing to us —
+            # a partitioned minority node's failed campaigns must not
+            # wedge the healthy majority.
+            self._set_permissions(self.leader)
             return False
         tail = yield from self._reconcile(suspected)
         # Serve only after applying everything the old leader decided.

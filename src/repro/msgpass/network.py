@@ -57,6 +57,10 @@ class MsgHost:
         self.alive = True
         self._seq = itertools.count(1)
         self._pipe_busy_until: dict[str, float] = {}
+        #: Acks this host owes for messages it has accepted but not yet
+        #: acknowledged.  Failed deterministically if this host crashes,
+        #: so senders awaiting a round trip never hang on a dead peer.
+        self._pending_acks: set[Event] = set()
 
     def send(self, dst: str, payload: Any,
              want_ack: bool = True) -> Generator[Event, Any, Optional[Event]]:
@@ -73,15 +77,41 @@ class MsgHost:
         ack = Event(self.env) if want_ack else None
         seq = next(self._seq)
         target = self.network.hosts[dst]
+        # Consult the fault injector, if one is armed on this network.
+        decision = None
+        hook = self.network.fault_hook
+        if hook is not None:
+            decision = hook(self.name, dst, _size_of(payload))
         # FIFO per pipe: messages to one peer queue behind each other.
         start = max(self.env.now, self._pipe_busy_until.get(dst, 0.0))
         arrival = start + config.wire_us
+        if decision is not None and decision.kind == "delay":
+            arrival += decision.delay_us
         self._pipe_busy_until[dst] = start
+
+        if decision is not None and decision.kind == "drop":
+            # Dropped on the wire: the payload never arrives, and the
+            # sender's ack wait fails deterministically (TCP-reset-like)
+            # instead of hanging forever.
+            def lose() -> None:
+                if ack is not None and not ack.triggered:
+                    ack.fail(ConnectionError(
+                        f"message {self.name}->{dst} dropped"
+                    ))
+
+            self.env.call_later(arrival - self.env.now, lose)
+            return ack
+
+        copies = 2 if decision is not None and decision.kind == "dup" else 1
 
         def deliver() -> None:
             if target.alive:
-                target.inbox.put(Delivery(self.name, payload, seq, ack))
-            elif ack is not None:
+                delivery = Delivery(self.name, payload, seq, ack)
+                if ack is not None:
+                    target._pending_acks.add(ack)
+                for _ in range(copies):
+                    target.inbox.put(delivery)
+            elif ack is not None and not ack.triggered:
                 ack.fail(ConnectionError(f"{dst} is down"))
 
         self.env.call_later(arrival - self.env.now, deliver)
@@ -100,12 +130,25 @@ class MsgHost:
         """Complete the sender's round trip for this message."""
         if delivery.ack is not None and not delivery.ack.triggered:
             ack = delivery.ack
+            # The ack reply is on the wire: a crash of this host no
+            # longer invalidates it, and the in-flight guard below makes
+            # duplicate deliveries ack at most once.
+            self._pending_acks.discard(ack)
             self.env.call_later(
-                self.network.config.wire_us, lambda: ack.succeed(None)
+                self.network.config.wire_us,
+                lambda: None if ack.triggered else ack.succeed(None),
             )
 
     def crash(self) -> None:
+        """Fail-stop: drop queued messages and fail every ack this host
+        still owes, so senders blocked on a round trip unblock with a
+        deterministic error instead of hanging forever."""
         self.alive = False
+        self.inbox.items.clear()
+        pending, self._pending_acks = self._pending_acks, set()
+        for ack in pending:
+            if not ack.triggered:
+                ack.fail(ConnectionError(f"{self.name} crashed"))
 
 
 def _size_of(payload: Any) -> int:
@@ -121,6 +164,11 @@ class MsgNetwork:
         self.env = env
         self.config = config or MsgConfig()
         self.hosts: dict[str, MsgHost] = {}
+        #: Optional fault-injection hook consulted for every send:
+        #: ``hook(src, dst, nbytes)`` returns a
+        #: :class:`repro.sim.FaultDecision` or None.  Installed by
+        #: :class:`repro.sim.FaultInjector`.
+        self.fault_hook = None
 
     def add_host(self, name: str, cpu_cores: int = 1) -> MsgHost:
         if name in self.hosts:

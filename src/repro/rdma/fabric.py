@@ -100,6 +100,11 @@ class Fabric:
         self.stats = FabricStats()
         #: Severed links: unordered node-name pairs that drop traffic.
         self._cut_links: set[frozenset[str]] = set()
+        #: Optional fault-injection hook consulted for every posted op:
+        #: ``hook(op: str, src: str, dst: str, nbytes: int)`` returns a
+        #: :class:`repro.sim.FaultDecision` or None.  Installed by
+        #: :class:`repro.sim.FaultInjector`.
+        self.fault_hook = None
 
     # -- partition injection -------------------------------------------------
 

@@ -61,6 +61,9 @@ class WcStatus(enum.Enum):
     PERMISSION_ERROR = "permission_error"
     #: Transport retries exhausted: the path to the peer is down.
     UNREACHABLE = "unreachable"
+    #: Flushed by the fault injector (simulated NIC/switch fault).
+    #: Transient from the poster's point of view — retryable.
+    INJECTED = "injected"
 
 
 @dataclass
@@ -154,22 +157,34 @@ class QueuePair:
         self._check_target_region(region)
         completion = Event(self.env)
         wr_id = next(self._wr_ids)
-        arrive, complete = self._schedule_wire(len(payload))
+        decision = self._consult_fault(Opcode.WRITE, len(payload))
         self.local.fabric.stats.count(Opcode.WRITE, len(payload))
+        if decision is not None and decision.kind == "opfail":
+            return self._injected(completion, Opcode.WRITE, wr_id,
+                                  len(payload))
+        copies = 2 if decision is not None and decision.kind == "dup" else 1
+        for copy in range(copies):
+            arrive, complete = self._schedule_wire(len(payload))
 
-        def deliver() -> None:
-            status = self._landing_status(region, offset, len(payload),
-                                          Access.REMOTE_WRITE)
-            if status is WcStatus.SUCCESS:
-                region.write(offset, payload)
-            self.env.call_later(
-                complete - arrive,
-                lambda: completion.succeed(
-                    WorkCompletion(Opcode.WRITE, status, wr_id)
-                ),
-            )
+            def deliver(arrive=arrive, complete=complete,
+                        resolve=copy == 0) -> None:
+                if not self.local.alive:
+                    status = WcStatus.UNREACHABLE  # sender died in flight
+                else:
+                    status = self._landing_status(
+                        region, offset, len(payload), Access.REMOTE_WRITE
+                    )
+                if status is WcStatus.SUCCESS:
+                    region.write(offset, payload)
+                if resolve:
+                    self.env.call_later(
+                        complete - arrive,
+                        lambda: completion.succeed(
+                            WorkCompletion(Opcode.WRITE, status, wr_id)
+                        ),
+                    )
 
-        self.env.call_later(arrive - self.env.now, deliver)
+            self.env.call_later(arrive - self.env.now, deliver)
         return completion
 
     def post_read(self, region: MemoryRegion, offset: int,
@@ -178,14 +193,20 @@ class QueuePair:
         self._check_target_region(region)
         completion = Event(self.env)
         wr_id = next(self._wr_ids)
+        decision = self._consult_fault(Opcode.READ, length)
+        self.local.fabric.stats.count(Opcode.READ, length)
+        if decision is not None and decision.kind == "opfail":
+            return self._injected(completion, Opcode.READ, wr_id, length)
         # Request is small; the response carries the payload.
         arrive, _ = self._schedule_wire(0)
         complete = arrive + self.config.tx_time(length) + self.config.wire_us
-        self.local.fabric.stats.count(Opcode.READ, length)
 
         def deliver() -> None:
-            status = self._landing_status(region, offset, length,
-                                          Access.REMOTE_READ)
+            if not self.local.alive:
+                status = WcStatus.UNREACHABLE  # requester died in flight
+            else:
+                status = self._landing_status(region, offset, length,
+                                              Access.REMOTE_READ)
             data = region.read(offset, length) if status is WcStatus.SUCCESS else None
             self.env.call_later(
                 complete - self.env.now,
@@ -203,14 +224,20 @@ class QueuePair:
         self._check_target_region(region)
         completion = Event(self.env)
         wr_id = next(self._wr_ids)
+        decision = self._consult_fault(Opcode.CAS, 8)
+        self.local.fabric.stats.count(Opcode.CAS, 8)
+        if decision is not None and decision.kind == "opfail":
+            return self._injected(completion, Opcode.CAS, wr_id, 8)
         arrive, _ = self._schedule_wire(8)
         arrive += self.config.atomic_extra_us
         complete = arrive + self.config.wire_us
-        self.local.fabric.stats.count(Opcode.CAS, 8)
 
         def deliver() -> None:
-            status = self._landing_status(region, offset, 8,
-                                          Access.REMOTE_ATOMIC)
+            if not self.local.alive:
+                status = WcStatus.UNREACHABLE  # requester died in flight
+            else:
+                status = self._landing_status(region, offset, 8,
+                                              Access.REMOTE_ATOMIC)
             old = None
             if status is WcStatus.SUCCESS:
                 old = region.read_u64(offset)
@@ -230,31 +257,41 @@ class QueuePair:
         """Two-sided send into the peer endpoint's receive queue."""
         completion = Event(self.env)
         wr_id = next(self._wr_ids)
-        arrive, complete = self._schedule_wire(len(payload))
+        decision = self._consult_fault(Opcode.SEND, len(payload))
         self.local.fabric.stats.count(Opcode.SEND, len(payload))
+        if decision is not None and decision.kind == "opfail":
+            return self._injected(completion, Opcode.SEND, wr_id,
+                                  len(payload))
+        copies = 2 if decision is not None and decision.kind == "dup" else 1
         src = self.local.name
+        for copy in range(copies):
+            arrive, complete = self._schedule_wire(len(payload))
 
-        def deliver() -> None:
-            if not self.local.fabric.link_up(
-                self.local.name, self.remote.name
-            ):
-                status = WcStatus.UNREACHABLE
-            elif not self.remote.alive:
-                status = WcStatus.REMOTE_OPERATION_ERROR
-            else:
-                status = WcStatus.SUCCESS
-                if self.peer is not None:
-                    self.peer.recv_queue.put(
-                        _Incoming(payload, self.env.now, src)
+            def deliver(arrive=arrive, complete=complete,
+                        resolve=copy == 0) -> None:
+                if not self.local.alive:
+                    status = WcStatus.UNREACHABLE  # sender died in flight
+                elif not self.local.fabric.link_up(
+                    self.local.name, self.remote.name
+                ):
+                    status = WcStatus.UNREACHABLE
+                elif not self.remote.alive:
+                    status = WcStatus.REMOTE_OPERATION_ERROR
+                else:
+                    status = WcStatus.SUCCESS
+                    if self.peer is not None:
+                        self.peer.recv_queue.put(
+                            _Incoming(payload, self.env.now, src)
+                        )
+                if resolve:
+                    self.env.call_later(
+                        complete - arrive,
+                        lambda: completion.succeed(
+                            WorkCompletion(Opcode.SEND, status, wr_id)
+                        ),
                     )
-            self.env.call_later(
-                complete - arrive,
-                lambda: completion.succeed(
-                    WorkCompletion(Opcode.SEND, status, wr_id)
-                ),
-            )
 
-        self.env.call_later(arrive - self.env.now, deliver)
+            self.env.call_later(arrive - self.env.now, deliver)
         return completion
 
     # -- blocking helpers (charge CPU, wait for completion) --------------
@@ -290,6 +327,40 @@ class QueuePair:
         return incoming
 
     # -- internals ---------------------------------------------------------
+
+    def _consult_fault(self, opcode: Opcode, nbytes: int):
+        """Ask the fault injector (if armed) what to do with this op.
+
+        A ``delay`` decision is applied here, as a NIC/link stall: it
+        pushes back ``_busy_until`` so this op *and everything queued
+        behind it* slips — preserving the RC FIFO order that the layers
+        above rely on.  ``opfail``/``dup``/``drop`` decisions are
+        returned for the caller to act on.
+        """
+        hook = self.local.fabric.fault_hook
+        if hook is None:
+            return None
+        decision = hook(
+            opcode.value, self.local.name, self.remote.name, nbytes
+        )
+        if decision is not None and decision.kind == "delay":
+            self._busy_until = (
+                max(self._busy_until, self.env.now) + decision.delay_us
+            )
+        return decision
+
+    def _injected(self, completion: Event, opcode: Opcode, wr_id: int,
+                  nbytes: int) -> Event:
+        """Complete an op with INJECTED status: flushed on the wire,
+        nothing lands remotely.  The wire slot is still consumed."""
+        _, complete = self._schedule_wire(nbytes)
+        self.env.call_later(
+            complete - self.env.now,
+            lambda: completion.succeed(
+                WorkCompletion(opcode, WcStatus.INJECTED, wr_id)
+            ),
+        )
+        return completion
 
     def _schedule_wire(self, nbytes: int) -> tuple[float, float]:
         """Reserve the send queue; return (arrival time, completion time)."""

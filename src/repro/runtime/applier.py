@@ -26,7 +26,7 @@ from typing import Any, Callable, Optional
 
 from ..core import Call, Category, ConcreteEvent, Coordination
 from ..core.rdma_semantics import DependencyMap
-from ..rdma import RdmaNode
+from ..rdma import RdmaNode, WcStatus
 from .config import RuntimeConfig, s_region
 from .errors import ImpermissibleError
 from .probe import RuntimeProbe
@@ -343,9 +343,18 @@ class ApplyEngine:
     def traverse_once(self):
         progressed = False
         for origin, reader in self.transport.f_readers.items():
-            progressed |= yield from self.transport.drain(
+            ring_progressed = yield from self.transport.drain(
                 reader, "FREE_APP", self, label=f"F<-{origin}"
             )
+            if ring_progressed:
+                self.transport.reset_f_misses(origin)
+            else:
+                # Empty sweep: let the transport's hole detector decide
+                # whether a lost write is blocking this ring.
+                ring_progressed = yield from self.transport.maybe_repair_f(
+                    origin, self.is_suspected
+                )
+            progressed |= ring_progressed
         for gid in self.transport.l_readers:
             progressed |= yield from self.conflict.drain_l(gid)
         if self.pending_recovered:
@@ -353,3 +362,49 @@ class ApplyEngine:
         if self.config.ack_every:
             yield from self.transport.flush_acks(self.conflict.leader_of)
         return progressed
+
+    # -- recovery: summary catch-up --------------------------------------
+
+    def pull_summaries(self, owners: Optional[list[str]] = None):
+        """One-sided reads of peers' summary slots, adopting any copy
+        strictly newer (higher seq) than ours — the summary-transfer
+        half of the rejoin/catch-up path.
+
+        ``owners`` restricts which processes' slots to refresh (e.g. a
+        single peer just cleared of suspicion); None refreshes all.
+        """
+        summary_size = slot_size_for(self.config.summary_payload)
+        refreshed = 0
+        for summarizer in self.spec.summarizers:
+            for owner in self.processes:
+                if owner == self.name:
+                    continue
+                if owners is not None and owner not in owners:
+                    continue
+                region_name = s_region(summarizer.group, owner)
+                local = self.rnode.regions[region_name]
+                for source in self._summary_sources(owner):
+                    qp = self.rnode.qp_to(source)
+                    remote = self.rnode.region_of(source, region_name)
+                    wc = yield from qp.read(remote, 0, summary_size)
+                    if wc.status is not WcStatus.SUCCESS or not wc.data:
+                        continue
+                    remote_seq = int.from_bytes(wc.data[:8], "little")
+                    local_seq = int.from_bytes(local.read(0, 8), "little")
+                    if remote_seq > local_seq:
+                        local.write(0, wc.data)
+                        refreshed += 1
+                    break  # first reachable source wins
+        return refreshed
+
+    def _summary_sources(self, owner: str) -> list[str]:
+        """Sources to read ``owner``'s summary from: the owner itself
+        (authoritative), then any other live, unsuspected peer."""
+        others = [
+            p for p in self.processes if p not in (self.name, owner)
+        ]
+        candidates = [owner] + others
+        return [
+            p for p in candidates
+            if self.rnode.fabric.nodes[p].alive and not self.is_suspected(p)
+        ]

@@ -203,9 +203,32 @@ class HambandCluster:
         self.nodes[name].heartbeat.suspend()
 
     def crash(self, name: str) -> None:
-        """Full fail-stop: heartbeat silent and RDMA unreachable."""
+        """Full fail-stop: heartbeat silent and RDMA unreachable.
+
+        An in-flight reliable broadcast at the crashed node stops at its
+        next step and leaves the backup slot set — exactly the half-
+        delivered state the suspicion-driven recovery path repairs."""
         self.suspend_heartbeat(name)
+        self.nodes[name].broadcast.halted = True
         self.fabric.nodes[name].crash()
+
+    def restart(self, name: str, catch_up: bool = True) -> None:
+        """Bring a crashed node back: fabric reachable, heartbeat
+        beating, requests accepted again.
+
+        With ``catch_up`` (the default) the node runs its supervised
+        rejoin pass — re-discover leaders, repair every F ring and L log
+        copy, refresh summary slots — so it converges with the cluster.
+        ``catch_up=False`` deliberately skips recovery (the negative
+        control for the trace checker: the restarted node stays behind
+        and the run fails convergence)."""
+        node = self.nodes[name]
+        self.fabric.nodes[name].recover()
+        node.broadcast.halted = False
+        node.heartbeat.resume()
+        node.failed = False
+        if catch_up:
+            node.start_rejoin()
 
     def partition(self, side_a: list[str], side_b: list[str]) -> None:
         """Cut every fabric link between the two sides."""

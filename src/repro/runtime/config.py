@@ -61,6 +61,23 @@ class RuntimeConfig:
     #: receivers then wait for everything the issuer had seen (a causal
     #: barrier), not just the calls the invariant actually needs.
     full_dep_barrier: bool = False
+    #: Recovery: transiently failed one-sided ops (injected NIC faults,
+    #: in-flight partition blips) retry up to this many times with
+    #: exponential backoff capped at ``op_retry_cap_us``.
+    op_retry_limit: int = 6
+    op_retry_us: float = 2.0
+    op_retry_cap_us: float = 64.0
+    #: Recovery: a forwarded conflicting call waits this long for the
+    #: leader's reply before re-resolving the leader and retrying.
+    fwd_timeout_us: float = 2000.0
+    #: Recovery: the k-th ranked successor candidate waits k stagger
+    #: units on top of the vote timeout before campaigning, so healthy
+    #: clusters elect the first candidate without duelling elections.
+    campaign_stagger_us: float = 200.0
+    #: Recovery: a candidate re-campaigns up to this many times while
+    #: the suspected leader stays suspected and unled.
+    campaign_retry_limit: int = 4
+    campaign_retry_us: float = 400.0
 
 
 def f_region(writer: str) -> str:

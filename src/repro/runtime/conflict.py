@@ -76,6 +76,9 @@ class ConflictCoordinator:
             ring_slots=self.config.ring_slots,
             slot_size=self.config.slot_size,
             vote_timeout_us=self.config.vote_timeout_us,
+            op_retry_limit=self.config.op_retry_limit,
+            op_retry_us=self.config.op_retry_us,
+            op_retry_cap_us=self.config.op_retry_cap_us,
         )
         self.mu_groups: dict[str, MuGroup] = {}
         self.conf_queues: dict[str, Store] = {}
@@ -417,7 +420,14 @@ class ConflictCoordinator:
         yield self.env.timeout(3.0)
 
     def handle_suspect(self, peer: str) -> None:
-        """Campaign for any group the suspected peer was leading."""
+        """Campaign for any group the suspected peer was leading.
+
+        Every live candidate arms a staggered campaign loop, ranked by
+        name order: rank 0 campaigns immediately (the healthy-path
+        behaviour), rank k waits k extra stagger units and only runs if
+        the group is *still* led by the suspect — so a crashed first
+        candidate no longer strands the group leaderless.
+        """
         for gid, mu in self.mu_groups.items():
             if mu.leader == peer:
                 candidates = [
@@ -425,10 +435,33 @@ class ConflictCoordinator:
                     for p in self.processes
                     if p != peer and not self.is_suspected(p)
                 ]
-                if candidates and candidates[0] == self.name:
+                if self.name in candidates:
+                    rank = candidates.index(self.name)
                     self.env.process(
-                        self.campaign(gid), name=f"campaign:{self.name}"
+                        self._campaign_loop(gid, peer, rank),
+                        name=f"campaign:{self.name}:{gid}",
                     )
+
+    def _campaign_loop(self, gid: str, suspect: str, rank: int):
+        """Staggered, retrying election driver for one suspicion event."""
+        mu = self.mu_groups[gid]
+        cfg = self.config
+        if rank:
+            yield self.env.timeout(
+                rank * (cfg.vote_timeout_us + cfg.campaign_stagger_us)
+            )
+        for _attempt in range(cfg.campaign_retry_limit):
+            if (
+                mu.leader != suspect
+                or not self.is_suspected(suspect)
+                or self.is_failed()
+                or not self.rnode.alive
+            ):
+                return  # resolved meanwhile (elected / recovered / we died)
+            won = yield from mu.campaign(set(self.suspected()))
+            if won or mu.leader != suspect:
+                return
+            yield self.env.timeout(cfg.campaign_retry_us)
 
     def campaign(self, gid: str):
         mu = self.mu_groups[gid]

@@ -46,18 +46,30 @@ class ControlPlane:
         self.counters = counters if counters is not None else {}
         #: Outstanding forwarded-request waiters, by token.
         self._fwd_waiters: dict[str, Event] = {}
+        #: Served forwarded requests: token -> cached reply, so a
+        #: duplicated/retried fwd_req is answered without re-executing.
+        self._served: dict[str, tuple] = {}
+        #: Tokens currently being served (first delivery wins; a
+        #: duplicate arriving mid-serve is dropped — the serve in
+        #: progress will reply).
+        self._serving: set[str] = set()
         # Collaborators, wired by the façade via bind().
         self.conflict = None
         self.applier = None
         self.broadcast = None
         self.submit: Callable[[str, Any], Event] = None
+        #: Optional rejoin hook: ``on_resync(peer)`` is a generator that
+        #: pulls ``peer``'s rings/summaries (wired by the façade).
+        self.on_resync = None
 
     def bind(self, conflict, applier, broadcast,
-             submit: Callable[[str, Any], Event]) -> None:
+             submit: Callable[[str, Any], Event],
+             on_resync=None) -> None:
         self.conflict = conflict
         self.applier = applier
         self.broadcast = broadcast
         self.submit = submit
+        self.on_resync = on_resync
 
     def start(self, peers: list[str], spawn: Callable) -> None:
         """Spawn one supervised listener per peer."""
@@ -95,24 +107,44 @@ class ControlPlane:
                 waiter = self._fwd_waiters.pop(token, None)
                 if waiter is not None and not waiter.triggered:
                     waiter.succeed((outcome, data))
+            elif kind == "resync":
+                # A peer that just cleared us of suspicion asks us to
+                # pull its data — records it skipped us on while it
+                # (wrongly or rightly) considered us dead.
+                if self.on_resync is not None:
+                    self.env.process(
+                        self.on_resync(incoming.src),
+                        name=f"resync:{self.name}",
+                    )
 
     # -- request forwarding ----------------------------------------------
 
     def forward_to_leader(self, gid: str, method: str, arg: Any,
                           max_hops: int = 5):
+        # ONE token for all hops/retries of this request: the serving
+        # side dedups on it, so a retry after a lost reply (or a
+        # duplicated request) cannot execute the call twice.
+        token_rid = self.applier.next_rid()
+        token = f"{self.name}:{token_rid}"
         for _hop in range(max_hops):
             leader = self.conflict.leader_of(gid)
             if leader == self.name:
                 result = yield self.submit(method, arg)
                 return result
-            token_rid = self.applier.next_rid()
-            token = f"{self.name}:{token_rid}"
             waiter = self.env.event()
             self._fwd_waiters[token] = waiter
             self.probe.span_begin("forward", method, self.name, token_rid)
             yield from self.send(leader, ("fwd_req", token, method, arg))
-            outcome, data = yield waiter
+            deadline = self.env.timeout(self.config.fwd_timeout_us)
+            result = yield self.env.any_of([waiter, deadline])
             self.probe.span_end("forward", method, self.name, token_rid)
+            if waiter not in result:
+                # Request or reply lost (drop/crash): clear the waiter,
+                # re-resolve the leader, and retry with the same token.
+                self._fwd_waiters.pop(token, None)
+                yield from self.conflict.discover_leader(gid)
+                continue
+            outcome, data = result[waiter]
             if outcome == "ok":
                 m, a, origin, rid = data
                 return Call(m, a, origin, rid)
@@ -128,6 +160,14 @@ class ControlPlane:
 
     def serve_forwarded(self, src: str, message: Any):
         _kind, token, method, arg = message
+        cached = self._served.get(token)
+        if cached is not None:
+            # Client retry after a lost reply: resend, don't re-execute.
+            yield from self.send(src, ("fwd_resp", token, *cached))
+            return
+        if token in self._serving:
+            return  # duplicate delivery mid-serve: the first will reply
+        self._serving.add(token)
         self.counters["forwarded"] = self.counters.get("forwarded", 0) + 1
         self.probe.forwarded(method)
         try:
@@ -140,6 +180,12 @@ class ControlPlane:
             reply = ("impermissible", str(exc))
         except SubmitError as exc:
             reply = ("error", str(exc))
+        finally:
+            self._serving.discard(token)
+        # Only terminal outcomes are cached: a "redirect" answer may
+        # legitimately differ on the next hop of the same token.
+        if reply[0] != "redirect":
+            self._served[token] = reply
         yield from self.send(src, ("fwd_resp", token, reply[0], reply[1]))
 
     # -- broadcast recovery ----------------------------------------------

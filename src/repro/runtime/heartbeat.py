@@ -53,13 +53,17 @@ class FailureDetector:
 
     def __init__(self, node: RdmaNode, peers: list[str],
                  poll_interval_us: float = 60.0, suspect_after: int = 3,
-                 on_suspect: Optional[Callable[[str], None]] = None):
+                 on_suspect: Optional[Callable[[str], None]] = None,
+                 on_clear: Optional[Callable[[str], None]] = None):
         self.node = node
         self.env: Environment = node.env
         self.peers = [p for p in peers if p != node.name]
         self.poll_interval_us = poll_interval_us
         self.suspect_after = suspect_after
         self.on_suspect = on_suspect
+        #: Fired when a previously suspected peer proves alive again
+        #: (heals from a partition, restarts): the rejoin/catch-up hook.
+        self.on_clear = on_clear
         self.suspected: set[str] = set()
         self._last_seen: dict[str, int] = {p: 0 for p in self.peers}
         self._stale_polls: dict[str, int] = {p: 0 for p in self.peers}
@@ -84,7 +88,10 @@ class FailureDetector:
                 if count > self._last_seen[peer]:
                     self._last_seen[peer] = count
                     self._stale_polls[peer] = 0
-                    self.suspected.discard(peer)
+                    if peer in self.suspected:
+                        self.suspected.discard(peer)
+                        if self.on_clear is not None:
+                            self.on_clear(peer)
                 else:
                     self._note_stale(peer)
 

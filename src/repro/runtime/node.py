@@ -127,6 +127,7 @@ class HambandNode:
             poll_interval_us=config.fd_poll_us,
             suspect_after=config.suspect_after,
             on_suspect=self._on_suspect,
+            on_clear=self._on_clear,
         )
         self.control = ControlPlane(
             rnode, config, self.probe, self.counters
@@ -148,7 +149,8 @@ class HambandNode:
             self.detector.is_suspected,
         )
         self.control.bind(
-            self.conflict, self.applier, self.broadcast, self.submit
+            self.conflict, self.applier, self.broadcast, self.submit,
+            on_resync=self._catch_up_from,
         )
         self._spawn_supervised(self.applier.poll_loop(), f"poll:{self.name}")
         self.control.start(self.peers, self._spawn_supervised)
@@ -251,6 +253,54 @@ class HambandNode:
             name=f"recover:{self.name}",
         )
         self.conflict.handle_suspect(peer)
+
+    def _on_clear(self, peer: str) -> None:
+        """A suspected peer proved alive again (partition healed or the
+        node restarted): resynchronize in BOTH directions.
+
+        Locally we pull the peer's rings/summaries (records we missed
+        while cut off from it); then we tell the peer to pull ours — it
+        has holes for every broadcast we skipped it on while we thought
+        it dead."""
+
+        def worker():
+            yield from self._catch_up_from(peer)
+            yield from self.control.send(peer, ("resync",))
+
+        self.env.process(worker(), name=f"clear:{self.name}:{peer}")
+
+    def _catch_up_from(self, peer: str):
+        """Pull one peer's data: F-ring repair + summary refresh, plus a
+        log self-repair for every group we follow."""
+        yield from self.transport.repair_f_ring(
+            peer, self.detector.is_suspected
+        )
+        yield from self.applier.pull_summaries([peer])
+        for group in self.coordination.sync_groups():
+            if self.conflict.leader_of(group.gid) != self.name:
+                yield from self.conflict.rejoin_repair(group.gid)
+        self.probe.catch_up(peer)
+
+    # -- restart / rejoin --------------------------------------------------
+
+    def rejoin(self):
+        """Catch a restarted node up to the cluster: re-learn leaders,
+        repair every F ring and L log copy, refresh summary slots."""
+        for gid in self.conflict.mu_groups:
+            yield from self.conflict.discover_leader(gid)
+        for peer in self.peers:
+            yield from self.transport.repair_f_ring(
+                peer, self.detector.is_suspected
+            )
+        yield from self.applier.pull_summaries()
+        for group in self.coordination.sync_groups():
+            if self.conflict.leader_of(group.gid) != self.name:
+                yield from self.conflict.rejoin_repair(group.gid)
+        self.probe.catch_up("restart")
+
+    def start_rejoin(self):
+        """Spawn the rejoin pass (supervised) after a restart."""
+        return self._spawn_supervised(self.rejoin(), f"rejoin:{self.name}")
 
     # -- legacy layer-state views (pre-split attribute compatibility) ------
 

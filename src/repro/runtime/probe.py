@@ -76,6 +76,18 @@ class RuntimeProbe:
     def rejected(self, reason: str) -> None:
         """A request failed (reason: impermissible / not_leader / ...)."""
 
+    # -- faults and recovery ---------------------------------------------
+
+    def trace_fault(self, kind: str, target: str, detail: str) -> None:
+        """The fault injector injected ``kind`` at/against ``target``."""
+
+    def op_retry(self, kind: str) -> None:
+        """A one-sided op failed transiently and was retried."""
+
+    def catch_up(self, source: str) -> None:
+        """This node completed a rejoin/catch-up pass (from ``source``,
+        or ``"restart"`` for a full post-restart rejoin)."""
+
     # -- causal tracing (no-op unless a TracingProbe is installed) --------
     #
     # The span/trace hooks carry enough identity (method, origin, rid)
@@ -130,6 +142,9 @@ class CountingProbe(RuntimeProbe):
         self.forwards: dict[str, int] = {}
         self.redirects: dict[str, int] = {}
         self.rejections: dict[str, int] = {}
+        self.faults: dict[str, int] = {}
+        self.op_retries: dict[str, int] = {}
+        self.catch_ups: dict[str, int] = {}
         self.recoveries = 0
 
     @staticmethod
@@ -175,6 +190,15 @@ class CountingProbe(RuntimeProbe):
     def rejected(self, reason: str) -> None:
         self._bump(self.rejections, reason)
 
+    def trace_fault(self, kind: str, target: str, detail: str) -> None:
+        self._bump(self.faults, kind)
+
+    def op_retry(self, kind: str) -> None:
+        self._bump(self.op_retries, kind)
+
+    def catch_up(self, source: str) -> None:
+        self._bump(self.catch_ups, source)
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "applies": dict(self.applies),
@@ -189,6 +213,9 @@ class CountingProbe(RuntimeProbe):
             "forwards": dict(self.forwards),
             "redirects": dict(self.redirects),
             "rejections": dict(self.rejections),
+            "faults": dict(self.faults),
+            "op_retries": dict(self.op_retries),
+            "catch_ups": dict(self.catch_ups),
             "recoveries": self.recoveries,
         }
 

@@ -164,6 +164,12 @@ class TracingProbe(CountingProbe):
                        rid: int, size: int) -> None:
         self._record("xfer", ring, method, origin, rid, size=size)
 
+    def trace_fault(self, kind: str, target: str, detail: str) -> None:
+        """An injected fault (kind/target/detail ride in name/origin/
+        method so faults render inline with rule events)."""
+        super().trace_fault(kind, target, detail)
+        self._record("fault", kind, detail, target, 0)
+
     # -- reporting -------------------------------------------------------
 
     @property
@@ -491,6 +497,13 @@ def chrome_trace_dict(events: Iterable[TraceEvent]) -> dict[str, Any]:
                     out.append({"ph": "s", **flow})
                 else:
                     out.append({"ph": "t", **flow})
+        elif event.kind == "fault":
+            out.append({
+                "ph": "i", "name": f"FAULT:{event.name}", "cat": "fault",
+                "pid": pid, "tid": len(PHASES) + 1, "ts": event.t,
+                "s": "g",  # global scope: draw across the whole track
+                "args": {"target": event.origin, "detail": event.method},
+            })
         elif event.kind == "xfer":
             out.append({
                 "ph": "i", "name": event.name, "cat": "xfer",

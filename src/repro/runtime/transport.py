@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..core import Coordination
-from ..rdma import RdmaNode
+from ..rdma import RdmaNode, WcStatus
 from .config import (
     RuntimeConfig,
     f_ack_region,
@@ -40,7 +40,7 @@ from .config import (
     s_region,
 )
 from .probe import RuntimeProbe
-from .ringbuffer import RingError, RingReader, RingWriter
+from .ringbuffer import RingError, RingReader, RingWriter, parse_record
 from .summary import slot_size_for
 from .wire import decode_call_packet
 
@@ -72,6 +72,13 @@ class RingTransport:
             self.rnode.register(
                 f_region(peer), cfg.ring_slots * cfg.slot_size
             )
+        #: Our own F ring mirror: the same records we fan out to peers,
+        #: kept locally (and remotely readable) so any node can repair a
+        #: hole in its copy of our ring by reading the authoritative
+        #: source — the rejoin/catch-up path reads these.
+        self.rnode.register(
+            f_region(self.name), cfg.ring_slots * cfg.slot_size
+        )
         for group in self.coordination.sync_groups():
             self.rnode.register(
                 l_region(group.gid), cfg.ring_slots * cfg.slot_size
@@ -105,6 +112,11 @@ class RingTransport:
         if cfg.ack_every:
             for writer in self.f_writers.values():
                 writer.reader_acked = 0
+        #: Writer state for the local authoritative mirror of our own F
+        #: ring (never throttled: it is a plain local memory write).
+        self.f_mirror = RingWriter(cfg.ring_slots, cfg.slot_size)
+        #: Consecutive empty sweeps per F ring (hole-detection input).
+        self._f_misses: dict[str, int] = {}
         #: Last ring-head count acknowledged back to each writer.
         self._acked: dict[str, int] = {}
         self.l_readers = {
@@ -158,6 +170,10 @@ class RingTransport:
         """Render ``packet`` into every peer's F writer; return the
         (qp, region, offset, bytes) write list for the broadcaster."""
         writes = []
+        # Authoritative local mirror first (lockstep tails with the
+        # per-peer writers): repair sources read this region.
+        offset, slot = self.f_mirror.render(packet)
+        self.rnode.regions[f_region(self.name)].write(offset, slot)
         for peer in self.peers:
             offset, slot = yield from self.render_with_backpressure(
                 self.f_writers[peer], f_ack_region(peer), packet,
@@ -237,5 +253,114 @@ class RingTransport:
     def post_ack(self, target: str, region_name: str, head: int):
         region = self.rnode.region_of(target, region_name)
         qp = self.rnode.qp_to(target)
-        yield from self.rnode.cpu.use(qp.config.post_cpu_us)
-        qp.post_write(region, 0, head.to_bytes(8, "little"))
+        yield from self.retry_write(
+            qp, region, 0, head.to_bytes(8, "little"), label="ack"
+        )
+
+    # -- recovery: retries and ring repair -------------------------------
+
+    def retry_write(self, qp, region, offset: int, payload: bytes,
+                    label: str = "write"):
+        """One-sided write with capped exponential backoff on transient
+        failures (injected NIC faults, partition blips).
+
+        Permission errors are *not* transient — they are Mu's leader-
+        change signal and must surface immediately.  Returns the last
+        :class:`~repro.rdma.WorkCompletion` either way.
+        """
+        cfg = self.config
+        delay = cfg.op_retry_us
+        wc = None
+        for _attempt in range(cfg.op_retry_limit + 1):
+            yield from self.rnode.cpu.use(qp.config.post_cpu_us)
+            wc = yield qp.post_write(region, offset, payload)
+            if (
+                wc.status is WcStatus.SUCCESS
+                or wc.status is WcStatus.PERMISSION_ERROR
+            ):
+                return wc
+            if not self.rnode.alive:
+                return wc  # we crashed mid-retry: stop
+            self.probe.op_retry(label)
+            yield self.env.timeout(delay)
+            delay = min(delay * 2, cfg.op_retry_cap_us)
+        return wc
+
+    def reset_f_misses(self, origin: str) -> None:
+        self._f_misses[origin] = 0
+
+    def maybe_repair_f(self, origin: str,
+                       is_suspected: Callable[[str], bool]):
+        """Hole detection for ``origin``'s F ring.
+
+        Called by the applier after an empty sweep of that ring.  Every
+        256 consecutive misses we probe *ahead* of the head locally at
+        exponentially growing offsets; a valid record ahead of a missing
+        head means a write was lost (injected fault / partition blip),
+        not that the writer is idle — trigger a repair pass.
+        """
+        misses = self._f_misses.get(origin, 0) + 1
+        self._f_misses[origin] = misses
+        if misses % 256:
+            return False
+        cfg = self.config
+        reader = self.f_readers[origin]
+        ahead = 1
+        found_ahead = False
+        while ahead <= 1024:
+            index = reader.head + ahead
+            offset = (index % cfg.ring_slots) * cfg.slot_size
+            slot = reader.region.read(offset, cfg.slot_size)
+            if parse_record(slot, index, cfg.ring_slots) is not None:
+                found_ahead = True
+                break
+            ahead *= 2
+        if not found_ahead:
+            return False
+        self.probe.hole_repair(f"F:{origin}")
+        repaired = yield from self.repair_f_ring(origin, is_suspected)
+        return repaired > 0
+
+    def repair_f_ring(self, origin: str,
+                      is_suspected: Callable[[str], bool]):
+        """Fill holes in our copy of ``origin``'s F ring by reading
+        other copies — the origin's authoritative mirror first, then any
+        peer's replica — with one-sided reads.
+
+        Scans forward from the reader head, repairing every missing
+        index until no reachable source has the next one (i.e. we hit
+        the true frontier).  Returns the number of repaired records.
+        """
+        cfg = self.config
+        reader = self.f_readers[origin]
+        region_name = f_region(origin)
+        sources = [origin] + [p for p in self.peers if p != origin]
+        repaired = 0
+        index = reader.head
+        for _ in range(cfg.ring_slots):
+            offset = (index % cfg.ring_slots) * cfg.slot_size
+            slot = reader.region.read(offset, cfg.slot_size)
+            if parse_record(slot, index, cfg.ring_slots) is not None:
+                index += 1  # already have this one
+                continue
+            found = None
+            for source in sources:
+                if source == self.name or is_suspected(source):
+                    continue
+                if not self.rnode.fabric.nodes[source].alive:
+                    continue
+                qp = self.rnode.qp_to(source)
+                remote = self.rnode.region_of(source, region_name)
+                wc = yield from qp.read(remote, offset, cfg.slot_size)
+                if wc.status is not WcStatus.SUCCESS or wc.data is None:
+                    continue
+                record = parse_record(wc.data, index, cfg.ring_slots)
+                if record is not None:
+                    found = record
+                    break
+            if found is None:
+                break  # true frontier: nobody has the next record
+            reader.region.write(offset, found)
+            repaired += 1
+            index += 1
+        return repaired

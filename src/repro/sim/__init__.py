@@ -13,14 +13,27 @@ from .engine import (
     SimulationError,
     Timeout,
 )
+from .faults import (
+    PLAN_NAMES,
+    FaultAction,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    resolve_plan,
+)
 from .resources import Resource, Store
 from .rng import SeedSequence
 
 __all__ = [
+    "PLAN_NAMES",
     "AllOf",
     "AnyOf",
     "Environment",
     "Event",
+    "FaultAction",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
     "Interrupt",
     "Process",
     "Resource",
@@ -28,4 +41,5 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "resolve_plan",
 ]

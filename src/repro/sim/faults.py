@@ -1,0 +1,525 @@
+"""Deterministic fault injection for chaos runs.
+
+A :class:`FaultPlan` is a declarative, seeded schedule of faults:
+
+* **scheduled** actions fire once at an absolute sim time — node
+  ``crash`` / ``restart``, link ``partition`` / ``heal``;
+* **window** actions arm a probabilistic fault over a time interval —
+  one-sided RDMA op failure (``opfail``), message/op ``delay``,
+  ``dup``\\ lication, and message ``drop``.
+
+Window randomness draws from a per-window substream derived from the
+plan seed (:class:`repro.sim.SeedSequence`), so the same plan over the
+same workload produces a byte-identical fault schedule — chaos runs are
+replayable and CI failures reproduce locally with ``--seed N`` or
+``--faults PLAN``.
+
+The :class:`FaultInjector` arms the plan against a live cluster by
+installing hooks on the RDMA fabric (``fabric.fault_hook``) and the
+message-passing network (``network.fault_hook``), and by scheduling the
+one-shot actions on the sim clock.  Every injected fault is appended to
+``injector.log`` and emitted through the runtime probe seam
+(``probe.trace_fault``) so Chrome traces show faults inline with rule
+events.
+
+Selectors are resolved *at fire time*, not at plan-build time:
+
+* ``node:p2`` — the named node;
+* ``leader:0`` — the current leader of the 0th (sorted) sync group,
+  falling back to the first node for conflict-free types with no
+  sync groups;
+* ``follower:0`` — the 0th non-leader node;
+* ``minority:1`` — partition the last ``1`` node(s) away from the rest;
+* ``*`` — any node / link (windows only).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from .rng import SeedSequence
+
+__all__ = [
+    "PLAN_NAMES",
+    "FaultAction",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "resolve_plan",
+]
+
+#: One-shot actions fired at ``at_us`` on the sim clock.
+SCHEDULED_KINDS = ("crash", "restart", "partition", "heal")
+#: Probabilistic actions armed over ``[at_us, until_us)``.
+WINDOW_KINDS = ("opfail", "delay", "dup", "drop")
+
+#: The named plans exercised by the CI chaos matrix.
+PLAN_NAMES = (
+    "crash-leader",
+    "partition-minority",
+    "lossy-10pct",
+    "delay-spike",
+    "restart-follower",
+)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What a hook told the transport to do to the current op."""
+
+    kind: str  # "opfail" | "delay" | "dup" | "drop"
+    delay_us: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One entry in a :class:`FaultPlan`.
+
+    ``target`` is a selector (see module docstring).  For windows,
+    ``rate`` is the per-op injection probability and ``ops`` optionally
+    restricts the window to specific RDMA opcodes (``"write"``,
+    ``"read"``, ``"compare_and_swap"``, ``"send"``); an empty ``ops``
+    matches everything.
+    """
+
+    at_us: float
+    kind: str
+    target: str = "*"
+    until_us: float = 0.0
+    rate: float = 0.0
+    delay_us: float = 0.0
+    ops: tuple = ()
+
+    def __post_init__(self):
+        if self.kind not in SCHEDULED_KINDS + WINDOW_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in WINDOW_KINDS and self.until_us <= self.at_us:
+            raise ValueError(
+                f"{self.kind} window needs until_us > at_us "
+                f"(got [{self.at_us}, {self.until_us}))"
+            )
+
+    def is_window(self) -> bool:
+        return self.kind in WINDOW_KINDS
+
+    def to_dict(self) -> dict:
+        return {
+            "at_us": self.at_us,
+            "kind": self.kind,
+            "target": self.target,
+            "until_us": self.until_us,
+            "rate": self.rate,
+            "delay_us": self.delay_us,
+            "ops": list(self.ops),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultAction":
+        return cls(
+            at_us=float(data["at_us"]),
+            kind=str(data["kind"]),
+            target=str(data.get("target", "*")),
+            until_us=float(data.get("until_us", 0.0)),
+            rate=float(data.get("rate", 0.0)),
+            delay_us=float(data.get("delay_us", 0.0)),
+            ops=tuple(data.get("ops", ())),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative schedule of faults."""
+
+    seed: int
+    name: str = "custom"
+    actions: tuple = ()
+
+    def __post_init__(self):
+        ordered = tuple(
+            sorted(self.actions, key=lambda a: (a.at_us, a.kind, a.target))
+        )
+        object.__setattr__(self, "actions", ordered)
+
+    # -- serialisation ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "name": self.name,
+            "actions": [a.to_dict() for a in self.actions],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: same plan ⇒ byte-identical text."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            seed=int(data["seed"]),
+            name=str(data.get("name", "custom")),
+            actions=tuple(
+                FaultAction.from_dict(a) for a in data.get("actions", ())
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        n_nodes: int = 4,
+        horizon_us: float = 1000.0,
+    ) -> "FaultPlan":
+        """A randomized-but-deterministic plan: one crash/restart pair
+        plus one window of each probabilistic fault class.
+        """
+        rng = SeedSequence(seed).derive("plan")
+        names = [f"p{i + 1}" for i in range(n_nodes)]
+        victim = rng.choice(names[1:])  # never the bootstrap node
+        crash_at = rng.uniform(0.20, 0.40) * horizon_us
+        restart_at = rng.uniform(0.55, 0.70) * horizon_us
+        actions = [
+            FaultAction(at_us=crash_at, kind="crash", target=f"node:{victim}"),
+            FaultAction(
+                at_us=restart_at, kind="restart", target=f"node:{victim}"
+            ),
+        ]
+        for kind in ("opfail", "delay", "dup"):
+            start = rng.uniform(0.05, 0.45) * horizon_us
+            length = rng.uniform(0.10, 0.25) * horizon_us
+            actions.append(
+                FaultAction(
+                    at_us=start,
+                    kind=kind,
+                    until_us=start + length,
+                    rate=rng.uniform(0.02, 0.10),
+                    delay_us=(
+                        rng.uniform(5.0, 40.0) if kind == "delay" else 0.0
+                    ),
+                )
+            )
+        return cls(seed=seed, name=f"seed-{seed}", actions=tuple(actions))
+
+    @classmethod
+    def named(
+        cls,
+        name: str,
+        seed: int = 0,
+        n_nodes: int = 4,
+        horizon_us: float = 1000.0,
+    ) -> "FaultPlan":
+        """One of the :data:`PLAN_NAMES` presets used by CI."""
+        h = horizon_us
+        if name == "crash-leader":
+            actions = (
+                FaultAction(at_us=0.25 * h, kind="crash", target="leader:0"),
+                FaultAction(
+                    at_us=0.65 * h, kind="restart", target="leader:0"
+                ),
+            )
+        elif name == "partition-minority":
+            actions = (
+                FaultAction(
+                    at_us=0.20 * h, kind="partition", target="minority:1"
+                ),
+                FaultAction(at_us=0.55 * h, kind="heal", target="*"),
+            )
+        elif name == "lossy-10pct":
+            actions = (
+                FaultAction(
+                    at_us=0.10 * h,
+                    kind="drop",
+                    until_us=0.60 * h,
+                    rate=0.10,
+                ),
+                FaultAction(
+                    at_us=0.10 * h,
+                    kind="opfail",
+                    until_us=0.60 * h,
+                    rate=0.10,
+                    ops=("write", "read"),
+                ),
+            )
+        elif name == "delay-spike":
+            actions = (
+                FaultAction(
+                    at_us=0.15 * h,
+                    kind="delay",
+                    until_us=0.50 * h,
+                    rate=0.25,
+                    delay_us=60.0,
+                ),
+            )
+        elif name == "restart-follower":
+            actions = (
+                FaultAction(
+                    at_us=0.25 * h, kind="crash", target="follower:0"
+                ),
+                FaultAction(
+                    at_us=0.55 * h, kind="restart", target="follower:0"
+                ),
+            )
+        else:
+            raise ValueError(
+                f"unknown plan {name!r}; expected one of {PLAN_NAMES}"
+            )
+        return cls(seed=seed, name=name, actions=actions)
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        """The same plan with every timestamp scaled by ``factor``."""
+        return FaultPlan(
+            seed=self.seed,
+            name=self.name,
+            actions=tuple(
+                replace(
+                    a,
+                    at_us=a.at_us * factor,
+                    until_us=a.until_us * factor,
+                )
+                for a in self.actions
+            ),
+        )
+
+    def horizon_us(self) -> float:
+        """Sim time after which the plan injects nothing further."""
+        horizon = 0.0
+        for a in self.actions:
+            horizon = max(horizon, a.at_us, a.until_us)
+        return horizon
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against a live cluster.
+
+    One injector serves one run.  ``log`` records every injected fault
+    as ``(sim_us, kind, target)`` tuples, in injection order — with a
+    fixed seed and workload the log is identical across runs.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.log: list = []
+        self.cluster = None
+        self.env = None
+        seq = SeedSequence(plan.seed)
+        # One private substream per window so windows never perturb
+        # each other's draws.
+        self._windows = [
+            (action, seq.derive(f"window:{i}"))
+            for i, action in enumerate(plan.actions)
+            if action.is_window()
+        ]
+
+    # -- arming -------------------------------------------------------
+
+    def arm(self, cluster) -> "FaultInjector":
+        self.cluster = cluster
+        self.env = cluster.env
+        fabric = getattr(cluster, "fabric", None)
+        if fabric is not None:
+            fabric.fault_hook = self._rdma_hook
+        network = getattr(cluster, "network", None)
+        if network is not None:
+            network.fault_hook = self._msg_hook
+        for action in self.plan.actions:
+            if not action.is_window():
+                self.env.call_later(
+                    max(0.0, action.at_us - self.env.now),
+                    lambda a=action: self._execute(a),
+                )
+        return self
+
+    def horizon_us(self) -> float:
+        return self.plan.horizon_us()
+
+    def counts(self) -> dict:
+        """Injection counts by fault kind (for summaries and tests)."""
+        out: dict = {}
+        for _t, kind, _target in self.log:
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    # -- hooks --------------------------------------------------------
+
+    def _rdma_hook(
+        self, op: str, src: str, dst: str, nbytes: int
+    ) -> Optional[FaultDecision]:
+        """Consulted by the fabric for every one-sided op and send."""
+        return self._consult(op, src, dst, drop_ok=False)
+
+    def _msg_hook(
+        self, src: str, dst: str, nbytes: int
+    ) -> Optional[FaultDecision]:
+        """Consulted by the message-passing network for every send."""
+        return self._consult("send", src, dst, drop_ok=True)
+
+    def _consult(
+        self, op: str, src: str, dst: str, drop_ok: bool
+    ) -> Optional[FaultDecision]:
+        now = self.env.now
+        for action, rng in self._windows:
+            if not (action.at_us <= now < action.until_us):
+                continue
+            if action.kind == "drop" and not drop_ok:
+                continue
+            if action.ops and op not in action.ops:
+                continue
+            if not self._link_matches(action.target, src, dst):
+                continue
+            if rng.random() >= action.rate:
+                continue
+            self._emit(action.kind, dst, f"{op}:{src}->{dst}", probe_at=src)
+            return FaultDecision(action.kind, delay_us=action.delay_us)
+        return None
+
+    def _link_matches(self, target: str, src: str, dst: str) -> bool:
+        if target == "*":
+            return True
+        if target.startswith("node:"):
+            name = target.split(":", 1)[1]
+            return src == name or dst == name
+        # leader:/follower: resolved at consult time
+        try:
+            name = self._resolve_node(target)
+        except ValueError:
+            return False
+        return src == name or dst == name
+
+    # -- scheduled actions --------------------------------------------
+
+    def _execute(self, action: FaultAction) -> None:
+        cluster = self.cluster
+        if action.kind == "partition":
+            sides = self._resolve_partition(action.target)
+            cluster.partition(*sides)
+            self._emit("partition", action.target, "|".join(
+                ",".join(side) for side in sides
+            ))
+        elif action.kind == "heal":
+            cluster.heal()
+            self._emit("heal", "*", "all links restored")
+        elif action.kind == "crash":
+            name = self._resolve_node(action.target)
+            cluster.crash(name)
+            self._emit("crash", name, f"{action.target} crashed")
+        elif action.kind == "restart":
+            name = self._resolve_node(action.target)
+            cluster.restart(name)
+            self._emit("restart", name, f"{action.target} restarted")
+
+    def _names(self) -> list:
+        return sorted(self.cluster.nodes.keys())
+
+    def _resolve_node(self, target: str) -> str:
+        """Resolve a node selector *at fire time*."""
+        names = self._names()
+        if target.startswith("node:"):
+            name = target.split(":", 1)[1]
+            if name not in names:
+                raise ValueError(f"unknown node {name!r}")
+            return name
+        if target.startswith("leader:") or target.startswith("follower:"):
+            which, _, idx_s = target.partition(":")
+            idx = int(idx_s)
+            leader = self._current_leader(idx if which == "leader" else 0)
+            if which == "leader":
+                return leader
+            followers = [n for n in names if n != leader]
+            return followers[idx % len(followers)]
+        raise ValueError(f"unresolvable node selector {target!r}")
+
+    def _current_leader(self, group_index: int) -> str:
+        names = self._names()
+        observer = self.cluster.nodes[names[0]]
+        conflict = getattr(observer, "conflict", None)
+        gids = sorted(getattr(conflict, "mu_groups", {}) or ())
+        if not gids:
+            return names[0]  # conflict-free type: no sync groups
+        gid = gids[group_index % len(gids)]
+        leader = conflict.leader_of(gid)
+        return leader if leader in names else names[0]
+
+    def _resolve_partition(self, target: str):
+        names = self._names()
+        if target.startswith("minority:"):
+            k = int(target.split(":", 1)[1])
+            k = max(1, min(k, len(names) - 1))
+            return (names[-k:], names[:-k])
+        if "|" in target:
+            left, right = target.split("|", 1)
+            return (
+                [n for n in left.split(",") if n],
+                [n for n in right.split(",") if n],
+            )
+        raise ValueError(f"unresolvable partition selector {target!r}")
+
+    # -- trace emission -----------------------------------------------
+
+    def _emit(
+        self,
+        kind: str,
+        target: str,
+        detail: str,
+        probe_at: Optional[str] = None,
+    ) -> None:
+        self.log.append((self.env.now, kind, target))
+        node = None
+        if self.cluster is not None:
+            nodes = self.cluster.nodes
+            node = nodes.get(probe_at or target)
+            if node is None and nodes:
+                node = nodes[sorted(nodes)[0]]
+        probe = getattr(node, "probe", None)
+        if probe is not None:
+            probe.trace_fault(kind, target, detail)
+
+
+def resolve_plan(
+    spec: Optional[str],
+    seed: Optional[int],
+    n_nodes: int,
+    horizon_us: float = 1000.0,
+    is_file: Optional[Callable[[str], bool]] = None,
+) -> FaultPlan:
+    """Resolve a CLI-style plan spec: named preset, JSON file, or seed."""
+    import os
+
+    if is_file is None:
+        is_file = os.path.isfile
+    if spec is not None:
+        if spec in PLAN_NAMES:
+            return FaultPlan.named(
+                spec,
+                seed=seed if seed is not None else 0,
+                n_nodes=n_nodes,
+                horizon_us=horizon_us,
+            )
+        if is_file(spec):
+            return FaultPlan.from_file(spec)
+        raise ValueError(
+            f"--faults {spec!r} is neither a named plan {PLAN_NAMES} "
+            "nor a JSON file"
+        )
+    if seed is not None:
+        return FaultPlan.from_seed(seed, n_nodes=n_nodes, horizon_us=horizon_us)
+    raise ValueError("chaos needs --faults PLAN or --seed N")

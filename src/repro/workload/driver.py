@@ -208,6 +208,15 @@ def _submit_with_redirect(env, cluster, node, method, arg,
     # wait until the leader-change protocol elects the new leader").
     target = node
     for _attempt in range(50):
+        if getattr(target, "failed", False):
+            # Crashed/failed node: the paper redirects its clients to
+            # the live nodes rather than erroring out.
+            live = [
+                n for n in cluster.node_names()
+                if not getattr(cluster.node(n), "failed", False)
+            ]
+            if live:
+                target = cluster.node(live[0])
         if (
             coordination is not None
             and _is_update(cluster, method)

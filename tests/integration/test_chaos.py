@@ -1,0 +1,144 @@
+"""Chaos integration: fault plans ride out, recovery converges.
+
+Three layers of assurance:
+
+1. every named CI fault plan, driven through :func:`run_chaos`, settles
+   to a converged cluster and passes the offline trace checker;
+2. a crashed-and-restarted node catches up to the exact state of the
+   survivors (summary transfer + ring replay through the rejoin pass);
+3. the negative control: deliberately disabling the recovery paths on
+   the restarted node makes the very same scenario FAIL the checker —
+   proof the checker actually gates recovery, rather than passing
+   vacuously.
+"""
+
+import pytest
+
+from repro.bench import ExperimentConfig, run_chaos
+from repro.datatypes import gset_spec
+from repro.runtime import HambandCluster, TraceChecker, TraceRecorder
+from repro.sim import PLAN_NAMES, Environment, FaultPlan
+
+OPS = 400
+HORIZON_US = 500.0
+
+
+def _config(workload):
+    return ExperimentConfig(
+        system="hamband",
+        workload=workload,
+        n_nodes=4,
+        total_ops=OPS,
+        update_ratio=0.25,
+        seed=2,
+    )
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("plan_name", PLAN_NAMES)
+    @pytest.mark.parametrize("workload", ["gset", "courseware"])
+    def test_named_plan_converges_and_checks(self, plan_name, workload):
+        plan = FaultPlan.named(plan_name, horizon_us=HORIZON_US)
+        run = run_chaos(_config(workload), plan)
+        assert run.settled, f"{plan_name}/{workload} never settled"
+        assert run.injector.log, "the plan injected nothing"
+        report = run.check()
+        assert report.ok, report.summary()
+        totals = set(run.cluster.applied_totals().values())
+        assert len(totals) == 1
+
+    def test_seeded_plan_is_reproducible(self):
+        plan = FaultPlan.from_seed(7, horizon_us=HORIZON_US)
+        first = run_chaos(_config("gset"), plan)
+        second = run_chaos(_config("gset"), plan)
+        assert first.injector.log == second.injector.log
+        assert first.check().ok
+
+
+def _build_recorded_gset(n_nodes=3):
+    env = Environment()
+    recorder = TraceRecorder(env, capacity=1 << 18)
+    cluster = HambandCluster.build(
+        env, gset_spec(), n_nodes=n_nodes,
+        probe_factory=recorder.probe_factory,
+    )
+    recorder.attach(cluster.coordination)
+    return env, recorder, cluster
+
+
+def _add(env, cluster, name, value):
+    env.run(until=cluster.node(name).submit("add", value))
+
+
+def _check(recorder, cluster):
+    checker = TraceChecker(
+        cluster.coordination, processes=cluster.node_names()
+    )
+    return checker.check(recorder.events(), dropped=recorder.dropped())
+
+
+def _crash_restart_scenario(env, cluster, catch_up=True,
+                            disable_self_heal=False):
+    """Shared scenario: adds, crash p3, adds it misses, restart."""
+    survivors = ["p1", "p2"]
+    for i in range(4):
+        _add(env, cluster, cluster.node_names()[i % 3], i)
+    env.run(until=env.now + 300.0)
+
+    cluster.crash("p3")
+    env.run(until=env.now + 500.0)  # heartbeat silence -> suspicion
+    for i in range(4):
+        _add(env, cluster, survivors[i % 2], 100 + i)
+    env.run(until=env.now + 500.0)
+
+    if disable_self_heal:
+        node = cluster.node("p3")
+        # Sever every catch-up path: no resync service, no hole-repair
+        # probe-ahead on the F rings.
+        node.control.on_resync = None
+
+        def _no_repair(*_args, **_kwargs):
+            return False
+            yield  # unreachable: makes this a generator function
+
+        node.transport.maybe_repair_f = _no_repair
+    cluster.restart("p3", catch_up=catch_up)
+    env.run(until=env.now + 4000.0)
+
+
+class TestRestartCatchUp:
+    def test_restarted_node_reaches_identical_state(self):
+        env, recorder, cluster = _build_recorded_gset()
+        _crash_restart_scenario(env, cluster, catch_up=True)
+
+        assert not cluster.failures()
+        totals = cluster.applied_totals()
+        assert len(set(totals.values())) == 1, totals
+        spec = cluster.coordination.spec
+        states = cluster.effective_states()
+        assert spec.state_eq(states["p3"], states["p1"])
+        assert spec.state_eq(states["p3"], states["p2"])
+        report = _check(recorder, cluster)
+        assert report.ok, report.summary()
+
+    def test_negative_control_without_recovery_fails_checker(self):
+        """Disable the rejoin/catch-up machinery: the restarted node
+        stays behind forever and the checker must say so."""
+        env, recorder, cluster = _build_recorded_gset()
+        _crash_restart_scenario(
+            env, cluster, catch_up=False, disable_self_heal=True
+        )
+
+        totals = cluster.applied_totals()
+        assert totals["p3"] < totals["p1"], (
+            "without recovery p3 must miss the adds issued while down"
+        )
+        report = _check(recorder, cluster)
+        assert not report.ok, (
+            "checker passed a run whose recovery was disabled — the "
+            "chaos gate would be vacuous"
+        )
+        assert any(
+            violation.kind == "convergence"
+            for violation in report.violations
+        ), report.summary()

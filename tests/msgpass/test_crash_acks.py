@@ -1,0 +1,135 @@
+"""Crash semantics for message-passing acks.
+
+A sender awaiting a round trip must never hang on a dead peer: an ack
+owed by a crashed host fails deterministically (TCP-reset-like), an ack
+already on the wire still arrives, and dropped messages fail the ack
+instead of leaving it pending forever.
+"""
+
+import pytest
+
+from repro.msgpass import MsgNetwork
+from repro.sim import Environment, FaultAction, FaultInjector, FaultPlan
+
+
+def _network(env, n=2):
+    return MsgNetwork.build(env, n)
+
+
+class TestCrashAcks:
+    def test_pending_ack_fails_when_receiver_crashes(self):
+        env = Environment()
+        network = _network(env)
+        sender, receiver = network.hosts["p1"], network.hosts["p2"]
+        outcome = []
+
+        def client():
+            ack = yield from sender.send("p2", {"op": "add"})
+            try:
+                yield ack
+                outcome.append("acked")
+            except ConnectionError as exc:
+                outcome.append(str(exc))
+
+        env.process(client())
+        # Crash the receiver after the message has been accepted into
+        # its inbox (delivery lands at send-CPU + wire time) but before
+        # anything drains it: the owed ack must fail, not hang.
+        config = network.config
+        accepted = config.send_cpu_us + 64 * config.byte_us + config.wire_us
+        env.call_later(accepted + 1.0, receiver.crash)
+        env.run(until=10_000.0)
+        assert outcome == ["p2 crashed"]
+        assert not receiver._pending_acks
+
+    def test_send_to_already_dead_host_fails_ack(self):
+        env = Environment()
+        network = _network(env)
+        sender, receiver = network.hosts["p1"], network.hosts["p2"]
+        receiver.crash()
+        outcome = []
+
+        def client():
+            ack = yield from sender.send("p2", b"payload")
+            with pytest.raises(ConnectionError, match="p2 is down"):
+                yield ack
+            outcome.append("failed")
+
+        env.process(client())
+        env.run(until=10_000.0)
+        assert outcome == ["failed"]
+
+    def test_ack_on_the_wire_survives_receiver_crash(self):
+        env = Environment()
+        network = _network(env)
+        sender, receiver = network.hosts["p1"], network.hosts["p2"]
+        outcome = []
+
+        def client():
+            ack = yield from sender.send("p2", b"x")
+            yield ack
+            outcome.append("acked")
+
+        def server():
+            delivery = yield from receiver.recv()
+            receiver.ack_back(delivery)
+            # The reply is on the wire: crashing now must not claw it
+            # back, nor double-trigger the event.
+            receiver.crash()
+
+        env.process(client())
+        env.process(server())
+        env.run(until=10_000.0)
+        assert outcome == ["acked"]
+
+    def test_crash_clears_queued_inbox(self):
+        env = Environment()
+        network = _network(env)
+        sender, receiver = network.hosts["p1"], network.hosts["p2"]
+
+        def client():
+            yield from sender.send("p2", b"x", want_ack=False)
+
+        env.process(client())
+        env.run(until=network.config.wire_us + 5.0)
+        assert len(receiver.inbox.items) == 1
+        receiver.crash()
+        assert len(receiver.inbox.items) == 0
+
+    def test_dropped_message_fails_ack_deterministically(self):
+        env = Environment()
+        network = _network(env)
+        sender = network.hosts["p1"]
+        plan = FaultPlan(
+            seed=0,
+            actions=(
+                FaultAction(
+                    at_us=0.0, kind="drop", until_us=1e9, rate=1.0
+                ),
+            ),
+        )
+
+        class _Shim:
+            def __init__(self):
+                self.env = env
+                self.network = network
+                self.fabric = None
+                self.nodes = {}
+
+        injector = FaultInjector(plan).arm(_Shim())
+        outcome = []
+
+        def client():
+            ack = yield from sender.send("p2", b"x")
+            try:
+                yield ack
+                outcome.append("acked")
+            except ConnectionError as exc:
+                outcome.append(str(exc))
+
+        env.process(client())
+        env.run(until=10_000.0)
+        assert outcome == ["message p1->p2 dropped"]
+        assert injector.counts() == {"drop": 1}
+        # Nothing ever reached the receiver.
+        assert len(network.hosts["p2"].inbox.items) == 0

@@ -1,0 +1,370 @@
+"""Unit tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.rdma import Fabric, WcStatus
+from repro.sim import (
+    PLAN_NAMES,
+    Environment,
+    FaultAction,
+    FaultInjector,
+    FaultPlan,
+    resolve_plan,
+)
+
+
+def run_proc(env, gen):
+    proc = env.process(gen)
+    env.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class _BareCluster:
+    """Just enough duck-typing for FaultInjector.arm()."""
+
+    def __init__(self, env, fabric=None, network=None):
+        self.env = env
+        self.fabric = fabric
+        self.network = network
+        self.nodes = {}
+
+
+# -- plan construction and determinism ---------------------------------
+
+
+class TestFaultPlan:
+    def test_same_seed_same_plan_bytes(self):
+        a = FaultPlan.from_seed(5)
+        b = FaultPlan.from_seed(5)
+        assert a.to_json() == b.to_json()
+        assert FaultPlan.from_seed(6).to_json() != a.to_json()
+
+    def test_json_round_trip(self):
+        for name in PLAN_NAMES:
+            plan = FaultPlan.named(name, seed=3)
+            assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_save_and_from_file(self, tmp_path):
+        plan = FaultPlan.from_seed(9)
+        path = tmp_path / "plan.json"
+        plan.save(str(path))
+        assert FaultPlan.from_file(str(path)) == plan
+
+    def test_actions_sorted_by_time(self):
+        plan = FaultPlan(
+            seed=0,
+            actions=(
+                FaultAction(at_us=200.0, kind="heal"),
+                FaultAction(at_us=100.0, kind="crash", target="node:p2"),
+            ),
+        )
+        assert [a.at_us for a in plan.actions] == [100.0, 200.0]
+
+    def test_scaled_moves_every_timestamp(self):
+        plan = FaultPlan.named("lossy-10pct", horizon_us=1000.0)
+        doubled = plan.scaled(2.0)
+        assert doubled.horizon_us() == pytest.approx(
+            2 * plan.horizon_us()
+        )
+        for before, after in zip(plan.actions, doubled.actions):
+            assert after.at_us == pytest.approx(2 * before.at_us)
+            assert after.until_us == pytest.approx(2 * before.until_us)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultAction(at_us=0.0, kind="gremlin")
+
+    def test_window_needs_interval(self):
+        with pytest.raises(ValueError, match="until_us > at_us"):
+            FaultAction(at_us=5.0, kind="drop", until_us=5.0)
+
+    def test_unknown_named_plan_rejected(self):
+        with pytest.raises(ValueError, match="unknown plan"):
+            FaultPlan.named("chaos-monkey")
+
+    def test_resolve_plan_paths(self, tmp_path):
+        named = resolve_plan("crash-leader", None, 4)
+        assert named.name == "crash-leader"
+        seeded = resolve_plan(None, 11, 4)
+        assert seeded == FaultPlan.from_seed(11, n_nodes=4)
+        path = tmp_path / "p.json"
+        seeded.save(str(path))
+        assert resolve_plan(str(path), None, 4) == seeded
+        with pytest.raises(ValueError, match="neither a named plan"):
+            resolve_plan("no-such-plan-or-file", None, 4)
+        with pytest.raises(ValueError, match="--faults PLAN or --seed"):
+            resolve_plan(None, None, 4)
+
+
+# -- window faults at the RDMA verb layer ------------------------------
+
+
+def _window(kind, rate=1.0, delay_us=0.0, ops=()):
+    plan = FaultPlan(
+        seed=1,
+        actions=(
+            FaultAction(
+                at_us=0.0,
+                kind=kind,
+                until_us=1e9,
+                rate=rate,
+                delay_us=delay_us,
+                ops=ops,
+            ),
+        ),
+    )
+    return FaultInjector(plan)
+
+
+class TestRdmaWindows:
+    def setup_method(self):
+        self.env = Environment()
+        self.fabric = Fabric.build(self.env, 2)
+        self.target = self.fabric.nodes["p2"].register("slot", 64)
+        self.qp = self.fabric.nodes["p1"].qp_to("p2")
+
+    def _arm(self, injector):
+        injector.arm(_BareCluster(self.env, fabric=self.fabric))
+        return injector
+
+    def test_opfail_completes_injected_and_lands_nothing(self):
+        injector = self._arm(_window("opfail"))
+
+        def proc():
+            completion = yield from self.qp.write(self.target, 0, b"abc")
+            return completion
+
+        completion = run_proc(self.env, proc())
+        assert completion.status is WcStatus.INJECTED
+        assert self.target.read(0, 3) == b"\x00\x00\x00"
+        assert injector.counts() == {"opfail": 1}
+
+    def test_opfail_ops_filter(self):
+        injector = self._arm(_window("opfail", ops=("read",)))
+
+        def proc():
+            completion = yield from self.qp.write(self.target, 0, b"abc")
+            return completion
+
+        completion = run_proc(self.env, proc())
+        assert completion.status is WcStatus.SUCCESS
+        assert injector.counts() == {}
+
+    def test_delay_slows_the_op_down(self):
+        def timed():
+            def proc():
+                yield from self.qp.write(self.target, 0, b"abc")
+                return self.env.now
+
+            return run_proc(self.env, proc())
+
+        clean = timed()
+
+        self.setup_method()
+        injector = self._arm(_window("delay", delay_us=25.0))
+        delayed = timed()
+        assert delayed == pytest.approx(clean + 25.0)
+        assert injector.counts() == {"delay": 1}
+        assert self.target.read(0, 3) == b"abc"
+
+    def test_dup_delivers_twice_in_order(self):
+        injector = self._arm(_window("dup"))
+
+        def proc():
+            completion = yield from self.qp.write(self.target, 0, b"abc")
+            return completion
+
+        completion = run_proc(self.env, proc())
+        assert completion.status is WcStatus.SUCCESS
+        assert self.target.read(0, 3) == b"abc"
+        assert injector.counts() == {"dup": 1}
+
+    def test_drop_never_applies_to_rdma_ops(self):
+        injector = self._arm(_window("drop"))
+
+        def proc():
+            completion = yield from self.qp.write(self.target, 0, b"abc")
+            return completion
+
+        completion = run_proc(self.env, proc())
+        assert completion.status is WcStatus.SUCCESS
+        assert injector.counts() == {}
+
+    def test_rate_zero_never_fires(self):
+        injector = self._arm(_window("opfail", rate=0.0))
+
+        def proc():
+            completion = yield from self.qp.write(self.target, 0, b"abc")
+            return completion
+
+        completion = run_proc(self.env, proc())
+        assert completion.status is WcStatus.SUCCESS
+        assert injector.counts() == {}
+
+    def test_window_substreams_are_deterministic(self):
+        def one_run():
+            env = Environment()
+            fabric = Fabric.build(env, 2)
+            target = fabric.nodes["p2"].register("slot", 64)
+            qp = fabric.nodes["p1"].qp_to("p2")
+            injector = _window("opfail", rate=0.5)
+            injector.arm(_BareCluster(env, fabric=fabric))
+
+            def proc():
+                outcomes = []
+                for _ in range(40):
+                    completion = yield from qp.write(target, 0, b"x")
+                    outcomes.append(completion.status is WcStatus.INJECTED)
+                return outcomes
+
+            return run_proc(env, proc()), list(injector.log)
+
+        first, first_log = one_run()
+        second, second_log = one_run()
+        assert first == second
+        assert first_log == second_log
+        assert any(first)  # rate 0.5 over 40 ops: some injected...
+        assert not all(first)  # ...but not all
+
+
+# -- scheduled faults against a live cluster ---------------------------
+
+
+class TestScheduledFaults:
+    def _cluster(self):
+        from repro.datatypes import SPEC_FACTORIES
+        from repro.runtime import HambandCluster
+
+        env = Environment()
+        cluster = HambandCluster.build(
+            env, SPEC_FACTORIES["gset"](), n_nodes=3
+        )
+        return env, cluster
+
+    def test_crash_and_restart_fire_on_schedule(self):
+        env, cluster = self._cluster()
+        plan = FaultPlan(
+            seed=0,
+            actions=(
+                FaultAction(at_us=50.0, kind="crash", target="node:p3"),
+                FaultAction(at_us=900.0, kind="restart", target="node:p3"),
+            ),
+        )
+        injector = FaultInjector(plan).arm(cluster)
+        env.run(until=100.0)
+        assert cluster.nodes["p3"].failed
+        assert not cluster.fabric.nodes["p3"].alive
+        env.run(until=2000.0)
+        assert not cluster.nodes["p3"].failed
+        assert cluster.fabric.nodes["p3"].alive
+        assert injector.counts() == {"crash": 1, "restart": 1}
+        kinds = [kind for _t, kind, _target in injector.log]
+        assert kinds == ["crash", "restart"]
+
+    def test_partition_and_heal_fire_on_schedule(self):
+        env, cluster = self._cluster()
+        plan = FaultPlan(
+            seed=0,
+            actions=(
+                FaultAction(
+                    at_us=10.0, kind="partition", target="minority:1"
+                ),
+                FaultAction(at_us=400.0, kind="heal", target="*"),
+            ),
+        )
+        injector = FaultInjector(plan).arm(cluster)
+        env.run(until=20.0)
+        assert not cluster.fabric.link_up("p1", "p3")
+        assert cluster.fabric.link_up("p1", "p2")
+        env.run(until=500.0)
+        assert cluster.fabric.link_up("p1", "p3")
+        assert injector.counts() == {"partition": 1, "heal": 1}
+
+    def test_leader_and_follower_selectors(self):
+        from repro.datatypes import SPEC_FACTORIES
+        from repro.runtime import HambandCluster
+
+        env = Environment()
+        cluster = HambandCluster.build(
+            env, SPEC_FACTORIES["courseware"](), n_nodes=3
+        )
+        plan = FaultPlan(
+            seed=0,
+            actions=(
+                FaultAction(at_us=30.0, kind="crash", target="leader:0"),
+            ),
+        )
+        injector = FaultInjector(plan).arm(cluster)
+        gid = sorted(cluster.nodes["p1"].conflict.mu_groups)[0]
+        leader = cluster.nodes["p1"].conflict.leader_of(gid)
+        followers = [n for n in cluster.node_names() if n != leader]
+        env.run(until=60.0)
+        assert cluster.nodes[leader].failed
+        assert injector.log[0][2] == leader
+        assert injector._resolve_node("follower:0") in followers
+
+    def test_explicit_partition_selector(self):
+        env, cluster = self._cluster()
+        injector = FaultInjector(FaultPlan(seed=0)).arm(cluster)
+        sides = injector._resolve_partition("p1|p2,p3")
+        assert sides == (["p1"], ["p2", "p3"])
+        with pytest.raises(ValueError, match="unresolvable partition"):
+            injector._resolve_partition("everyone")
+
+
+# -- message-passing drops ---------------------------------------------
+
+
+class TestMsgDrops:
+    def test_drop_fires_on_msg_network(self):
+        from repro.datatypes import SPEC_FACTORIES
+        from repro.msgpass import MsgCrdtCluster
+
+        env = Environment()
+        cluster = MsgCrdtCluster(env, SPEC_FACTORIES["gset"](), 3)
+        injector = _window("drop", rate=1.0)
+        injector.arm(cluster)
+        names = sorted(cluster.nodes)
+        request = cluster.nodes[names[0]].submit("add", 1)
+        env.run(until=request)
+        env.run(until=env.now + 500.0)
+        assert injector.counts().get("drop", 0) > 0
+        # Drops partition the best-effort broadcast: the origin applied
+        # locally, every dropped peer did not.
+        applied = [
+            node.applied_total() for node in cluster.nodes.values()
+        ]
+        assert max(applied) > min(applied)
+
+
+# -- probe wiring ------------------------------------------------------
+
+
+class TestFaultProbeEvents:
+    def test_faults_reach_counting_probe_and_trace(self):
+        from repro.datatypes import SPEC_FACTORIES
+        from repro.runtime import HambandCluster, TraceRecorder
+
+        env = Environment()
+        recorder = TraceRecorder(env, capacity=1 << 14)
+        cluster = HambandCluster.build(
+            env,
+            SPEC_FACTORIES["gset"](),
+            n_nodes=3,
+            probe_factory=recorder.probe_factory,
+        )
+        recorder.attach(cluster.coordination)
+        plan = FaultPlan(
+            seed=0,
+            actions=(
+                FaultAction(at_us=25.0, kind="crash", target="node:p2"),
+            ),
+        )
+        FaultInjector(plan).arm(cluster)
+        env.run(until=60.0)
+        events = [e for e in recorder.events() if e.kind == "fault"]
+        assert events, "fault events should reach the trace recorder"
+        assert events[0].name == "crash"
+        assert events[0].origin == "p2"
