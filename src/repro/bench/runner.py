@@ -59,6 +59,8 @@ class ExperimentConfig:
     #: Hamband-only ablation: full causal barrier instead of projected
     #: dependency arrays.
     full_dep_barrier: bool = False
+    #: Data-plane wire format: 2 (interned/varint) or 1 (legacy tagged).
+    wire_version: int = 2
 
 
 def _build_cluster(env: Environment, config: ExperimentConfig,
@@ -69,6 +71,7 @@ def _build_cluster(env: Environment, config: ExperimentConfig,
             force_buffered=config.force_buffered,
             conf_retry_limit=config.conf_retry_limit,
             full_dep_barrier=config.full_dep_barrier,
+            wire_version=config.wire_version,
         )
         return HambandCluster.build(
             env,
@@ -80,7 +83,8 @@ def _build_cluster(env: Environment, config: ExperimentConfig,
         )
     if config.system == "mu":
         runtime_config = RuntimeConfig(
-            conf_retry_limit=config.conf_retry_limit
+            conf_retry_limit=config.conf_retry_limit,
+            wire_version=config.wire_version,
         )
         return SmrCluster.build_smr(
             env, spec, n_nodes=config.n_nodes, config=runtime_config,

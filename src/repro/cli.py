@@ -70,6 +70,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--fail-node", default=None, help="suspend this node's heartbeat"
     )
+    run.add_argument(
+        "--wire-version",
+        type=int,
+        choices=(1, 2),
+        default=2,
+        help="data-plane wire format: 2 (interned/varint, default) or "
+        "1 (legacy tagged)",
+    )
     run.add_argument("--per-method", action="store_true")
     run.add_argument(
         "--stats",
@@ -136,6 +144,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the resolved plan as canonical JSON (replayable "
         "via --faults FILE)",
+    )
+    chaos.add_argument(
+        "--wire-version",
+        type=int,
+        choices=(1, 2),
+        default=2,
+        help="data-plane wire format: 2 (interned/varint, default) or "
+        "1 (legacy tagged)",
     )
     chaos.add_argument("--per-method", action="store_true")
     chaos.add_argument(
@@ -287,6 +303,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         update_ratio=args.update_ratio,
         seed=args.seed,
         fail_node=args.fail_node,
+        wire_version=args.wire_version,
     )
     traced = None
     try:
@@ -353,6 +370,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         total_ops=args.ops,
         update_ratio=args.update_ratio,
         seed=args.seed if args.seed is not None else 1,
+        wire_version=args.wire_version,
     )
     try:
         run = run_chaos(config, plan, capacity=args.trace_capacity)

@@ -8,7 +8,14 @@ permission can be revoked (the Mu leader-change mechanism).
 
 from .fabric import Fabric, FabricStats, RdmaNode
 from .memory import Access, MemoryRegion, RdmaAccessError
-from .verbs import Opcode, QueuePair, RdmaConfig, WcStatus, WorkCompletion
+from .verbs import (
+    Opcode,
+    QueuePair,
+    RdmaConfig,
+    WcStatus,
+    WorkCompletion,
+    post_write_batch,
+)
 
 __all__ = [
     "Access",
@@ -22,4 +29,5 @@ __all__ = [
     "RdmaNode",
     "WcStatus",
     "WorkCompletion",
+    "post_write_batch",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "RdmaConfig",
     "WcStatus",
     "WorkCompletion",
+    "post_write_batch",
 ]
 
 
@@ -395,3 +396,25 @@ class QueuePair:
 
     def __repr__(self) -> str:
         return f"QueuePair({self.local.name}->{self.remote.name})"
+
+
+def post_write_batch(
+    cpu, writes: list[tuple["QueuePair", MemoryRegion, int, bytes]]
+) -> Generator[Event, Any, list[Event]]:
+    """Doorbell batching: post several one-sided writes for ONE CPU
+    charge (``yield from``-able; returns the completion events).
+
+    Real NICs let a sender chain work requests and ring the doorbell
+    once — the per-WR CPU cost collapses into a single register write.
+    Modeled as one ``post_cpu_us`` charge for the whole batch; each
+    write still pays its own wire/serialization time through its queue
+    pair, and each completion is still individually observable (the
+    caller typically waits for them together with ``env.all_of``).
+    """
+    if not writes:
+        return []
+    yield from cpu.use(writes[0][0].config.post_cpu_us)
+    return [
+        qp.post_write(region, offset, payload)
+        for qp, region, offset, payload in writes
+    ]

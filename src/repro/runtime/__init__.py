@@ -34,6 +34,8 @@ from .trace import TraceEvent, TraceRecorder, TracingProbe
 from .transport import RingTransport
 from .summary import SummarySlot, render_summary, slot_size_for
 from .wire import (
+    StringTable,
+    WireCodec,
     WireError,
     decode_call_packet,
     decode_value,
@@ -60,6 +62,7 @@ __all__ = [
     "RingReader",
     "RingWriter",
     "RuntimeConfig",
+    "StringTable",
     "SubmitError",
     "SummarySlot",
     "TraceChecker",
@@ -67,6 +70,7 @@ __all__ = [
     "TraceRecorder",
     "TracingProbe",
     "Violation",
+    "WireCodec",
     "WireError",
     "decode_call_packet",
     "decode_value",

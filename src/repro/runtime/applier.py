@@ -30,13 +30,14 @@ from ..rdma import RdmaNode, WcStatus
 from .config import RuntimeConfig, s_region
 from .errors import ImpermissibleError
 from .probe import RuntimeProbe
+from .ringbuffer import RingError
 from .summary import (
     SummarySlot,
     current_record_bytes,
     render_summary,
     slot_size_for,
 )
-from .wire import encode_call_packet, encode_value
+from .wire import WireCodec
 
 __all__ = ["ApplyEngine"]
 
@@ -47,7 +48,8 @@ class ApplyEngine:
     def __init__(self, rnode: RdmaNode, coordination: Coordination,
                  config: RuntimeConfig, event_log: list,
                  probe: Optional[RuntimeProbe] = None,
-                 counters: Optional[dict[str, int]] = None):
+                 counters: Optional[dict[str, int]] = None,
+                 codec: Optional[WireCodec] = None):
         self.rnode = rnode
         self.env = rnode.env
         self.name = rnode.name
@@ -58,6 +60,7 @@ class ApplyEngine:
         self.event_log = event_log
         self.probe = probe or RuntimeProbe()
         self.counters = counters if counters is not None else {}
+        self.codec = codec or WireCodec(config.wire_version)
 
         self.sigma = self.spec.initial_state()
         #: A — applied counts for buffered (F/L) calls, incl. our own.
@@ -88,7 +91,7 @@ class ApplyEngine:
             for owner in self.processes:
                 region = self.rnode.regions[s_region(summarizer.group, owner)]
                 self.summary_readers[(summarizer.group, owner)] = SummarySlot(
-                    region, 0, summary_size
+                    region, 0, summary_size, codec=self.codec
                 )
             self.summary_mirror[summarizer.group] = (
                 0,
@@ -261,7 +264,9 @@ class ApplyEngine:
         seq += 1
         self.summary_mirror[summarizer.group] = (seq, combined, counts)
         slot_bytes = render_summary(
-            seq, combined, counts, slot_size_for(self.config.summary_payload)
+            seq, combined, counts,
+            slot_size_for(self.config.summary_payload),
+            codec=self.codec,
         )
         region_name = s_region(summarizer.group, self.name)
         # Local install first (the REDUCE transition's own-process part).
@@ -283,14 +288,15 @@ class ApplyEngine:
             )
             for peer in self.transport.peers
         ]
-        message = encode_value(("S", summarizer.group, slot_bytes))
+        message = self.codec.encode_value(("S", summarizer.group, slot_bytes))
         self.probe.span_begin("propagate", method, call.origin, call.rid)
         self.probe.trace_transfer(
             f"S:{summarizer.group}", method, call.origin, call.rid,
             len(slot_bytes),
         )
         yield from self.broadcast.broadcast(
-            message, writes, is_suspected=self.is_suspected
+            message, writes, is_suspected=self.is_suspected,
+            piggyback=self._due_ack_piggyback(),
         )
         self.probe.span_end("propagate", method, call.origin, call.rid)
         return call
@@ -313,7 +319,7 @@ class ApplyEngine:
         self.probe.trace_apply("FREE", method, call.origin, call.rid, arg)
         self.probe.span_end("invoke", method, call.origin, call.rid)
         self.counters["freed"] = self.counters.get("freed", 0) + 1
-        packet = encode_call_packet(call, dep)
+        packet = self.codec.encode_call_packet(call, dep)
         self.probe.span_begin("propagate", method, call.origin, call.rid)
         self.probe.trace_transfer(
             "F", method, call.origin, call.rid, len(packet)
@@ -321,31 +327,60 @@ class ApplyEngine:
         writes = yield from self.transport.prepare_f_writes(
             packet, self.is_suspected
         )
-        message = encode_value(("F", packet))
+        message = self.codec.encode_value(("F", packet))
+        # Due flow-control acks coalesce onto this fan-out's doorbell
+        # batch instead of paying their own post later.
         yield from self.broadcast.broadcast(
-            message, writes, is_suspected=self.is_suspected
+            message, writes, is_suspected=self.is_suspected,
+            piggyback=self._due_ack_piggyback(),
         )
         self.probe.span_end("propagate", method, call.origin, call.rid)
         return call
 
+    def _due_ack_piggyback(self) -> list:
+        """Flow-control acks due now, rendered as piggyback writes."""
+        if not self.config.ack_every or self.conflict is None:
+            return []
+        return self.transport.piggyback_ack_writes(self.conflict.leader_of)
+
     # -- buffer traversal ------------------------------------------------
 
     def poll_loop(self):
+        """Adaptive poller: hot after progress, exponential idle backoff.
+
+        Each empty sweep multiplies the idle wait by ``poll_backoff`` up
+        to ``max(poll_idle_max_us, poll_interval_us)`` (the ``max`` keeps
+        configs whose base interval already exceeds the cap honest); any
+        progress snaps the wait back down to ``poll_interval_us``.
+        """
         cfg = self.config
+        idle_us = cfg.poll_interval_us
+        idle_cap = max(cfg.poll_idle_max_us, cfg.poll_interval_us)
         while True:
             progressed = False
             if self.rnode.alive:
                 progressed = yield from self.traverse_once()
-            yield self.env.timeout(
-                cfg.poll_hot_us if progressed else cfg.poll_interval_us
-            )
+            if progressed:
+                idle_us = cfg.poll_interval_us
+                yield self.env.timeout(cfg.poll_hot_us)
+            else:
+                yield self.env.timeout(idle_us)
+                idle_us = min(idle_us * cfg.poll_backoff, idle_cap)
 
     def traverse_once(self):
         progressed = False
         for origin, reader in self.transport.f_readers.items():
-            ring_progressed = yield from self.transport.drain(
-                reader, "FREE_APP", self, label=f"F<-{origin}"
-            )
+            try:
+                ring_progressed = yield from self.transport.drain(
+                    reader, "FREE_APP", self, label=f"F<-{origin}"
+                )
+            except RingError:
+                # Lapped while cut off: fast-forward past the
+                # overwritten window (recovered out of band) and
+                # resume from the writer's surviving records.
+                ring_progressed = yield from self.transport.resync_lapped_f(
+                    origin, self.is_suspected
+                )
             if ring_progressed:
                 self.transport.reset_f_misses(origin)
             else:

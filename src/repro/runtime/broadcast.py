@@ -19,7 +19,14 @@ from __future__ import annotations
 import struct
 from typing import Any, Generator, Optional
 
-from ..rdma import Access, MemoryRegion, QueuePair, RdmaNode, WcStatus
+from ..rdma import (
+    Access,
+    MemoryRegion,
+    QueuePair,
+    RdmaNode,
+    WcStatus,
+    post_write_batch,
+)
 from ..sim import Environment, Event
 
 __all__ = ["ReliableBroadcast", "BACKUP_REGION"]
@@ -57,6 +64,7 @@ class ReliableBroadcast:
         is_suspected=None,
         max_retries: int = 50,
         retry_us: float = 20.0,
+        piggyback: list[tuple[QueuePair, MemoryRegion, int, Any]] = (),
     ) -> Generator[Event, Any, list]:
         """``yield from`` helper: backup, fan out (with retries), clear.
 
@@ -66,30 +74,47 @@ class ReliableBroadcast:
         on each retry (summary slots re-render their *current* bytes so
         a retry can never clobber a newer summary with an older one).
 
+        Each fan-out round is posted as ONE doorbell batch: a single
+        ``post_cpu_us`` charge and a single completion wait cover the
+        whole round, as a real NIC's chained work requests would.
+        ``piggyback`` writes (flow-control acks coalesced onto this
+        batch) ride the first round's doorbell fire-and-forget: their
+        completions are awaited with the round but never retried, and
+        they play no part in the broadcast's agreement bookkeeping.
+
         A failed write (unreachable peer, transient fault) is retried
         until it succeeds or the target is suspected — under the
         crash-stop model a suspected node is dead and owed nothing;
-        short transients (e.g. a healed link) are ridden out.
+        short transients (e.g. a healed link) are ridden out.  If any
+        write is *abandoned* toward an un-suspected peer (retries
+        exhausted, or no suspicion oracle to consult), the backup slot
+        is deliberately NOT cleared: the message may be half-delivered,
+        and the backup is exactly what lets survivors finish the
+        delivery (the paper's §4 agreement argument).
         """
         self._write_backup(message)
         yield from self.node.cpu.use(self.local_write_us)
         pending = list(writes)
+        extra = list(piggyback)
         results: list = []
         attempt = 0
+        abandoned = False
         while pending:
-            completions = []
-            for qp, region, offset, payload in pending:
-                if self.halted:
-                    return results  # source died: backup stays set
-                body = payload() if callable(payload) else payload
-                yield from self.node.cpu.use(qp.config.post_cpu_us)
-                completions.append(
-                    (qp, region, offset, payload,
-                     qp.post_write(region, offset, body))
-                )
+            if self.halted:
+                return results  # source died: backup stays set
+            batch = [
+                (qp, region, offset,
+                 payload() if callable(payload) else payload)
+                for qp, region, offset, payload in pending + extra
+            ]
+            completions = yield from post_write_batch(self.node.cpu, batch)
+            # ONE completion wait for the whole doorbell batch.
+            done = yield self.env.all_of(completions)
             retry = []
-            for qp, region, offset, payload, completion in completions:
-                wc = yield completion
+            for (qp, region, offset, payload), completion in zip(
+                pending, completions
+            ):
+                wc = done[completion]
                 if wc.ok:
                     results.append(wc)
                 elif is_suspected is not None and is_suspected(
@@ -98,16 +123,22 @@ class ReliableBroadcast:
                     results.append(wc)  # dead peer: give up, as crash-stop allows
                 else:
                     retry.append((qp, region, offset, payload))
+            extra = []  # piggybacked acks are fire-and-forget
             if not retry:
                 break
             attempt += 1
             if attempt > max_retries or is_suspected is None:
+                # Giving up on live (un-suspected) peers: the message is
+                # possibly half-delivered and must stay recoverable.
                 results.extend([None] * len(retry))
+                abandoned = True
                 break
             yield self.env.timeout(retry_us)
             pending = retry
         if self.halted:
             return results  # died before clearing: backup stays set
+        if abandoned:
+            return results  # keep the backup set: survivors can recover
         self._clear_backup()
         yield from self.node.cpu.use(self.local_write_us)
         return results

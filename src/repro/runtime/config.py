@@ -32,6 +32,18 @@ class RuntimeConfig:
     poll_interval_us: float = 1.0
     #: Cadence right after progress (records often arrive in trains).
     poll_hot_us: float = 0.2
+    #: Adaptive polling: consecutive empty sweeps multiply the idle
+    #: wait by this factor (exponential backoff), reset on progress.
+    #: 1.0 restores the fixed-cadence behaviour.
+    poll_backoff: float = 2.0
+    #: Adaptive polling: cap on the backed-off idle wait.  The
+    #: effective cap is ``max(poll_idle_max_us, poll_interval_us)`` so
+    #: configs that slow the base cadence keep their floor.
+    poll_idle_max_us: float = 8.0
+    #: Wire codec version for the data plane (see docs/wire_format.md):
+    #: 1 = self-describing tagged codec, 2 = varint/zigzag with the
+    #: per-cluster interned string table.  Decoders accept both.
+    wire_version: int = 2
     apply_cpu_us: float = 0.15
     local_cpu_us: float = 0.08
     query_cpu_us: float = 0.20

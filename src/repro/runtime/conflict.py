@@ -30,7 +30,7 @@ from .config import RuntimeConfig, l_ack_region, l_region
 from .errors import ImpermissibleError, NotLeaderError, SubmitError
 from .probe import RuntimeProbe
 from .ringbuffer import parse_record
-from .wire import decode_call_batch, encode_call_batch
+from .wire import WireCodec
 
 __all__ = ["ConflictCoordinator"]
 
@@ -46,7 +46,8 @@ class ConflictCoordinator:
                  is_suspected: Callable[[str], bool],
                  suspected: Callable[[], set],
                  probe: Optional[RuntimeProbe] = None,
-                 counters: Optional[dict[str, int]] = None):
+                 counters: Optional[dict[str, int]] = None,
+                 codec: Optional[WireCodec] = None):
         self.rnode = rnode
         self.env = rnode.env
         self.name = rnode.name
@@ -63,6 +64,7 @@ class ConflictCoordinator:
         self.suspected = suspected
         self.probe = probe or RuntimeProbe()
         self.counters = counters if counters is not None else {}
+        self.codec = codec or WireCodec(config.wire_version)
         # Partially applied leader batches, per group (see drain_l).
         self._l_partial: dict[str, deque] = {
             group.gid: deque() for group in coordination.sync_groups()
@@ -186,7 +188,7 @@ class ConflictCoordinator:
             overlay = {(self.name, method): 1}
             dep = applier.dep_projection(method)
             try:
-                packet = encode_call_batch([(call, dep)])
+                packet = self.codec.encode_call_batch([(call, dep)])
             except Exception as exc:
                 done.succeed(SubmitError(f"cannot encode {call}: {exc}"))
                 continue
@@ -313,7 +315,7 @@ class ConflictCoordinator:
             return "requeued"
         dep = applier.dep_projection(method, overlay)
         try:
-            packet = encode_call_batch(entries + [(call, dep)])
+            packet = self.codec.encode_call_batch(entries + [(call, dep)])
         except Exception as exc:
             done.succeed(SubmitError(f"cannot encode {call}: {exc}"))
             return None
@@ -345,7 +347,7 @@ class ConflictCoordinator:
                 if payload is None:
                     self._maybe_detect_hole(gid, reader)
                     break
-                partial.extend(decode_call_batch(payload))
+                partial.extend(self.codec.decode_call_batch(payload))
                 reader.advance()
                 continue
             call, dep = partial[0]
@@ -362,7 +364,7 @@ class ConflictCoordinator:
             drained += 1
             progressed = True
         if drained:
-            self.probe.ring_depth(f"L<-{gid}", drained)
+            self.probe.records_drained(f"L<-{gid}", drained)
         return progressed
 
     def _maybe_detect_hole(self, gid: str, reader) -> None:

@@ -27,7 +27,7 @@ from ..sim import Event
 from .config import RuntimeConfig, s_region
 from .errors import ImpermissibleError, NotLeaderError, SubmitError
 from .probe import RuntimeProbe
-from .wire import decode_call_packet, decode_value, encode_value
+from .wire import WireCodec
 
 __all__ = ["ControlPlane"]
 
@@ -37,13 +37,15 @@ class ControlPlane:
 
     def __init__(self, rnode: RdmaNode, config: RuntimeConfig,
                  probe: Optional[RuntimeProbe] = None,
-                 counters: Optional[dict[str, int]] = None):
+                 counters: Optional[dict[str, int]] = None,
+                 codec: Optional[WireCodec] = None):
         self.rnode = rnode
         self.env = rnode.env
         self.name = rnode.name
         self.config = config
         self.probe = probe or RuntimeProbe()
         self.counters = counters if counters is not None else {}
+        self.codec = codec or WireCodec(config.wire_version)
         #: Outstanding forwarded-request waiters, by token.
         self._fwd_waiters: dict[str, Event] = {}
         #: Served forwarded requests: token -> cached reply, so a
@@ -80,7 +82,7 @@ class ControlPlane:
 
     def send(self, peer: str, message: Any):
         qp = self.rnode.qp_to(peer)
-        yield from qp.send(encode_value(message))
+        yield from qp.send(self.codec.encode_value(message))
 
     def listener(self, peer: str):
         qp = self.rnode.qp_to(peer)
@@ -88,7 +90,7 @@ class ControlPlane:
             incoming = yield from qp.recv()
             if not self.rnode.alive:
                 continue
-            message = decode_value(incoming.payload)
+            message = self.codec.decode_value(incoming.payload)
             kind = message[0]
             if kind in ("vote_req", "vote_ack", "who_leads", "leader_is"):
                 mu = self.conflict.mu_for(message[1])
@@ -200,9 +202,9 @@ class ControlPlane:
         message = yield from self.broadcast.fetch_backup_of(peer)
         if message is None:
             return
-        tagged = decode_value(message)
+        tagged = self.codec.decode_value(message)
         if tagged[0] == "F":
-            call, dep = decode_call_packet(tagged[1])
+            call, dep = self.codec.decode_call_packet(tagged[1])
             if not self.applier.has_seen(call.key()):
                 self.applier.add_recovered(call, dep)
         elif tagged[0] == "S":

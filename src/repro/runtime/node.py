@@ -64,6 +64,7 @@ from .errors import (  # noqa: F401  (re-exported for import stability)
 from .heartbeat import FailureDetector, Heartbeat
 from .probe import CountingProbe, RuntimeProbe
 from .transport import RingTransport
+from .wire import WireCodec
 
 __all__ = [
     "HambandNode",
@@ -109,14 +110,21 @@ class HambandNode:
         }
         #: The instrumentation seam shared by all four layers.
         self.probe = probe if probe is not None else CountingProbe()
+        #: The cluster's wire codec: every node derives the SAME interned
+        #: string table from the coordination spec and process list, so
+        #: v2 packets decode everywhere without a handshake.
+        self.codec = WireCodec.for_cluster(
+            config.wire_version, coordination, self.processes
+        )
 
         # -- compose the four layers -----------------------------------
         self.transport = RingTransport(
-            rnode, coordination, self.processes, config, self.probe
+            rnode, coordination, self.processes, config, self.probe,
+            codec=self.codec,
         )
         self.applier = ApplyEngine(
             rnode, coordination, config, event_log, self.probe,
-            self.counters,
+            self.counters, codec=self.codec,
         )
         self.applier.init_summaries(self.processes)
         self.broadcast = ReliableBroadcast(rnode, config.backup_size)
@@ -130,7 +138,7 @@ class HambandNode:
             on_clear=self._on_clear,
         )
         self.control = ControlPlane(
-            rnode, config, self.probe, self.counters
+            rnode, config, self.probe, self.counters, codec=self.codec
         )
         self.conflict = ConflictCoordinator(
             rnode, coordination, self.processes, initial_leaders, config,
@@ -143,6 +151,7 @@ class HambandNode:
             suspected=lambda: self.detector.suspected,
             probe=self.probe,
             counters=self.counters,
+            codec=self.codec,
         )
         self.applier.bind(
             self.transport, self.conflict, self.broadcast,
@@ -265,6 +274,9 @@ class HambandNode:
 
         def worker():
             yield from self._catch_up_from(peer)
+            # The heal may have left ack flow control in its conservative
+            # fallback; re-arm it from the next ack the peer publishes.
+            self.transport.rearm_flow_control(peer)
             yield from self.control.send(peer, ("resync",))
 
         self.env.process(worker(), name=f"clear:{self.name}:{peer}")
@@ -296,6 +308,8 @@ class HambandNode:
         for group in self.coordination.sync_groups():
             if self.conflict.leader_of(group.gid) != self.name:
                 yield from self.conflict.rejoin_repair(group.gid)
+        for peer in self.peers:
+            self.transport.rearm_flow_control(peer)
         self.probe.catch_up("restart")
 
     def start_rejoin(self):

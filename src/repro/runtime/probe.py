@@ -9,9 +9,10 @@ surfaces through ``HambandNode.stats()``, so perf work can measure
 before optimizing:
 
 - per-rule applies (REDUCE / FREE / CONF / FREE_APP / CONF_APP / QUERY),
-- ring occupancy high-water marks (writer-side in-flight depth and
-  reader-side per-sweep drain trains),
-- backpressure stalls per ring,
+- ring occupancy high-water marks (writer-side tail − acked depth),
+- records drained per ring (reader-side consumption totals),
+- backpressure stalls per ring (and flow-control re-arms after a
+  reader heals),
 - conflict-path retries, decided-batch sizes, demotions, hole repairs,
 - control-plane forwards, redirects, and rejected calls,
 - flow-control ack flushes and broadcast recoveries.
@@ -43,13 +44,25 @@ class RuntimeProbe:
     # -- transport -------------------------------------------------------
 
     def ring_depth(self, ring: str, depth: int) -> None:
-        """Observed occupancy of ``ring`` (high-water mark is kept)."""
+        """Observed occupancy of ``ring`` (high-water mark is kept).
+
+        Reserved for *occupancy*: writer-side this is tail − acked;
+        per-sweep drain counts go through :meth:`records_drained`.
+        """
+
+    def records_drained(self, ring: str, count: int) -> None:
+        """``count`` records consumed from ``ring`` in one sweep."""
 
     def backpressure_stall(self, ring: str) -> None:
         """A writer waited one backpressure round on ``ring``."""
 
     def ack_flush(self, ring: str) -> None:
         """One flow-control ack write pushed back to ``ring``'s writer."""
+
+    def flow_rearmed(self, ring: str) -> None:
+        """Backpressure re-armed against ``ring``'s reader: after a
+        fallback to ring-sizing mode, a fresh ack proved the reader is
+        draining again."""
 
     # -- conflict coordinator --------------------------------------------
 
@@ -64,6 +77,10 @@ class RuntimeProbe:
 
     def hole_repair(self, gid: str) -> None:
         """The hole detector triggered a log self-repair for ``gid``."""
+
+    def ring_resync(self, ring: str) -> None:
+        """A lapped reader fast-forwarded past an overwritten window
+        of ``ring`` (records there recovered out of band)."""
 
     # -- control plane ---------------------------------------------------
 
@@ -132,13 +149,16 @@ class CountingProbe(RuntimeProbe):
     def __init__(self) -> None:
         self.applies: dict[str, int] = {}
         self.ring_highwater: dict[str, int] = {}
+        self.drained: dict[str, int] = {}
         self.backpressure_stalls: dict[str, int] = {}
         self.ack_flushes: dict[str, int] = {}
+        self.flow_rearms: dict[str, int] = {}
         self.conflict_retries: dict[str, int] = {}
         self.conflict_batches: dict[str, int] = {}
         self.conflict_batch_max: dict[str, int] = {}
         self.demotions: dict[str, int] = {}
         self.hole_repairs: dict[str, int] = {}
+        self.ring_resyncs: dict[str, int] = {}
         self.forwards: dict[str, int] = {}
         self.redirects: dict[str, int] = {}
         self.rejections: dict[str, int] = {}
@@ -161,11 +181,17 @@ class CountingProbe(RuntimeProbe):
         if depth > self.ring_highwater.get(ring, 0):
             self.ring_highwater[ring] = depth
 
+    def records_drained(self, ring: str, count: int) -> None:
+        self._bump(self.drained, ring, count)
+
     def backpressure_stall(self, ring: str) -> None:
         self._bump(self.backpressure_stalls, ring)
 
     def ack_flush(self, ring: str) -> None:
         self._bump(self.ack_flushes, ring)
+
+    def flow_rearmed(self, ring: str) -> None:
+        self._bump(self.flow_rearms, ring)
 
     def conflict_retry(self, gid: str) -> None:
         self._bump(self.conflict_retries, gid)
@@ -180,6 +206,9 @@ class CountingProbe(RuntimeProbe):
 
     def hole_repair(self, gid: str) -> None:
         self._bump(self.hole_repairs, gid)
+
+    def ring_resync(self, ring: str) -> None:
+        self._bump(self.ring_resyncs, ring)
 
     def forwarded(self, method: str) -> None:
         self._bump(self.forwards, method)
@@ -203,13 +232,16 @@ class CountingProbe(RuntimeProbe):
         return {
             "applies": dict(self.applies),
             "ring_highwater": dict(self.ring_highwater),
+            "records_drained": dict(self.drained),
             "backpressure_stalls": dict(self.backpressure_stalls),
             "ack_flushes": dict(self.ack_flushes),
+            "flow_rearms": dict(self.flow_rearms),
             "conflict_retries": dict(self.conflict_retries),
             "conflict_batches": dict(self.conflict_batches),
             "conflict_batch_max": dict(self.conflict_batch_max),
             "demotions": dict(self.demotions),
             "hole_repairs": dict(self.hole_repairs),
+            "ring_resyncs": dict(self.ring_resyncs),
             "forwards": dict(self.forwards),
             "redirects": dict(self.redirects),
             "rejections": dict(self.rejections),

@@ -46,6 +46,36 @@ def _generation(index: int, slots: int) -> int:
     return 1 + (index // slots) % _GENERATIONS
 
 
+def scan_frontier(raw: bytes, head: int, slots: int,
+                  slot_size: int) -> Optional[int]:
+    """Infer the writer's frontier (next index it will claim) from a
+    raw snapshot of one ring region.
+
+    Each valid slot's canary names its record's generation, and the
+    single writer claims indices monotonically, so the highest absolute
+    index present plus one is the frontier.  The lap is recovered as
+    the smallest lap at or beyond the reader's whose generation matches
+    the canary — consistent while the writer is fewer than 251 laps
+    ahead, the same horizon as the reader's lap detection.  Returns
+    None when no slot holds a parseable record.
+    """
+    base_lap = head // slots
+    frontier = None
+    for s in range(slots):
+        slot = raw[s * slot_size : (s + 1) * slot_size]
+        (length,) = struct.unpack_from("<I", slot, 0)
+        if length > slot_size - _LEN_BYTES - 1:
+            continue  # garbage or partially-landed record
+        canary = slot[_LEN_BYTES + length]
+        if canary == 0:
+            continue  # virgin slot
+        lap = base_lap + (canary - 1 - base_lap) % _GENERATIONS
+        index = lap * slots + s
+        if frontier is None or index >= frontier:
+            frontier = index + 1
+    return frontier
+
+
 def parse_record(slot: bytes, index: int, slots: int) -> Optional[bytes]:
     """Parse one slot's bytes as the record for absolute ``index``.
 
@@ -95,23 +125,39 @@ class RingWriter:
         "each call in the buffer contains a canary bit as the last
         bit") — so the RDMA write ships record-sized, not slot-sized.
         """
+        record = self.build(payload)
+        return self.claim(), record
+
+    def build(self, payload: bytes) -> bytes:
+        """Record bytes for the *current* tail, without claiming it.
+
+        Fan-out writers with lockstep tails (the F mirror and the
+        per-peer writers) render the record ONCE and :meth:`claim` a
+        slot per writer — the generation byte only depends on the tail
+        index, which is identical across them.
+        """
         if len(payload) > self.max_payload:
             raise RingError(
                 f"payload of {len(payload)} bytes exceeds slot capacity "
                 f"{self.max_payload}"
             )
+        record = bytearray(_LEN_BYTES + len(payload) + 1)
+        struct.pack_into("<I", record, 0, len(payload))
+        record[_LEN_BYTES : _LEN_BYTES + len(payload)] = payload
+        record[-1] = _generation(self.tail, self.slots)
+        return bytes(record)
+
+    def claim(self) -> int:
+        """Claim the tail slot (overrun check + advance); returns its
+        region offset.  ``render`` = ``build`` + ``claim``."""
         if (
             self.reader_acked is not None
             and self.tail - self.reader_acked >= self.slots
         ):
             raise RingError("ring overrun: writer lapped the reader")
-        record = bytearray(_LEN_BYTES + len(payload) + 1)
-        struct.pack_into("<I", record, 0, len(payload))
-        record[_LEN_BYTES : _LEN_BYTES + len(payload)] = payload
-        record[-1] = _generation(self.tail, self.slots)
         offset = (self.tail % self.slots) * self.slot_size
         self.tail += 1
-        return offset, bytes(record)
+        return offset
 
     def ack_up_to(self, count: int) -> None:
         """Record reader progress (fed back out of band for flow control).
@@ -144,22 +190,78 @@ class RingReader:
         """
         offset = (self.head % self.slots) * self.slot_size
         slot = self.region.read(offset, self.slot_size)
+        return self._parse_slot(slot, self.head)
+
+    def _parse_slot(self, slot: bytes, index: int) -> Optional[bytes]:
+        """Parse one slot as the record for absolute ``index``.
+
+        The only canaries a reader may legitimately see besides the
+        expected generation are 0 (virgin slot) and the *previous*
+        lap's generation (a record not yet overwritten).  ANY other
+        generation means the single writer has moved past us — whether
+        by one lap or twenty — so being lapped is detected loudly
+        rather than silently reading None forever.  (The generation
+        counter wraps mod 251, so a writer exactly 250 laps ahead is
+        indistinguishable from the previous lap; the runtime's rings
+        detect the overrun ~250 laps earlier.)
+        """
         (length,) = struct.unpack_from("<I", slot, 0)
         if length > self.slot_size - _LEN_BYTES - 1:
             return None  # stale or garbage length: retry later
         canary = slot[_LEN_BYTES + length]
-        if canary != _generation(self.head, self.slots):
-            if canary == _generation(self.head + self.slots, self.slots):
-                raise RingError(
-                    "reader lapped: a record was overwritten before it "
-                    "was consumed (size the ring larger)"
-                )
-            return None
-        return slot[_LEN_BYTES : _LEN_BYTES + length]
+        if canary == _generation(index, self.slots):
+            return slot[_LEN_BYTES : _LEN_BYTES + length]
+        if canary == 0:
+            return None  # virgin slot: nothing written yet
+        if index >= self.slots and canary == _generation(
+            index - self.slots, self.slots
+        ):
+            return None  # previous lap's record: ours is in flight
+        raise RingError(
+            "reader lapped: a record was overwritten before it "
+            "was consumed (size the ring larger)"
+        )
+
+    def peek_run(self, max_records: int = 64) -> list[bytes]:
+        """Consecutive landed records starting at the head, oldest first.
+
+        One region read covers the whole run (up to ``max_records``,
+        clamped at the ring's wrap point), so a sweep that finds a
+        train of records parses each slot once instead of re-issuing a
+        region read per record.  The caller consumes via
+        :meth:`advance` — records beyond what it consumes are simply
+        re-peeked on the next sweep.
+        """
+        first = self.head % self.slots
+        count = min(max_records, self.slots - first)
+        if count <= 0:
+            return []
+        raw = self.region.read(first * self.slot_size,
+                               count * self.slot_size)
+        run: list[bytes] = []
+        for i in range(count):
+            slot = raw[i * self.slot_size : (i + 1) * self.slot_size]
+            payload = self._parse_slot(slot, self.head + i)
+            if payload is None:
+                break
+            run.append(payload)
+        return run
 
     def advance(self) -> None:
         """Consume the head record (caller must have peeked it)."""
         self.head += 1
+
+    def fast_forward(self, index: int) -> None:
+        """Skip the head forward to absolute ``index`` (never backward).
+
+        The recovery path for a *lapped* reader: records between the
+        old head and ``index`` were overwritten in every surviving copy
+        and must be recovered out of band (summaries, broadcast
+        backups) — the ring itself can only resume from the writer's
+        surviving window.
+        """
+        if index > self.head:
+            self.head = index
 
     def try_read(self) -> Optional[bytes]:
         payload = self.peek()

@@ -19,7 +19,7 @@ from typing import Optional
 
 from ..core import Call
 from ..rdma import MemoryRegion
-from .wire import decode_value, encode_value
+from .wire import WireCodec, decode_value, encode_value
 
 __all__ = ["SummarySlot", "SummaryValue", "render_summary", "slot_size_for"]
 
@@ -36,15 +36,18 @@ def slot_size_for(max_payload: int) -> int:
 
 
 def render_summary(seq: int, call: Call, counts: dict[str, int],
-                   slot_size: int) -> bytes:
+                   slot_size: int,
+                   codec: Optional[WireCodec] = None) -> bytes:
     """Render the used prefix of the slot for one RDMA write.
 
     The trailer sequence number sits immediately after the payload, so
     the remote write ships only record-sized bytes rather than the full
-    reserved slot.
+    reserved slot.  ``codec`` selects the wire version of the payload
+    (v1 without one); readers auto-detect either version.
     """
-    payload = encode_value((call.method, call.arg, call.origin, call.rid,
-                            counts))
+    encode = codec.encode_value if codec is not None else encode_value
+    payload = encode((call.method, call.arg, call.origin, call.rid,
+                      counts))
     used = _HEADER + len(payload) + _TRAILER
     if used > slot_size:
         raise ValueError(
@@ -75,10 +78,14 @@ def current_record_bytes(region) -> bytes:
 class SummarySlot:
     """Reader view over one summary slot region."""
 
-    def __init__(self, region: MemoryRegion, offset: int, slot_size: int):
+    def __init__(self, region: MemoryRegion, offset: int, slot_size: int,
+                 codec: Optional[WireCodec] = None):
         self.region = region
         self.offset = offset
         self.slot_size = slot_size
+        #: Needed to resolve interned string ids in v2 payloads; the
+        #: wire version itself is auto-detected from the payload bytes.
+        self.codec = codec
         self._cache_seq: Optional[int] = None
         self._cache_value: Optional[SummaryValue] = None
 
@@ -101,7 +108,11 @@ class SummarySlot:
             return None
         if seq1 == self._cache_seq:
             return self._cache_value
-        method, arg, origin, rid, counts = decode_value(
+        decode = (
+            self.codec.decode_value if self.codec is not None
+            else decode_value
+        )
+        method, arg, origin, rid, counts = decode(
             bytes(raw[_HEADER : _HEADER + length])
         )
         value = (Call(method, arg, origin, rid), counts)

@@ -120,6 +120,9 @@ class TracingProbe(CountingProbe):
         self._buffer: deque[tuple] = deque(maxlen=capacity)
         self.dropped = 0
         self._seq = iter(seq) if seq is not None else itertools.count()
+        #: Bound method, hoisted so the hot path skips the ``next()``
+        #: builtin lookup (the probe fires on every span/apply/xfer).
+        self._next_seq = self._seq.__next__
         self._gid_of = gid_of or (lambda method: "")
         #: Latency histograms per lifecycle phase, fed by span pairs.
         self.phases: dict[str, Histogram] = {}
@@ -136,7 +139,7 @@ class TracingProbe(CountingProbe):
             self.dropped += 1
         t = self.clock()
         buffer.append(
-            (next(self._seq), t, kind, name, method, origin, rid, gid,
+            (self._next_seq(), t, kind, name, method, origin, rid, gid,
              size, arg)
         )
         return t

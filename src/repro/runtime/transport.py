@@ -40,11 +40,20 @@ from .config import (
     s_region,
 )
 from .probe import RuntimeProbe
-from .ringbuffer import RingError, RingReader, RingWriter, parse_record
+from .ringbuffer import (
+    RingError,
+    RingReader,
+    RingWriter,
+    parse_record,
+    scan_frontier,
+)
 from .summary import slot_size_for
-from .wire import decode_call_packet
+from .wire import WireCodec
 
 __all__ = ["RingTransport"]
+
+#: Upper bound on records parsed per drain sweep (one region read).
+_DRAIN_RUN = 64
 
 
 class RingTransport:
@@ -52,7 +61,8 @@ class RingTransport:
 
     def __init__(self, rnode: RdmaNode, coordination: Coordination,
                  processes: list[str], config: RuntimeConfig,
-                 probe: Optional[RuntimeProbe] = None):
+                 probe: Optional[RuntimeProbe] = None,
+                 codec: Optional[WireCodec] = None):
         self.rnode = rnode
         self.env = rnode.env
         self.name = rnode.name
@@ -61,6 +71,11 @@ class RingTransport:
         self.peers = [p for p in self.processes if p != self.name]
         self.config = config
         self.probe = probe or RuntimeProbe()
+        self.codec = codec or WireCodec(config.wire_version)
+        #: Flow-control re-arm baselines: peers whose backpressure fell
+        #: back to ring-sizing mode and are being watched for fresh
+        #: acks after a heal/rejoin resync (see rearm_flow_control).
+        self._rearm_baseline: dict[str, int] = {}
         self._register_regions()
         self._init_rings()
 
@@ -132,13 +147,25 @@ class RingTransport:
 
     def render_with_backpressure(self, writer: RingWriter,
                                  ack_region_name: str, payload: bytes,
-                                 is_suspected: Callable[[str], bool]):
+                                 is_suspected: Callable[[str], bool],
+                                 record: Optional[bytes] = None,
+                                 record_index: Optional[int] = None):
         """Render a ring record, waiting for reader progress when full.
 
         The reader's acks land in our local ack region; refreshing it is
         a local memory read.  A reader that stops acking entirely (dead
         or suspected) stops throttling us: we fall back to ring-sizing
-        mode rather than blocking behind a corpse.
+        mode rather than blocking behind a corpse — until
+        :meth:`rearm_flow_control` observes the reader acking again.
+
+        ``record`` may carry record bytes pre-rendered for ring index
+        ``record_index`` (the fan-out path renders ONCE against the
+        mirror) — then only the slot claim happens here.  The prebuilt
+        bytes are used only while this writer's tail still equals that
+        index: concurrent fan-outs interleaving through the
+        backpressure waits can reorder per-writer claims, and a record
+        carries its index's generation canary, so a drifted writer
+        re-renders at its own tail instead.
         """
         cfg = self.config
         reader = self._reader_of(ack_region_name)
@@ -146,18 +173,24 @@ class RingTransport:
         while True:
             if cfg.ack_every:
                 acked = self.rnode.regions[ack_region_name].read_u64(0)
+                if writer.reader_acked is None:
+                    self._maybe_rearm(writer, reader, acked)
                 writer.ack_up_to(acked)
                 if writer.reader_acked is not None:
                     self.probe.ring_depth(
                         f"F->{reader}", writer.tail - writer.reader_acked
                     )
             try:
+                if record is not None and writer.tail == record_index:
+                    return writer.claim(), record
                 return writer.render(payload)
             except RingError:
                 waited += 1
                 self.probe.backpressure_stall(f"F->{reader}")
                 if waited > cfg.backpressure_limit or is_suspected(reader):
-                    writer.reader_acked = None  # stop throttling
+                    self._disarm(writer, reader)
+                    if record is not None and writer.tail == record_index:
+                        return writer.claim(), record
                     return writer.render(payload)
                 yield self.env.timeout(cfg.backpressure_wait_us)
 
@@ -165,19 +198,69 @@ class RingTransport:
     def _reader_of(ack_region_name: str) -> str:
         return ack_region_name.rsplit(":", 1)[-1]
 
+    def _disarm(self, writer: RingWriter, reader: str) -> None:
+        """Stop throttling on ``reader`` (dead/stuck): ring-sizing mode."""
+        writer.reader_acked = None
+        self._rearm_baseline.pop(reader, None)
+
+    def _maybe_rearm(self, writer: RingWriter, reader: str,
+                     acked: int) -> None:
+        """Re-arm flow control once a fallen-back reader acks again.
+
+        Armed by :meth:`rearm_flow_control` (heal/rejoin resync); the
+        first ack *above* the recorded baseline proves the reader is
+        draining its ring again, so throttling against it is safe — and
+        necessary, or a once-suspected reader would never be protected
+        from overrun again.
+        """
+        baseline = self._rearm_baseline.get(reader)
+        if baseline is not None and acked > baseline:
+            writer.reader_acked = acked
+            del self._rearm_baseline[reader]
+            self.probe.flow_rearmed(f"F->{reader}")
+
+    def rearm_flow_control(self, peer: str) -> None:
+        """Watch for ``peer``'s acks resuming after a heal/rejoin.
+
+        Called when a suspected peer proves alive again (``on_clear``)
+        or after our own restart: any writer that fell back to
+        ring-sizing mode records the current ack value as a baseline
+        and re-arms backpressure at the next observed progress.
+        """
+        writer = self.f_writers.get(peer)
+        if writer is None or not self.config.ack_every:
+            return
+        if writer.reader_acked is not None:
+            return  # still armed: nothing to re-arm
+        self._rearm_baseline[peer] = self.rnode.regions[
+            f_ack_region(peer)
+        ].read_u64(0)
+
     def prepare_f_writes(self, packet: bytes,
                          is_suspected: Callable[[str], bool]):
-        """Render ``packet`` into every peer's F writer; return the
-        (qp, region, offset, bytes) write list for the broadcaster."""
+        """Render ``packet`` ONCE and claim a slot in every peer's F
+        writer; return the (qp, region, offset, bytes) write list for
+        the broadcaster's doorbell batch.
+
+        The mirror and the per-peer writers each advance their tail
+        exactly once per fan-out, so in the common (uncontended) case
+        the record bytes — including the generation canary — are
+        identical for all of them: one render, N claims.  A writer
+        whose tail drifted from the mirror's (concurrent fan-outs
+        interleaving through backpressure) re-renders for its own tail
+        inside :meth:`render_with_backpressure`.
+        """
         writes = []
-        # Authoritative local mirror first (lockstep tails with the
-        # per-peer writers): repair sources read this region.
-        offset, slot = self.f_mirror.render(packet)
-        self.rnode.regions[f_region(self.name)].write(offset, slot)
+        # Authoritative local mirror first: repair sources read this
+        # region.
+        index = self.f_mirror.tail
+        record = self.f_mirror.build(packet)
+        offset = self.f_mirror.claim()
+        self.rnode.regions[f_region(self.name)].write(offset, record)
         for peer in self.peers:
             offset, slot = yield from self.render_with_backpressure(
                 self.f_writers[peer], f_ack_region(peer), packet,
-                is_suspected,
+                is_suspected, record=record, record_index=index,
             )
             writes.append(
                 (
@@ -194,35 +277,66 @@ class RingTransport:
     def drain(self, reader: RingReader, rule: str, sink, label: str = ""):
         """Apply consecutive ready records at ``reader``'s head.
 
-        Blocks at the first record whose dependency array is not yet
-        satisfied — the head blocks the buffer, as in the semantics.
-        Returns True when at least one record applied.
+        Each sweep peeks a *run* of landed records in one region read
+        and decodes each record exactly once, instead of re-peeking and
+        re-parsing the head record-at-a-time.  Blocks at the first
+        record whose dependency array is not yet satisfied — the head
+        blocks the buffer, as in the semantics.  Returns True when at
+        least one record applied.
         """
         progressed = False
         drained = 0
-        while True:
-            payload = reader.peek()
-            if payload is None:
+        blocked = False
+        while not blocked:
+            run = reader.peek_run(_DRAIN_RUN)
+            if not run:
                 break
-            call, dep = decode_call_packet(payload)
-            if sink.has_seen(call.key()):
-                reader.advance()  # duplicate via recovery path
-                continue
-            if not sink.dep_ok(dep):
-                break
-            self.probe.trace_transfer(
-                label or "F", call.method, call.origin, call.rid,
-                len(payload),
-            )
-            yield from sink.apply(call, rule)
-            reader.advance()
-            drained += 1
-            progressed = True
+            for payload in run:
+                call, dep = self.codec.decode_call_packet(payload)
+                if sink.has_seen(call.key()):
+                    reader.advance()  # duplicate via recovery path
+                    continue
+                if not sink.dep_ok(dep):
+                    blocked = True
+                    break
+                self.probe.trace_transfer(
+                    label or "F", call.method, call.origin, call.rid,
+                    len(payload),
+                )
+                yield from sink.apply(call, rule)
+                reader.advance()
+                drained += 1
+                progressed = True
         if drained and label:
-            self.probe.ring_depth(label, drained)
+            # Reader-side consumption total; occupancy (tail − acked)
+            # is the writer's to report via ring_depth.
+            self.probe.records_drained(label, drained)
         return progressed
 
     # -- flow-control acks -----------------------------------------------
+
+    def _due_acks(self, leader_of: Callable[[str], str]):
+        """Acks owed right now: (key, target, region name, head).
+
+        One entry per ring whose consumption advanced ``ack_every``
+        records past the last ack.  A target of None (this node leads
+        the L ring) needs no wire write — just the bookkeeping.
+        """
+        cfg = self.config
+        due = []
+        for origin, reader in self.f_readers.items():
+            key = f"F:{origin}"
+            if reader.head - self._acked.get(key, 0) >= cfg.ack_every:
+                due.append((key, origin, f_ack_region(self.name),
+                            reader.head))
+        for gid, reader in self.l_readers.items():
+            key = f"L:{gid}"
+            if reader.head - self._acked.get(key, 0) >= cfg.ack_every:
+                leader = leader_of(gid)
+                target = None if leader == self.name else leader
+                due.append((key, target, l_ack_region(gid, self.name),
+                            reader.head))
+        return due
 
     def flush_acks(self, leader_of: Callable[[str], str]):
         """Push ring-progress acks back to the writers (flow control).
@@ -230,25 +344,36 @@ class RingTransport:
         ``leader_of(gid)`` names the current writer of an L ring (the
         group's leader owns the corresponding ack slot).
         """
-        cfg = self.config
-        for origin, reader in self.f_readers.items():
-            key = f"F:{origin}"
-            if reader.head - self._acked.get(key, 0) >= cfg.ack_every:
-                yield from self.post_ack(
-                    origin, f_ack_region(self.name), reader.head
-                )
-                self._acked[key] = reader.head
+        for key, target, region_name, head in self._due_acks(leader_of):
+            if target is not None:
+                yield from self.post_ack(target, region_name, head)
                 self.probe.ack_flush(key)
-        for gid, reader in self.l_readers.items():
-            key = f"L:{gid}"
-            if reader.head - self._acked.get(key, 0) >= cfg.ack_every:
-                leader = leader_of(gid)
-                if leader != self.name:
-                    yield from self.post_ack(
-                        leader, l_ack_region(gid, self.name), reader.head
+            self._acked[key] = head
+
+    def piggyback_ack_writes(self, leader_of: Callable[[str], str]):
+        """Due acks as (qp, region, offset, bytes) write tuples, to be
+        coalesced onto an outbound doorbell batch instead of paying
+        their own post + completion wait.
+
+        Marks the acks flushed immediately: a piggybacked ack that is
+        lost with its batch is simply re-sent ``ack_every`` records
+        later (flow control errs on the throttled side, never the
+        unsafe side).
+        """
+        writes = []
+        for key, target, region_name, head in self._due_acks(leader_of):
+            if target is not None:
+                writes.append(
+                    (
+                        self.rnode.qp_to(target),
+                        self.rnode.region_of(target, region_name),
+                        0,
+                        head.to_bytes(8, "little"),
                     )
-                    self.probe.ack_flush(key)
-                self._acked[key] = reader.head
+                )
+                self.probe.ack_flush(key)
+            self._acked[key] = head
+        return writes
 
     def post_ack(self, target: str, region_name: str, head: int):
         region = self.rnode.region_of(target, region_name)
@@ -320,6 +445,52 @@ class RingTransport:
         self.probe.hole_repair(f"F:{origin}")
         repaired = yield from self.repair_f_ring(origin, is_suspected)
         return repaired > 0
+
+    def resync_lapped_f(self, origin: str,
+                        is_suspected: Callable[[str], bool]):
+        """Recover a reader that was *lapped* on ``origin``'s F ring.
+
+        While we were cut off (partitioned / restarting), the writer —
+        disarmed from acks by our silence — kept claiming slots and
+        overwrote records we never consumed.  Those records are gone
+        from every surviving ring copy; they reach us out of band
+        (summary transfer, broadcast recovery).  The ring itself can
+        only resume from the writer's surviving window: scan an
+        authoritative copy for the frontier, fast-forward the head to
+        the oldest index still present, then run the normal hole repair
+        to fill our local copy from there.  Returns True when the head
+        moved or records were repaired.
+        """
+        cfg = self.config
+        reader = self.f_readers[origin]
+        region_name = f_region(origin)
+        sources = [origin] + [p for p in self.peers if p != origin]
+        frontier = None
+        for source in sources:
+            if source == self.name or is_suspected(source):
+                continue
+            if not self.rnode.fabric.nodes[source].alive:
+                continue
+            qp = self.rnode.qp_to(source)
+            remote = self.rnode.region_of(source, region_name)
+            wc = yield from qp.read(
+                remote, 0, cfg.ring_slots * cfg.slot_size
+            )
+            if wc.status is not WcStatus.SUCCESS or wc.data is None:
+                continue
+            frontier = scan_frontier(
+                wc.data, reader.head, cfg.ring_slots, cfg.slot_size
+            )
+            if frontier is not None:
+                break
+        if frontier is None:
+            return False  # nobody reachable holds a parseable record
+        oldest_surviving = max(frontier - cfg.ring_slots, 0)
+        moved = oldest_surviving > reader.head
+        reader.fast_forward(oldest_surviving)
+        self.probe.ring_resync(f"F:{origin}")
+        repaired = yield from self.repair_f_ring(origin, is_suspected)
+        return moved or repaired > 0
 
     def repair_f_ring(self, origin: str,
                       is_suspected: Callable[[str], bool]):

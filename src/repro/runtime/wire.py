@@ -1,23 +1,42 @@
 """Wire format: calls and dependency arrays as byte streams (paper §4).
 
 Hamband serializes each call, its unique id, and its variable-sized
-dependency arrays into a byte stream before the remote write.  This is
-a compact self-describing binary codec for the value shapes the
-bundled data types use: None, bool, int, float, str, bytes, tuple,
-list, frozenset, and dict.  No pickle: the format is explicit, stable,
-and fuzzable (tests/runtime/test_wire.py round-trips it under
+dependency arrays into a byte stream before the remote write.  Two
+wire versions coexist:
+
+* **v1** — the original compact *self-describing* binary codec for the
+  value shapes the bundled data types use: None, bool, int, float,
+  str, bytes, tuple, list, frozenset, and dict.  Integers travel as
+  length-prefixed ASCII decimal and every length/count is a fixed
+  4-byte field.  Simple and fuzzable, but bloated on the hot path.
+
+* **v2** — the hot-path codec (``RuntimeConfig.wire_version = 2``):
+  LEB128 varints with zigzag for signed integers, varint lengths and
+  counts, a fixed call-packet header of interned origin/method ids
+  drawn from a per-cluster :class:`StringTable` (derived
+  deterministically from the coordination analysis at build time, so
+  every node "negotiates" the identical table without a handshake),
+  and packed ``(proc_id, method_id, varint count)`` dependency
+  arrays.  v2 frames start with a magic byte (0x01 value, 0x02 call
+  packet, 0x03 batch) that no v1 tag uses, so every decoder accepts
+  both versions — v1 stays decodable forever.
+
+No pickle: the format is explicit, stable, and fuzzable
+(tests/runtime/test_wire.py round-trips both versions under
 hypothesis).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any
+from typing import Any, Iterable, Optional
 
 from ..core import Call
 from ..core.rdma_semantics import DependencyMap
 
 __all__ = [
+    "StringTable",
+    "WireCodec",
     "WireError",
     "decode_call_batch",
     "decode_call_packet",
@@ -32,6 +51,10 @@ class WireError(Exception):
     """Malformed wire data."""
 
 
+# --------------------------------------------------------------------------
+# v1: self-describing tagged codec (unchanged layout)
+# --------------------------------------------------------------------------
+
 _NONE = b"N"
 _TRUE = b"T"
 _FALSE = b"F"
@@ -44,15 +67,23 @@ _LIST = b"l"
 _FROZENSET = b"z"
 _DICT = b"d"
 
+#: v2 frame magics.  None of these collide with a v1 tag byte (all v1
+#: tags are printable ASCII), so the first byte of any record
+#: unambiguously selects the decoder.
+_V2_VALUE = 0x01
+_V2_PACKET = 0x02
+_V2_BATCH = 0x03
+
 
 def encode_value(value: Any) -> bytes:
-    """Encode one value; raises :class:`WireError` on unsupported types."""
+    """Encode one value (v1); raises :class:`WireError` on unsupported
+    types."""
     out = bytearray()
-    _encode_into(value, out)
+    _encode_v1_into(value, out)
     return bytes(out)
 
 
-def _encode_into(value: Any, out: bytearray) -> None:
+def _encode_v1_into(value: Any, out: bytearray) -> None:
     if value is None:
         out += _NONE
     elif value is True:
@@ -72,51 +103,51 @@ def _encode_into(value: Any, out: bytearray) -> None:
     elif isinstance(value, tuple):
         out += _TUPLE + struct.pack("<I", len(value))
         for item in value:
-            _encode_into(item, out)
+            _encode_v1_into(item, out)
     elif isinstance(value, list):
         out += _LIST + struct.pack("<I", len(value))
         for item in value:
-            _encode_into(item, out)
+            _encode_v1_into(item, out)
     elif isinstance(value, frozenset):
         # Canonical order so equal sets encode identically.
         items = sorted(value, key=lambda x: (repr(type(x)), repr(x)))
         out += _FROZENSET + struct.pack("<I", len(items))
         for item in items:
-            _encode_into(item, out)
+            _encode_v1_into(item, out)
     elif isinstance(value, dict):
         items = sorted(value.items(), key=lambda kv: repr(kv[0]))
         out += _DICT + struct.pack("<I", len(items))
         for key, item in items:
-            _encode_into(key, out)
-            _encode_into(item, out)
+            _encode_v1_into(key, out)
+            _encode_v1_into(item, out)
     else:
         raise WireError(f"unsupported wire type {type(value).__name__}")
 
 
+#: Exceptions the raw decoders may raise on malformed bytes; every
+#: public decode entry point converts these to :class:`WireError`.
+_DECODE_ERRORS = (
+    struct.error,
+    TypeError,  # e.g. an unhashable element inside a frozenset
+    ValueError,
+    IndexError,
+    OverflowError,
+    UnicodeDecodeError,
+    RecursionError,
+)
+
+
 def decode_value(data: bytes) -> Any:
-    """Decode one value; the whole buffer must be consumed.
+    """Decode one value frame; the whole buffer must be consumed.
 
-    Malformed input of any shape raises :class:`WireError` — lower-level
-    decoding errors never leak.
+    Accepts both wire versions (v2 frames carry the 0x01 magic).
+    Malformed input of any shape raises :class:`WireError` —
+    lower-level decoding errors never leak.
     """
-    try:
-        value, offset = _decode_from(data, 0)
-    except WireError:
-        raise
-    except (
-        struct.error,
-        TypeError,  # e.g. an unhashable element inside a frozenset
-        ValueError,
-        UnicodeDecodeError,
-        RecursionError,
-    ) as exc:
-        raise WireError(f"malformed wire data: {exc}") from exc
-    if offset != len(data):
-        raise WireError(f"{len(data) - offset} trailing bytes")
-    return value
+    return WireCodec._DEFAULT.decode_value(data)
 
 
-def _decode_from(data: bytes, offset: int) -> tuple[Any, int]:
+def _decode_v1_from(data: bytes, offset: int) -> tuple[Any, int]:
     if offset >= len(data):
         raise WireError("truncated value")
     tag = data[offset : offset + 1]
@@ -148,7 +179,7 @@ def _decode_from(data: bytes, offset: int) -> tuple[Any, int]:
             raise WireError("container count exceeds remaining bytes")
         items = []
         for _ in range(count):
-            item, offset = _decode_from(data, offset)
+            item, offset = _decode_v1_from(data, offset)
             items.append(item)
         if tag == _TUPLE:
             return tuple(items), offset
@@ -162,73 +193,458 @@ def _decode_from(data: bytes, offset: int) -> tuple[Any, int]:
             raise WireError("container count exceeds remaining bytes")
         result = {}
         for _ in range(count):
-            key, offset = _decode_from(data, offset)
-            value, offset = _decode_from(data, offset)
+            key, offset = _decode_v1_from(data, offset)
+            value, offset = _decode_v1_from(data, offset)
             result[key] = value
         return result, offset
     raise WireError(f"unknown tag {tag!r}")
 
 
-def encode_call_batch(entries: list[tuple[Call, DependencyMap]]) -> bytes:
-    """A batched record: several calls (with their dependency arrays)
-    decided together by the leader and shipped in one remote write."""
-    return encode_value(
-        [
-            (
-                call.method,
-                call.arg,
-                call.origin,
-                call.rid,
-                tuple(
-                    (proc, method, count)
-                    for (proc, method), count in sorted(dep.items())
-                ),
+# --------------------------------------------------------------------------
+# varint / zigzag primitives (v2)
+# --------------------------------------------------------------------------
+
+
+def _write_uvarint(value: int, out: bytearray) -> None:
+    """LEB128 unsigned varint.  Unbounded precision, 7 bits per byte."""
+    if value < 0:
+        raise WireError("uvarint cannot encode a negative value")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_uvarint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise WireError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# --------------------------------------------------------------------------
+# StringTable: per-cluster interning, "negotiated" at build time
+# --------------------------------------------------------------------------
+
+
+class StringTable:
+    """Deterministic string interning table shared by a cluster.
+
+    Built from the coordination analysis (method names, process names,
+    sync-group ids) during cluster construction — the same inputs on
+    every node yield the identical ``sorted(set(...))`` table, which is
+    how the "negotiation" happens without any extra round trips.  Id 0
+    is reserved as the inline escape: strings outside the table still
+    encode (varint length + UTF-8), they just don't compress.
+    """
+
+    __slots__ = ("strings", "_ids")
+
+    def __init__(self, strings: Iterable[str]):
+        self.strings: tuple[str, ...] = tuple(sorted(set(strings)))
+        self._ids = {s: i + 1 for i, s in enumerate(self.strings)}
+
+    def __len__(self) -> int:
+        return len(self.strings)
+
+    def __contains__(self, string: str) -> bool:
+        return string in self._ids
+
+    def id_of(self, string: str) -> Optional[int]:
+        """The interned id (>= 1), or None when not in the table."""
+        return self._ids.get(string)
+
+    def string_of(self, sid: int) -> str:
+        if 1 <= sid <= len(self.strings):
+            return self.strings[sid - 1]
+        raise WireError(f"string id {sid} outside table of {len(self)}")
+
+
+# --------------------------------------------------------------------------
+# WireCodec: versioned encode/decode for values, packets, and batches
+# --------------------------------------------------------------------------
+
+
+class WireCodec:
+    """Versioned codec for one cluster.
+
+    ``version`` selects what *encoding* produces; *decoding* always
+    accepts both versions (dispatch on the frame's first byte).  A v2
+    codec without a :class:`StringTable` encodes every string inline;
+    decoding an interned id without a table raises :class:`WireError`.
+    """
+
+    #: Module-level fallback used by the free functions below: encodes
+    #: v1, decodes both versions (v2 limited to inline strings).
+    _DEFAULT: "WireCodec"
+
+    __slots__ = ("version", "table")
+
+    def __init__(self, version: int = 1, table: Optional[StringTable] = None):
+        if version not in (1, 2):
+            raise ValueError(f"unsupported wire version {version}")
+        self.version = version
+        self.table = table
+
+    @classmethod
+    def for_cluster(cls, version: int, coordination,
+                    processes: Iterable[str]) -> "WireCodec":
+        """The cluster-wide codec: same inputs on every node, same table."""
+        spec = coordination.spec
+        strings = list(spec.update_names())
+        strings += list(spec.query_names())
+        strings += list(processes)
+        strings += [group.gid for group in coordination.sync_groups()]
+        strings += ["F", "S"]  # broadcast record tags
+        return cls(version=version, table=StringTable(strings))
+
+    # -- value frames ------------------------------------------------------
+
+    def encode_value(self, value: Any) -> bytes:
+        if self.version == 1:
+            return encode_value(value)
+        out = bytearray((_V2_VALUE,))
+        self._encode_v2_into(value, out)
+        return bytes(out)
+
+    def decode_value(self, data: bytes) -> Any:
+        try:
+            if data[:1] == bytes((_V2_VALUE,)):
+                value, offset = self._decode_v2_from(data, 1)
+            else:
+                value, offset = _decode_v1_from(data, 0)
+        except WireError:
+            raise
+        except _DECODE_ERRORS as exc:
+            raise WireError(f"malformed wire data: {exc}") from exc
+        if offset != len(data):
+            raise WireError(f"{len(data) - offset} trailing bytes")
+        return value
+
+    # -- call packets ------------------------------------------------------
+
+    def encode_call_packet(self, call: Call, dep: DependencyMap) -> bytes:
+        """A buffered record: the call plus its dependency arrays.
+
+        The dependency map is shipped as (process, method, count)
+        triples — the paper's variable-sized per-method arrays.  v2
+        packs them as ``(proc_id, method_id, varint count)`` behind a
+        fixed five-field header.
+        """
+        if self.version == 1:
+            dep_triples = tuple(
+                (proc, method, count)
+                for (proc, method), count in sorted(dep.items())
             )
-            for call, dep in entries
-        ]
-    )
+            return encode_value(
+                (call.method, call.arg, call.origin, call.rid, dep_triples)
+            )
+        out = bytearray((_V2_PACKET,))
+        self._encode_packet_body(call, dep, out)
+        return bytes(out)
+
+    def decode_call_packet(self, data: bytes) -> tuple[Call, DependencyMap]:
+        try:
+            if data[:1] == bytes((_V2_PACKET,)):
+                entry, offset = self._decode_packet_body(data, 1)
+                if offset != len(data):
+                    raise WireError(f"{len(data) - offset} trailing bytes")
+                return entry
+        except WireError:
+            raise
+        except _DECODE_ERRORS as exc:
+            raise WireError(f"malformed call packet: {exc}") from exc
+        decoded = self.decode_value(data)
+        if not isinstance(decoded, tuple) or len(decoded) != 5:
+            raise WireError("malformed call packet")
+        method, arg, origin, rid, dep_triples = decoded
+        return Call(method, arg, origin, rid), _dep_from_triples(dep_triples)
+
+    # -- batches -----------------------------------------------------------
+
+    def encode_call_batch(
+        self, entries: list[tuple[Call, DependencyMap]]
+    ) -> bytes:
+        """A batched record: several calls (with their dependency
+        arrays) decided together by the leader and shipped in one
+        remote write."""
+        if self.version == 1:
+            return encode_value(
+                [
+                    (
+                        call.method,
+                        call.arg,
+                        call.origin,
+                        call.rid,
+                        tuple(
+                            (proc, method, count)
+                            for (proc, method), count in sorted(dep.items())
+                        ),
+                    )
+                    for call, dep in entries
+                ]
+            )
+        out = bytearray((_V2_BATCH,))
+        _write_uvarint(len(entries), out)
+        for call, dep in entries:
+            self._encode_packet_body(call, dep, out)
+        return bytes(out)
+
+    def decode_call_batch(
+        self, data: bytes
+    ) -> list[tuple[Call, DependencyMap]]:
+        """Decode either a batched record or a single call packet.
+
+        Single packets decode to a one-element batch, so readers handle
+        both shapes uniformly — in either wire version.
+        """
+        try:
+            first = data[:1]
+            if first == bytes((_V2_BATCH,)):
+                count, offset = _read_uvarint(data, 1)
+                if count > len(data) - offset:
+                    raise WireError("batch count exceeds remaining bytes")
+                entries = []
+                for _ in range(count):
+                    entry, offset = self._decode_packet_body(data, offset)
+                    entries.append(entry)
+                if offset != len(data):
+                    raise WireError(f"{len(data) - offset} trailing bytes")
+                return entries
+            if first == bytes((_V2_PACKET,)):
+                return [self.decode_call_packet(data)]
+        except WireError:
+            raise
+        except _DECODE_ERRORS as exc:
+            raise WireError(f"malformed batch packet: {exc}") from exc
+        decoded = self.decode_value(data)
+        if isinstance(decoded, tuple):
+            decoded = [decoded]
+        if not isinstance(decoded, list):
+            raise WireError("malformed batch packet")
+        entries = []
+        for item in decoded:
+            if not isinstance(item, tuple) or len(item) != 5:
+                raise WireError("malformed batch entry")
+            method, arg, origin, rid, dep_triples = item
+            entries.append(
+                (Call(method, arg, origin, rid),
+                 _dep_from_triples(dep_triples))
+            )
+        return entries
+
+    # -- v2 internals ------------------------------------------------------
+
+    def _encode_str(self, string: str, out: bytearray) -> None:
+        sid = self.table.id_of(string) if self.table is not None else None
+        if sid is not None:
+            _write_uvarint(sid, out)
+        else:
+            payload = string.encode("utf-8")
+            out.append(0)  # id 0: inline escape
+            _write_uvarint(len(payload), out)
+            out += payload
+
+    def _decode_str(self, data: bytes, offset: int) -> tuple[str, int]:
+        sid, offset = _read_uvarint(data, offset)
+        if sid == 0:
+            length, offset = _read_uvarint(data, offset)
+            payload = data[offset : offset + length]
+            if len(payload) != length:
+                raise WireError("truncated string payload")
+            return payload.decode("utf-8"), offset + length
+        if self.table is None:
+            raise WireError(f"interned string id {sid} without a table")
+        return self.table.string_of(sid), offset
+
+    def _encode_packet_body(self, call: Call, dep: DependencyMap,
+                            out: bytearray) -> None:
+        # Fixed 5-tuple header: method, origin, rid, dep count, deps —
+        # then the (self-delimiting) argument body.
+        self._encode_str(call.method, out)
+        self._encode_str(call.origin, out)
+        _write_uvarint(_zigzag(call.rid), out)
+        items = sorted(dep.items())
+        _write_uvarint(len(items), out)
+        for (proc, method), count in items:
+            self._encode_str(proc, out)
+            self._encode_str(method, out)
+            _write_uvarint(count, out)
+        self._encode_v2_into(call.arg, out)
+
+    def _decode_packet_body(
+        self, data: bytes, offset: int
+    ) -> tuple[tuple[Call, DependencyMap], int]:
+        method, offset = self._decode_str(data, offset)
+        origin, offset = self._decode_str(data, offset)
+        zz, offset = _read_uvarint(data, offset)
+        rid = _unzigzag(zz)
+        n_deps, offset = _read_uvarint(data, offset)
+        if n_deps > len(data) - offset:  # each dep is >= 3 bytes
+            raise WireError("dependency count exceeds remaining bytes")
+        dep: DependencyMap = {}
+        for _ in range(n_deps):
+            proc, offset = self._decode_str(data, offset)
+            dep_method, offset = self._decode_str(data, offset)
+            count, offset = _read_uvarint(data, offset)
+            dep[(proc, dep_method)] = count
+        arg, offset = self._decode_v2_from(data, offset)
+        return (Call(method, arg, origin, rid), dep), offset
+
+    def _encode_v2_into(self, value: Any, out: bytearray) -> None:
+        if value is None:
+            out += _NONE
+        elif value is True:
+            out += _TRUE
+        elif value is False:
+            out += _FALSE
+        elif isinstance(value, int):
+            out += _INT
+            _write_uvarint(_zigzag(value), out)
+        elif isinstance(value, float):
+            out += _FLOAT + struct.pack("<d", value)
+        elif isinstance(value, str):
+            out += _STR
+            self._encode_str(value, out)
+        elif isinstance(value, bytes):
+            out += _BYTES
+            _write_uvarint(len(value), out)
+            out += value
+        elif isinstance(value, tuple):
+            out += _TUPLE
+            _write_uvarint(len(value), out)
+            for item in value:
+                self._encode_v2_into(item, out)
+        elif isinstance(value, list):
+            out += _LIST
+            _write_uvarint(len(value), out)
+            for item in value:
+                self._encode_v2_into(item, out)
+        elif isinstance(value, frozenset):
+            items = sorted(value, key=lambda x: (repr(type(x)), repr(x)))
+            out += _FROZENSET
+            _write_uvarint(len(items), out)
+            for item in items:
+                self._encode_v2_into(item, out)
+        elif isinstance(value, dict):
+            items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+            out += _DICT
+            _write_uvarint(len(items), out)
+            for key, item in items:
+                self._encode_v2_into(key, out)
+                self._encode_v2_into(item, out)
+        else:
+            raise WireError(f"unsupported wire type {type(value).__name__}")
+
+    def _decode_v2_from(self, data: bytes, offset: int) -> tuple[Any, int]:
+        if offset >= len(data):
+            raise WireError("truncated value")
+        tag = data[offset : offset + 1]
+        offset += 1
+        if tag == _NONE:
+            return None, offset
+        if tag == _TRUE:
+            return True, offset
+        if tag == _FALSE:
+            return False, offset
+        if tag == _FLOAT:
+            return struct.unpack_from("<d", data, offset)[0], offset + 8
+        if tag == _INT:
+            zz, offset = _read_uvarint(data, offset)
+            return _unzigzag(zz), offset
+        if tag == _STR:
+            return self._decode_str(data, offset)
+        if tag == _BYTES:
+            length, offset = _read_uvarint(data, offset)
+            payload = data[offset : offset + length]
+            if len(payload) != length:
+                raise WireError("truncated payload")
+            return bytes(payload), offset + length
+        if tag in (_TUPLE, _LIST, _FROZENSET):
+            count, offset = _read_uvarint(data, offset)
+            if count > len(data) - offset:  # each element is >= 1 byte
+                raise WireError("container count exceeds remaining bytes")
+            items = []
+            for _ in range(count):
+                item, offset = self._decode_v2_from(data, offset)
+                items.append(item)
+            if tag == _TUPLE:
+                return tuple(items), offset
+            if tag == _LIST:
+                return items, offset
+            return frozenset(items), offset
+        if tag == _DICT:
+            count, offset = _read_uvarint(data, offset)
+            if count > len(data) - offset:
+                raise WireError("container count exceeds remaining bytes")
+            result = {}
+            for _ in range(count):
+                key, offset = self._decode_v2_from(data, offset)
+                value, offset = self._decode_v2_from(data, offset)
+                result[key] = value
+            return result, offset
+        raise WireError(f"unknown tag {tag!r}")
+
+
+WireCodec._DEFAULT = WireCodec(version=1)
+
+
+def _dep_from_triples(dep_triples: Any) -> DependencyMap:
+    """Structure-check decoded v1 dependency triples.
+
+    Well-formed *values* in the wrong *shape* (a non-tuple triple, a
+    two-element triple, an int where the array should be) must surface
+    as :class:`WireError`, never a bare TypeError/ValueError.
+    """
+    if not isinstance(dep_triples, (tuple, list)):
+        raise WireError("malformed dependency array")
+    dep: DependencyMap = {}
+    for triple in dep_triples:
+        if not isinstance(triple, (tuple, list)) or len(triple) != 3:
+            raise WireError("malformed dependency triple")
+        proc, method, count = triple
+        try:
+            dep[(proc, method)] = count
+        except TypeError as exc:  # unhashable key component
+            raise WireError(f"malformed dependency key: {exc}") from exc
+    return dep
+
+
+# --------------------------------------------------------------------------
+# Module-level convenience functions (v1 encode, version-agnostic decode)
+# --------------------------------------------------------------------------
+
+
+def encode_call_batch(entries: list[tuple[Call, DependencyMap]]) -> bytes:
+    """v1 batch encode (see :meth:`WireCodec.encode_call_batch`)."""
+    return WireCodec._DEFAULT.encode_call_batch(entries)
 
 
 def decode_call_batch(data: bytes) -> list[tuple[Call, DependencyMap]]:
-    """Decode either a batched record or a single call packet.
-
-    Single packets (tuples) decode to a one-element batch, so readers
-    handle both shapes uniformly.
-    """
-    decoded = decode_value(data)
-    if isinstance(decoded, tuple):
-        decoded = [decoded]
-    if not isinstance(decoded, list):
-        raise WireError("malformed batch packet")
-    entries = []
-    for item in decoded:
-        if not isinstance(item, tuple) or len(item) != 5:
-            raise WireError("malformed batch entry")
-        method, arg, origin, rid, dep_triples = item
-        dep = {(proc, m): count for (proc, m, count) in dep_triples}
-        entries.append((Call(method, arg, origin, rid), dep))
-    return entries
+    """Version-agnostic batch decode (inline strings only for v2)."""
+    return WireCodec._DEFAULT.decode_call_batch(data)
 
 
 def encode_call_packet(call: Call, dep: DependencyMap) -> bytes:
-    """A buffered record: the call plus its dependency arrays.
-
-    The dependency map is shipped as (process, method, count) triples —
-    the paper's variable-sized per-method arrays.
-    """
-    dep_triples = tuple(
-        (proc, method, count)
-        for (proc, method), count in sorted(dep.items())
-    )
-    return encode_value(
-        (call.method, call.arg, call.origin, call.rid, dep_triples)
-    )
+    """v1 packet encode (see :meth:`WireCodec.encode_call_packet`)."""
+    return WireCodec._DEFAULT.encode_call_packet(call, dep)
 
 
 def decode_call_packet(data: bytes) -> tuple[Call, DependencyMap]:
-    decoded = decode_value(data)
-    if not isinstance(decoded, tuple) or len(decoded) != 5:
-        raise WireError("malformed call packet")
-    method, arg, origin, rid, dep_triples = decoded
-    dep = {(proc, m): count for (proc, m, count) in dep_triples}
-    return Call(method, arg, origin, rid), dep
+    """Version-agnostic packet decode (inline strings only for v2)."""
+    return WireCodec._DEFAULT.decode_call_packet(data)

@@ -114,3 +114,79 @@ class TestBroadcast:
         env, _fabric, endpoints, _targets = setup
         with pytest.raises(ValueError, match="exceeds"):
             endpoints["p1"]._write_backup(b"x" * 4096)
+
+    def test_backup_kept_when_write_abandoned_unsuspected(self, setup):
+        """Regression: giving up on a LIVE (un-suspected) peer must NOT
+        clear the backup slot — the message is possibly half-delivered
+        and the backup is what lets survivors finish the delivery."""
+        env, fabric, endpoints, targets = setup
+        source = fabric.nodes["p1"]
+        fabric.cut_link("p1", "p2")  # p2 unreachable but NOT suspected
+
+        def proc(env):
+            writes = [
+                (source.qp_to(peer), targets[peer], 0, b"half")
+                for peer in ("p2", "p3")
+            ]
+            results = yield from endpoints["p1"].broadcast(
+                b"half", writes,
+                is_suspected=lambda peer: False,
+                max_retries=2, retry_us=1.0,
+            )
+            return results
+
+        run_proc(env, proc(env))
+        # p3 (reachable) got the message; p2 did not.
+        assert targets["p3"].read(0, 4) == b"half"
+        assert targets["p2"].read(0, 4) != b"half"
+
+        def fetch(env):
+            result = yield from endpoints["p3"].fetch_backup_of("p1")
+            return result
+
+        assert run_proc(env, fetch(env)) == b"half"
+
+    def test_backup_kept_without_suspicion_oracle(self, setup):
+        """No oracle to consult: a failed write abandons immediately and
+        the backup must stay recoverable."""
+        env, fabric, endpoints, targets = setup
+        source = fabric.nodes["p1"]
+        fabric.cut_link("p1", "p2")
+
+        def proc(env):
+            writes = [(source.qp_to("p2"), targets["p2"], 0, b"orphaned")]
+            yield from endpoints["p1"].broadcast(b"orphaned", writes)
+
+        run_proc(env, proc(env))
+
+        def fetch(env):
+            result = yield from endpoints["p3"].fetch_backup_of("p1")
+            return result
+
+        assert run_proc(env, fetch(env)) == b"orphaned"
+
+    def test_backup_cleared_when_failed_peer_is_suspected(self, setup):
+        """Crash-stop: a suspected peer is owed nothing, so a broadcast
+        that only failed toward suspects completes and clears its
+        backup."""
+        env, fabric, endpoints, targets = setup
+        source = fabric.nodes["p1"]
+        fabric.cut_link("p1", "p2")
+
+        def proc(env):
+            writes = [
+                (source.qp_to(peer), targets[peer], 0, b"done")
+                for peer in ("p2", "p3")
+            ]
+            yield from endpoints["p1"].broadcast(
+                b"done", writes,
+                is_suspected=lambda peer: peer == "p2",
+            )
+
+        run_proc(env, proc(env))
+
+        def fetch(env):
+            result = yield from endpoints["p3"].fetch_backup_of("p1")
+            return result
+
+        assert run_proc(env, fetch(env)) is None

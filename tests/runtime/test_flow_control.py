@@ -95,6 +95,58 @@ class TestBackpressure:
         assert states["p1"] == states["p2"]
         assert len(states["p1"]) == 24
 
+    def test_flow_control_rearms_after_partition_heals(self):
+        """Regression: the ack fallback must not be permanent.
+
+        When a peer is partitioned away the writer falls back to
+        ring-sizing mode (``reader_acked = None``) and — with a tiny
+        ring — laps the cut-off reader.  After the partition heals the
+        reader must detect the lap loudly, resync to the writer's
+        surviving window, and start acking again; the writer must then
+        re-arm ack-paced flow control from the first fresh ack instead
+        of free-running against that reader forever.  (Records
+        overwritten during the cut are lost to the lapped reader — the
+        runtime sizes rings against that — so survivors converge on
+        everything while the healed node converges from the resync
+        point onward.)"""
+        env = Environment()
+        cluster = HambandCluster.build(
+            env, gset_spec(), n_nodes=3,
+            config=tiny_ring_config(backpressure_wait_us=5.0),
+        )
+        cluster.partition(["p1", "p2"], ["p3"])
+        env.run(until=env.now + 2000)  # p1 suspects p3
+        requests = [
+            cluster.node("p1").submit("add", f"e{i}") for i in range(24)
+        ]
+        for request in requests:
+            env.run(until=request)
+        env.run(until=env.now + 1000)
+        writer = cluster.node("p1").transport.f_writers["p3"]
+        assert writer.reader_acked is None  # fell back as designed
+        cluster.heal()
+        env.run(until=env.now + 6000)  # clear suspicion + resync
+        for i in range(24, 36):
+            env.run(until=cluster.node("p1").submit("add", f"e{i}"))
+        env.run(until=env.now + 3000)
+        assert writer.reader_acked is not None, (
+            "flow control never re-armed after heal"
+        )
+        probe_p1 = cluster.node("p1").stats()["probe"]
+        assert probe_p1.get("flow_rearms", {}).get("F->p3", 0) >= 1
+        probe_p3 = cluster.node("p3").stats()["probe"]
+        assert probe_p3.get("ring_resyncs", {}).get("F:p1", 0) >= 1
+        # Re-armed means throttled again: the writer's lead over the
+        # reader's acks is bounded by the ring size once more.
+        assert writer.tail - writer.reader_acked <= 8
+        assert not cluster.failures()  # the lap never crashed a worker
+        # Survivors hold everything; the healed node is live again and
+        # holds at least the writer's surviving window.
+        everything = frozenset(f"e{i}" for i in range(36))
+        states = cluster.effective_states()
+        assert states["p1"] == states["p2"] == everything
+        assert frozenset(f"e{i}" for i in range(28, 36)) <= states["p3"]
+
     def test_acks_disabled_still_works_with_big_rings(self):
         env = Environment()
         cluster = HambandCluster.build(

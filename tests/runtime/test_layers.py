@@ -143,7 +143,9 @@ class TestRingTransportStandalone:
 
         run_gen(env, scenario())
         assert applied == [(call, "FREE_APP")]
-        assert probe.snapshot()["ring_highwater"].get("F<-p1") == 1
+        # Drained counts are their own counter now; ring_highwater is
+        # reserved for occupancy (tail - acked) measured at the writer.
+        assert probe.snapshot()["records_drained"].get("F<-p1") == 1
 
     def test_backpressure_blocks_until_acked_and_counts_stalls(self):
         """With a 4-slot ring and no acks coming back, the 5th render

@@ -92,6 +92,71 @@ class TestWraparound:
         with pytest.raises(RingError, match="lapped"):
             reader.peek()
 
+    @pytest.mark.parametrize("laps_ahead", [2, 3, 7])
+    def test_reader_multi_lap_detection(self, ring, laps_ahead):
+        """Regression: being lapped SEVERAL times must still raise.
+
+        The old check only compared against the immediately-next
+        generation, so a writer 2+ laps ahead left canaries the reader
+        silently treated as 'not landed yet' — a wedged reader instead
+        of a loud overrun."""
+        writer, reader, region = ring
+        for i in range(SLOTS * laps_ahead + 1):
+            push(writer, region, bytes([i % 251]))
+        with pytest.raises(RingError, match="lapped"):
+            reader.peek()
+
+    def test_reader_multi_lap_detection_mid_stream(self, ring):
+        """Multi-lap overrun detected for a reader that already consumed
+        part of an earlier lap (head > 0, head's own generation > 1)."""
+        writer, reader, region = ring
+        for i in range(SLOTS + SLOTS // 2):
+            push(writer, region, bytes([i]))
+            if i < SLOTS // 2:
+                assert reader.try_read() == bytes([i])
+        # Reader is mid-ring; writer now sprints 3 more laps ahead.
+        for i in range(SLOTS * 3):
+            push(writer, region, bytes([i % 251]))
+        with pytest.raises(RingError, match="lapped"):
+            reader.peek()
+
+    def test_previous_lap_leftover_is_not_lapped(self, ring):
+        """A slot still holding the PREVIOUS lap's record means our
+        record is merely in flight — None, not an overrun error."""
+        writer, reader, region = ring
+        for i in range(SLOTS):
+            push(writer, region, bytes([i]))
+            reader.try_read()
+        # Head expects lap-2 generation; slot holds lap 1: in flight.
+        assert reader.peek() is None
+
+    def test_peek_run_returns_consecutive_records(self, ring):
+        writer, reader, region = ring
+        for i in range(5):
+            push(writer, region, bytes([i]))
+        run = reader.peek_run()
+        assert run == [bytes([i]) for i in range(5)]
+        # Nothing consumed until advance().
+        assert reader.head == 0
+        for _ in range(5):
+            reader.advance()
+        assert reader.peek_run() == []
+
+    def test_peek_run_stops_at_wrap_point(self, ring):
+        """One region read never wraps: the run is clamped at the ring's
+        end and the next sweep picks up from slot 0."""
+        writer, reader, region = ring
+        for i in range(SLOTS - 2):
+            push(writer, region, bytes([i]))
+            reader.try_read()
+        for i in range(4):  # indices 6,7 (lap 1) then 8,9 (lap 2)
+            push(writer, region, bytes([100 + i]))
+        first = reader.peek_run()
+        assert first == [bytes([100]), bytes([101])]  # clamped at wrap
+        reader.advance()
+        reader.advance()
+        assert reader.peek_run() == [bytes([102]), bytes([103])]
+
 
 class TestLimits:
     def test_oversized_payload_rejected(self, ring):

@@ -6,12 +6,26 @@ from hypothesis import strategies as st
 
 from repro.core import Call
 from repro.runtime import (
+    StringTable,
+    WireCodec,
     WireError,
     decode_call_packet,
     decode_value,
     encode_call_packet,
     encode_value,
 )
+from repro.runtime.wire import decode_call_batch, encode_call_batch
+
+_TABLE = StringTable(["p1", "p2", "p3", "add", "worksOn", "a", "b", "F", "S"])
+
+
+def _codecs():
+    """Every codec configuration decoders must cope with."""
+    return [
+        WireCodec(version=1),
+        WireCodec(version=2),
+        WireCodec(version=2, table=_TABLE),
+    ]
 
 
 class TestScalars:
@@ -167,3 +181,224 @@ class TestCallPacket:
         dep = {("p1", "addEmployee"): 3, ("p2", "addProject"): 1}
         _, decoded = decode_call_packet(encode_call_packet(call, dep))
         assert decoded == dep
+
+    @pytest.mark.parametrize(
+        "dep_triples",
+        [
+            7,                      # not an array at all
+            "deps",                 # a string where the array should be
+            (1, 2, 3),              # triples that are bare ints
+            (("p1", "a"),),         # two-element triple
+            (("p1", "a", 1, 9),),   # four-element triple
+            ((["p"], "a", 1),),     # unhashable key component
+        ],
+    )
+    def test_structurally_wrong_dep_triples_raise_wire_error(
+        self, dep_triples
+    ):
+        """Regression: well-formed VALUES in the wrong SHAPE must raise
+        WireError, not a bare TypeError/ValueError."""
+        packet = encode_value(("m", None, "p1", 1, dep_triples))
+        with pytest.raises(WireError):
+            decode_call_packet(packet)
+        with pytest.raises(WireError):
+            decode_call_batch(packet)
+        batch = encode_value([("m", None, "p1", 1, dep_triples)])
+        with pytest.raises(WireError):
+            decode_call_batch(batch)
+
+
+class TestStringTable:
+    def test_deterministic_from_unordered_inputs(self):
+        a = StringTable(["b", "a", "c", "a"])
+        b = StringTable(["c", "b", "a"])
+        assert a.strings == b.strings
+        assert a.id_of("b") == b.id_of("b")
+
+    def test_id_zero_reserved_for_inline(self):
+        table = StringTable(["x"])
+        assert table.id_of("x") == 1
+        assert table.id_of("missing") is None
+        with pytest.raises(WireError, match="outside table"):
+            table.string_of(7)
+
+
+class TestCodecV2:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, -1, 42, 10**30, -(10**30), 3.5, "", "héllo",
+         b"\x00raw", (1, "two", None), [1, [2]], frozenset({1, 2}),
+         {"k": (1, 2)}],
+    )
+    def test_value_roundtrip_all_codecs(self, value):
+        for codec in _codecs():
+            assert codec.decode_value(codec.encode_value(value)) == value
+
+    def test_cross_version_decode(self):
+        """Every codec decodes every other codec's frames (v2 interned
+        ids need the table, so pair the tabled codec with itself)."""
+        value = ("add", {"p1": 3}, [1, 2], None)
+        for enc in _codecs():
+            data = enc.encode_value(value)
+            for dec in _codecs():
+                if enc.table is not None and dec.table is None:
+                    continue
+                assert dec.decode_value(data) == value
+
+    def test_interned_id_without_table_rejected(self):
+        tabled = WireCodec(version=2, table=_TABLE)
+        data = tabled.encode_value("add")  # interned
+        with pytest.raises(WireError, match="without a table"):
+            WireCodec(version=2).decode_value(data)
+
+    def test_unknown_string_falls_back_to_inline(self):
+        tabled = WireCodec(version=2, table=_TABLE)
+        data = tabled.encode_value("not-in-table")
+        assert tabled.decode_value(data) == "not-in-table"
+        # Inline escape is table-independent.
+        assert WireCodec(version=2).decode_value(data) == "not-in-table"
+
+    def test_packet_roundtrip_all_codecs(self):
+        call = Call("worksOn", ("e1", "p1"), "p2", 9)
+        dep = {("p1", "add"): 3, ("p2", "b"): 1}
+        for codec in _codecs():
+            got_call, got_dep = codec.decode_call_packet(
+                codec.encode_call_packet(call, dep)
+            )
+            assert got_call == call
+            assert got_dep == dep
+
+    def test_batch_roundtrip_all_codecs(self):
+        entries = [
+            (Call("add", i, "p1", i + 1), {("p1", "add"): i})
+            for i in range(4)
+        ]
+        for codec in _codecs():
+            assert codec.decode_call_batch(
+                codec.encode_call_batch(entries)
+            ) == entries
+
+    def test_v2_decodes_v1_packets(self):
+        """v1 stays decodable forever, through any codec."""
+        call = Call("add", "x", "p1", 7)
+        dep = {("p2", "add"): 2}
+        v1 = encode_call_packet(call, dep)
+        for codec in _codecs():
+            assert codec.decode_call_packet(v1) == (call, dep)
+            assert codec.decode_call_batch(v1) == [(call, dep)]
+
+    def test_v2_packet_is_substantially_smaller(self):
+        """The headline claim: interned header + varint deps cut the
+        per-record bytes sharply against v1."""
+        call = Call("worksOn", ("e1", "p1"), "p2", 12345)
+        dep = {("p1", "add"): 30, ("p2", "add"): 7, ("p3", "b"): 121}
+        v1 = len(encode_call_packet(call, dep))
+        v2 = len(
+            WireCodec(version=2, table=_TABLE).encode_call_packet(call, dep)
+        )
+        assert v2 < v1 * 0.5
+
+    def test_for_cluster_tables_agree_across_nodes(self):
+        from repro.core import Coordination
+        from repro.datatypes import courseware_spec
+
+        coordination = Coordination.analyze(courseware_spec())
+        a = WireCodec.for_cluster(2, coordination, ["p1", "p2", "p3"])
+        b = WireCodec.for_cluster(2, coordination, ["p3", "p2", "p1"])
+        assert a.table.strings == b.table.strings
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError, match="wire version"):
+            WireCodec(version=3)
+
+
+class TestFuzzPacketLayer:
+    @settings(deadline=None)
+    @given(garbage=st.binary(max_size=64))
+    def test_random_bytes_never_crash_packet_or_batch(self, garbage):
+        for codec in _codecs():
+            for decode in (codec.decode_call_packet,
+                           codec.decode_call_batch):
+                try:
+                    decode(garbage)
+                except WireError:
+                    pass
+
+    @settings(deadline=None)
+    @given(
+        arg=_value,
+        rid=st.integers(1, 10**9),
+        dep=st.dictionaries(
+            st.tuples(
+                st.sampled_from(["p1", "p2", "p3"]),
+                st.sampled_from(["a", "b", "worksOn"]),
+            ),
+            st.integers(0, 10**6),
+            max_size=5,
+        ),
+        flip=st.integers(0, 2**16),
+        use_v2=st.booleans(),
+    )
+    def test_bitflipped_packets_never_crash(self, arg, rid, dep, flip,
+                                            use_v2):
+        codec = (
+            WireCodec(version=2, table=_TABLE) if use_v2
+            else WireCodec(version=1)
+        )
+        call = Call("worksOn", arg, "p1", rid)
+        data = bytearray(codec.encode_call_packet(call, dep))
+        data[flip % len(data)] ^= 1 + (flip >> 8) % 255
+        for target in _codecs():
+            for decode in (target.decode_call_packet,
+                           target.decode_call_batch):
+                try:
+                    decode(bytes(data))
+                except WireError:
+                    pass
+
+    @settings(deadline=None)
+    @given(
+        n=st.integers(1, 5),
+        flip=st.integers(0, 2**16),
+        use_v2=st.booleans(),
+    )
+    def test_bitflipped_batches_never_crash(self, n, flip, use_v2):
+        codec = (
+            WireCodec(version=2, table=_TABLE) if use_v2
+            else WireCodec(version=1)
+        )
+        entries = [
+            (Call("add", f"e{i}", "p2", i + 1), {("p1", "add"): i})
+            for i in range(n)
+        ]
+        data = bytearray(codec.encode_call_batch(entries))
+        data[flip % len(data)] ^= 1 + (flip >> 8) % 255
+        for target in _codecs():
+            try:
+                target.decode_call_batch(bytes(data))
+            except WireError:
+                pass
+
+    @settings(deadline=None)
+    @given(
+        method=st.sampled_from(["add", "worksOn", "outside-table"]),
+        arg=_value,
+        origin=st.sampled_from(["p1", "p2", "p3"]),
+        rid=st.integers(1, 10**6),
+        dep=st.dictionaries(
+            st.tuples(
+                st.sampled_from(["p1", "p2", "p3"]),
+                st.sampled_from(["a", "b"]),
+            ),
+            st.integers(0, 1000),
+            max_size=5,
+        ),
+    )
+    def test_v2_call_packet_roundtrip(self, method, arg, origin, rid, dep):
+        codec = WireCodec(version=2, table=_TABLE)
+        call = Call(method, arg, origin, rid)
+        decoded_call, decoded_dep = codec.decode_call_packet(
+            codec.encode_call_packet(call, dep)
+        )
+        assert decoded_call == call
+        assert decoded_dep == dep
