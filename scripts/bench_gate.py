@@ -41,6 +41,10 @@ SCENARIOS = (
     ("mu-courseware", "mu", "courseware", None),
     ("chaos-lossy-gset", "hamband", "gset", "lossy-10pct"),
     ("chaos-crash-courseware", "hamband", "courseware", "crash-leader"),
+    # Gates the silent-corruption machinery: CRC verification plus the
+    # quarantine/refetch repairs must stay within tolerance of the
+    # healthy path even while 5% of writes land corrupted.
+    ("chaos-corrupt-gset", "hamband", "gset", "corrupt-5pct"),
 )
 
 OPS = 600

@@ -61,6 +61,11 @@ class ExperimentConfig:
     full_dep_barrier: bool = False
     #: Data-plane wire format: 2 (interned/varint) or 1 (legacy tagged).
     wire_version: int = 2
+    #: Checksummed (CRC-trailer) ring records.  Off reverts to the
+    #: legacy layout — the negative control for corruption chaos runs.
+    ring_integrity: bool = True
+    #: Background scrubber tick; 0 (the default) disables the worker.
+    scrub_interval_us: float = 0.0
 
 
 def _build_cluster(env: Environment, config: ExperimentConfig,
@@ -72,6 +77,8 @@ def _build_cluster(env: Environment, config: ExperimentConfig,
             conf_retry_limit=config.conf_retry_limit,
             full_dep_barrier=config.full_dep_barrier,
             wire_version=config.wire_version,
+            ring_integrity=config.ring_integrity,
+            scrub_interval_us=config.scrub_interval_us,
         )
         return HambandCluster.build(
             env,
@@ -85,6 +92,8 @@ def _build_cluster(env: Environment, config: ExperimentConfig,
         runtime_config = RuntimeConfig(
             conf_retry_limit=config.conf_retry_limit,
             wire_version=config.wire_version,
+            ring_integrity=config.ring_integrity,
+            scrub_interval_us=config.scrub_interval_us,
         )
         return SmrCluster.build_smr(
             env, spec, n_nodes=config.n_nodes, config=runtime_config,

@@ -16,11 +16,16 @@ Commands:
 - ``chaos <workload>`` — like ``run``, but with a deterministic fault
   plan armed against the cluster: ``--faults`` names a CI preset
   (crash-leader, partition-minority, lossy-10pct, delay-spike,
-  restart-follower) or a plan JSON file, while ``--seed N`` alone
-  generates a randomized-but-reproducible plan.  The run reports
-  injected-fault counts next to the usual metrics; ``--check`` gates it
-  with the trace checker (exit 2 on violations), which is how the CI
-  chaos matrix decides pass/fail.
+  restart-follower, corrupt-5pct, torn-writes, corrupt-crash) or a
+  plan JSON file, while ``--seed N`` alone generates a
+  randomized-but-reproducible plan.  The run reports injected-fault
+  and corruption-repair counts next to the usual metrics;
+  ``--ring-integrity off`` reverts to unchecksummed ring records (the
+  negative control — corruption then reaches the applied state and
+  ``--check`` fails); ``--scrub`` additionally runs the background
+  scrubber over at-rest ring replicas.  ``--check`` gates the run with
+  the trace checker (exit 2 on violations), which is how the CI chaos
+  matrix decides pass/fail.
 """
 
 from __future__ import annotations
@@ -128,8 +133,9 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PLAN",
         default=None,
         help="a named CI plan (crash-leader, partition-minority, "
-        "lossy-10pct, delay-spike, restart-follower) or a plan JSON "
-        "file; omit to derive a plan from --seed",
+        "lossy-10pct, delay-spike, restart-follower, corrupt-5pct, "
+        "torn-writes, corrupt-crash) or a plan JSON file; omit to "
+        "derive a plan from --seed",
     )
     chaos.add_argument(
         "--horizon",
@@ -152,6 +158,27 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2,
         help="data-plane wire format: 2 (interned/varint, default) or "
         "1 (legacy tagged)",
+    )
+    chaos.add_argument(
+        "--ring-integrity",
+        choices=("on", "off"),
+        default="on",
+        help="checksummed ring records (CRC trailer): 'off' reverts to "
+        "the legacy layout — the negative control for corruption plans "
+        "(expect --check to fail under corrupt/torn faults)",
+    )
+    chaos.add_argument(
+        "--scrub",
+        action="store_true",
+        help="run the background scrubber: each node re-verifies its "
+        "at-rest ring replicas against authoritative copies and repairs "
+        "divergence (see also --scrub-interval-us)",
+    )
+    chaos.add_argument(
+        "--scrub-interval-us",
+        type=float,
+        default=50.0,
+        help="scrub tick in sim microseconds (with --scrub; default 50)",
     )
     chaos.add_argument("--per-method", action="store_true")
     chaos.add_argument(
@@ -371,6 +398,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         update_ratio=args.update_ratio,
         seed=args.seed if args.seed is not None else 1,
         wire_version=args.wire_version,
+        ring_integrity=args.ring_integrity == "on",
+        scrub_interval_us=args.scrub_interval_us if args.scrub else 0.0,
     )
     try:
         run = run_chaos(config, plan, capacity=args.trace_capacity)
@@ -389,6 +418,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"plan: {plan.name} seed={plan.seed} "
           f"horizon={plan.horizon_us():.0f}us")
     print(f"faults injected: {injected}")
+    probe = run.cluster.stats()["cluster"]["probe"]
+
+    def _total(key: str) -> int:
+        return sum((probe.get(key) or {}).values())
+
+    print(
+        f"corruption: crc_rejects={_total('crc_rejects')} "
+        f"torn={_total('torn_detected')} "
+        f"repairs={_total('slot_repairs')} "
+        f"wire_rejects={_total('wire_rejects')} "
+        f"scrub_passes={_total('scrub_passes')}"
+    )
     print(f"settled: {'yes' if run.settled else 'NO'}")
     if args.per_method and run.result is not None:
         for method in sorted(run.result.per_method):

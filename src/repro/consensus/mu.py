@@ -38,6 +38,9 @@ def mu_channel(gid: str) -> str:
 class MuConfig:
     ring_slots: int
     slot_size: int
+    #: Emit checksummed (CRC-trailer) log records; readers of the
+    #: shared ring layout auto-detect either framing per record.
+    integrity: bool = False
     #: How long a campaigner waits for vote acks before giving up.
     vote_timeout_us: float = 500.0
     #: Pause between checks while waiting to finish applying the log.
@@ -109,7 +112,9 @@ class MuGroup:
         for peer in self.members:
             if peer == self.node.name:
                 continue
-            writer = RingWriter(self.config.ring_slots, self.config.slot_size)
+            writer = RingWriter(self.config.ring_slots,
+                                self.config.slot_size,
+                                integrity=self.config.integrity)
             writer.tail = start_tail
             if start_tail == 0 and self._ack_of(peer) is not None:
                 # Fresh log with flow control wired: track reader acks.
@@ -133,7 +138,9 @@ class MuGroup:
         for peer, writer in self._writers.items():
             ack = self._ack_of(peer)
             if ack is not None and writer.reader_acked is not None:
-                writer.ack_up_to(ack)
+                # Clamp to our own tail: a corrupt/torn ack write must
+                # not disable overrun protection with a garbage value.
+                writer.ack_up_to(min(ack, writer.tail))
             waited = 0
             while True:
                 try:
@@ -150,7 +157,7 @@ class MuGroup:
                     yield self.env.timeout(self.config.catchup_poll_us)
                     ack = self._ack_of(peer)
                     if ack is not None:
-                        writer.ack_up_to(ack)
+                        writer.ack_up_to(min(ack, writer.tail))
             region = self.node.region_of(peer, self.region_name)
             qp = self.node.qp_to(peer, mu_channel(self.gid))
             yield from self.node.cpu.use(qp.config.post_cpu_us)

@@ -163,6 +163,14 @@ class QueuePair:
         if decision is not None and decision.kind == "opfail":
             return self._injected(completion, Opcode.WRITE, wr_id,
                                   len(payload))
+        # Silent-corruption classes: the op completes SUCCESS — the
+        # sender never learns — but what *lands* differs.  ``corrupt``
+        # bitflips payload bytes; ``torn`` lands only a prefix (a
+        # one-sided write is not atomic).  Wire timing and byte
+        # accounting still charge the full posted payload.
+        landing = payload
+        if decision is not None and decision.kind in ("corrupt", "torn"):
+            landing = decision.mutate(payload)
         copies = 2 if decision is not None and decision.kind == "dup" else 1
         for copy in range(copies):
             arrive, complete = self._schedule_wire(len(payload))
@@ -176,7 +184,7 @@ class QueuePair:
                         region, offset, len(payload), Access.REMOTE_WRITE
                     )
                 if status is WcStatus.SUCCESS:
-                    region.write(offset, payload)
+                    region.write(offset, landing)
                 if resolve:
                     self.env.call_later(
                         complete - arrive,

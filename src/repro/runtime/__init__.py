@@ -29,7 +29,14 @@ from .node import (
     SubmitError,
 )
 from .probe import CountingProbe, RuntimeProbe, rollup_snapshots
-from .ringbuffer import RingError, RingReader, RingWriter, ring_region_size
+from .ringbuffer import (
+    RingCorruptionError,
+    RingError,
+    RingReader,
+    RingWriter,
+    ring_region_size,
+)
+from .scrubber import Scrubber
 from .trace import TraceEvent, TraceRecorder, TracingProbe
 from .transport import RingTransport
 from .summary import SummarySlot, render_summary, slot_size_for
@@ -58,10 +65,12 @@ __all__ = [
     "ImpermissibleError",
     "NotLeaderError",
     "ReliableBroadcast",
+    "RingCorruptionError",
     "RingError",
     "RingReader",
     "RingWriter",
     "RuntimeConfig",
+    "Scrubber",
     "StringTable",
     "SubmitError",
     "SummarySlot",

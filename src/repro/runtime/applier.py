@@ -30,7 +30,7 @@ from ..rdma import RdmaNode, WcStatus
 from .config import RuntimeConfig, s_region
 from .errors import ImpermissibleError
 from .probe import RuntimeProbe
-from .ringbuffer import RingError
+from .ringbuffer import RingCorruptionError, RingError
 from .summary import (
     SummarySlot,
     current_record_bytes,
@@ -373,6 +373,14 @@ class ApplyEngine:
             try:
                 ring_progressed = yield from self.transport.drain(
                     reader, "FREE_APP", self, label=f"F<-{origin}"
+                )
+            except RingCorruptionError as corrupt:
+                # A checksummed record failed CRC: a bitflipped or torn
+                # one-sided write landed.  Quarantine the slot and
+                # refetch it from an authoritative copy — detection
+                # without delivery, repair without restart.
+                ring_progressed = yield from self.transport.repair_corrupt_f(
+                    origin, corrupt.index, self.is_suspected
                 )
             except RingError:
                 # Lapped while cut off: fast-forward past the

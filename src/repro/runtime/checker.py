@@ -27,6 +27,14 @@ was issued, which rings it crossed, and where it was applied.
 A trace truncated by the recorder's bounded ring buffer cannot attest
 convergence; the checker reports that as a violation instead of
 silently passing.
+
+Chaos runs additionally record ``fault`` events (injected by
+:mod:`repro.sim.faults`) and ``repair`` events (emitted when a node
+detects a CRC-failed ring record and heals it from an authoritative
+copy).  The checker tallies both so a report correlates *injected* ⇒
+*detected* ⇒ *repaired*: a corruption campaign that converged with
+zero repairs either never landed or was silently absorbed, and either
+way the tally makes that visible.
 """
 
 from __future__ import annotations
@@ -71,6 +79,12 @@ class CheckReport:
     calls_checked: int = 0
     applies_checked: int = 0
     violations: list[Violation] = field(default_factory=list)
+    #: Injected-fault tally by fault kind (``corrupt``, ``torn``,
+    #: ``crash``, ...), from the trace's ``fault`` events.
+    faults: dict[str, int] = field(default_factory=dict)
+    #: Repair tally by corruption classification (``bitflip``,
+    #: ``torn``, ``scrub``), from the trace's ``repair`` events.
+    repairs: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -83,9 +97,22 @@ class CheckReport:
             f"{self.applies_checked} applies -> "
             f"{'OK' if self.ok else f'{len(self.violations)} violation(s)'}"
         )
+        if self.faults or self.repairs:
+            head += (
+                f" | faults {self._tally(self.faults)}"
+                f" repaired {self._tally(self.repairs)}"
+            )
         if self.ok:
             return head
         return "\n".join([head] + [v.render() for v in self.violations])
+
+    @staticmethod
+    def _tally(counts: dict[str, int]) -> str:
+        if not counts:
+            return "none"
+        return ",".join(
+            f"{kind}={count}" for kind, count in sorted(counts.items())
+        )
 
 
 class TraceChecker:
@@ -147,6 +174,16 @@ class TraceChecker:
         seen_calls: set[tuple[str, int]] = set()
 
         for event in events:
+            if event.kind == "fault":
+                report.faults[event.name] = (
+                    report.faults.get(event.name, 0) + 1
+                )
+                continue
+            if event.kind == "repair":
+                report.repairs[event.name] = (
+                    report.repairs.get(event.name, 0) + 1
+                )
+                continue
             if event.kind != "rule" or event.name == "QUERY":
                 continue
             rule = event.name

@@ -44,6 +44,19 @@ class RuntimeConfig:
     #: 1 = self-describing tagged codec, 2 = varint/zigzag with the
     #: per-cluster interned string table.  Decoders accept both.
     wire_version: int = 2
+    #: End-to-end ring integrity: writers emit checksummed v2 records
+    #: (CRC over length+payload+generation) so readers *reject*
+    #: bitflipped and torn-interior records instead of delivering
+    #: garbage.  Readers accept both layouts regardless, so toggling
+    #: only changes what this node ships (see docs/wire_format.md).
+    ring_integrity: bool = True
+    #: Background scrubber: 0 disables; otherwise each node re-verifies
+    #: a bounded window of its committed F-ring prefixes against the
+    #: writer's authoritative copy every ``scrub_interval_us``,
+    #: repairing divergence anti-entropy style.
+    scrub_interval_us: float = 0.0
+    #: Rate limit: slots re-verified per scrub pass per ring.
+    scrub_batch: int = 16
     apply_cpu_us: float = 0.15
     local_cpu_us: float = 0.08
     query_cpu_us: float = 0.20

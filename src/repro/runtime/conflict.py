@@ -29,8 +29,13 @@ from ..sim import Store
 from .config import RuntimeConfig, l_ack_region, l_region
 from .errors import ImpermissibleError, NotLeaderError, SubmitError
 from .probe import RuntimeProbe
-from .ringbuffer import parse_record
-from .wire import WireCodec
+from .ringbuffer import (
+    RingCorruptionError,
+    classify_corruption,
+    parse_record,
+    record_overhead,
+)
+from .wire import WireCodec, WireError
 
 __all__ = ["ConflictCoordinator"]
 
@@ -77,6 +82,7 @@ class ConflictCoordinator:
         mu_config = MuConfig(
             ring_slots=self.config.ring_slots,
             slot_size=self.config.slot_size,
+            integrity=self.config.ring_integrity,
             vote_timeout_us=self.config.vote_timeout_us,
             op_retry_limit=self.config.op_retry_limit,
             op_retry_us=self.config.op_retry_us,
@@ -192,7 +198,10 @@ class ConflictCoordinator:
             except Exception as exc:
                 done.succeed(SubmitError(f"cannot encode {call}: {exc}"))
                 continue
-            if len(packet) > cfg.slot_size - 5:
+            max_payload = cfg.slot_size - record_overhead(
+                cfg.ring_integrity
+            )
+            if len(packet) > max_payload:
                 done.succeed(
                     SubmitError(
                         f"record of {len(packet)} bytes exceeds ring slots"
@@ -319,7 +328,9 @@ class ConflictCoordinator:
         except Exception as exc:
             done.succeed(SubmitError(f"cannot encode {call}: {exc}"))
             return None
-        if len(packet) > cfg.slot_size - 5:
+        if len(packet) > cfg.slot_size - record_overhead(
+            cfg.ring_integrity
+        ):
             # Record full: leave the call for the next decision.
             queue.put((method, arg, done, call, retries))
             return "full"
@@ -343,11 +354,28 @@ class ConflictCoordinator:
         partial = self._l_partial[gid]
         while True:
             if not partial:
-                payload = reader.peek()
+                try:
+                    payload = reader.peek()
+                except RingCorruptionError as corrupt:
+                    # A checksummed log record failed CRC: quarantine
+                    # and repair it from peers' log copies in place of
+                    # this sweep — the head record blocks the buffer
+                    # either way.
+                    yield from self._repair_corrupt_l(
+                        gid, reader, corrupt.index
+                    )
+                    break
                 if payload is None:
                     self._maybe_detect_hole(gid, reader)
                     break
-                partial.extend(self.codec.decode_call_batch(payload))
+                try:
+                    partial.extend(self.codec.decode_call_batch(payload))
+                except WireError:
+                    # Only reachable with ring integrity off: garbage
+                    # that passed the canary check.  Skip the record
+                    # rather than crash the drain; the offline checker
+                    # flags the resulting divergence.
+                    self.probe.wire_reject(f"L:{gid}")
                 reader.advance()
                 continue
             call, dep = partial[0]
@@ -366,6 +394,35 @@ class ConflictCoordinator:
         if drained:
             self.probe.records_drained(f"L<-{gid}", drained)
         return progressed
+
+    def _repair_corrupt_l(self, gid: str, reader, index: int):
+        """Detect-and-repair for one CRC-rejected L-log record.
+
+        Mirrors the transport's F-ring path: quarantine the slot (it
+        then reads as a hole), run Mu's self-repair to refill it from
+        reachable peers' log copies, and classify the pre-repair bytes
+        against the restored record for the ``torn_detected`` counter.
+        A slot that stays unrepaired (no reachable source yet) is
+        retried by the hole detector on later sweeps.
+        """
+        cfg = self.config
+        ring = f"L:{gid}"
+        offset = (index % cfg.ring_slots) * cfg.slot_size
+        before = bytes(reader.region.read(offset, cfg.slot_size))
+        self.probe.crc_reject(ring)
+        reader.quarantine(index)
+        mu = self.mu_groups[gid]
+        yield from mu.self_repair(set(self.suspected()))
+        after = reader.region.read(offset, cfg.slot_size)
+        record = parse_record(after, index, cfg.ring_slots)
+        if record is None:
+            return False
+        kind = classify_corruption(before, bytes(record))
+        if kind == "torn":
+            self.probe.torn_detect(ring)
+        self.probe.slot_repair(ring)
+        self.probe.trace_repair(ring, index, kind)
+        return True
 
     def _maybe_detect_hole(self, gid: str, reader) -> None:
         """A valid record AHEAD of an empty head means our log copy has
@@ -390,6 +447,19 @@ class ConflictCoordinator:
                 )
                 return
             offset_index *= 2
+        # Frontier analogue of the F-ring wedge fix (see
+        # Transport.maybe_repair_f): the *head* record itself can be
+        # corrupted into bytes that parse as "not landed" (a flipped
+        # length field), and the final record of a burst never gets a
+        # valid record ahead of it to trip the probe above.  A nonzero
+        # head slot that still reads as a hole is suspicious enough to
+        # schedule a self-repair pass; a previous-lap leftover costs
+        # one redundant (idempotent) repair scan per 256 misses.
+        head_offset = (reader.head % slots) * slot_size
+        if any(reader.region.read(head_offset, slot_size)):
+            self.spawn(
+                self.rejoin_repair(gid), f"hole-repair:{self.name}"
+            )
 
     # -- leader change ---------------------------------------------------
 

@@ -63,6 +63,7 @@ from .errors import (  # noqa: F401  (re-exported for import stability)
 )
 from .heartbeat import FailureDetector, Heartbeat
 from .probe import CountingProbe, RuntimeProbe
+from .scrubber import Scrubber
 from .transport import RingTransport
 from .wire import WireCodec
 
@@ -161,7 +162,19 @@ class HambandNode:
             self.conflict, self.applier, self.broadcast, self.submit,
             on_resync=self._catch_up_from,
         )
+        self.scrubber = Scrubber(
+            rnode, self.transport, config, self.probe,
+            leader_of=self.conflict.leader_of,
+            is_failed=lambda: self.failed,
+            is_suspected=self.detector.is_suspected,
+        )
         self._spawn_supervised(self.applier.poll_loop(), f"poll:{self.name}")
+        if config.scrub_interval_us > 0:
+            # Opt-in background scrub of at-rest ring replicas (the
+            # consumption-time CRC paths run regardless).
+            self._spawn_supervised(
+                self.scrubber.loop(), f"scrub:{self.name}"
+            )
         self.control.start(self.peers, self._spawn_supervised)
 
     def _spawn_supervised(self, generator, name: str):

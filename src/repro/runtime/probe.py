@@ -82,6 +82,36 @@ class RuntimeProbe:
         """A lapped reader fast-forwarded past an overwritten window
         of ``ring`` (records there recovered out of band)."""
 
+    # -- silent-corruption detection and repair --------------------------
+
+    def crc_reject(self, ring: str) -> None:
+        """A checksummed record on ``ring`` failed CRC verification —
+        a bitflip or torn interior write was *detected* instead of
+        delivered."""
+
+    def torn_detect(self, ring: str) -> None:
+        """A repaired slot's pre-repair bytes were classified as a torn
+        (prefix-only) write rather than a bitflip."""
+
+    def slot_repair(self, ring: str) -> None:
+        """One quarantined/corrupt/diverged slot was refetched from an
+        authoritative copy and rewritten locally."""
+
+    def wire_reject(self, ring: str) -> None:
+        """A drained record's payload failed wire decoding and was
+        skipped (only reachable with ring integrity off — the CRC
+        rejects such records first)."""
+
+    def scrub_pass(self, ring: str) -> None:
+        """The background scrubber completed one verification window
+        over ``ring``'s committed prefix."""
+
+    def trace_repair(self, ring: str, index: int, kind: str) -> None:
+        """A detected corruption on ``ring`` at record ``index`` was
+        repaired; ``kind`` classifies it (``bitflip`` / ``torn`` /
+        ``scrub``).  Recorded by tracing probes so the offline checker
+        can correlate injected faults with repairs."""
+
     # -- control plane ---------------------------------------------------
 
     def forwarded(self, method: str) -> None:
@@ -159,6 +189,11 @@ class CountingProbe(RuntimeProbe):
         self.demotions: dict[str, int] = {}
         self.hole_repairs: dict[str, int] = {}
         self.ring_resyncs: dict[str, int] = {}
+        self.crc_rejects: dict[str, int] = {}
+        self.torn_detections: dict[str, int] = {}
+        self.slot_repairs: dict[str, int] = {}
+        self.wire_rejects: dict[str, int] = {}
+        self.scrub_passes: dict[str, int] = {}
         self.forwards: dict[str, int] = {}
         self.redirects: dict[str, int] = {}
         self.rejections: dict[str, int] = {}
@@ -210,6 +245,21 @@ class CountingProbe(RuntimeProbe):
     def ring_resync(self, ring: str) -> None:
         self._bump(self.ring_resyncs, ring)
 
+    def crc_reject(self, ring: str) -> None:
+        self._bump(self.crc_rejects, ring)
+
+    def torn_detect(self, ring: str) -> None:
+        self._bump(self.torn_detections, ring)
+
+    def slot_repair(self, ring: str) -> None:
+        self._bump(self.slot_repairs, ring)
+
+    def wire_reject(self, ring: str) -> None:
+        self._bump(self.wire_rejects, ring)
+
+    def scrub_pass(self, ring: str) -> None:
+        self._bump(self.scrub_passes, ring)
+
     def forwarded(self, method: str) -> None:
         self._bump(self.forwards, method)
 
@@ -242,6 +292,11 @@ class CountingProbe(RuntimeProbe):
             "demotions": dict(self.demotions),
             "hole_repairs": dict(self.hole_repairs),
             "ring_resyncs": dict(self.ring_resyncs),
+            "crc_rejects": dict(self.crc_rejects),
+            "torn_detected": dict(self.torn_detections),
+            "slot_repairs": dict(self.slot_repairs),
+            "wire_rejects": dict(self.wire_rejects),
+            "scrub_passes": dict(self.scrub_passes),
             "forwards": dict(self.forwards),
             "redirects": dict(self.redirects),
             "rejections": dict(self.rejections),

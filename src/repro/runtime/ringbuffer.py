@@ -14,27 +14,85 @@ by exactly one remote peer:
 - slots before the head are implicitly free and are reused on the next
   lap ("to avoid memory overflow, these locations are reused").
 
-The region is divided into fixed-size slots; a record is a 4-byte
-length, the payload, and the canary in the slot's final byte.  The
-generation is ``1 + (lap % 251)``, never zero, so a zeroed region never
-yields a valid canary.
+The region is divided into fixed-size slots.  Two record layouts share
+the rings, discriminated by the top bit of the 4-byte length field
+(slot sizes are far below 2**31, so the bit is free) — the same
+first-byte dispatch trick the wire codec uses for v1/v2:
+
+- **v1 (legacy)**: ``length(4) | payload | canary(1)``.  The canary
+  detects *incomplete* writes by generation but silently accepts
+  bitflips and torn interior bytes — a one-sided RDMA write is not
+  atomic.
+- **v2 (checksummed)**: ``length(4, MSB set) | payload | canary(1) |
+  crc(4)``, where the CRC covers length + payload + canary (so it
+  binds the generation, not just the bytes).  A record whose canary
+  claims the expected generation but whose CRC disagrees is *corrupt*
+  (bitflipped or torn-interior) and is rejected loudly via
+  :class:`RingCorruptionError` so the runtime can quarantine and
+  repair the slot instead of delivering garbage.
+
+Readers auto-detect the layout per record; ``RingWriter(integrity=...)``
+selects what new records ship (``RuntimeConfig.ring_integrity``, on by
+default).  The generation is ``1 + (lap % 251)``, never zero, so a
+zeroed region never yields a valid canary.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Optional
 
 from ..rdma import MemoryRegion
 
-__all__ = ["RingReader", "RingWriter", "RingError", "ring_region_size"]
+__all__ = [
+    "RingReader",
+    "RingWriter",
+    "RingError",
+    "RingCorruptionError",
+    "classify_corruption",
+    "record_crc",
+    "record_overhead",
+    "record_status",
+    "ring_region_size",
+]
 
 _LEN_BYTES = 4
 _GENERATIONS = 251  # prime, and fits a byte with zero excluded
 
+#: Top bit of the length field marks the checksummed v2 layout.
+_INTEGRITY_FLAG = 0x8000_0000
+_LEN_MASK = _INTEGRITY_FLAG - 1
+_CRC_BYTES = 4
+
+
+def record_crc(data: bytes) -> int:
+    """Checksum over a record's length field + payload + canary.
+
+    Fills the CRC32C role from the integrity literature; the stdlib
+    ships no Castagnoli implementation, so the C-speed ``zlib.crc32``
+    (ISO-HDLC polynomial) stands in — what matters here is end-to-end
+    detection of bitflips and torn interior writes, not the polynomial.
+    """
+    return zlib.crc32(data) & 0xFFFFFFFF
+
 
 class RingError(Exception):
     """Ring misuse: oversized record or writer overrun."""
+
+
+class RingCorruptionError(RingError):
+    """A checksummed record failed CRC verification.
+
+    Raised when a slot's canary claims a plausible generation but the
+    record's CRC disagrees — a bitflip or a torn interior write landed.
+    Carries the absolute record index so the recovery path can
+    quarantine and refetch exactly that slot.
+    """
+
+    def __init__(self, message: str, index: int):
+        super().__init__(message)
+        self.index = index
 
 
 def ring_region_size(slots: int, slot_size: int) -> int:
@@ -42,8 +100,44 @@ def ring_region_size(slots: int, slot_size: int) -> int:
     return slots * slot_size
 
 
+def record_overhead(integrity: bool) -> int:
+    """Per-record framing bytes: length + canary (+ CRC trailer).
+
+    Payload-size checks outside the writer (e.g. the leader's batch
+    packing) must use this instead of hard-coding the v1 overhead.
+    """
+    return _LEN_BYTES + 1 + (_CRC_BYTES if integrity else 0)
+
+
 def _generation(index: int, slots: int) -> int:
     return 1 + (index // slots) % _GENERATIONS
+
+
+def _split_slot(slot: bytes) -> Optional[tuple[int, int, bool]]:
+    """Decode a slot's framing: ``(payload_length, canary, checksummed)``.
+
+    Validates the length field against the actual slot bytes *before*
+    any further indexing, so hostile or torn bytes can never surface a
+    ``struct.error``/``IndexError`` out of the parse path.  Returns
+    None when the slot is too short or the length field (either
+    layout) points outside the slot.
+    """
+    if len(slot) < _LEN_BYTES + 1:
+        return None  # cannot even hold a length field + canary
+    (field,) = struct.unpack_from("<I", slot, 0)
+    checksummed = bool(field & _INTEGRITY_FLAG)
+    length = field & _LEN_MASK
+    overhead = _LEN_BYTES + 1 + (_CRC_BYTES if checksummed else 0)
+    if length > len(slot) - overhead:
+        return None  # garbage or partially-landed length
+    return length, slot[_LEN_BYTES + length], checksummed
+
+
+def _crc_ok(slot: bytes, length: int) -> bool:
+    """Verify a v2 record's stored CRC against its bytes."""
+    end = _LEN_BYTES + length + 1
+    (stored,) = struct.unpack_from("<I", slot, end)
+    return record_crc(bytes(slot[:end])) == stored
 
 
 def scan_frontier(raw: bytes, head: int, slots: int,
@@ -56,19 +150,22 @@ def scan_frontier(raw: bytes, head: int, slots: int,
     index present plus one is the frontier.  The lap is recovered as
     the smallest lap at or beyond the reader's whose generation matches
     the canary — consistent while the writer is fewer than 251 laps
-    ahead, the same horizon as the reader's lap detection.  Returns
-    None when no slot holds a parseable record.
+    ahead, the same horizon as the reader's lap detection.  Checksummed
+    slots that fail CRC are skipped (a corrupt canary must not invent a
+    frontier).  Returns None when no slot holds a parseable record.
     """
     base_lap = head // slots
     frontier = None
     for s in range(slots):
         slot = raw[s * slot_size : (s + 1) * slot_size]
-        (length,) = struct.unpack_from("<I", slot, 0)
-        if length > slot_size - _LEN_BYTES - 1:
+        parts = _split_slot(slot)
+        if parts is None:
             continue  # garbage or partially-landed record
-        canary = slot[_LEN_BYTES + length]
+        length, canary, checksummed = parts
         if canary == 0:
             continue  # virgin slot
+        if checksummed and not _crc_ok(slot, length):
+            continue  # corrupt record: its canary proves nothing
         lap = base_lap + (canary - 1 - base_lap) % _GENERATIONS
         index = lap * slots + s
         if frontier is None or index >= frontier:
@@ -79,16 +176,82 @@ def scan_frontier(raw: bytes, head: int, slots: int,
 def parse_record(slot: bytes, index: int, slots: int) -> Optional[bytes]:
     """Parse one slot's bytes as the record for absolute ``index``.
 
-    Returns the full record prefix (length + payload + canary) when the
-    slot holds a valid record of ``index``'s generation, else None.
-    Shared by the ring reader and Mu's log reconciliation.
+    Returns the full record (length + payload + canary, plus the CRC
+    trailer for checksummed records) when the slot holds a valid record
+    of ``index``'s generation, else None — a checksummed record whose
+    CRC fails is *not* valid, so repair paths treat corrupt slots
+    exactly like holes and refetch them.  Shared by the ring reader,
+    the F-ring repair path, and Mu's log reconciliation.
     """
-    (length,) = struct.unpack_from("<I", slot, 0)
-    if length > len(slot) - _LEN_BYTES - 1:
+    parts = _split_slot(slot)
+    if parts is None:
         return None
-    if slot[_LEN_BYTES + length] != _generation(index, slots):
+    length, canary, checksummed = parts
+    if canary != _generation(index, slots):
         return None
-    return bytes(slot[: _LEN_BYTES + length + 1])
+    end = _LEN_BYTES + length + 1
+    if checksummed:
+        if not _crc_ok(slot, length):
+            return None
+        end += _CRC_BYTES
+    return bytes(slot[:end])
+
+
+def record_status(slot: bytes, index: int, slots: int) -> str:
+    """Classify one slot relative to absolute ``index``'s record.
+
+    - ``"valid"``: holds ``index``'s record (CRC-verified when
+      checksummed),
+    - ``"empty"``: virgin, a previous lap's intact record, or framing
+      bytes that have not fully landed — nothing wrong, just absent,
+    - ``"corrupt"``: a checksummed record claims a plausible generation
+      but fails CRC — a bitflip or torn interior write landed.
+
+    The repair path uses this to tell *holes* (record never landed)
+    from *silent corruption* (record landed wrong), feeding the
+    ``torn_detected``/``crc_rejects`` counters.
+    """
+    parts = _split_slot(slot)
+    if parts is None:
+        return "empty"
+    length, canary, checksummed = parts
+    if canary == _generation(index, slots):
+        if checksummed and not _crc_ok(slot, length):
+            return "corrupt"
+        return "valid"
+    if canary == 0:
+        return "empty"
+    if checksummed and not _crc_ok(slot, length):
+        return "corrupt"
+    return "empty"
+
+
+def classify_corruption(before: bytes, authoritative: bytes) -> str:
+    """Classify a corrupt slot's pre-repair bytes: bitflip or torn?
+
+    ``before`` is what the slot held when CRC verification rejected it;
+    ``authoritative`` is the correct record fetched from a healthy
+    copy.  A *torn* write lands a prefix of the record and leaves the
+    tail holding whatever was there before (zeros on a virgin lap), so
+    the bytes match up to some cut and then mostly diverge; a *bitflip*
+    matches everywhere except isolated flipped bytes.  The heuristic is
+    deterministic: with more than half the post-divergence tail
+    matching the authoritative record it is a ``"bitflip"``, otherwise
+    ``"torn"``.
+    """
+    prefix = 0
+    limit = min(len(before), len(authoritative))
+    while prefix < limit and before[prefix] == authoritative[prefix]:
+        prefix += 1
+    if prefix >= len(authoritative):
+        return "bitflip"  # diverges only past the record: noise
+    tail = len(authoritative) - prefix
+    matching = sum(
+        1
+        for j in range(prefix, len(authoritative))
+        if j < len(before) and before[j] == authoritative[j]
+    )
+    return "bitflip" if matching * 2 >= tail else "torn"
 
 
 class RingWriter:
@@ -102,11 +265,17 @@ class RingWriter:
     asserts on overrun rather than blocking).
     """
 
-    def __init__(self, slots: int, slot_size: int):
-        if slots <= 0 or slot_size <= _LEN_BYTES + 1:
+    def __init__(self, slots: int, slot_size: int,
+                 integrity: bool = False):
+        overhead = _LEN_BYTES + 1 + (_CRC_BYTES if integrity else 0)
+        if slots <= 0 or slot_size <= overhead:
             raise RingError("ring too small")
         self.slots = slots
         self.slot_size = slot_size
+        #: Emit checksummed v2 records (length MSB set, CRC trailer).
+        #: Readers auto-detect per record, so mixed rings — e.g. after
+        #: a rolling config change — stay readable.
+        self.integrity = integrity
         self.tail = 0  # kept locally by the single writer
         #: Optional flow-control feedback; None disables the overrun
         #: check (the runtime sizes rings so the reader never lags a
@@ -115,7 +284,8 @@ class RingWriter:
 
     @property
     def max_payload(self) -> int:
-        return self.slot_size - _LEN_BYTES - 1
+        overhead = _LEN_BYTES + 1 + (_CRC_BYTES if self.integrity else 0)
+        return self.slot_size - overhead
 
     def render(self, payload: bytes) -> tuple[int, bytes]:
         """Render the next record; returns (region offset, record bytes).
@@ -141,10 +311,19 @@ class RingWriter:
                 f"payload of {len(payload)} bytes exceeds slot capacity "
                 f"{self.max_payload}"
             )
-        record = bytearray(_LEN_BYTES + len(payload) + 1)
-        struct.pack_into("<I", record, 0, len(payload))
+        body = _LEN_BYTES + len(payload) + 1
+        if not self.integrity:
+            record = bytearray(body)
+            struct.pack_into("<I", record, 0, len(payload))
+            record[_LEN_BYTES : _LEN_BYTES + len(payload)] = payload
+            record[-1] = _generation(self.tail, self.slots)
+            return bytes(record)
+        record = bytearray(body + _CRC_BYTES)
+        struct.pack_into("<I", record, 0, len(payload) | _INTEGRITY_FLAG)
         record[_LEN_BYTES : _LEN_BYTES + len(payload)] = payload
-        record[-1] = _generation(self.tail, self.slots)
+        record[body - 1] = _generation(self.tail, self.slots)
+        struct.pack_into("<I", record, body,
+                         record_crc(bytes(record[:body])))
         return bytes(record)
 
     def claim(self) -> int:
@@ -204,12 +383,35 @@ class RingReader:
         counter wraps mod 251, so a writer exactly 250 laps ahead is
         indistinguishable from the previous lap; the runtime's rings
         detect the overrun ~250 laps earlier.)
+
+        Checksummed (v2) records are CRC-verified before any canary
+        verdict is trusted:
+
+        - expected generation + bad CRC ⇒ :class:`RingCorruptionError`
+          — a bitflip or torn interior write would otherwise be
+          *delivered*,
+        - foreign generation + bad CRC ⇒ also corruption — a flipped
+          canary byte must not fake a "lapped" verdict and trigger a
+          needless resync,
+        - previous-lap generation + bad CRC ⇒ None — the overwrite for
+          this lap is legitimately in flight (torn writes land exactly
+          this state); the probe-ahead repair path picks it up if it
+          never completes.
+
+        The length field is validated against the actual slot bytes
+        before any indexing, so hostile bytes surface as None or a
+        RingError subclass — never ``struct.error``/``IndexError``.
         """
-        (length,) = struct.unpack_from("<I", slot, 0)
-        if length > self.slot_size - _LEN_BYTES - 1:
-            return None  # stale or garbage length: retry later
-        canary = slot[_LEN_BYTES + length]
+        parts = _split_slot(slot)
+        if parts is None:
+            return None  # short slot, stale or garbage length
+        length, canary, checksummed = parts
         if canary == _generation(index, self.slots):
+            if checksummed and not _crc_ok(slot, length):
+                raise RingCorruptionError(
+                    f"record {index} failed CRC: bitflipped or "
+                    f"torn-interior write", index,
+                )
             return slot[_LEN_BYTES : _LEN_BYTES + length]
         if canary == 0:
             return None  # virgin slot: nothing written yet
@@ -217,6 +419,11 @@ class RingReader:
             index - self.slots, self.slots
         ):
             return None  # previous lap's record: ours is in flight
+        if checksummed and not _crc_ok(slot, length):
+            raise RingCorruptionError(
+                f"record {index} failed CRC under a foreign canary: "
+                f"corruption, not a lap", index,
+            )
         raise RingError(
             "reader lapped: a record was overwritten before it "
             "was consumed (size the ring larger)"
@@ -262,6 +469,18 @@ class RingReader:
         """
         if index > self.head:
             self.head = index
+
+    def quarantine(self, index: int) -> None:
+        """Zero absolute ``index``'s slot so a corrupt record reads as
+        a hole.
+
+        The region lives at the reader's node, so this is a local
+        write — no RDMA involved.  After quarantine the slot parses as
+        virgin and the normal hole-repair machinery (probe-ahead
+        refetch from an authoritative copy) fills it back in.
+        """
+        offset = (index % self.slots) * self.slot_size
+        self.region.write(offset, b"\x00" * self.slot_size)
 
     def try_read(self) -> Optional[bytes]:
         payload = self.peek()

@@ -19,7 +19,7 @@ from typing import Optional
 
 from ..core import Call
 from ..rdma import MemoryRegion
-from .wire import WireCodec, decode_value, encode_value
+from .wire import WireCodec, WireError, decode_value, encode_value
 
 __all__ = ["SummarySlot", "SummaryValue", "render_summary", "slot_size_for"]
 
@@ -112,9 +112,16 @@ class SummarySlot:
             self.codec.decode_value if self.codec is not None
             else decode_value
         )
-        method, arg, origin, rid, counts = decode(
-            bytes(raw[_HEADER : _HEADER + length])
-        )
+        try:
+            method, arg, origin, rid, counts = decode(
+                bytes(raw[_HEADER : _HEADER + length])
+            )
+        except (WireError, ValueError, TypeError):
+            # A corrupted payload behind an intact seqlock (the seqlock
+            # only catches *incomplete* overwrites, like the rings'
+            # canary byte): treat as in flight — the owner's next
+            # summary write replaces the slot wholesale.
+            return None
         value = (Call(method, arg, origin, rid), counts)
         self._cache_seq = seq1
         self._cache_value = value

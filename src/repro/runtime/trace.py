@@ -173,6 +173,14 @@ class TracingProbe(CountingProbe):
         super().trace_fault(kind, target, detail)
         self._record("fault", kind, detail, target, 0)
 
+    def trace_repair(self, ring: str, index: int, kind: str) -> None:
+        """A detected corruption was repaired (kind/ring/index ride in
+        name/origin/rid); pairs with the ``fault`` events so the
+        offline checker and Chrome traces can correlate *injected* ⇒
+        *detected* ⇒ *repaired*."""
+        super().trace_repair(ring, index, kind)
+        self._record("repair", kind, ring, self.node, index)
+
     # -- reporting -------------------------------------------------------
 
     @property
@@ -506,6 +514,13 @@ def chrome_trace_dict(events: Iterable[TraceEvent]) -> dict[str, Any]:
                 "pid": pid, "tid": len(PHASES) + 1, "ts": event.t,
                 "s": "g",  # global scope: draw across the whole track
                 "args": {"target": event.origin, "detail": event.method},
+            })
+        elif event.kind == "repair":
+            out.append({
+                "ph": "i", "name": f"REPAIR:{event.name}", "cat": "repair",
+                "pid": pid, "tid": len(PHASES) + 1, "ts": event.t,
+                "s": "p",  # process scope: one node healed itself
+                "args": {"ring": event.method, "index": event.rid},
             })
         elif event.kind == "xfer":
             out.append({

@@ -44,11 +44,12 @@ from .ringbuffer import (
     RingError,
     RingReader,
     RingWriter,
+    classify_corruption,
     parse_record,
     scan_frontier,
 )
 from .summary import slot_size_for
-from .wire import WireCodec
+from .wire import WireCodec, WireError
 
 __all__ = ["RingTransport"]
 
@@ -121,7 +122,8 @@ class RingTransport:
         }
         #: Our writer state toward each peer's copy of our F ring.
         self.f_writers = {
-            peer: RingWriter(cfg.ring_slots, cfg.slot_size)
+            peer: RingWriter(cfg.ring_slots, cfg.slot_size,
+                             integrity=cfg.ring_integrity)
             for peer in self.peers
         }
         if cfg.ack_every:
@@ -129,7 +131,8 @@ class RingTransport:
                 writer.reader_acked = 0
         #: Writer state for the local authoritative mirror of our own F
         #: ring (never throttled: it is a plain local memory write).
-        self.f_mirror = RingWriter(cfg.ring_slots, cfg.slot_size)
+        self.f_mirror = RingWriter(cfg.ring_slots, cfg.slot_size,
+                                   integrity=cfg.ring_integrity)
         #: Consecutive empty sweeps per F ring (hole-detection input).
         self._f_misses: dict[str, int] = {}
         #: Last ring-head count acknowledged back to each writer.
@@ -173,6 +176,11 @@ class RingTransport:
         while True:
             if cfg.ack_every:
                 acked = self.rnode.regions[ack_region_name].read_u64(0)
+                # A reader can never have consumed records we have not
+                # written: a corrupt/torn ack write (tiny 8-byte
+                # one-sided writes are just as exposed as records) must
+                # not disable overrun protection with a garbage value.
+                acked = min(acked, writer.tail)
                 if writer.reader_acked is None:
                     self._maybe_rearm(writer, reader, acked)
                 writer.ack_up_to(acked)
@@ -292,7 +300,17 @@ class RingTransport:
             if not run:
                 break
             for payload in run:
-                call, dep = self.codec.decode_call_packet(payload)
+                try:
+                    call, dep = self.codec.decode_call_packet(payload)
+                except WireError:
+                    # Only reachable with ring integrity off: a
+                    # corrupted record passed the canary check and its
+                    # garbage payload reached the codec.  Skip it —
+                    # losing the call (the checker will flag the
+                    # divergence) beats crashing the poll worker.
+                    self.probe.wire_reject(label or "F")
+                    reader.advance()
+                    continue
                 if sink.has_seen(call.key()):
                     reader.advance()  # duplicate via recovery path
                     continue
@@ -441,7 +459,24 @@ class RingTransport:
                 break
             ahead *= 2
         if not found_ahead:
-            return False
+            # No record ahead — but a *frontier* record can be damaged
+            # too: a corrupted length field makes the final record of a
+            # burst parse as "not landed yet", and with nothing ever
+            # landing ahead of it the probe above never fires.  Nonzero
+            # bytes that do not parse at the head are suspicious enough
+            # to attempt a repair pass (a virgin head just means the
+            # writer is idle; a previous-lap leftover costs one failed
+            # fetch per miss cycle).
+            head_offset = (
+                reader.head % cfg.ring_slots
+            ) * cfg.slot_size
+            head_slot = reader.region.read(head_offset, cfg.slot_size)
+            if not any(head_slot):
+                return False
+            repaired = yield from self.repair_f_ring(origin, is_suspected)
+            if repaired:
+                self.probe.hole_repair(f"F:{origin}")
+            return repaired > 0
         self.probe.hole_repair(f"F:{origin}")
         repaired = yield from self.repair_f_ring(origin, is_suspected)
         return repaired > 0
@@ -504,8 +539,6 @@ class RingTransport:
         """
         cfg = self.config
         reader = self.f_readers[origin]
-        region_name = f_region(origin)
-        sources = [origin] + [p for p in self.peers if p != origin]
         repaired = 0
         index = reader.head
         for _ in range(cfg.ring_slots):
@@ -514,24 +547,70 @@ class RingTransport:
             if parse_record(slot, index, cfg.ring_slots) is not None:
                 index += 1  # already have this one
                 continue
-            found = None
-            for source in sources:
-                if source == self.name or is_suspected(source):
-                    continue
-                if not self.rnode.fabric.nodes[source].alive:
-                    continue
-                qp = self.rnode.qp_to(source)
-                remote = self.rnode.region_of(source, region_name)
-                wc = yield from qp.read(remote, offset, cfg.slot_size)
-                if wc.status is not WcStatus.SUCCESS or wc.data is None:
-                    continue
-                record = parse_record(wc.data, index, cfg.ring_slots)
-                if record is not None:
-                    found = record
-                    break
+            found = yield from self._fetch_record(origin, index,
+                                                  is_suspected)
             if found is None:
                 break  # true frontier: nobody has the next record
             reader.region.write(offset, found)
             repaired += 1
             index += 1
         return repaired
+
+    def _fetch_record(self, origin: str, index: int,
+                      is_suspected: Callable[[str], bool]):
+        """Fetch ``origin``'s F record at absolute ``index`` from an
+        authoritative copy: the origin's own mirror first, then any
+        peer's replica.  Returns the validated record bytes (CRC
+        checked for checksummed records) or None.
+        """
+        cfg = self.config
+        region_name = f_region(origin)
+        offset = (index % cfg.ring_slots) * cfg.slot_size
+        sources = [origin] + [p for p in self.peers if p != origin]
+        for source in sources:
+            if source == self.name or is_suspected(source):
+                continue
+            if not self.rnode.fabric.nodes[source].alive:
+                continue
+            qp = self.rnode.qp_to(source)
+            remote = self.rnode.region_of(source, region_name)
+            wc = yield from qp.read(remote, offset, cfg.slot_size)
+            if wc.status is not WcStatus.SUCCESS or wc.data is None:
+                continue
+            record = parse_record(wc.data, index, cfg.ring_slots)
+            if record is not None:
+                return record
+        return None
+
+    def repair_corrupt_f(self, origin: str, index: int,
+                         is_suspected: Callable[[str], bool]):
+        """Detect-and-repair for one CRC-rejected F record.
+
+        The corrupt slot is *quarantined* (zeroed, so it reads as a
+        hole) and refetched from an authoritative copy — the origin's
+        local mirror is written with plain memory writes and is never
+        exposed to in-flight corruption.  The pre-repair bytes are
+        classified against the authoritative record: a prefix that
+        matches followed by a tail that does not is a *torn* write; a
+        mostly-matching record with isolated flipped bytes is a
+        *bitflip*.  Returns True when the record was restored (False
+        leaves the slot quarantined for the probe-ahead repair pass to
+        retry once a source is reachable).
+        """
+        cfg = self.config
+        reader = self.f_readers[origin]
+        ring = f"F:{origin}"
+        offset = (index % cfg.ring_slots) * cfg.slot_size
+        before = bytes(reader.region.read(offset, cfg.slot_size))
+        self.probe.crc_reject(ring)
+        reader.quarantine(index)
+        found = yield from self._fetch_record(origin, index, is_suspected)
+        if found is None:
+            return False
+        kind = classify_corruption(before, found)
+        if kind == "torn":
+            self.probe.torn_detect(ring)
+        reader.region.write(offset, found)
+        self.probe.slot_repair(ring)
+        self.probe.trace_repair(ring, index, kind)
+        return True

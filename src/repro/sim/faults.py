@@ -6,7 +6,14 @@ A :class:`FaultPlan` is a declarative, seeded schedule of faults:
   ``crash`` / ``restart``, link ``partition`` / ``heal``;
 * **window** actions arm a probabilistic fault over a time interval —
   one-sided RDMA op failure (``opfail``), message/op ``delay``,
-  ``dup``\\ lication, and message ``drop``.
+  ``dup``\\ lication, message ``drop``, and the silent-data-corruption
+  classes: ``corrupt`` (bitflip ``k`` bytes of an in-flight one-sided
+  write's payload, which still completes SUCCESS) and ``torn`` (land
+  only a prefix of the write, then complete SUCCESS — modelling the
+  non-atomicity of one-sided RDMA writes).  Corruption windows apply
+  to RDMA *writes* only; the op completes successfully, so nothing at
+  the sender ever notices — detection is entirely the receiver's
+  (checksummed ring records, scrubber) problem.
 
 Window randomness draws from a per-window substream derived from the
 plan seed (:class:`repro.sim.SeedSequence`), so the same plan over the
@@ -42,6 +49,7 @@ from typing import Callable, Optional
 from .rng import SeedSequence
 
 __all__ = [
+    "CORRUPTION_KINDS",
     "PLAN_NAMES",
     "FaultAction",
     "FaultDecision",
@@ -53,7 +61,9 @@ __all__ = [
 #: One-shot actions fired at ``at_us`` on the sim clock.
 SCHEDULED_KINDS = ("crash", "restart", "partition", "heal")
 #: Probabilistic actions armed over ``[at_us, until_us)``.
-WINDOW_KINDS = ("opfail", "delay", "dup", "drop")
+WINDOW_KINDS = ("opfail", "delay", "dup", "drop", "corrupt", "torn")
+#: Window kinds that mutate an in-flight RDMA *write* payload.
+CORRUPTION_KINDS = ("corrupt", "torn")
 
 #: The named plans exercised by the CI chaos matrix.
 PLAN_NAMES = (
@@ -62,15 +72,39 @@ PLAN_NAMES = (
     "lossy-10pct",
     "delay-spike",
     "restart-follower",
+    "corrupt-5pct",
+    "torn-writes",
+    "corrupt-crash",
 )
 
 
 @dataclass(frozen=True)
 class FaultDecision:
-    """What a hook told the transport to do to the current op."""
+    """What a hook told the transport to do to the current op.
 
-    kind: str  # "opfail" | "delay" | "dup" | "drop"
+    ``flips`` (``corrupt`` only) are ``(position, xor_mask)`` pairs to
+    apply to the payload; ``cut`` (``torn`` only) is the number of
+    payload bytes that actually land.  Both are drawn from the window's
+    private substream at consult time, so the same seed mutates the
+    same ops the same way.
+    """
+
+    kind: str  # "opfail" | "delay" | "dup" | "drop" | "corrupt" | "torn"
     delay_us: float = 0.0
+    flips: tuple = ()
+    cut: int = 0
+
+    def mutate(self, payload: bytes) -> bytes:
+        """The bytes that actually land, after this decision."""
+        if self.kind == "corrupt" and self.flips:
+            mutated = bytearray(payload)
+            for position, mask in self.flips:
+                if position < len(mutated):
+                    mutated[position] ^= mask
+            return bytes(mutated)
+        if self.kind == "torn":
+            return payload[: self.cut]
+        return payload
 
 
 @dataclass(frozen=True)
@@ -81,7 +115,8 @@ class FaultAction:
     ``rate`` is the per-op injection probability and ``ops`` optionally
     restricts the window to specific RDMA opcodes (``"write"``,
     ``"read"``, ``"compare_and_swap"``, ``"send"``); an empty ``ops``
-    matches everything.
+    matches everything.  ``k`` (``corrupt`` only) is how many payload
+    bytes each injection bitflips.
     """
 
     at_us: float
@@ -91,15 +126,22 @@ class FaultAction:
     rate: float = 0.0
     delay_us: float = 0.0
     ops: tuple = ()
+    k: int = 1
 
     def __post_init__(self):
         if self.kind not in SCHEDULED_KINDS + WINDOW_KINDS:
-            raise ValueError(f"unknown fault kind {self.kind!r}")
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}: supported scheduled "
+                f"kinds are {SCHEDULED_KINDS} and window kinds "
+                f"{WINDOW_KINDS}"
+            )
         if self.kind in WINDOW_KINDS and self.until_us <= self.at_us:
             raise ValueError(
                 f"{self.kind} window needs until_us > at_us "
                 f"(got [{self.at_us}, {self.until_us}))"
             )
+        if self.kind == "corrupt" and self.k < 1:
+            raise ValueError("corrupt window needs k >= 1 bytes to flip")
 
     def is_window(self) -> bool:
         return self.kind in WINDOW_KINDS
@@ -113,18 +155,31 @@ class FaultAction:
             "rate": self.rate,
             "delay_us": self.delay_us,
             "ops": list(self.ops),
+            "k": self.k,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultAction":
+        # Forward-compat guard: plans written by a newer repo (or by
+        # hand) must fail loudly, naming the offending kind AND the
+        # vocabulary this build supports — not surface a confusing
+        # window-bounds error or, worse, misbehave downstream.
+        kind = str(data["kind"])
+        if kind not in SCHEDULED_KINDS + WINDOW_KINDS:
+            raise ValueError(
+                f"cannot deserialize fault action of unknown kind "
+                f"{kind!r}: this build supports scheduled kinds "
+                f"{SCHEDULED_KINDS} and window kinds {WINDOW_KINDS}"
+            )
         return cls(
             at_us=float(data["at_us"]),
-            kind=str(data["kind"]),
+            kind=kind,
             target=str(data.get("target", "*")),
             until_us=float(data.get("until_us", 0.0)),
             rate=float(data.get("rate", 0.0)),
             delay_us=float(data.get("delay_us", 0.0)),
             ops=tuple(data.get("ops", ())),
+            k=int(data.get("k", 1)),
         )
 
 
@@ -279,6 +334,56 @@ class FaultPlan:
                     at_us=0.55 * h, kind="restart", target="follower:0"
                 ),
             )
+        elif name == "corrupt-5pct":
+            # Silent corruption: 5% of one-sided writes land with two
+            # bitflipped payload bytes, completing SUCCESS.  Nothing at
+            # the sender notices — checksummed rings must catch it.
+            # The window opens early (0.02h): the data-plane write burst
+            # is front-loaded in short CI runs, and the point of the
+            # preset is to corrupt *records*, not just late acks.
+            actions = (
+                FaultAction(
+                    at_us=0.02 * h,
+                    kind="corrupt",
+                    until_us=0.60 * h,
+                    rate=0.05,
+                    ops=("write",),
+                    k=2,
+                ),
+            )
+        elif name == "torn-writes":
+            # Non-atomic one-sided writes: 5% land only a prefix, then
+            # complete SUCCESS — half a record (or half an ack) is in
+            # the remote region and the writer believes it all arrived.
+            actions = (
+                FaultAction(
+                    at_us=0.02 * h,
+                    kind="torn",
+                    until_us=0.60 * h,
+                    rate=0.05,
+                    ops=("write",),
+                ),
+            )
+        elif name == "corrupt-crash":
+            # Silent corruption compounded with a follower crash and
+            # supervised rejoin: the rejoining node repairs its rings
+            # from copies that were themselves under bitflip fire.
+            actions = (
+                FaultAction(
+                    at_us=0.02 * h,
+                    kind="corrupt",
+                    until_us=0.60 * h,
+                    rate=0.04,
+                    ops=("write",),
+                    k=1,
+                ),
+                FaultAction(
+                    at_us=0.30 * h, kind="crash", target="follower:0"
+                ),
+                FaultAction(
+                    at_us=0.60 * h, kind="restart", target="follower:0"
+                ),
+            )
         else:
             raise ValueError(
                 f"unknown plan {name!r}; expected one of {PLAN_NAMES}"
@@ -365,16 +470,16 @@ class FaultInjector:
         self, op: str, src: str, dst: str, nbytes: int
     ) -> Optional[FaultDecision]:
         """Consulted by the fabric for every one-sided op and send."""
-        return self._consult(op, src, dst, drop_ok=False)
+        return self._consult(op, src, dst, nbytes, drop_ok=False)
 
     def _msg_hook(
         self, src: str, dst: str, nbytes: int
     ) -> Optional[FaultDecision]:
         """Consulted by the message-passing network for every send."""
-        return self._consult("send", src, dst, drop_ok=True)
+        return self._consult("send", src, dst, nbytes, drop_ok=True)
 
     def _consult(
-        self, op: str, src: str, dst: str, drop_ok: bool
+        self, op: str, src: str, dst: str, nbytes: int, drop_ok: bool
     ) -> Optional[FaultDecision]:
         now = self.env.now
         for action, rng in self._windows:
@@ -382,6 +487,10 @@ class FaultInjector:
                 continue
             if action.kind == "drop" and not drop_ok:
                 continue
+            if action.kind in CORRUPTION_KINDS and (
+                op != "write" or nbytes == 0
+            ):
+                continue  # only one-sided write payloads can land wrong
             if action.ops and op not in action.ops:
                 continue
             if not self._link_matches(action.target, src, dst):
@@ -389,6 +498,15 @@ class FaultInjector:
             if rng.random() >= action.rate:
                 continue
             self._emit(action.kind, dst, f"{op}:{src}->{dst}", probe_at=src)
+            if action.kind == "corrupt":
+                flips = tuple(
+                    (rng.randrange(nbytes), 1 << rng.randrange(8))
+                    for _ in range(max(1, action.k))
+                )
+                return FaultDecision("corrupt", flips=flips)
+            if action.kind == "torn":
+                cut = rng.randrange(1, nbytes) if nbytes > 1 else 0
+                return FaultDecision("torn", cut=cut)
             return FaultDecision(action.kind, delay_us=action.delay_us)
         return None
 

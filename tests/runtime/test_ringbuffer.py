@@ -229,3 +229,143 @@ class TestProperties:
                     break
         assert got == expected[: len(got)]
         assert len(got) == len(payloads)
+
+
+# -- checksummed (v2) record layout -------------------------------------
+
+
+from repro.runtime import RingCorruptionError  # noqa: E402
+from repro.runtime.ringbuffer import (  # noqa: E402
+    classify_corruption,
+    parse_record,
+    record_overhead,
+    record_status,
+)
+
+
+@pytest.fixture
+def v2_ring():
+    region = MemoryRegion(
+        "host", "ring", ring_region_size(SLOTS, SLOT_SIZE), Access.ALL
+    )
+    return (
+        RingWriter(SLOTS, SLOT_SIZE, integrity=True),
+        RingReader(region, SLOTS, SLOT_SIZE),
+        region,
+    )
+
+
+class TestChecksummedRecords:
+    def test_roundtrip(self, v2_ring):
+        writer, reader, region = v2_ring
+        push(writer, region, b"hello")
+        assert reader.try_read() == b"hello"
+
+    def test_record_overhead(self):
+        assert record_overhead(False) == 5
+        assert record_overhead(True) == 9
+        assert RingWriter(SLOTS, SLOT_SIZE, integrity=True).max_payload \
+            == SLOT_SIZE - 9
+        assert RingWriter(SLOTS, SLOT_SIZE).max_payload == SLOT_SIZE - 5
+
+    def test_mixed_layouts_in_one_ring(self, ring):
+        """Readers dispatch per record: a rolling integrity upgrade
+        leaves v1 and v2 records interleaved in one ring."""
+        v1_writer, reader, region = ring
+        v2_writer = RingWriter(SLOTS, SLOT_SIZE, integrity=True)
+        push(v1_writer, region, b"legacy")
+        v2_writer.tail = v1_writer.tail
+        push(v2_writer, region, b"checksummed")
+        v1_writer.tail = v2_writer.tail
+        assert reader.try_read() == b"legacy"
+        assert reader.try_read() == b"checksummed"
+
+    def test_bitflip_in_payload_raises_corruption(self, v2_ring):
+        writer, reader, region = v2_ring
+        push(writer, region, b"hello")
+        raw = bytearray(region.read(0, SLOT_SIZE))
+        raw[5] ^= 0x40  # flip one payload bit
+        region.write(0, bytes(raw))
+        with pytest.raises(RingCorruptionError) as excinfo:
+            reader.peek()
+        assert excinfo.value.index == 0
+
+    def test_flipped_canary_is_corruption_not_lapped(self, v2_ring):
+        """A foreign-generation canary with a failing CRC must not fake
+        the 'reader lapped' verdict and trigger a needless resync."""
+        writer, reader, region = v2_ring
+        push(writer, region, b"hello")
+        raw = bytearray(region.read(0, SLOT_SIZE))
+        canary_at = 4 + len(b"hello")
+        raw[canary_at] = 99  # neither expected, 0, nor previous lap
+        region.write(0, bytes(raw))
+        with pytest.raises(RingCorruptionError):
+            reader.peek()
+
+    def test_torn_interior_write_raises_corruption(self, v2_ring):
+        writer, reader, region = v2_ring
+        offset, record = writer.render(b"abcdefgh")
+        # Land the framing and a prefix of the payload, including the
+        # canary position via the full record length... then zero the
+        # interior: a torn write that skipped middle bytes.
+        torn = bytearray(record)
+        torn[6:8] = b"\x00\x00"
+        region.write(offset, bytes(torn))
+        with pytest.raises(RingCorruptionError):
+            reader.peek()
+
+    def test_v1_records_still_accept_bitflips(self, ring):
+        """The legacy layout has no CRC: a payload bitflip is silently
+        delivered — the negative-space property motivating v2."""
+        writer, reader, region = ring
+        push(writer, region, b"hello")
+        raw = bytearray(region.read(0, SLOT_SIZE))
+        raw[5] ^= 0x40
+        region.write(0, bytes(raw))
+        assert reader.try_read() != b"hello"  # wrong record, no error
+
+    def test_quarantine_turns_corruption_into_hole(self, v2_ring):
+        writer, reader, region = v2_ring
+        push(writer, region, b"hello")
+        raw = bytearray(region.read(0, SLOT_SIZE))
+        raw[5] ^= 0x40
+        region.write(0, bytes(raw))
+        reader.quarantine(0)
+        assert reader.peek() is None  # virgin again, not an error
+        assert record_status(
+            region.read(0, SLOT_SIZE), 0, SLOTS
+        ) == "empty"
+
+    def test_parse_record_treats_corrupt_as_hole(self, v2_ring):
+        writer, reader, region = v2_ring
+        push(writer, region, b"hello")
+        slot = bytearray(region.read(0, SLOT_SIZE))
+        assert parse_record(bytes(slot), 0, SLOTS) is not None
+        assert record_status(bytes(slot), 0, SLOTS) == "valid"
+        slot[5] ^= 0x40
+        assert parse_record(bytes(slot), 0, SLOTS) is None
+        assert record_status(bytes(slot), 0, SLOTS) == "corrupt"
+
+    def test_classify_corruption(self):
+        authoritative = bytes(range(32))
+        flipped = bytearray(authoritative)
+        flipped[7] ^= 0xFF
+        assert classify_corruption(bytes(flipped), authoritative) \
+            == "bitflip"
+        torn = authoritative[:10] + b"\x00" * 22
+        assert classify_corruption(torn, authoritative) == "torn"
+
+    def test_in_flight_overwrite_reads_none_not_corrupt(self, v2_ring):
+        """A torn overwrite of a previous-lap record leaves the old
+        canary in place: that is a legitimate in-flight state, not
+        corruption."""
+        writer, reader, region = v2_ring
+        for lap in range(SLOTS):
+            push(writer, region, b"first")
+        for _ in range(SLOTS):
+            reader.try_read()
+        # Second lap's record lands only its length field: the slot
+        # still carries lap 1's canary, CRC no longer matches.
+        offset, record = writer.render(b"second-lap")
+        region.write(offset, record[:4])
+        assert reader.peek() is None

@@ -1,0 +1,157 @@
+"""Property fuzz for the ring slot parser (hypothesis).
+
+Two obligations, mirrored from the wire codec's fuzz suite:
+
+1. **Never crash.** The parse path sees bytes written by a remote NIC;
+   with fault injection those bytes are hostile.  Arbitrary slot
+   contents must surface as None / a :class:`RingError` subclass —
+   never ``struct.error`` or ``IndexError``.
+2. **Never lie (integrity on).** A checksummed record with any bytes
+   flipped must never be *delivered as a different record*: the reader
+   either returns the original payload (flips landed outside the
+   record bytes), returns None (in-flight verdicts), or rejects loudly
+   via :class:`RingCorruptionError`.
+
+Settings are left unpinned so CI's ``HYPOTHESIS_PROFILE=ci-fuzz``
+scales the example budget (see ``tests/runtime/conftest.py``).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.ringbuffer import (
+    RingCorruptionError,
+    RingError,
+    RingReader,
+    RingWriter,
+    parse_record,
+    record_status,
+    scan_frontier,
+)
+
+SLOTS = 8
+SLOT_SIZE = 64
+#: v2 overhead: length(4) + canary(1) + crc(4).
+MAX_PAYLOAD = SLOT_SIZE - 9
+
+
+class _Region:
+    """Minimal in-memory region (the parser never touches RDMA)."""
+
+    def __init__(self, size):
+        self.size = size
+        self.data = bytearray(size)
+
+    def read(self, offset, n):
+        return bytes(self.data[offset : offset + n])
+
+    def write(self, offset, payload):
+        self.data[offset : offset + len(payload)] = payload
+
+
+def _reader() -> RingReader:
+    return RingReader(_Region(SLOTS * SLOT_SIZE), SLOTS, SLOT_SIZE)
+
+
+def _build_at(index: int, payload: bytes, integrity: bool) -> bytes:
+    writer = RingWriter(SLOTS, SLOT_SIZE, integrity=integrity)
+    writer.tail = index
+    return writer.build(payload)
+
+
+class TestParserNeverCrashes:
+    @given(
+        slot=st.binary(max_size=SLOT_SIZE),
+        index=st.integers(0, 100_000),
+    )
+    def test_reader_parse_slot(self, slot, index):
+        try:
+            out = _reader()._parse_slot(slot, index)
+        except RingError:
+            return  # loud rejection is allowed; crashes are not
+        assert out is None or isinstance(out, (bytes, bytearray))
+
+    @given(
+        slot=st.binary(max_size=SLOT_SIZE),
+        index=st.integers(0, 100_000),
+    )
+    def test_parse_record_and_status(self, slot, index):
+        record = parse_record(slot, index, SLOTS)
+        assert record is None or isinstance(record, bytes)
+        assert record_status(slot, index, SLOTS) in (
+            "valid", "empty", "corrupt",
+        )
+
+    @given(
+        raw=st.binary(
+            min_size=SLOTS * SLOT_SIZE, max_size=SLOTS * SLOT_SIZE
+        ),
+        head=st.integers(0, 10_000),
+    )
+    def test_scan_frontier(self, raw, head):
+        frontier = scan_frontier(raw, head, SLOTS, SLOT_SIZE)
+        assert frontier is None or frontier >= 0
+
+
+class TestIntegrityNeverLies:
+    @given(
+        payload=st.binary(max_size=MAX_PAYLOAD),
+        index=st.integers(0, 3 * SLOTS),
+        flips=st.lists(
+            st.tuples(
+                st.integers(0, SLOT_SIZE - 1), st.integers(1, 255)
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_flipped_bytes_never_deliver_a_wrong_record(
+        self, payload, index, flips
+    ):
+        record = _build_at(index, payload, integrity=True)
+        slot = bytearray(SLOT_SIZE)
+        slot[: len(record)] = record
+        for position, mask in flips:
+            slot[position] ^= mask
+        try:
+            out = _reader()._parse_slot(bytes(slot), index)
+        except RingError:
+            return  # rejected loudly (RingCorruptionError or lapped)
+        if out is not None:
+            # Delivered: must be the original payload, byte for byte
+            # (flips cancelled out or landed in slot slack).
+            assert bytes(out) == payload
+
+    @given(
+        payload=st.binary(min_size=1, max_size=MAX_PAYLOAD),
+        index=st.integers(0, 3 * SLOTS),
+        cut=st.data(),
+    )
+    def test_torn_prefix_is_never_delivered(self, payload, index, cut):
+        record = _build_at(index, payload, integrity=True)
+        landed = cut.draw(
+            st.integers(0, len(record) - 1), label="torn cut"
+        )
+        slot = bytearray(SLOT_SIZE)
+        slot[:landed] = record[:landed]
+        try:
+            out = _reader()._parse_slot(bytes(slot), index)
+        except RingCorruptionError:
+            return  # detected: the quarantine/repair path takes over
+        assert out is None, (
+            f"torn prefix of {landed}/{len(record)} bytes was delivered"
+        )
+
+    @given(
+        payload=st.binary(max_size=MAX_PAYLOAD),
+        index=st.integers(0, 3 * SLOTS),
+    )
+    def test_intact_records_round_trip_both_layouts(self, payload, index):
+        for integrity in (False, True):
+            record = _build_at(index, payload, integrity=integrity)
+            slot = bytearray(SLOT_SIZE)
+            slot[: len(record)] = record
+            out = _reader()._parse_slot(bytes(slot), index)
+            assert out is not None and bytes(out) == payload
+            assert parse_record(bytes(slot), index, SLOTS) == record
+            assert record_status(bytes(slot), index, SLOTS) == "valid"

@@ -76,6 +76,28 @@ class TestFaultPlan:
         with pytest.raises(ValueError, match="unknown fault kind"):
             FaultAction(at_us=0.0, kind="gremlin")
 
+    def test_from_dict_unknown_kind_names_kind_and_supported_sets(self):
+        import json
+
+        plan = FaultPlan.named("corrupt-5pct", seed=3)
+        payload = json.loads(plan.to_json())
+        payload["actions"][0]["kind"] = "gremlin"
+        with pytest.raises(ValueError) as excinfo:
+            FaultPlan.from_json(json.dumps(payload))
+        message = str(excinfo.value)
+        assert "'gremlin'" in message
+        assert "crash" in message  # scheduled kinds listed
+        assert "corrupt" in message  # window kinds listed
+
+    def test_corruption_presets_round_trip_with_k(self):
+        for name in ("corrupt-5pct", "torn-writes", "corrupt-crash"):
+            plan = FaultPlan.named(name, seed=3)
+            clone = FaultPlan.from_json(plan.to_json())
+            assert clone == plan
+            assert clone.to_json() == plan.to_json()
+        plan = FaultPlan.named("corrupt-5pct", seed=3)
+        assert plan.actions[0].k == 2  # survives the round trip above
+
     def test_window_needs_interval(self):
         with pytest.raises(ValueError, match="until_us > at_us"):
             FaultAction(at_us=5.0, kind="drop", until_us=5.0)
@@ -191,6 +213,73 @@ class TestRdmaWindows:
         completion = run_proc(self.env, proc())
         assert completion.status is WcStatus.SUCCESS
         assert injector.counts() == {}
+
+    def test_corrupt_flips_bytes_but_completes_success(self):
+        injector = self._arm(_window("corrupt"))
+        payload = b"abcdabcd"
+
+        def proc():
+            completion = yield from self.qp.write(self.target, 0, payload)
+            return completion
+
+        completion = run_proc(self.env, proc())
+        # Silent corruption: the sender sees SUCCESS...
+        assert completion.status is WcStatus.SUCCESS
+        landed = bytes(self.target.read(0, len(payload)))
+        # ...but what landed differs in at most k (=1) flipped bits per
+        # byte position, same length.
+        assert landed != payload
+        assert len(landed) == len(payload)
+        differing = [
+            i for i in range(len(payload)) if landed[i] != payload[i]
+        ]
+        assert 1 <= len(differing) <= 1  # default k=1: one flipped byte
+        assert injector.counts() == {"corrupt": 1}
+
+    def test_torn_lands_only_a_prefix(self):
+        injector = self._arm(_window("torn"))
+        payload = b"abcdabcd"
+
+        def proc():
+            completion = yield from self.qp.write(self.target, 0, payload)
+            return completion
+
+        completion = run_proc(self.env, proc())
+        assert completion.status is WcStatus.SUCCESS  # silent again
+        landed = bytes(self.target.read(0, len(payload)))
+        assert landed != payload
+        # Some strict prefix landed; the tail of the region is untouched
+        # (zeros in a fresh region).
+        cuts = [
+            cut for cut in range(1, len(payload))
+            if landed == payload[:cut] + b"\x00" * (len(payload) - cut)
+        ]
+        assert cuts, f"landed bytes {landed!r} are not a torn prefix"
+        assert injector.counts() == {"torn": 1}
+
+    def test_corruption_mutations_are_deterministic(self):
+        def one_run():
+            env = Environment()
+            fabric = Fabric.build(env, 2)
+            target = fabric.nodes["p2"].register("slot", 64)
+            qp = fabric.nodes["p1"].qp_to("p2")
+            injector = _window("corrupt", rate=0.5)
+            injector.arm(_BareCluster(env, fabric=fabric))
+
+            def proc():
+                landed = []
+                for i in range(20):
+                    yield from qp.write(target, 0, b"abcdabcd")
+                    landed.append(bytes(target.read(0, 8)))
+                return landed
+
+            return run_proc(env, proc()), list(injector.log)
+
+        first, first_log = one_run()
+        second, second_log = one_run()
+        assert first == second
+        assert first_log == second_log
+        assert any(b != b"abcdabcd" for b in first)
 
     def test_rate_zero_never_fires(self):
         injector = self._arm(_window("opfail", rate=0.0))
