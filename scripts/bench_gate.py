@@ -45,6 +45,9 @@ SCENARIOS = (
     # quarantine/refetch repairs must stay within tolerance of the
     # healthy path even while 5% of writes land corrupted.
     ("chaos-corrupt-gset", "hamband", "gset", "corrupt-5pct"),
+    # Gates the sharded txn fast path: 4 bankmap shards, all-commuting
+    # payroll mix, committed through the cross-shard coordinator.
+    ("sharded-bank", "hamband", "sharded-bank", None),
 )
 
 OPS = 600
@@ -61,6 +64,7 @@ def measure() -> dict[str, float]:
             total_ops=OPS,
             update_ratio=0.25,
             seed=1,
+            n_shards=4 if workload == "sharded-bank" else 1,
         )
         if plan_name is None:
             result = run_experiment(config)

@@ -15,10 +15,23 @@ from typing import Callable, Optional
 from ..datatypes import SPEC_FACTORIES
 from ..datatypes.orset import orset_spec
 from ..msgpass import MsgCrdtCluster
-from ..runtime import HambandCluster, RuntimeConfig, TraceRecorder
+from ..runtime import (
+    HambandCluster,
+    RuntimeConfig,
+    ShardedCluster,
+    ShardedRecorder,
+    TraceRecorder,
+    TxnCoordinator,
+)
 from ..sim import Environment, FaultInjector, FaultPlan  # noqa: F401
 from ..smr import SmrCluster
-from ..workload import DriverConfig, RunResult, run_workload
+from ..workload import (
+    DriverConfig,
+    RunResult,
+    ShardedDriverConfig,
+    run_sharded_workload,
+    run_workload,
+)
 
 __all__ = [
     "ChaosRun",
@@ -66,6 +79,17 @@ class ExperimentConfig:
     ring_integrity: bool = True
     #: Background scrubber tick; 0 (the default) disables the worker.
     scrub_interval_us: float = 0.0
+    #: Sharded topology: >1 builds a :class:`ShardedCluster` of
+    #: ``n_shards`` independent ``n_nodes``-node shards and drives the
+    #: cross-shard bank workload (hamband-only; ``workload`` is ignored
+    #: in favour of ``bankmap``).
+    n_shards: int = 1
+    #: Fraction of conflicting transfer txns in the sharded workload
+    #: (the rest are all-commuting payroll deposits).
+    txn_mix: float = 0.0
+    #: Negative control: route conflicting txns down the uncoordinated
+    #: path (expect the cross-shard atomicity check to fail).
+    txn_lock_path: bool = True
 
 
 def _build_cluster(env: Environment, config: ExperimentConfig,
@@ -114,10 +138,70 @@ def _driver(config: ExperimentConfig) -> DriverConfig:
     )
 
 
+def _build_sharded(env: Environment, config: ExperimentConfig,
+                   recorder: Optional[ShardedRecorder] = None,
+                   ) -> tuple[ShardedCluster, TxnCoordinator]:
+    """A ``bankmap`` sharded topology plus its txn coordinator."""
+    if config.system != "hamband":
+        raise ValueError(
+            f"sharded topologies run the hamband runtime only, "
+            f"not {config.system!r}"
+        )
+    runtime_config = RuntimeConfig(
+        force_buffered=config.force_buffered,
+        conf_retry_limit=config.conf_retry_limit,
+        full_dep_barrier=config.full_dep_barrier,
+        wire_version=config.wire_version,
+        ring_integrity=config.ring_integrity,
+        scrub_interval_us=config.scrub_interval_us,
+    )
+    sharded = ShardedCluster.build(
+        env,
+        SPEC_FACTORIES["bankmap"](),
+        n_shards=config.n_shards,
+        n_nodes=config.n_nodes,
+        config=runtime_config,
+        shard_probe_factory=(
+            recorder.probe_factory_for if recorder is not None else None
+        ),
+        seed=config.seed,
+    )
+    if recorder is not None:
+        recorder.attach(sharded.coordination)
+    coordinator = TxnCoordinator(
+        sharded, recorder=recorder,
+        lock_path_enabled=config.txn_lock_path,
+    )
+    return sharded, coordinator
+
+
+def _sharded_driver(config: ExperimentConfig) -> ShardedDriverConfig:
+    # total_ops budgets *constituent calls*; the stock txn shapes issue
+    # two calls each, so the txn count halves it.
+    return ShardedDriverConfig(
+        total_txns=max(1, config.total_ops // 2),
+        txn_mix=config.txn_mix,
+        seed=config.seed,
+        system_label=config.system,
+    )
+
+
+def _is_sharded(config: ExperimentConfig) -> bool:
+    # n_shards=1 with the sharded-bank workload still runs the sharded
+    # driver over a one-shard topology: the apples-to-apples baseline
+    # of the shard-count scaling benchmark.
+    return config.n_shards > 1 or config.workload == "sharded-bank"
+
+
 def run_experiment(config: ExperimentConfig) -> RunResult:
     if config.system not in SYSTEMS:
         raise ValueError(f"unknown system {config.system!r}")
     env = Environment()
+    if _is_sharded(config):
+        sharded, coordinator = _build_sharded(env, config)
+        return run_sharded_workload(
+            env, sharded, coordinator, _sharded_driver(config)
+        )
     cluster = _build_cluster(env, config)
     return run_workload(env, cluster, _driver(config))
 
@@ -129,11 +213,23 @@ class TracedRun:
     result: RunResult
     cluster: object
     recorder: TraceRecorder
+    #: The txn coordinator of a sharded run (None for single clusters).
+    coordinator: object = None
 
     def check(self):
-        """Run the offline integrity/convergence checker on the trace."""
-        from ..runtime import TraceChecker
+        """Run the offline integrity/convergence checker on the trace.
 
+        Sharded runs get the per-shard obligations plus the cross-shard
+        atomicity check (:class:`~repro.runtime.ShardedTraceChecker`).
+        """
+        from ..runtime import ShardedTraceChecker, TraceChecker
+
+        if isinstance(self.recorder, ShardedRecorder):
+            checker = ShardedTraceChecker(
+                self.cluster.coordination,
+                n_shards=self.cluster.n_shards,
+            )
+            return checker.check_recorder(self.recorder)
         checker = TraceChecker(
             self.cluster.coordination,
             processes=self.cluster.node_names(),
@@ -157,6 +253,18 @@ def run_traced(config: ExperimentConfig,
             f"system {config.system!r} has no probe seam to trace"
         )
     env = Environment()
+    if _is_sharded(config):
+        recorder = ShardedRecorder(
+            env, n_shards=config.n_shards, capacity=capacity
+        )
+        sharded, coordinator = _build_sharded(env, config, recorder)
+        result = run_sharded_workload(
+            env, sharded, coordinator, _sharded_driver(config)
+        )
+        return TracedRun(
+            result=result, cluster=sharded, recorder=recorder,
+            coordinator=coordinator,
+        )
     recorder = TraceRecorder(env, capacity=capacity)
     cluster = _build_cluster(
         env, config, probe_factory=recorder.probe_factory
@@ -196,22 +304,41 @@ def run_chaos(config: ExperimentConfig, plan: "FaultPlan",
     that the checker rejects (this is what the negative-control test
     relies on).  Background-worker crashes still raise — those are bugs,
     not injected faults.
+
+    Sharded topologies arm the plan against shard 0 only — the victim
+    shard — which is exactly the isolation claim the sharded chaos
+    preset tests: faults inside one shard must not stall commuting
+    transactions on the healthy shards.
     """
     if config.system not in ("hamband", "mu"):
         raise ValueError(
             f"system {config.system!r} has no probe seam to trace"
         )
     env = Environment()
-    recorder = TraceRecorder(env, capacity=capacity)
-    cluster = _build_cluster(
-        env, config, probe_factory=recorder.probe_factory
-    )
-    recorder.attach(cluster.coordination)
-    injector = FaultInjector(plan)
-    injector.arm(cluster)
+    coordinator = None
+    if _is_sharded(config):
+        recorder = ShardedRecorder(
+            env, n_shards=config.n_shards, capacity=capacity
+        )
+        cluster, coordinator = _build_sharded(env, config, recorder)
+        injector = FaultInjector(plan)
+        injector.arm(cluster.shard(0))
+    else:
+        recorder = TraceRecorder(env, capacity=capacity)
+        cluster = _build_cluster(
+            env, config, probe_factory=recorder.probe_factory
+        )
+        recorder.attach(cluster.coordination)
+        injector = FaultInjector(plan)
+        injector.arm(cluster)
     result = None
     try:
-        result = run_workload(env, cluster, _driver(config))
+        if _is_sharded(config):
+            result = run_sharded_workload(
+                env, cluster, coordinator, _sharded_driver(config)
+            )
+        else:
+            result = run_workload(env, cluster, _driver(config))
     except TimeoutError:
         pass  # non-quiescent run: the checker will call the verdict
     # Run past the fault horizon so late restarts/heals fire even when
@@ -229,6 +356,7 @@ def run_chaos(config: ExperimentConfig, plan: "FaultPlan",
         result=result,
         cluster=cluster,
         recorder=recorder,
+        coordinator=coordinator,
         injector=injector,
         plan=plan,
         settled=bool(settled),
@@ -246,8 +374,7 @@ def _settle(env: Environment, cluster, settle_us: float,
     deadline = env.now + settle_us
     stable = 0
     while stable < stable_needed:
-        totals = set(cluster.applied_totals().values())
-        if len(totals) == 1 and cluster.converged():
+        if _totals_agree(cluster) and cluster.converged():
             stable += 1
         else:
             stable = 0
@@ -255,6 +382,18 @@ def _settle(env: Environment, cluster, settle_us: float,
             return False
         yield env.timeout(check_every_us)
     return True
+
+
+def _totals_agree(cluster) -> bool:
+    """Every node at the same applied total — per shard for sharded
+    topologies (different shards legitimately apply different counts)."""
+    shards = getattr(cluster, "shards", None)
+    if shards is not None:
+        return all(
+            len(set(shard.applied_totals().values())) == 1
+            for shard in shards
+        )
+    return len(set(cluster.applied_totals().values())) == 1
 
 
 def run_averaged(config: ExperimentConfig, repeats: int = 3) -> RunResult:

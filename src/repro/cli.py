@@ -13,6 +13,10 @@ Commands:
   records a flight-recorder trace (Chrome ``trace_event`` JSON or
   JSONL); ``--check`` replays the trace through the offline
   integrity/convergence checker (exit code 2 on violations).
+  ``--shards N`` builds a sharded topology and drives the cross-shard
+  bank workload through the commutativity-driven txn coordinator
+  (``--txn-mix`` sets the conflicting-transfer fraction); summaries,
+  ``--stats`` and the checker then group per shard.
 - ``chaos <workload>`` — like ``run``, but with a deterministic fault
   plan armed against the cluster: ``--faults`` names a CI preset
   (crash-leader, partition-minority, lossy-10pct, delay-spike,
@@ -25,7 +29,11 @@ Commands:
   ``--check`` fails); ``--scrub`` additionally runs the background
   scrubber over at-rest ring replicas.  ``--check`` gates the run with
   the trace checker (exit 2 on violations), which is how the CI chaos
-  matrix decides pass/fail.
+  matrix decides pass/fail.  ``--shards N`` runs the sharded bank
+  workload with the plan armed against shard 0 only (the victim
+  shard); the ``shard-isolate`` preset partitions and crash-restarts
+  inside that shard while commuting txns on healthy shards must keep
+  committing.
 """
 
 from __future__ import annotations
@@ -72,6 +80,30 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ops", type=int, default=1200)
     run.add_argument("--update-ratio", type=float, default=0.25)
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="build a sharded topology of N independent shards and "
+        "drive the cross-shard bank workload through the txn "
+        "coordinator (hamband only; the workload name 'sharded-bank' "
+        "implies --shards 1 as the scaling baseline)",
+    )
+    run.add_argument(
+        "--txn-mix",
+        type=float,
+        default=0.0,
+        help="sharded runs: fraction of conflicting transfer txns "
+        "(the rest are all-commuting payroll deposits)",
+    )
+    run.add_argument(
+        "--txn-lock-path",
+        choices=("on", "off"),
+        default="on",
+        help="sharded runs: 'off' routes conflicting txns down the "
+        "uncoordinated path — the negative control (expect --check's "
+        "cross-shard atomicity obligation to fail)",
+    )
     run.add_argument(
         "--fail-node", default=None, help="suspend this node's heartbeat"
     )
@@ -129,13 +161,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workload seed AND (without --faults) the fault-plan seed",
     )
     chaos.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="sharded topology of N shards; fault plans are armed "
+        "against shard 0 only (the victim shard), so e.g. "
+        "'--faults shard-isolate' proves isolated-shard faults do not "
+        "stall commuting txns on the healthy shards",
+    )
+    chaos.add_argument(
+        "--txn-mix",
+        type=float,
+        default=0.0,
+        help="sharded runs: fraction of conflicting transfer txns",
+    )
+    chaos.add_argument(
+        "--txn-lock-path",
+        choices=("on", "off"),
+        default="on",
+        help="sharded runs: 'off' is the atomicity negative control",
+    )
+    chaos.add_argument(
         "--faults",
         metavar="PLAN",
         default=None,
         help="a named CI plan (crash-leader, partition-minority, "
         "lossy-10pct, delay-spike, restart-follower, corrupt-5pct, "
-        "torn-writes, corrupt-crash) or a plan JSON file; omit to "
-        "derive a plan from --seed",
+        "torn-writes, corrupt-crash; shard-isolate with --shards) or "
+        "a plan JSON file; omit to derive a plan from --seed",
     )
     chaos.add_argument(
         "--horizon",
@@ -307,9 +360,40 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 2
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _print_stats(cluster, recorder, phase_table=None) -> None:
+    """Probe snapshots + rollups; sharded runs group output by shard."""
     import json
 
+    print(json.dumps(cluster.stats(), indent=2, default=str))
+    if phase_table is None:
+        return
+    by_shard = getattr(recorder, "phase_histograms_by_shard", None)
+    if by_shard is not None:
+        for label in sorted(by_shard()):
+            print(phase_table(
+                f"{label}: per-phase latency (trace spans)",
+                by_shard()[label],
+            ))
+    else:
+        print(phase_table(
+            "per-phase latency (trace spans)",
+            recorder.phase_histograms(),
+        ))
+
+
+def _print_txn_counters(coordinator) -> None:
+    if coordinator is None:
+        return
+    c = coordinator.counters
+    print(
+        f"txns: commuting={c['txns_commuting']} "
+        f"locked={c['txns_locked']} commits={c['commits']} "
+        f"aborts={c['aborts']} lock_waits={c['lock_waits']} "
+        f"rejected_calls={c['rejected_calls']}"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
     from .bench import (
         ExperimentConfig,
         phase_latency_table,
@@ -331,6 +415,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         fail_node=args.fail_node,
         wire_version=args.wire_version,
+        n_shards=args.shards,
+        txn_mix=args.txn_mix,
+        txn_lock_path=args.txn_lock_path == "on",
     )
     traced = None
     try:
@@ -342,6 +429,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except KeyError:
         print(f"unknown workload {args.workload!r}; try `repro list`")
         return 1
+    except ValueError as exc:
+        print(exc)
+        return 1
     print(result.summary_row())
     if args.per_method:
         for method in sorted(result.per_method):
@@ -351,12 +441,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"p95={series.p95:8.3f}us p99={series.p99:8.3f}us "
                 f"n={series.count}"
             )
+    if traced is not None:
+        _print_txn_counters(traced.coordinator)
     if args.stats:
-        print(json.dumps(traced.cluster.stats(), indent=2, default=str))
-        print(phase_latency_table(
-            "per-phase latency (trace spans)",
-            traced.recorder.phase_histograms(),
-        ))
+        _print_stats(
+            traced.cluster, traced.recorder, phase_table=phase_latency_table
+        )
     if args.trace is not None:
         if args.trace.endswith(".jsonl"):
             count = traced.recorder.export_jsonl(args.trace)
@@ -374,8 +464,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    import json
-
     from .bench import ExperimentConfig, run_chaos
     from .sim import resolve_plan
 
@@ -400,11 +488,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         wire_version=args.wire_version,
         ring_integrity=args.ring_integrity == "on",
         scrub_interval_us=args.scrub_interval_us if args.scrub else 0.0,
+        n_shards=args.shards,
+        txn_mix=args.txn_mix,
+        txn_lock_path=args.txn_lock_path == "on",
     )
     try:
         run = run_chaos(config, plan, capacity=args.trace_capacity)
     except KeyError:
         print(f"unknown workload {args.workload!r}; try `repro list`")
+        return 1
+    except ValueError as exc:
+        print(exc)
         return 1
     if run.result is not None:
         print(run.result.summary_row())
@@ -418,7 +512,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"plan: {plan.name} seed={plan.seed} "
           f"horizon={plan.horizon_us():.0f}us")
     print(f"faults injected: {injected}")
-    probe = run.cluster.stats()["cluster"]["probe"]
+    stats = run.cluster.stats()
+    # Sharded topologies roll up under "global"; single clusters under
+    # "cluster".
+    probe = (stats.get("cluster") or stats["global"])["probe"]
 
     def _total(key: str) -> int:
         return sum((probe.get(key) or {}).values())
@@ -431,6 +528,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"scrub_passes={_total('scrub_passes')}"
     )
     print(f"settled: {'yes' if run.settled else 'NO'}")
+    _print_txn_counters(run.coordinator)
     if args.per_method and run.result is not None:
         for method in sorted(run.result.per_method):
             series = run.result.per_method[method]
@@ -440,7 +538,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 f"n={series.count}"
             )
     if args.stats:
-        print(json.dumps(run.cluster.stats(), indent=2, default=str))
+        _print_stats(run.cluster, run.recorder)
     if args.trace is not None:
         if args.trace.endswith(".jsonl"):
             count = run.recorder.export_jsonl(args.trace)

@@ -16,7 +16,13 @@ the paper's integrity and convergence obligations.
 
 from .applier import ApplyEngine
 from .broadcast import ReliableBroadcast
-from .checker import CheckReport, TraceChecker, Violation
+from .checker import (
+    CheckReport,
+    ShardedCheckReport,
+    ShardedTraceChecker,
+    TraceChecker,
+    Violation,
+)
 from .cluster import HambandCluster
 from .conflict import ConflictCoordinator
 from .control import ControlPlane
@@ -28,7 +34,12 @@ from .node import (
     RuntimeConfig,
     SubmitError,
 )
-from .probe import CountingProbe, RuntimeProbe, rollup_snapshots
+from .probe import (
+    CountingProbe,
+    RuntimeProbe,
+    rollup_node_stats,
+    rollup_snapshots,
+)
 from .ringbuffer import (
     RingCorruptionError,
     RingError,
@@ -37,7 +48,9 @@ from .ringbuffer import (
     ring_region_size,
 )
 from .scrubber import Scrubber
-from .trace import TraceEvent, TraceRecorder, TracingProbe
+from .sharding import ShardedCluster, ShardRouter
+from .trace import ShardedRecorder, TraceEvent, TraceRecorder, TracingProbe
+from .txn import TxnCoordinator, TxnOp, TxnOutcome
 from .transport import RingTransport
 from .summary import SummarySlot, render_summary, slot_size_for
 from .wire import (
@@ -71,6 +84,11 @@ __all__ = [
     "RingWriter",
     "RuntimeConfig",
     "Scrubber",
+    "ShardRouter",
+    "ShardedCheckReport",
+    "ShardedCluster",
+    "ShardedRecorder",
+    "ShardedTraceChecker",
     "StringTable",
     "SubmitError",
     "SummarySlot",
@@ -78,6 +96,9 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "TracingProbe",
+    "TxnCoordinator",
+    "TxnOp",
+    "TxnOutcome",
     "Violation",
     "WireCodec",
     "WireError",
@@ -87,6 +108,7 @@ __all__ = [
     "encode_value",
     "render_summary",
     "ring_region_size",
+    "rollup_node_stats",
     "rollup_snapshots",
     "slot_size_for",
 ]

@@ -29,7 +29,7 @@ from ..core import (
 from ..rdma import Fabric, RdmaConfig
 from ..sim import Environment
 from .node import HambandNode, RuntimeConfig
-from .probe import rollup_snapshots
+from .probe import rollup_node_stats
 
 __all__ = ["HambandCluster"]
 
@@ -121,19 +121,11 @@ class HambandCluster:
         Node names map to ``HambandNode.stats()`` snapshots; the extra
         ``"cluster"`` key aggregates them (counters summed, probe
         counters summed, high-water marks maxed — see
-        :func:`~repro.runtime.probe.rollup_snapshots`) so dashboards
+        :func:`~repro.runtime.probe.rollup_node_stats`) so dashboards
         and tests don't re-implement the aggregation.
         """
         per_node = {name: node.stats() for name, node in self.nodes.items()}
-        per_node["cluster"] = {
-            "counters": rollup_snapshots(
-                {name: {"counters": stats["counters"]}
-                 for name, stats in per_node.items()}
-            ).get("counters", {}),
-            "probe": rollup_snapshots(
-                {name: stats["probe"] for name, stats in per_node.items()}
-            ),
-        }
+        per_node["cluster"] = rollup_node_stats(per_node)
         return per_node
 
     def quiesce(self, total_updates: int, check_every_us: float = 5.0,

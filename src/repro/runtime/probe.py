@@ -22,7 +22,12 @@ from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["CountingProbe", "RuntimeProbe", "rollup_snapshots"]
+__all__ = [
+    "CountingProbe",
+    "RuntimeProbe",
+    "rollup_node_stats",
+    "rollup_snapshots",
+]
 
 
 class RuntimeProbe:
@@ -342,3 +347,30 @@ def rollup_snapshots(snapshots: dict[str, dict[str, Any]],
                     else:
                         merged[key] = merged.get(key, 0) + count
     return rollup
+
+
+def rollup_node_stats(per_node: dict[str, dict[str, Any]],
+                      max_sections: tuple[str, ...] = MAX_SECTIONS,
+                      ) -> dict[str, Any]:
+    """Aggregate ``HambandNode.stats()``-shaped snapshots into one view.
+
+    Each input value is a ``{"counters": ..., "probe": ...}`` dict; the
+    result has the same shape with both sections rolled up by
+    :func:`rollup_snapshots`.  Used for the per-cluster rollup in
+    :meth:`~repro.runtime.HambandCluster.stats` and — because the
+    output shape matches the input shape — again for the global rollup
+    over per-shard rollups in
+    :meth:`~repro.runtime.sharding.ShardedCluster.stats`.
+    """
+    return {
+        "counters": rollup_snapshots(
+            {name: {"counters": stats.get("counters", {})}
+             for name, stats in per_node.items()},
+            max_sections,
+        ).get("counters", {}),
+        "probe": rollup_snapshots(
+            {name: stats.get("probe", {})
+             for name, stats in per_node.items()},
+            max_sections,
+        ),
+    }

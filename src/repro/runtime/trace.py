@@ -38,7 +38,7 @@ import base64
 import itertools
 import json
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Optional, TextIO
 
 from ..workload.metrics import Histogram
@@ -46,6 +46,7 @@ from .probe import CountingProbe
 from .wire import WireError, decode_value, encode_value
 
 __all__ = [
+    "ShardedRecorder",
     "TraceEvent",
     "TracingProbe",
     "TraceRecorder",
@@ -226,11 +227,14 @@ class TraceRecorder:
     """
 
     def __init__(self, env, capacity: int = 65536,
-                 coordination: Any = None):
+                 coordination: Any = None,
+                 seq: Optional[Iterable[int]] = None):
         self.env = env
         self.capacity = capacity
         self.probes: dict[str, TracingProbe] = {}
-        self._seq = itertools.count()
+        #: ``seq`` may be an externally shared counter so several
+        #: recorders (one per shard) interleave into one total order.
+        self._seq = iter(seq) if seq is not None else itertools.count()
         self._gid_cache: dict[str, str] = {}
         self.coordination = None
         if coordination is not None:
@@ -310,6 +314,148 @@ class TraceRecorder:
         return len(events)
 
 
+class ShardedRecorder:
+    """Flight recorder for a :class:`~repro.runtime.ShardedCluster`.
+
+    One :class:`TraceRecorder` per shard — every shard names its nodes
+    ``p1..pn``, so a single recorder's per-node probe table would
+    collide — all drawing sequence numbers from ONE shared counter, so
+    the merged view is still a single total order across the topology.
+
+    On top of the per-shard streams it records ``txn`` events emitted
+    by the cross-shard transaction coordinator: BEGIN / COMMIT / ABORT
+    instants carrying the transaction's classification and the
+    identities of the constituent calls it actually issued
+    (``(shard, method, origin, rid)`` tuples) — the input of the
+    offline cross-shard atomicity check
+    (:class:`~repro.runtime.checker.ShardedTraceChecker`).
+    """
+
+    def __init__(self, env, n_shards: int, capacity: int = 65536):
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._seq = itertools.count()
+        self.shard_recorders = [
+            TraceRecorder(env, capacity=capacity, seq=self._seq)
+            for _ in range(n_shards)
+        ]
+        self._txn_events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._txn_dropped = 0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_recorders)
+
+    def attach(self, coordination: Any) -> "ShardedRecorder":
+        for recorder in self.shard_recorders:
+            recorder.attach(coordination)
+        return self
+
+    def probe_factory_for(self, shard: int) -> Callable[[str], TracingProbe]:
+        """The per-node probe factory for one shard (hand to
+        :meth:`~repro.runtime.ShardedCluster.build` via
+        ``shard_probe_factory``)."""
+        return self.shard_recorders[shard].probe_factory
+
+    # -- txn events ------------------------------------------------------
+
+    def record_txn(self, name: str, txn_id: int, classification: str,
+                   shards: Iterable[int],
+                   issued: Iterable[tuple] = ()) -> None:
+        """Record one transaction lifecycle instant.
+
+        ``name`` is ``BEGIN`` / ``COMMIT`` / ``ABORT``;
+        ``classification`` (``commuting`` / ``locked``) rides in the
+        event's method field, the participating shards in ``gid``, and
+        the issued call identities in ``arg``.
+        """
+        if len(self._txn_events) == self._txn_events.maxlen:
+            self._txn_dropped += 1
+        self._txn_events.append(TraceEvent(
+            seq=next(self._seq),
+            t=self.env.now,
+            node="txn",
+            kind="txn",
+            name=name,
+            method=classification,
+            origin="txn",
+            rid=txn_id,
+            gid="+".join(f"s{index}" for index in sorted(shards)),
+            arg=tuple(tuple(identity) for identity in issued),
+        ))
+
+    # -- views -----------------------------------------------------------
+
+    def shard_events(self) -> dict[int, list[TraceEvent]]:
+        """Per-shard event streams with unprefixed node names (the
+        per-shard checker input)."""
+        return {
+            index: recorder.events()
+            for index, recorder in enumerate(self.shard_recorders)
+        }
+
+    def txn_events(self) -> list[TraceEvent]:
+        return sorted(self._txn_events, key=lambda event: event.seq)
+
+    def events(self) -> list[TraceEvent]:
+        """All shards' events merged, nodes labelled ``s<i>/<node>``,
+        txn instants interleaved — one exportable total order."""
+        merged = [
+            replace(event, node=f"s{index}/{event.node}")
+            for index, recorder in enumerate(self.shard_recorders)
+            for event in recorder.events()
+        ]
+        merged.extend(self._txn_events)
+        merged.sort(key=lambda event: event.seq)
+        return merged
+
+    def dropped(self) -> int:
+        return self._txn_dropped + sum(
+            recorder.dropped() for recorder in self.shard_recorders
+        )
+
+    def nodes(self) -> list[str]:
+        return [
+            f"s{index}/{name}"
+            for index, recorder in enumerate(self.shard_recorders)
+            for name in recorder.nodes()
+        ]
+
+    def phase_histograms(self) -> dict[str, Histogram]:
+        """Phase latencies merged across every shard."""
+        merged: dict[str, Histogram] = {}
+        for recorder in self.shard_recorders:
+            for phase, histogram in recorder.phase_histograms().items():
+                merged.setdefault(phase, Histogram()).merge(histogram)
+        return merged
+
+    def phase_histograms_by_shard(self) -> dict[str, dict[str, Histogram]]:
+        """``{"s0": {...}, ...}`` — one phase table per shard, so
+        multi-shard reports don't interleave into one misleading table."""
+        return {
+            f"s{index}": recorder.phase_histograms()
+            for index, recorder in enumerate(self.shard_recorders)
+            if recorder.probes
+        }
+
+    # -- exports ---------------------------------------------------------
+
+    def export_jsonl(self, path: str) -> int:
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as fp:
+            export_jsonl(events, fp, dropped=self.dropped(),
+                         nodes=self.nodes())
+        return len(events)
+
+    def export_chrome(self, path: str) -> int:
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as fp:
+            json.dump(chrome_trace_dict(events), fp)
+        return len(events)
+
+
 # -- serialization ---------------------------------------------------------
 
 
@@ -347,7 +493,7 @@ def event_to_dict(event: TraceEvent) -> dict[str, Any]:
         record["gid"] = event.gid
     if event.size:
         record["size"] = event.size
-    if event.kind == "rule":
+    if event.kind in ("rule", "txn"):
         scheme, payload = _encode_arg(event.arg)
         record["arg_kind"] = scheme
         record["arg"] = payload
@@ -356,7 +502,7 @@ def event_to_dict(event: TraceEvent) -> dict[str, Any]:
 
 def event_from_dict(record: dict[str, Any]) -> TraceEvent:
     arg = None
-    if record.get("kind") == "rule" and "arg" in record:
+    if record.get("kind") in ("rule", "txn") and "arg" in record:
         arg = _decode_arg(record.get("arg_kind", "wire"), record["arg"])
     return TraceEvent(
         seq=record["seq"],
@@ -508,6 +654,16 @@ def chrome_trace_dict(events: Iterable[TraceEvent]) -> dict[str, Any]:
                     out.append({"ph": "s", **flow})
                 else:
                     out.append({"ph": "t", **flow})
+        elif event.kind == "txn":
+            out.append({
+                "ph": "i", "name": f"TXN:{event.name}", "cat": "txn",
+                "pid": pid, "tid": len(PHASES) + 1, "ts": event.t,
+                "s": "g",  # global scope: a txn spans shards
+                "args": {
+                    "txn": event.rid, "classification": event.method,
+                    "shards": event.gid,
+                },
+            })
         elif event.kind == "fault":
             out.append({
                 "ph": "i", "name": f"FAULT:{event.name}", "cat": "fault",

@@ -15,6 +15,7 @@ from .engine import (
 )
 from .faults import (
     PLAN_NAMES,
+    SHARDED_PLAN_NAMES,
     FaultAction,
     FaultDecision,
     FaultInjector,
@@ -26,6 +27,7 @@ from .rng import SeedSequence
 
 __all__ = [
     "PLAN_NAMES",
+    "SHARDED_PLAN_NAMES",
     "AllOf",
     "AnyOf",
     "Environment",

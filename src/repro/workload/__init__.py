@@ -1,7 +1,19 @@
 """Workload generation, driving, and measurement (paper §5 setup)."""
 
-from .driver import DriverConfig, run_workload
-from .generators import GENERATOR_NAMES, make_generator, setup_calls
+from .driver import (
+    DriverConfig,
+    ShardedDriverConfig,
+    run_sharded_workload,
+    run_workload,
+)
+from .generators import (
+    GENERATOR_NAMES,
+    bank_accounts,
+    make_generator,
+    make_txn_generator,
+    setup_calls,
+    sharded_setup_calls,
+)
 from .metrics import Histogram, LatencySeries, RunResult
 from .openloop import OpenLoopConfig, run_open_loop
 from .visibility import VisibilityReport, visibility_report
@@ -12,11 +24,16 @@ __all__ = [
     "Histogram",
     "LatencySeries",
     "RunResult",
+    "ShardedDriverConfig",
     "VisibilityReport",
     "OpenLoopConfig",
+    "bank_accounts",
     "make_generator",
+    "make_txn_generator",
     "run_open_loop",
+    "run_sharded_workload",
     "run_workload",
     "setup_calls",
+    "sharded_setup_calls",
     "visibility_report",
 ]

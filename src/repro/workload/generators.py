@@ -15,10 +15,24 @@ import itertools
 import random
 from typing import Any, Callable, Iterator
 
-__all__ = ["CallGen", "make_generator", "setup_calls", "GENERATOR_NAMES"]
+__all__ = [
+    "CallGen",
+    "TxnGen",
+    "bank_accounts",
+    "make_generator",
+    "make_txn_generator",
+    "setup_calls",
+    "sharded_setup_calls",
+    "GENERATOR_NAMES",
+]
 
 #: A generator yields (method, arg) forever.
 CallGen = Iterator[tuple[str, Any]]
+
+#: A txn generator yields (kind, [(key, method, arg), ...]) forever;
+#: ``kind`` is "payroll" (all-commuting deposits) or "transfer"
+#: (withdraw src → deposit dst, one conflicting constituent).
+TxnGen = Iterator[tuple[str, list[tuple[str, str, Any]]]]
 
 _ELEMS = [f"k{i}" for i in range(64)]
 _ITEMS = [f"item{i}" for i in range(16)]
@@ -192,6 +206,64 @@ def make_generator(name: str, seed: int, node: str) -> CallGen:
     except KeyError:
         raise ValueError(f"no workload generator named {name!r}") from None
     return factory(random.Random(f"{seed}:{name}:{node}"), node)
+
+
+def bank_accounts(n_accounts: int) -> list[str]:
+    """The account keyspace of the sharded bank workload."""
+    return [f"acct{i}" for i in range(n_accounts)]
+
+
+def make_txn_generator(seed: int, client: str, accounts: list[str],
+                       txn_mix: float = 0.0,
+                       payroll_ops: int = 2) -> TxnGen:
+    """A deterministic per-client cross-shard transaction stream.
+
+    ``txn_mix`` is the fraction of *transfer* transactions (withdraw at
+    the source account, deposit at the destination — the withdraw is
+    the conflicting constituent, so these take the ordered lock/commit
+    path); the rest are *payroll* transactions (``payroll_ops``
+    deposits to distinct accounts — all-commuting, fire-and-forget).
+    Amounts skew far below the prologue balances so transfers rarely
+    overdraw.
+    """
+    if not 0.0 <= txn_mix <= 1.0:
+        raise ValueError(f"txn_mix must be in [0, 1], got {txn_mix}")
+    if len(accounts) < max(2, payroll_ops):
+        raise ValueError("need at least two accounts for transactions")
+    rng = random.Random(f"{seed}:txn:{client}")
+
+    def stream() -> TxnGen:
+        while True:
+            if rng.random() < txn_mix:
+                src, dst = rng.sample(accounts, 2)
+                amount = rng.randrange(1, 6)
+                yield "transfer", [
+                    (src, "withdraw", (src, amount)),
+                    (dst, "deposit", (dst, amount)),
+                ]
+            else:
+                targets = rng.sample(accounts, payroll_ops)
+                yield "payroll", [
+                    (account, "deposit", (account, rng.randrange(5, 15)))
+                    for account in targets
+                ]
+
+    return stream()
+
+
+def sharded_setup_calls(accounts: list[str],
+                        initial_balance: int = 200,
+                        ) -> list[tuple[str, str, Any]]:
+    """Keyed prologue for the sharded bank: open + fund every account.
+
+    Returns ``(key, method, arg)`` triples so the driver can route each
+    call to the key's shard.
+    """
+    calls: list[tuple[str, str, Any]] = []
+    for account in accounts:
+        calls.append((account, "open", account))
+        calls.append((account, "deposit", (account, initial_balance)))
+    return calls
 
 
 def setup_calls(name: str) -> list[tuple[str, Any]]:

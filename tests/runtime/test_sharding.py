@@ -1,0 +1,201 @@
+"""The sharded keyspace: router, facade, recorder, and checker."""
+
+import pytest
+
+from repro.datatypes import bankmap_spec
+from repro.runtime import (
+    ShardedCluster,
+    ShardedRecorder,
+    ShardedTraceChecker,
+    ShardRouter,
+)
+from repro.sim import Environment
+
+
+def build_sharded(n_shards=2, n_nodes=3, recorder=None, seed=0):
+    env = Environment()
+    sharded = ShardedCluster.build(
+        env,
+        bankmap_spec(),
+        n_shards=n_shards,
+        n_nodes=n_nodes,
+        shard_probe_factory=(
+            recorder.probe_factory_for if recorder is not None else None
+        ),
+        seed=seed,
+    )
+    if recorder is not None:
+        recorder.attach(sharded.coordination)
+    return env, sharded
+
+
+class TestShardRouter:
+    def test_deterministic_under_fixed_seed(self):
+        keys = [f"acct{i}" for i in range(100)]
+        a = ShardRouter(4, seed=42)
+        b = ShardRouter(4, seed=42)
+        assert [a.shard_of(k) for k in keys] == [
+            b.shard_of(k) for k in keys
+        ]
+
+    def test_different_seeds_differ(self):
+        keys = [f"acct{i}" for i in range(100)]
+        a = ShardRouter(4, seed=1)
+        b = ShardRouter(4, seed=2)
+        assert [a.shard_of(k) for k in keys] != [
+            b.shard_of(k) for k in keys
+        ]
+
+    def test_every_key_lands_on_a_valid_shard(self):
+        router = ShardRouter(3, seed=7)
+        for key in (f"k{i}" for i in range(200)):
+            assert 0 <= router.shard_of(key) < 3
+
+    def test_pinning_overrides_the_ring(self):
+        router = ShardRouter(4, seed=0)
+        key = "hot-account"
+        natural = router.shard_of(key)
+        pinned = (natural + 1) % 4
+        router.pin(key, pinned)
+        assert router.shard_of(key) == pinned
+        router.unpin(key)
+        assert router.shard_of(key) == natural
+
+    def test_pin_validates_shard_index(self):
+        router = ShardRouter(2, seed=0)
+        with pytest.raises(ValueError):
+            router.pin("k", 2)
+
+    def test_distribution_is_balanced_over_many_keys(self):
+        router = ShardRouter(4, seed=3)
+        keys = [f"key-{i}" for i in range(4000)]
+        dist = router.distribution(keys)
+        assert sum(dist.values()) == len(keys)
+        for shard in range(4):
+            share = dist[shard] / len(keys)
+            # Consistent hashing with 64 vnodes/shard: every shard owns
+            # a meaningful slice, none dominates.
+            assert 0.10 <= share <= 0.45, dist
+
+    def test_single_shard_routes_everything_to_zero(self):
+        router = ShardRouter(1, seed=9)
+        assert {router.shard_of(f"k{i}") for i in range(50)} == {0}
+
+
+class TestShardedClusterFacade:
+    def test_addressing_and_node_names(self):
+        _env, sharded = build_sharded(n_shards=2, n_nodes=3)
+        names = sharded.node_names()
+        assert len(names) == 6
+        assert names[0] == "s0/p1" and names[-1] == "s1/p3"
+        assert sharded.split_address("s1/p2") == (1, "p2")
+        node = sharded.node("s1/p2")
+        assert node is sharded.shard(1).node("p2")
+
+    def test_bad_address_rejected(self):
+        _env, sharded = build_sharded()
+        with pytest.raises(ValueError):
+            sharded.split_address("p1")
+        with pytest.raises(ValueError):
+            sharded.node("s9/p1")
+
+    def test_shards_are_independent_clusters(self):
+        env, sharded = build_sharded(n_shards=2)
+        s0, s1 = sharded.shard(0), sharded.shard(1)
+        assert s0 is not s1
+        done = s0.node("p1").submit("open", "acct-a")
+        env.run(until=done)
+        target = {0: 1, 1: 0}
+        env.run(until=env.process(sharded.quiesce(target)))
+        # The open replicated inside shard 0 only.
+        totals = sharded.applied_totals()
+        assert all(v == 1 for k, v in totals.items() if k.startswith("s0/"))
+        assert all(v == 0 for k, v in totals.items() if k.startswith("s1/"))
+        assert sharded.converged()
+        assert sharded.integrity_holds()
+
+    def test_stats_groups_by_shard_with_global_rollup(self):
+        env, sharded = build_sharded(n_shards=2)
+        done = sharded.shard(0).node("p1").submit("open", "acct-a")
+        env.run(until=done)
+        env.run(until=env.process(sharded.quiesce({0: 1, 1: 0})))
+        stats = sharded.stats()
+        assert set(stats) == {"s0", "s1", "global"}
+        assert "cluster" in stats["s0"]
+        applied = stats["global"]["probe"]["applies"]
+        assert sum(applied.values()) > 0
+
+
+class TestShardedRecorderAndChecker:
+    def test_clean_sharded_trace_checks_ok(self):
+        env = Environment()
+        recorder = ShardedRecorder(env, n_shards=2)
+        sharded = ShardedCluster.build(
+            env, bankmap_spec(), n_shards=2, n_nodes=3,
+            shard_probe_factory=recorder.probe_factory_for,
+        )
+        recorder.attach(sharded.coordination)
+        done = sharded.shard(0).node("p1").submit("open", "acct-a")
+        env.run(until=done)
+        done = sharded.shard(1).node("p1").submit("open", "acct-b")
+        env.run(until=done)
+        env.run(until=env.process(sharded.quiesce({0: 1, 1: 1})))
+        report = ShardedTraceChecker(
+            sharded.coordination, n_shards=2
+        ).check_recorder(recorder)
+        assert report.ok, report.summary()
+        assert report.txns_checked == 0
+        assert set(report.shard_reports) == {0, 1}
+
+    def test_merged_events_carry_shard_prefixed_nodes(self):
+        env = Environment()
+        recorder = ShardedRecorder(env, n_shards=2)
+        sharded = ShardedCluster.build(
+            env, bankmap_spec(), n_shards=2, n_nodes=3,
+            shard_probe_factory=recorder.probe_factory_for,
+        )
+        recorder.attach(sharded.coordination)
+        done = sharded.shard(1).node("p2").submit("open", "acct-z")
+        env.run(until=done)
+        env.run(until=env.process(sharded.quiesce({0: 0, 1: 1})))
+        nodes = {e.node for e in recorder.events() if e.node != "txn"}
+        assert nodes and all(n.startswith(("s0/", "s1/")) for n in nodes)
+        seqs = [e.seq for e in recorder.events()]
+        assert seqs == sorted(seqs)
+
+    def test_phase_histograms_group_by_shard(self):
+        env = Environment()
+        recorder = ShardedRecorder(env, n_shards=2)
+        sharded = ShardedCluster.build(
+            env, bankmap_spec(), n_shards=2, n_nodes=3,
+            shard_probe_factory=recorder.probe_factory_for,
+        )
+        recorder.attach(sharded.coordination)
+        done = sharded.shard(0).node("p1").submit("open", "acct-a")
+        env.run(until=done)
+        env.run(until=env.process(sharded.quiesce({0: 1, 1: 0})))
+        by_shard = recorder.phase_histograms_by_shard()
+        assert set(by_shard) == {"s0", "s1"}
+        assert by_shard["s0"]  # shard 0 saw traffic
+
+    def test_atomicity_violation_when_commit_never_applied(self):
+        env = Environment()
+        recorder = ShardedRecorder(env, n_shards=2)
+        sharded = ShardedCluster.build(
+            env, bankmap_spec(), n_shards=2, n_nodes=3,
+            shard_probe_factory=recorder.probe_factory_for,
+        )
+        recorder.attach(sharded.coordination)
+        done = sharded.shard(0).node("p1").submit("open", "acct-a")
+        env.run(until=done)
+        env.run(until=env.process(sharded.quiesce({0: 1, 1: 0})))
+        # A COMMIT receipt naming a call that no shard ever applied.
+        recorder.record_txn(
+            "COMMIT", txn_id=99, classification="locked",
+            shards=(0, 1), issued=((1, "deposit", "p1", 12345),),
+        )
+        report = ShardedTraceChecker(
+            sharded.coordination, n_shards=2
+        ).check_recorder(recorder)
+        assert not report.ok
+        assert any(v.kind == "atomicity" for v in report.violations)

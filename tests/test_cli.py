@@ -155,3 +155,65 @@ class TestObservability:
         ) == 2
         out = capsys.readouterr().out
         assert "truncated" in out
+
+
+class TestShardedRuns:
+    def test_sharded_run_with_check_and_stats(self, capsys):
+        assert main(
+            ["run", "sharded-bank", "--shards", "2", "--nodes", "3",
+             "--ops", "160", "--txn-mix", "0.25", "--check", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sharded-bank" in out
+        assert "txns:" in out and "commits=" in out
+        # Stats and phase tables group per shard; the checker reports
+        # per-shard obligations plus cross-shard atomicity.
+        assert '"s0"' in out and '"s1"' in out and '"global"' in out
+        assert "s0: per-phase latency" in out
+        assert "s1: per-phase latency" in out
+        assert "s0: trace check:" in out
+        assert "cross-shard atomicity:" in out
+        assert "OK" in out
+
+    def test_sharded_bank_workload_implies_sharded_driver(self, capsys):
+        # Even at --shards 1 (the scaling baseline) the txn driver runs.
+        assert main(
+            ["run", "sharded-bank", "--nodes", "3", "--ops", "80",
+             "--check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cross-shard atomicity:" in out
+
+    def test_sharded_needs_hamband(self, capsys):
+        assert main(
+            ["run", "sharded-bank", "--system", "mu", "--ops", "40"]
+        ) == 1
+        assert "hamband" in capsys.readouterr().out
+
+    def test_sharded_chaos_preset_with_check(self, capsys):
+        assert main(
+            ["chaos", "sharded-bank", "--shards", "2", "--nodes", "3",
+             "--ops", "160", "--txn-mix", "0.25", "--seed", "3",
+             "--faults", "shard-isolate", "--horizon", "700",
+             "--check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan: shard-isolate" in out
+        assert "faults injected:" in out and "crash=1" in out
+        assert "settled: yes" in out
+        assert "txns:" in out
+        assert "cross-shard atomicity:" in out
+
+    def test_negative_control_lock_path_off_fails_check(self, capsys):
+        # Disabling the conflicting-txn lock path must surface under
+        # an all-transfer mix: concurrent unlocked transfers sharing
+        # both shards take effect in opposite per-shard orders, which
+        # the cross-shard ordering obligation rejects.
+        code = main(
+            ["run", "sharded-bank", "--shards", "2", "--nodes", "3",
+             "--ops", "200", "--txn-mix", "1.0", "--seed", "6",
+             "--txn-lock-path", "off", "--check"]
+        )
+        out = capsys.readouterr().out
+        assert code == 2, out
+        assert "atomicity" in out
