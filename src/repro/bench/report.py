@@ -32,13 +32,13 @@ def series_table(title: str, rows: list[tuple[str, RunResult]],
     lines = [f"\n-- {title} --"]
     lines.append(
         f"{'config':34s} {'tput (ops/us)':>14s} {'mean rt (us)':>13s} "
-        f"{'p95 rt (us)':>12s} {'p99 rt (us)':>12s}"
+        f"{'p95 rt (us)':>12s} {'p99 rt (us)':>12s} {'p999 rt (us)':>13s}"
     )
     for label, result in rows:
         lines.append(
             f"{label:34s} {result.throughput_ops_per_us:14.3f} "
             f"{result.mean_response_us:13.3f} {result.latency.p95:12.3f} "
-            f"{result.latency.p99:12.3f}"
+            f"{result.latency.p99:12.3f} {result.latency.p999:13.3f}"
         )
     return "\n".join(lines)
 
@@ -73,7 +73,8 @@ def phase_latency_table(title: str,
     lines = [f"\n-- {title} --"]
     lines.append(
         f"{'phase':12s} {'count':>7s} {'mean (us)':>10s} "
-        f"{'p50 (us)':>9s} {'p95 (us)':>9s} {'p99 (us)':>9s}"
+        f"{'p50 (us)':>9s} {'p95 (us)':>9s} {'p99 (us)':>9s} "
+        f"{'p999 (us)':>10s}"
     )
     ordered = [p for p in PHASE_ORDER if p in phases]
     ordered += sorted(set(phases) - set(PHASE_ORDER))
@@ -84,7 +85,7 @@ def phase_latency_table(title: str,
         lines.append(
             f"{phase:12s} {histogram.count:7d} {histogram.mean:10.3f} "
             f"{histogram.p50:9.3f} {histogram.p95:9.3f} "
-            f"{histogram.p99:9.3f}"
+            f"{histogram.p99:9.3f} {histogram.p999:10.3f}"
         )
     return "\n".join(lines)
 

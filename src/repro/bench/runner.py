@@ -215,6 +215,13 @@ class TracedRun:
     recorder: TraceRecorder
     #: The txn coordinator of a sharded run (None for single clusters).
     coordinator: object = None
+    #: With ``live_check``: the in-run streaming checker and its
+    #: verdict (a :class:`~repro.runtime.CheckReport`).
+    stream_checker: object = None
+    stream_report: object = None
+    #: With ``metrics_out``/``progress``: the telemetry emitter
+    #: (``emitter.samples`` counts the JSONL lines written).
+    emitter: object = None
 
     def check(self):
         """Run the offline integrity/convergence checker on the trace.
@@ -235,18 +242,61 @@ class TracedRun:
             processes=self.cluster.node_names(),
         )
         return checker.check(
-            self.recorder.events(), dropped=self.recorder.dropped()
+            self.recorder.events(), dropped=self.recorder.dropped(),
+            gaps=self.recorder.drop_gaps(),
         )
 
 
+def _instrument(env: Environment, cluster, recorder,
+                live_check: bool, metrics_out, metrics_interval_us: float,
+                progress, label: str):
+    """Attach the in-run streaming checker and/or metrics emitter."""
+    checker = None
+    emitter = None
+    if live_check:
+        from ..runtime import StreamingChecker
+
+        if isinstance(recorder, ShardedRecorder):
+            raise ValueError(
+                "live checking does not support sharded topologies yet "
+                "(use the offline ShardedTraceChecker)"
+            )
+        checker = StreamingChecker(
+            cluster.coordination, processes=cluster.node_names()
+        )
+        recorder.stream_to(checker.feed)
+    if metrics_out is not None or progress is not None:
+        from ..runtime import MetricsEmitter
+
+        emitter = MetricsEmitter(
+            env, cluster=cluster, recorder=recorder, checker=checker,
+            interval_us=metrics_interval_us, out=metrics_out,
+            progress=progress, label=label,
+        ).start()
+    return checker, emitter
+
+
 def run_traced(config: ExperimentConfig,
-               capacity: int = 1 << 20) -> TracedRun:
+               capacity: int = 1 << 20,
+               live_check: bool = False,
+               metrics_out=None,
+               metrics_interval_us: float = 200.0,
+               progress=None) -> TracedRun:
     """Like :func:`run_experiment`, but with a flight recorder installed.
 
     Only the Hamband-runtime systems (``hamband``, ``mu``) expose the
     probe seam; the message-passing baseline has nothing to trace.
     ``capacity`` bounds the per-node event ring buffer — size it to the
-    run (the offline checker refuses truncated traces).
+    run for offline checking (the offline checker refuses truncated
+    traces), or keep it small with ``live_check=True``: the streaming
+    checker taps events as they are recorded, so its verdict covers the
+    whole run even when the ring keeps only a suffix.
+
+    ``metrics_out`` (a path or open file) turns on the periodic
+    :class:`~repro.runtime.MetricsEmitter` sampling probe counters,
+    phase latencies (p50..p999), and checker progress every
+    ``metrics_interval_us`` of sim time; ``progress`` receives a
+    one-line status per sample.
     """
     if config.system not in ("hamband", "mu"):
         raise ValueError(
@@ -257,21 +307,43 @@ def run_traced(config: ExperimentConfig,
         recorder = ShardedRecorder(
             env, n_shards=config.n_shards, capacity=capacity
         )
+        if live_check:
+            raise ValueError(
+                "live checking does not support sharded topologies yet "
+                "(use the offline ShardedTraceChecker)"
+            )
         sharded, coordinator = _build_sharded(env, config, recorder)
+        _checker, emitter = _instrument(
+            env, sharded, recorder, False, metrics_out,
+            metrics_interval_us, progress, config.workload,
+        )
         result = run_sharded_workload(
             env, sharded, coordinator, _sharded_driver(config)
         )
+        if emitter is not None:
+            emitter.close()
         return TracedRun(
             result=result, cluster=sharded, recorder=recorder,
-            coordinator=coordinator,
+            coordinator=coordinator, emitter=emitter,
         )
     recorder = TraceRecorder(env, capacity=capacity)
     cluster = _build_cluster(
         env, config, probe_factory=recorder.probe_factory
     )
     recorder.attach(cluster.coordination)
+    checker, emitter = _instrument(
+        env, cluster, recorder, live_check, metrics_out,
+        metrics_interval_us, progress, config.workload,
+    )
     result = run_workload(env, cluster, _driver(config))
-    return TracedRun(result=result, cluster=cluster, recorder=recorder)
+    stream_report = checker.finish() if checker is not None else None
+    if emitter is not None:
+        emitter.close()
+    return TracedRun(
+        result=result, cluster=cluster, recorder=recorder,
+        stream_checker=checker, stream_report=stream_report,
+        emitter=emitter,
+    )
 
 
 @dataclass
@@ -292,7 +364,11 @@ class ChaosRun(TracedRun):
 
 def run_chaos(config: ExperimentConfig, plan: "FaultPlan",
               capacity: int = 1 << 20,
-              settle_us: float = 200_000.0) -> ChaosRun:
+              settle_us: float = 200_000.0,
+              live_check: bool = False,
+              metrics_out=None,
+              metrics_interval_us: float = 200.0,
+              progress=None) -> ChaosRun:
     """Drive a workload while a :class:`FaultInjector` executes ``plan``.
 
     Builds the traced cluster, arms the injector (scheduled faults fire
@@ -314,6 +390,11 @@ def run_chaos(config: ExperimentConfig, plan: "FaultPlan",
         raise ValueError(
             f"system {config.system!r} has no probe seam to trace"
         )
+    if live_check and _is_sharded(config):
+        raise ValueError(
+            "live checking does not support sharded topologies yet "
+            "(use the offline ShardedTraceChecker)"
+        )
     env = Environment()
     coordinator = None
     if _is_sharded(config):
@@ -331,6 +412,10 @@ def run_chaos(config: ExperimentConfig, plan: "FaultPlan",
         recorder.attach(cluster.coordination)
         injector = FaultInjector(plan)
         injector.arm(cluster)
+    checker, emitter = _instrument(
+        env, cluster, recorder, live_check, metrics_out,
+        metrics_interval_us, progress, config.workload,
+    )
     result = None
     try:
         if _is_sharded(config):
@@ -352,6 +437,9 @@ def run_chaos(config: ExperimentConfig, plan: "FaultPlan",
     crashed = cluster.failures()
     if crashed:
         raise RuntimeError(f"background workers crashed: {crashed}")
+    stream_report = checker.finish() if checker is not None else None
+    if emitter is not None:
+        emitter.close()
     return ChaosRun(
         result=result,
         cluster=cluster,
@@ -360,6 +448,9 @@ def run_chaos(config: ExperimentConfig, plan: "FaultPlan",
         injector=injector,
         plan=plan,
         settled=bool(settled),
+        stream_checker=checker,
+        stream_report=stream_report,
+        emitter=emitter,
     )
 
 

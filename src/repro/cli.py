@@ -142,6 +142,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay the recorded trace through the offline "
         "integrity/convergence checker; exit 2 on violations",
     )
+    _add_live_args(run)
 
     chaos = sub.add_parser(
         "chaos",
@@ -253,7 +254,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="gate the run with the offline trace checker; exit 2 on "
         "violations",
     )
+    _add_live_args(chaos)
     return parser
+
+
+def _add_live_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--live-check",
+        action="store_true",
+        help="verify the run WHILE it executes: a streaming checker "
+        "taps the probes and checks integrity/order/convergence with "
+        "bounded memory (works with a small --trace-capacity); exit 2 "
+        "on violations",
+    )
+    sub.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="emit a live JSONL metrics stream: periodic samples of "
+        "probe counters, per-phase latencies (p50..p999), and checker "
+        "progress",
+    )
+    sub.add_argument(
+        "--metrics-interval-us",
+        type=float,
+        default=200.0,
+        help="metrics sampling interval in sim microseconds "
+        "(default 200)",
+    )
 
 
 def _cmd_list() -> int:
@@ -381,6 +409,41 @@ def _print_stats(cluster, recorder, phase_table=None) -> None:
         ))
 
 
+def _live_progress(enabled: bool):
+    """A terminal status-line callback (stderr, TTY only) plus its
+    end-of-run cleanup."""
+    import sys
+
+    if not enabled or not sys.stderr.isatty():
+        return None, (lambda: None)
+
+    def progress(line: str) -> None:
+        print(f"\r\x1b[2K{line}", end="", file=sys.stderr, flush=True)
+
+    def done() -> None:
+        print(file=sys.stderr)
+
+    return progress, done
+
+
+def _print_live(run) -> bool:
+    """Print the streaming verdict + metrics summary; True when OK."""
+    ok = True
+    if run.stream_report is not None:
+        print(run.stream_report.summary())
+        stats = run.stream_checker.stats()
+        print(
+            f"stream: {stats['events']} events, "
+            f"peak window {stats['peak_window']} call(s), "
+            f"peak retained {stats['peak_retained_events']} event(s), "
+            f"verified through seq {stats['verified_seq']}"
+        )
+        ok = run.stream_report.ok
+    if run.emitter is not None and run.emitter.samples:
+        print(f"metrics: {run.emitter.samples} sample(s)")
+    return ok
+
+
 def _print_txn_counters(coordinator) -> None:
     if coordinator is None:
         return
@@ -401,10 +464,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run_traced,
     )
 
-    instrumented = args.stats or args.trace is not None or args.check
+    instrumented = (
+        args.stats or args.trace is not None or args.check
+        or args.live_check or args.metrics_out is not None
+    )
     if instrumented and args.system == "msg":
-        print("--stats/--trace/--check need the Hamband probe seam; "
-              "the msg baseline has none (use --system hamband or mu)")
+        print("--stats/--trace/--check/--live-check need the Hamband "
+              "probe seam; the msg baseline has none (use --system "
+              "hamband or mu)")
         return 1
     config = ExperimentConfig(
         system=args.system,
@@ -420,9 +487,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         txn_lock_path=args.txn_lock_path == "on",
     )
     traced = None
+    progress, progress_done = _live_progress(
+        args.live_check or args.metrics_out is not None
+    )
     try:
         if instrumented:
-            traced = run_traced(config, capacity=args.trace_capacity)
+            traced = run_traced(
+                config, capacity=args.trace_capacity,
+                live_check=args.live_check,
+                metrics_out=args.metrics_out,
+                metrics_interval_us=args.metrics_interval_us,
+                progress=progress,
+            )
             result = traced.result
         else:
             result = run_experiment(config)
@@ -432,6 +508,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(exc)
         return 1
+    finally:
+        progress_done()
     print(result.summary_row())
     if args.per_method:
         for method in sorted(result.per_method):
@@ -439,7 +517,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(
                 f"  {method:20s} mean={series.mean:8.3f}us "
                 f"p95={series.p95:8.3f}us p99={series.p99:8.3f}us "
-                f"n={series.count}"
+                f"p999={series.p999:8.3f}us n={series.count}"
             )
     if traced is not None:
         _print_txn_counters(traced.coordinator)
@@ -455,12 +533,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dropped = traced.recorder.dropped()
         print(f"trace: {count} events -> {args.trace}"
               + (f" ({dropped} dropped)" if dropped else ""))
+    live_ok = _print_live(traced) if traced is not None else True
+    if args.metrics_out is not None:
+        print(f"metrics -> {args.metrics_out}")
     if args.check:
         report = traced.check()
         print(report.summary())
         if not report.ok:
             return 2
-    return 0
+    return 0 if live_ok else 2
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -492,14 +573,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         txn_mix=args.txn_mix,
         txn_lock_path=args.txn_lock_path == "on",
     )
+    progress, progress_done = _live_progress(
+        args.live_check or args.metrics_out is not None
+    )
     try:
-        run = run_chaos(config, plan, capacity=args.trace_capacity)
+        run = run_chaos(
+            config, plan, capacity=args.trace_capacity,
+            live_check=args.live_check,
+            metrics_out=args.metrics_out,
+            metrics_interval_us=args.metrics_interval_us,
+            progress=progress,
+        )
     except KeyError:
         print(f"unknown workload {args.workload!r}; try `repro list`")
         return 1
     except ValueError as exc:
         print(exc)
         return 1
+    finally:
+        progress_done()
     if run.result is not None:
         print(run.result.summary_row())
     else:
@@ -535,7 +627,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(
                 f"  {method:20s} mean={series.mean:8.3f}us "
                 f"p95={series.p95:8.3f}us p99={series.p99:8.3f}us "
-                f"n={series.count}"
+                f"p999={series.p999:8.3f}us n={series.count}"
             )
     if args.stats:
         _print_stats(run.cluster, run.recorder)
@@ -547,12 +639,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         dropped = run.recorder.dropped()
         print(f"trace: {count} events -> {args.trace}"
               + (f" ({dropped} dropped)" if dropped else ""))
+    live_ok = _print_live(run)
+    if args.metrics_out is not None:
+        print(f"metrics -> {args.metrics_out}")
     if args.check:
         report = run.check()
         print(report.summary())
         if not report.ok:
             return 2
-    return 0
+    return 0 if live_ok else 2
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

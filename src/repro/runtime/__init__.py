@@ -49,6 +49,8 @@ from .ringbuffer import (
 )
 from .scrubber import Scrubber
 from .sharding import ShardedCluster, ShardRouter
+from .stream_checker import CheckpointState, StreamingChecker
+from .telemetry import MetricsEmitter
 from .trace import ShardedRecorder, TraceEvent, TraceRecorder, TracingProbe
 from .txn import TxnCoordinator, TxnOp, TxnOutcome
 from .transport import RingTransport
@@ -66,6 +68,7 @@ from .wire import (
 __all__ = [
     "ApplyEngine",
     "CheckReport",
+    "CheckpointState",
     "ConflictCoordinator",
     "ControlPlane",
     "CountingProbe",
@@ -76,6 +79,7 @@ __all__ = [
     "RingTransport",
     "RuntimeProbe",
     "ImpermissibleError",
+    "MetricsEmitter",
     "NotLeaderError",
     "ReliableBroadcast",
     "RingCorruptionError",
@@ -89,6 +93,7 @@ __all__ = [
     "ShardedCluster",
     "ShardedRecorder",
     "ShardedTraceChecker",
+    "StreamingChecker",
     "StringTable",
     "SubmitError",
     "SummarySlot",

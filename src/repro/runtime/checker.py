@@ -91,6 +91,9 @@ class CheckReport:
     #: Repair tally by corruption classification (``bitflip``,
     #: ``torn``, ``scrub``), from the trace's ``repair`` events.
     repairs: dict[str, int] = field(default_factory=dict)
+    #: Which checker produced this report ("trace check" offline,
+    #: "stream check" for the in-run streaming checker).
+    label: str = "trace check"
 
     @property
     def ok(self) -> bool:
@@ -98,7 +101,7 @@ class CheckReport:
 
     def summary(self) -> str:
         head = (
-            f"trace check: {len(self.nodes)} nodes, "
+            f"{self.label}: {len(self.nodes)} nodes, "
             f"{self.calls_checked} calls, "
             f"{self.applies_checked} applies -> "
             f"{'OK' if self.ok else f'{len(self.violations)} violation(s)'}"
@@ -140,10 +143,12 @@ class TraceChecker:
         return self.check(
             trace.events, dropped=trace.dropped,
             processes=self.processes or trace.nodes,
+            gaps=trace.gaps,
         )
 
     def check(self, events: Iterable[TraceEvent], dropped: int = 0,
-              processes: Optional[Iterable[str]] = None) -> CheckReport:
+              processes: Optional[Iterable[str]] = None,
+              gaps: Iterable[tuple] = ()) -> CheckReport:
         events = sorted(events, key=lambda event: event.seq)
         nodes = sorted(processes or self.processes or {
             event.node for event in events
@@ -269,7 +274,7 @@ class TraceChecker:
 
         self._check_group_orders(report, group_order, chain, nodes)
         self._check_convergence(
-            report, sigma, applied, chain, nodes, dropped
+            report, sigma, applied, chain, nodes, dropped, gaps
         )
         return report
 
@@ -307,12 +312,22 @@ class TraceChecker:
     # -- obligation 3: convergence at quiescence -------------------------
 
     def _check_convergence(self, report, sigma, applied, chain, nodes,
-                           dropped):
+                           dropped, gaps=()):
         if dropped:
+            detail = f"trace dropped {dropped} event(s)"
+            gap_list = [tuple(gap) for gap in gaps]
+            if gap_list:
+                shown = ", ".join(
+                    f"gap at seq {gap[0]}..{gap[1]}"
+                    for gap in gap_list[:5]
+                )
+                if len(gap_list) > 5:
+                    shown += f", … ({len(gap_list)} gaps)"
+                detail += f" — {shown}"
             report.violations.append(Violation(
                 "truncated",
-                f"trace dropped {dropped} event(s): cannot attest "
-                f"convergence (raise the recorder capacity)",
+                detail + ": cannot attest convergence (raise the "
+                "recorder capacity)",
             ))
             return
         union: set[tuple[str, int]] = set()
@@ -419,11 +434,13 @@ class ShardedTraceChecker:
             recorder.shard_events(),
             recorder.txn_events(),
             dropped=recorder.dropped(),
+            gaps=recorder.drop_gaps(),
         )
 
     def check(self, shard_events: dict[int, list[TraceEvent]],
               txn_events: Iterable[TraceEvent],
-              dropped: int = 0) -> ShardedCheckReport:
+              dropped: int = 0,
+              gaps: Iterable[tuple] = ()) -> ShardedCheckReport:
         report = ShardedCheckReport()
         for shard in range(self.n_shards):
             checker = TraceChecker(
@@ -435,10 +452,17 @@ class ShardedTraceChecker:
                 shard_events.get(shard, [])
             )
         if dropped:
+            detail = f"trace dropped {dropped} event(s)"
+            gap_list = [tuple(gap) for gap in gaps]
+            if gap_list:
+                detail += " — " + ", ".join(
+                    f"gap at seq {gap[0]}..{gap[1]}"
+                    for gap in gap_list[:5]
+                )
             report.violations.append(Violation(
                 "truncated",
-                f"trace dropped {dropped} event(s): cannot attest "
-                f"cross-shard atomicity (raise the recorder capacity)",
+                detail + ": cannot attest cross-shard atomicity "
+                "(raise the recorder capacity)",
             ))
         self._check_atomicity(report, shard_events, list(txn_events))
         return report

@@ -35,6 +35,7 @@ attest convergence for a truncated trace).
 from __future__ import annotations
 
 import base64
+import heapq
 import itertools
 import json
 from collections import deque
@@ -52,6 +53,7 @@ __all__ = [
     "TraceRecorder",
     "export_chrome_trace",
     "export_jsonl",
+    "iter_jsonl",
     "load_jsonl",
 ]
 
@@ -120,6 +122,16 @@ class TracingProbe(CountingProbe):
         #: allocation and a deque append per hook.
         self._buffer: deque[tuple] = deque(maxlen=capacity)
         self.dropped = 0
+        #: Overflow episodes as ``[first_seq, last_seq, count]`` — the
+        #: sequence range of evicted events, so consumers can localize
+        #: the gap ("gap at seq N..M") instead of refusing the whole
+        #: trace.  A ring that reached capacity drops continuously, so
+        #: in practice this holds one episode per probe.
+        self.drop_episodes: list[list[int]] = []
+        #: Optional live tap: called with each TraceEvent as recorded
+        #: (see :meth:`TraceRecorder.stream_to`).  Tap consumers see
+        #: every event even when the bounded ring evicts old ones.
+        self.sink: Optional[Callable[[TraceEvent], None]] = None
         self._seq = iter(seq) if seq is not None else itertools.count()
         #: Bound method, hoisted so the hot path skips the ``next()``
         #: builtin lookup (the probe fires on every span/apply/xfer).
@@ -138,11 +150,21 @@ class TracingProbe(CountingProbe):
         buffer = self._buffer
         if len(buffer) == self.capacity:
             self.dropped += 1
+            evicted = buffer[0][0]
+            episodes = self.drop_episodes
+            if episodes:
+                episodes[-1][1] = evicted
+                episodes[-1][2] += 1
+            else:
+                episodes.append([evicted, evicted, 1])
         t = self.clock()
+        seq = self._next_seq()
         buffer.append(
-            (self._next_seq(), t, kind, name, method, origin, rid, gid,
-             size, arg)
+            (seq, t, kind, name, method, origin, rid, gid, size, arg)
         )
+        if self.sink is not None:
+            self.sink(TraceEvent(seq, t, self.node, kind, name, method,
+                                 origin, rid, gid, size, arg))
         return t
 
     def span_begin(self, phase: str, method: str, origin: str,
@@ -187,13 +209,19 @@ class TracingProbe(CountingProbe):
     @property
     def events(self) -> list[TraceEvent]:
         """The buffered events, materialized (oldest first)."""
+        return list(self.iter_events())
+
+    def iter_events(self) -> "Iterable[TraceEvent]":
+        """Lazily materialize the buffered events, oldest first.
+
+        Snapshots the raw ring up front (cheap: tuple refs), so the
+        probe may keep recording while a consumer iterates.
+        """
         node = self.node
-        return [
-            TraceEvent(seq, t, node, kind, name, method, origin, rid,
-                       gid, size, arg)
-            for (seq, t, kind, name, method, origin, rid, gid, size,
-                 arg) in self._buffer
-        ]
+        for (seq, t, kind, name, method, origin, rid, gid, size,
+             arg) in tuple(self._buffer):
+            yield TraceEvent(seq, t, node, kind, name, method, origin,
+                             rid, gid, size, arg)
 
     def snapshot(self) -> dict[str, Any]:
         snapshot = super().snapshot()
@@ -232,6 +260,7 @@ class TraceRecorder:
         self.env = env
         self.capacity = capacity
         self.probes: dict[str, TracingProbe] = {}
+        self._sink: Optional[Callable[[TraceEvent], None]] = None
         #: ``seq`` may be an externally shared counter so several
         #: recorders (one per shard) interleave into one total order.
         self._seq = iter(seq) if seq is not None else itertools.count()
@@ -269,21 +298,59 @@ class TraceRecorder:
             seq=self._seq,
             gid_of=self._gid_of,
         )
+        probe.sink = self._sink
         self.probes[name] = probe
         return probe
+
+    def stream_to(self, sink: Callable[[TraceEvent], None],
+                  replay: bool = True) -> "TraceRecorder":
+        """Tap the live event stream: ``sink`` is called with every
+        event as it is recorded, on every current and future probe.
+
+        With ``replay`` (the default), already-buffered events are
+        delivered first in global order, so a consumer attached
+        mid-run still sees a seq-contiguous stream.  Tap consumers are
+        independent of the bounded ring — a
+        :class:`~repro.runtime.stream_checker.StreamingChecker` fed
+        this way verifies the *complete* run even when the ring keeps
+        only the most recent events.
+        """
+        if replay:
+            for event in self.iter_events():
+                sink(event)
+        self._sink = sink
+        for probe in self.probes.values():
+            probe.sink = sink
+        return self
 
     # -- views -----------------------------------------------------------
 
     def events(self) -> list[TraceEvent]:
         """All nodes' events merged into the global total order."""
-        merged = [
-            event for probe in self.probes.values() for event in probe.events
-        ]
-        merged.sort(key=lambda event: event.seq)
-        return merged
+        return list(self.iter_events())
+
+    def iter_events(self) -> Iterable[TraceEvent]:
+        """Stream all nodes' events in the global total order without
+        materializing the merged trace (each probe's ring is already
+        seq-sorted, so this is a lazy k-way merge)."""
+        return heapq.merge(
+            *(probe.iter_events() for probe in self.probes.values()),
+            key=lambda event: event.seq,
+        )
 
     def dropped(self) -> int:
         return sum(probe.dropped for probe in self.probes.values())
+
+    def drop_gaps(self) -> list[tuple[int, int, int]]:
+        """Ring-overflow gaps as ``(first_seq, last_seq, count)``,
+        merged across probes (nodes share one seq counter, so episodes
+        from different probes may interleave)."""
+        episodes = [
+            episode
+            for probe in self.probes.values()
+            for episode in probe.drop_episodes
+        ]
+        return merge_gap_ranges(episodes)
 
     def nodes(self) -> list[str]:
         return sorted(self.probes)
@@ -299,12 +366,17 @@ class TraceRecorder:
     # -- exports ---------------------------------------------------------
 
     def export_jsonl(self, path: str) -> int:
-        """Write the merged trace as JSON lines; returns the count."""
-        events = self.events()
+        """Stream the merged trace as JSON lines; returns the count.
+
+        Events are written as the lazy merge yields them — the full
+        trace is never materialized — and the bytes are identical to
+        the historical whole-trace exporter's.
+        """
         with open(path, "w", encoding="utf-8") as fp:
-            export_jsonl(events, fp, dropped=self.dropped(),
-                         nodes=self.nodes())
-        return len(events)
+            return export_jsonl(self.iter_events(), fp,
+                                dropped=self.dropped(),
+                                nodes=self.nodes(),
+                                gaps=self.drop_gaps())
 
     def export_chrome(self, path: str) -> int:
         """Write a ``chrome://tracing`` / Perfetto JSON file."""
@@ -343,6 +415,7 @@ class ShardedRecorder:
         ]
         self._txn_events: deque[TraceEvent] = deque(maxlen=capacity)
         self._txn_dropped = 0
+        self._txn_episodes: list[list[int]] = []
 
     @property
     def n_shards(self) -> int:
@@ -373,6 +446,12 @@ class ShardedRecorder:
         """
         if len(self._txn_events) == self._txn_events.maxlen:
             self._txn_dropped += 1
+            evicted = self._txn_events[0].seq
+            if self._txn_episodes:
+                self._txn_episodes[-1][1] = evicted
+                self._txn_episodes[-1][2] += 1
+            else:
+                self._txn_episodes.append([evicted, evicted, 1])
         self._txn_events.append(TraceEvent(
             seq=next(self._seq),
             t=self.env.now,
@@ -416,6 +495,17 @@ class ShardedRecorder:
             recorder.dropped() for recorder in self.shard_recorders
         )
 
+    def drop_gaps(self) -> list[tuple[int, int, int]]:
+        """Ring-overflow gaps across every shard plus the txn ring."""
+        episodes = [list(self._txn_episodes)]
+        episodes += [
+            [list(gap) for gap in recorder.drop_gaps()]
+            for recorder in self.shard_recorders
+        ]
+        return merge_gap_ranges(
+            [gap for group in episodes for gap in group]
+        )
+
     def nodes(self) -> list[str]:
         return [
             f"s{index}/{name}"
@@ -445,9 +535,9 @@ class ShardedRecorder:
     def export_jsonl(self, path: str) -> int:
         events = self.events()
         with open(path, "w", encoding="utf-8") as fp:
-            export_jsonl(events, fp, dropped=self.dropped(),
-                         nodes=self.nodes())
-        return len(events)
+            return export_jsonl(events, fp, dropped=self.dropped(),
+                                nodes=self.nodes(),
+                                gaps=self.drop_gaps())
 
     def export_chrome(self, path: str) -> int:
         events = self.events()
@@ -457,6 +547,24 @@ class ShardedRecorder:
 
 
 # -- serialization ---------------------------------------------------------
+
+
+def merge_gap_ranges(episodes: Iterable[Iterable[int]]
+                     ) -> list[tuple[int, int, int]]:
+    """Merge overlapping/adjacent drop episodes ``[first, last, count]``
+    into sorted disjoint ``(first, last, count)`` ranges."""
+    ranges = sorted(
+        (int(e[0]), int(e[1]), int(e[2]) if len(list(e)) > 2 else 0)
+        for e in (list(e) for e in episodes)
+    )
+    merged: list[list[int]] = []
+    for first, last, count in ranges:
+        if merged and first <= merged[-1][1] + 1:
+            merged[-1][1] = max(merged[-1][1], last)
+            merged[-1][2] += count
+        else:
+            merged.append([first, last, count])
+    return [tuple(gap) for gap in merged]
 
 
 def _encode_arg(arg: Any) -> tuple[str, str]:
@@ -521,21 +629,33 @@ def event_from_dict(record: dict[str, Any]) -> TraceEvent:
 
 def export_jsonl(events: Iterable[TraceEvent], fp: TextIO,
                  dropped: int = 0,
-                 nodes: Optional[list[str]] = None) -> None:
-    """Write one meta line plus one JSON line per event.
+                 nodes: Optional[list[str]] = None,
+                 gaps: Optional[Iterable[Iterable[int]]] = None) -> int:
+    """Write one meta line plus one JSON line per event; returns the
+    event count.
 
-    Output bytes are a pure function of the events (sorted keys, fixed
-    separators), so identical runs export identical files — the trace
-    determinism tests pin this.
+    ``events`` may be any iterable (e.g. the recorder's lazy merge) —
+    it is consumed once, streaming.  Output bytes are a pure function
+    of the events (sorted keys, fixed separators), so identical runs
+    export identical files — the trace determinism tests pin this.
+    ``gaps`` records ring-overflow seq ranges; a lossless trace's meta
+    line carries no ``gaps`` key, keeping historical bytes intact.
     """
-    meta = {
+    if not nodes:
+        events = list(events)
+        nodes = sorted({event.node for event in events})
+    meta: dict[str, Any] = {
         "kind": "meta",
         "version": 1,
         "dropped": dropped,
-        "nodes": nodes or sorted({event.node for event in events}),
+        "nodes": nodes,
     }
+    gap_list = [list(gap) for gap in gaps] if gaps else []
+    if gap_list:
+        meta["gaps"] = gap_list
     fp.write(json.dumps(meta, sort_keys=True, separators=(",", ":")))
     fp.write("\n")
+    count = 0
     for event in events:
         fp.write(
             json.dumps(
@@ -543,6 +663,8 @@ def export_jsonl(events: Iterable[TraceEvent], fp: TextIO,
             )
         )
         fp.write("\n")
+        count += 1
+    return count
 
 
 @dataclass
@@ -552,10 +674,31 @@ class LoadedTrace:
     events: list[TraceEvent] = field(default_factory=list)
     dropped: int = 0
     nodes: list[str] = field(default_factory=list)
+    #: Ring-overflow seq ranges ``(first, last, count)`` from the meta
+    #: line (empty for lossless traces).
+    gaps: list[tuple[int, ...]] = field(default_factory=list)
 
 
 def load_jsonl(path: str) -> LoadedTrace:
     trace = LoadedTrace()
+    for record in iter_jsonl(path):
+        if isinstance(record, dict):
+            trace.dropped = record.get("dropped", 0)
+            trace.nodes = list(record.get("nodes", []))
+            trace.gaps = [tuple(gap) for gap in record.get("gaps", [])]
+            continue
+        trace.events.append(record)
+    if not trace.nodes:
+        trace.nodes = sorted({event.node for event in trace.events})
+    return trace
+
+
+def iter_jsonl(path: str) -> "Iterable[Any]":
+    """Stream a JSONL trace one record at a time with O(1) memory:
+    yields the raw meta dict(s) first (as written), then each
+    :class:`TraceEvent` — the input of
+    :meth:`~repro.runtime.stream_checker.StreamingChecker.check_jsonl`.
+    """
     with open(path, encoding="utf-8") as fp:
         for line in fp:
             line = line.strip()
@@ -563,13 +706,9 @@ def load_jsonl(path: str) -> LoadedTrace:
                 continue
             record = json.loads(line)
             if record.get("kind") == "meta":
-                trace.dropped = record.get("dropped", 0)
-                trace.nodes = list(record.get("nodes", []))
-                continue
-            trace.events.append(event_from_dict(record))
-    if not trace.nodes:
-        trace.nodes = sorted({event.node for event in trace.events})
-    return trace
+                yield record
+            else:
+                yield event_from_dict(record)
 
 
 # -- Chrome trace_event export ---------------------------------------------

@@ -59,6 +59,12 @@ class LatencySeries:
     def p99(self) -> float:
         return self.percentile(0.99)
 
+    @property
+    def p999(self) -> float:
+        """Tail SLO percentile (needs >=1000 samples to differ from
+        max; nearest-rank like the rest)."""
+        return self.percentile(0.999)
+
 
 @dataclass
 class Histogram(LatencySeries):
@@ -102,6 +108,7 @@ class Histogram(LatencySeries):
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
+            "p999": self.p999,
             "max": self.max,
         }
 

@@ -138,6 +138,13 @@ class TestIntegrityNeverLies:
             out = _reader()._parse_slot(bytes(slot), index)
         except RingCorruptionError:
             return  # detected: the quarantine/repair path takes over
+        if record[landed:] == bytes(len(record) - landed):
+            # The lost tail was all zero bytes, so the torn slot is
+            # byte-identical to the fully-landed record (slots are
+            # zero-filled): delivering the original payload is the
+            # only correct answer, for any conceivable parser.
+            assert out is not None and bytes(out) == payload
+            return
         assert out is None, (
             f"torn prefix of {landed}/{len(record)} bytes was delivered"
         )

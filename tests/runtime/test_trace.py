@@ -28,7 +28,9 @@ from repro.runtime.trace import (
     event_from_dict,
     event_to_dict,
     export_jsonl,
+    iter_jsonl,
     load_jsonl,
+    merge_gap_ranges,
 )
 from repro.sim import Environment
 from repro.workload import DriverConfig, run_workload
@@ -260,6 +262,104 @@ class TestExports:
         first, second = export(7), export(7)
         assert first == second
         assert first != export(8)  # the seed actually matters
+
+    def test_streaming_export_matches_materialized_export(self, tmp_path):
+        """recorder.export_jsonl streams, byte-identical to the old path."""
+        recorder, _cluster, _result = run_traced(
+            courseware_spec(), "courseware", total_ops=120
+        )
+        path = tmp_path / "trace.jsonl"
+        recorder.export_jsonl(str(path))
+        buffer = io.StringIO()
+        export_jsonl(recorder.events(), buffer,
+                     dropped=recorder.dropped(), nodes=recorder.nodes())
+        assert path.read_text() == buffer.getvalue()
+
+    def test_iter_jsonl_streams_the_export(self, tmp_path):
+        recorder, _cluster, _result = run_traced(
+            gset_spec(), "gset", total_ops=80
+        )
+        path = tmp_path / "trace.jsonl"
+        recorder.export_jsonl(str(path))
+        metas, events = [], []
+        for item in iter_jsonl(str(path)):
+            (metas if isinstance(item, dict) else events).append(item)
+        assert events == recorder.events()
+        assert any(m.get("dropped") == 0 for m in metas)
+        assert not any("gaps" in m for m in metas)  # clean trace
+
+    def test_clean_export_has_no_gaps_key(self, tmp_path):
+        """byte-compat guard: clean traces serialize exactly as before."""
+        recorder, _cluster, _result = run_traced(
+            gset_spec(), "gset", total_ops=60
+        )
+        path = tmp_path / "trace.jsonl"
+        recorder.export_jsonl(str(path))
+        meta = json.loads(path.read_text().splitlines()[0])
+        assert "gaps" not in meta
+        assert load_jsonl(str(path)).gaps == []
+
+
+class TestDropEpisodes:
+    def test_probe_accounts_evicted_seq_ranges(self):
+        probe = TracingProbe(lambda: 0.0, "p1", capacity=4)
+        for rid in range(10):
+            probe.trace_apply("FREE", "add", "p1", rid)
+        assert probe.dropped == 6
+        assert probe.drop_episodes == [[0, 5, 6]]
+        first, last, count = probe.drop_episodes[0]
+        assert count == last - first + 1 == probe.dropped
+
+    def test_merge_gap_ranges_coalesces_adjacent_spans(self):
+        merged = merge_gap_ranges([[0, 3, 4], [4, 6, 3], [10, 11, 2]])
+        assert merged == [(0, 6, 7), (10, 11, 2)]
+        assert merge_gap_ranges([]) == []
+        # overlap from concurrent probes: counts sum, span unions
+        assert merge_gap_ranges([[5, 9, 5], [7, 12, 6]]) == [(5, 12, 11)]
+
+    def test_recorder_merges_gaps_across_probes(self):
+        recorder, _cluster, _result = run_traced(
+            gset_spec(), "gset", total_ops=300, capacity=256
+        )
+        assert recorder.dropped() > 0
+        gaps = recorder.drop_gaps()
+        assert gaps, "a lossy run must report its gap ranges"
+        assert sum(g[2] for g in gaps) == recorder.dropped()
+        assert all(first <= last for first, last, _count in gaps)
+        # merged output is sorted and disjoint
+        assert all(a[1] < b[0] for a, b in zip(gaps, gaps[1:]))
+
+    def test_lossy_export_round_trips_gaps(self, tmp_path):
+        recorder, _cluster, _result = run_traced(
+            gset_spec(), "gset", total_ops=300, capacity=256
+        )
+        path = tmp_path / "lossy.jsonl"
+        recorder.export_jsonl(str(path))
+        loaded = load_jsonl(str(path))
+        assert loaded.dropped == recorder.dropped()
+        assert loaded.gaps == [tuple(g) for g in recorder.drop_gaps()]
+
+    def test_probe_sink_sees_events_the_ring_drops(self):
+        probe = TracingProbe(lambda: 0.0, "p1", capacity=4)
+        tapped = []
+        probe.sink = tapped.append
+        for rid in range(10):
+            probe.trace_apply("FREE", "add", "p1", rid)
+        assert [event.rid for event in tapped] == list(range(10))
+        assert probe.dropped == 6  # the ring still evicted
+
+    def test_stream_to_replays_buffered_events_in_order(self):
+        recorder, cluster, _result = run_traced(
+            gset_spec(), "gset", total_ops=60
+        )
+        seen = []
+        recorder.stream_to(seen.append)
+        assert seen == recorder.events()
+        # and future events keep flowing through the same tap
+        env = cluster.env
+        env.run(until=cluster.node("p1").submit("add", "tap-probe"))
+        assert len(seen) > len(recorder.events()) - 1
+        assert [e.seq for e in seen] == sorted(e.seq for e in seen)
 
 
 class TestBehaviouralInvariance:

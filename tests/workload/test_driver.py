@@ -13,7 +13,12 @@ from repro.msgpass import MsgCrdtCluster
 from repro.runtime import HambandCluster
 from repro.smr import SmrCluster
 from repro.sim import Environment
-from repro.workload import DriverConfig, LatencySeries, run_workload
+from repro.workload import (
+    DriverConfig,
+    Histogram,
+    LatencySeries,
+    run_workload,
+)
 
 
 def drive(make_cluster, workload, total_ops=240, **config_kwargs):
@@ -214,3 +219,23 @@ class TestLatencySeries:
         assert series.p50 == 50.0
         assert series.p95 == 95.0
         assert series.p99 == 99.0
+
+    def test_p999_nearest_rank(self):
+        series = LatencySeries()
+        for v in range(1, 1001):
+            series.add(float(v))
+        assert series.p999 == 999.0
+        assert series.percentile(0.999) == series.p999
+        # tiny series: p999 degenerates to the max, never out of range
+        small = LatencySeries()
+        small.add(7.0)
+        assert small.p999 == 7.0
+        assert LatencySeries().p999 == 0.0
+
+    def test_histogram_summary_carries_p999(self):
+        histogram = Histogram()
+        for v in range(1, 1001):
+            histogram.add(float(v))
+        summary = histogram.summary()
+        assert summary["p999"] == 999.0
+        assert list(summary).index("p999") > list(summary).index("p99")
