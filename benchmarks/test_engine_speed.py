@@ -1,0 +1,35 @@
+"""Engine dispatch-rate smoke (the ``sim-engine-speed`` gate's shape).
+
+Runs the ``repro.sim.microbench`` event shapes at reduced scale and
+prints the measured dispatch rate.  The hard perf gate lives in
+``scripts/bench_gate.py`` (checked-in baseline, asymmetric wall-clock
+tolerance); this smoke only asserts the harness is healthy — the
+shapes complete, the analytic event counts hold, and the rate is not
+absurdly low — so it stays robust on noisy CI workers.
+"""
+
+from repro.sim.microbench import engine_microbench
+
+
+class TestEngineSpeed:
+    def test_microbench_shapes_complete(self, benchmark, emit):
+        result = benchmark.pedantic(
+            lambda: engine_microbench(scale=0.4, repeats=2),
+            rounds=1, iterations=1,
+        )
+        emit("engine-speed", (
+            f"\n-- engine microbench (scale 0.4) --\n"
+            f"events={result.events} wall={result.wall_s:.3f}s "
+            f"ops/sec={result.ops_per_sec:,.0f}\n"
+            + "\n".join(
+                f"  {name:16s} {count}"
+                for name, count in result.breakdown.items()
+            )
+        ))
+        assert set(result.breakdown) == {
+            "timer-churn", "handoff", "deferred-storm", "drain-apply"
+        }
+        assert result.events == sum(result.breakdown.values())
+        # Two orders of magnitude below any machine we run on: a trip
+        # wire for harness breakage, not a perf gate.
+        assert result.ops_per_sec > 10_000

@@ -17,3 +17,7 @@ fi
 
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -x -q "$@"
+
+echo "== bench gate: engine speed + open-loop SLO =="
+PYTHONPATH=src python scripts/bench_gate.py \
+    --only sim-engine-speed,openloop-slo

@@ -6,21 +6,26 @@ from .report import (
     phase_latency_table,
     ratio_line,
     series_table,
+    serving_table,
+    tenant_table,
 )
 from .runner import (
     ChaosRun,
     ExperimentConfig,
+    ServingRun,
     TracedRun,
     average_results,
     run_averaged,
     run_chaos,
     run_experiment,
+    run_serving,
     run_traced,
 )
 
 __all__ = [
     "ChaosRun",
     "ExperimentConfig",
+    "ServingRun",
     "TracedRun",
     "average_results",
     "fig_header",
@@ -30,6 +35,9 @@ __all__ = [
     "run_averaged",
     "run_chaos",
     "run_experiment",
+    "run_serving",
     "run_traced",
     "series_table",
+    "serving_table",
+    "tenant_table",
 ]

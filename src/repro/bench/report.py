@@ -16,6 +16,8 @@ __all__ = [
     "fig_header",
     "phase_latency_table",
     "series_table",
+    "serving_table",
+    "tenant_table",
     "per_method_table",
     "ratio_line",
 ]
@@ -86,6 +88,49 @@ def phase_latency_table(title: str,
             f"{phase:12s} {histogram.count:7d} {histogram.mean:10.3f} "
             f"{histogram.p50:9.3f} {histogram.p95:9.3f} "
             f"{histogram.p99:9.3f} {histogram.p999:10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def serving_table(title: str, rows: list[tuple[str, RunResult]]) -> str:
+    """Latency-vs-load rows for open-loop serving runs.
+
+    Adds the serving-tier columns the closed-loop table has no use
+    for: dropped arrivals (admission shedding, distinct from rejected
+    calls) and the SLO verdict when the run declared a target.
+    """
+    lines = [f"\n-- {title} --"]
+    lines.append(
+        f"{'config':30s} {'tput (ops/us)':>14s} {'p50 (us)':>9s} "
+        f"{'p99 (us)':>9s} {'p999 (us)':>10s} {'dropped':>8s} "
+        f"{'slo':>5s}"
+    )
+    for label, result in rows:
+        slo = "-"
+        if result.slo is not None:
+            slo = "ok" if result.slo.ok else "MISS"
+        lines.append(
+            f"{label:30s} {result.throughput_ops_per_us:14.3f} "
+            f"{result.latency.p50:9.3f} {result.latency.p99:9.3f} "
+            f"{result.latency.p999:10.3f} {result.dropped_arrivals:8d} "
+            f"{slo:>5s}"
+        )
+    return "\n".join(lines)
+
+
+def tenant_table(title: str, tier) -> str:
+    """Per-tenant admission accounting from a
+    :class:`~repro.workload.SessionTier`."""
+    lines = [f"\n-- {title} --"]
+    lines.append(
+        f"{'tenant':>6s} {'sessions':>9s} {'admitted':>9s} "
+        f"{'dropped':>8s} {'shed %':>7s} {'peak out':>9s}"
+    )
+    for row in tier.tenant_stats():
+        lines.append(
+            f"{row.tenant:6d} {row.sessions:9d} {row.admitted:9d} "
+            f"{row.dropped:8d} {row.shed_fraction:7.2%} "
+            f"{row.peak_outstanding:9d}"
         )
     return "\n".join(lines)
 

@@ -27,19 +27,24 @@ from ..sim import Environment, FaultInjector, FaultPlan  # noqa: F401
 from ..smr import SmrCluster
 from ..workload import (
     DriverConfig,
+    OpenLoopConfig,
     RunResult,
     ShardedDriverConfig,
+    run_open_loop,
     run_sharded_workload,
     run_workload,
 )
+from ..workload.openloop import build_tier
 
 __all__ = [
     "ChaosRun",
     "ExperimentConfig",
+    "ServingRun",
     "TracedRun",
     "average_results",
     "run_chaos",
     "run_experiment",
+    "run_serving",
     "run_traced",
 ]
 
@@ -347,6 +352,70 @@ def run_traced(config: ExperimentConfig,
 
 
 @dataclass
+class ServingRun(TracedRun):
+    """An open-loop serving run with its session tier attached.
+
+    ``result.dropped_arrivals`` counts admission shedding;
+    ``tier.tenant_stats()`` breaks it down per tenant;
+    ``result.slo`` carries attainment when a target was declared.
+    """
+
+    tier: object = None
+    loop: object = None
+
+
+def run_serving(config: ExperimentConfig, loop: OpenLoopConfig,
+                capacity: int = 1 << 20,
+                live_check: bool = False,
+                metrics_out=None,
+                metrics_interval_us: float = 200.0,
+                progress=None) -> ServingRun:
+    """Drive the open-loop serving tier over a traced cluster.
+
+    ``config`` picks the system/topology (hamband or mu, single
+    cluster); ``loop`` shapes the traffic — offered load, arrival
+    curve, session/tenant population, admission caps, SLO target.
+    The loop's workload/seed/label are overridden from ``config`` so
+    one pair of flags can't drift apart.
+    """
+    if config.system not in ("hamband", "mu"):
+        raise ValueError(
+            f"system {config.system!r} has no probe seam to trace"
+        )
+    if _is_sharded(config):
+        raise ValueError(
+            "the serving tier drives single clusters; sharded serving "
+            "is future work"
+        )
+    loop = replace(
+        loop,
+        workload=config.workload,
+        seed=config.seed,
+        system_label=config.system,
+    )
+    env = Environment()
+    recorder = TraceRecorder(env, capacity=capacity)
+    cluster = _build_cluster(
+        env, config, probe_factory=recorder.probe_factory
+    )
+    recorder.attach(cluster.coordination)
+    checker, emitter = _instrument(
+        env, cluster, recorder, live_check, metrics_out,
+        metrics_interval_us, progress, f"serve:{config.workload}",
+    )
+    tier = build_tier(loop, config.n_nodes)
+    result = run_open_loop(env, cluster, loop, tier=tier)
+    stream_report = checker.finish() if checker is not None else None
+    if emitter is not None:
+        emitter.close()
+    return ServingRun(
+        result=result, cluster=cluster, recorder=recorder,
+        stream_checker=checker, stream_report=stream_report,
+        emitter=emitter, tier=tier, loop=loop,
+    )
+
+
+@dataclass
 class ChaosRun(TracedRun):
     """A traced run with a fault injector armed on the cluster.
 
@@ -524,4 +593,5 @@ def average_results(results: list[RunResult]) -> RunResult:
         replicated_us=total_duration,
         latency=merged_latency,
         per_method=merged_methods,
+        dropped_arrivals=sum(r.dropped_arrivals for r in results),
     )

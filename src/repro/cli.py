@@ -17,6 +17,17 @@ Commands:
   bank workload through the commutativity-driven txn coordinator
   (``--txn-mix`` sets the conflicting-transfer fraction); summaries,
   ``--stats`` and the checker then group per shard.
+- ``serve <workload>`` — drive the open-loop serving tier: a large
+  population of lightweight sessions (``--sessions``, array-backed so
+  six-figure counts are fine) issues Poisson arrivals shaped by an
+  arrival curve (``--curve steady|diurnal|burst|flash-crowd``) at an
+  offered load (``--load``, ops/µs time-average).  Per-tenant
+  admission control (``--tenants``, ``--max-outstanding-per-tenant``)
+  sheds overload with accounting; ``--slo-p50/--slo-p99/--slo-p999``
+  declare response-time targets whose attainment is reported (exit
+  code 3 on an SLO miss).  ``--tenant-table`` prints the per-tenant
+  admission rows; ``--live-check``/``--metrics-out``/``--check`` work
+  as for ``run``.
 - ``chaos <workload>`` — like ``run``, but with a deterministic fault
   plan armed against the cluster: ``--faults`` names a CI preset
   (crash-leader, partition-minority, lossy-10pct, delay-spike,
@@ -143,6 +154,102 @@ def _build_parser() -> argparse.ArgumentParser:
         "integrity/convergence checker; exit 2 on violations",
     )
     _add_live_args(run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive the open-loop serving tier (sessions, arrival "
+        "curves, admission control, SLO attainment)",
+    )
+    serve.add_argument("workload")
+    serve.add_argument(
+        "--system", choices=("hamband", "mu"), default="hamband"
+    )
+    serve.add_argument("--nodes", type=int, default=4)
+    serve.add_argument(
+        "--load",
+        type=float,
+        default=1.0,
+        help="aggregate offered load in ops per sim microsecond "
+        "(the time average; the curve shapes the instantaneous rate)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=2000.0,
+        help="arrival window in sim microseconds",
+    )
+    serve.add_argument("--update-ratio", type=float, default=0.25)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument(
+        "--curve",
+        choices=("steady", "diurnal", "burst", "flash-crowd"),
+        default="steady",
+        help="arrival-rate shape over the run (all have unit mean)",
+    )
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=0,
+        help="simulated client sessions (array rows, not processes; "
+        "0 = 64 per node)",
+    )
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=1,
+        help="session groups sharing an admission budget",
+    )
+    serve.add_argument(
+        "--max-outstanding-per-tenant",
+        type=int,
+        default=0,
+        help="admission bound per tenant (0 splits the cluster-wide "
+        "budget evenly)",
+    )
+    serve.add_argument(
+        "--max-outstanding-per-node",
+        type=int,
+        default=64,
+        help="cluster-wide budget: nodes x this bounds total in-flight",
+    )
+    serve.add_argument(
+        "--slo-p50", type=float, default=None, metavar="US",
+        help="declared p50 response-time target in microseconds",
+    )
+    serve.add_argument(
+        "--slo-p99", type=float, default=None, metavar="US",
+        help="declared p99 response-time target in microseconds",
+    )
+    serve.add_argument(
+        "--slo-p999", type=float, default=None, metavar="US",
+        help="declared p999 response-time target in microseconds",
+    )
+    serve.add_argument(
+        "--tenant-table",
+        action="store_true",
+        help="print per-tenant admission accounting after the run",
+    )
+    serve.add_argument("--per-method", action="store_true")
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print tier stats, probe snapshots, and phase latencies",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="export the flight-recorder trace (*.jsonl for JSON "
+        "lines, anything else Chrome trace_event)",
+    )
+    serve.add_argument("--trace-capacity", type=int, default=1 << 20)
+    serve.add_argument(
+        "--check",
+        action="store_true",
+        help="replay the trace through the offline checker; exit 2 on "
+        "violations",
+    )
+    _add_live_args(serve)
 
     chaos = sub.add_parser(
         "chaos",
@@ -544,6 +651,114 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if live_ok else 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .bench import (
+        ExperimentConfig,
+        phase_latency_table,
+        run_serving,
+        tenant_table,
+    )
+    from .workload import OpenLoopConfig, SloTarget
+
+    slo = None
+    if (args.slo_p50, args.slo_p99, args.slo_p999) != (None, None, None):
+        slo = SloTarget(
+            p50_us=args.slo_p50, p99_us=args.slo_p99,
+            p999_us=args.slo_p999,
+        )
+    config = ExperimentConfig(
+        system=args.system,
+        workload=args.workload,
+        n_nodes=args.nodes,
+        update_ratio=args.update_ratio,
+        seed=args.seed,
+    )
+    loop = OpenLoopConfig(
+        workload=args.workload,
+        offered_load_ops_per_us=args.load,
+        duration_us=args.duration,
+        update_ratio=args.update_ratio,
+        seed=args.seed,
+        max_outstanding_per_node=args.max_outstanding_per_node,
+        n_sessions=args.sessions,
+        n_tenants=args.tenants,
+        arrival_curve=args.curve,
+        max_outstanding_per_tenant=args.max_outstanding_per_tenant,
+        slo=slo,
+    )
+    progress, progress_done = _live_progress(
+        args.live_check or args.metrics_out is not None
+    )
+    try:
+        run = run_serving(
+            config, loop, capacity=args.trace_capacity,
+            live_check=args.live_check,
+            metrics_out=args.metrics_out,
+            metrics_interval_us=args.metrics_interval_us,
+            progress=progress,
+        )
+    except KeyError:
+        print(f"unknown workload {args.workload!r}; try `repro list`")
+        return 1
+    except ValueError as exc:
+        print(exc)
+        return 1
+    finally:
+        progress_done()
+    result = run.result
+    print(result.summary_row())
+    tier_stats = run.tier.stats()
+    print(
+        f"sessions: {tier_stats['active_sessions']}/"
+        f"{tier_stats['sessions']} active over "
+        f"{tier_stats['tenants']} tenant(s), curve={args.curve}  "
+        f"admitted={tier_stats['admitted']} "
+        f"dropped={tier_stats['dropped']}"
+    )
+    print(
+        f"latency: p50={result.latency.p50:.1f}us "
+        f"p99={result.latency.p99:.1f}us "
+        f"p999={result.latency.p999:.1f}us"
+    )
+    if result.slo is not None:
+        print(result.slo.summary())
+    if args.tenant_table:
+        print(tenant_table("per-tenant admission", run.tier))
+    if args.per_method:
+        for method in sorted(result.per_method):
+            series = result.per_method[method]
+            print(
+                f"  {method:20s} mean={series.mean:8.3f}us "
+                f"p95={series.p95:8.3f}us p99={series.p99:8.3f}us "
+                f"p999={series.p999:8.3f}us n={series.count}"
+            )
+    if args.stats:
+        _print_stats(
+            run.cluster, run.recorder, phase_table=phase_latency_table
+        )
+    if args.trace is not None:
+        if args.trace.endswith(".jsonl"):
+            count = run.recorder.export_jsonl(args.trace)
+        else:
+            count = run.recorder.export_chrome(args.trace)
+        dropped = run.recorder.dropped()
+        print(f"trace: {count} events -> {args.trace}"
+              + (f" ({dropped} dropped)" if dropped else ""))
+    live_ok = _print_live(run)
+    if args.metrics_out is not None:
+        print(f"metrics -> {args.metrics_out}")
+    if args.check:
+        report = run.check()
+        print(report.summary())
+        if not report.ok:
+            return 2
+    if not live_ok:
+        return 2
+    if result.slo is not None and not result.slo.ok:
+        return 3
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .bench import ExperimentConfig, run_chaos
     from .sim import resolve_plan
@@ -658,6 +873,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_analyze(args)
     if args.command == "explore":
         return _cmd_explore(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     return _cmd_run(args)

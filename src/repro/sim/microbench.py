@@ -1,0 +1,188 @@
+"""Engine hot-path microbenchmark (the ``sim-engine-speed`` gate).
+
+Measures raw discrete-event engine throughput — dispatched events per
+wall-clock second — on the four event shapes the runtime actually
+exercises, weighted toward the drain/apply loop:
+
+- **timer churn**: many concurrent processes sleeping on staggered
+  timeouts (the poll workers, heartbeats, and backoff loops);
+- **handoff**: zero-delay event succeed/resume chains (request
+  submission, Store/Resource grants, quiesce checks);
+- **deferred storm**: ``call_later`` chains (the RDMA fabric applies
+  every in-flight one-sided write at its arrival time this way — it is
+  the single hottest scheduling primitive under load);
+- **drain/apply**: a writer posts batches of deferred deliveries into a
+  ring list while a poller process drains whole runs per wakeup — the
+  shape of ``transport.drain`` + ``applier`` under open-loop traffic.
+
+The event counts are computed analytically from the shape parameters,
+so ``ops/sec = events / wall`` measures the engine, not the benchmark
+harness.  Wall-clock numbers are noisy across machines; the bench gate
+therefore applies an asymmetric tolerance to this scenario (regressions
+gate, speedups never fail).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .engine import Environment
+
+__all__ = ["MicrobenchResult", "engine_microbench"]
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """One microbench measurement."""
+
+    events: int
+    wall_s: float
+    #: Engine dispatches per wall-clock second.
+    ops_per_sec: float
+    #: Per-shape event counts (diagnostics for the gate log).
+    breakdown: dict
+
+
+def _timer_churn(n_procs: int, laps: int) -> int:
+    """Concurrent sleepers on staggered periods; heap discipline."""
+    env = Environment()
+
+    def sleeper(env, period, laps):
+        for _ in range(laps):
+            yield env.timeout(period)
+
+    for i in range(n_procs):
+        env.process(sleeper(env, 1.0 + (i % 7) * 0.25, laps))
+    env.run()
+    # Each lap dispatches one Timeout; process start/termination events
+    # are noise we fold in (n_procs starts + n_procs terminations).
+    return n_procs * laps + 2 * n_procs
+
+
+def _handoff(pairs: int, laps: int) -> int:
+    """Zero-delay succeed/resume ping-pong between process pairs."""
+    env = Environment()
+
+    def ping(env, mailbox, laps):
+        for _ in range(laps):
+            event = env.event()
+            mailbox.append(event)
+            yield env.timeout(0)
+            got = yield event
+            assert got == "pong"
+
+    def pong(env, mailbox, laps):
+        for _ in range(laps):
+            while not mailbox:
+                yield env.timeout(0)
+            mailbox.pop().succeed("pong")
+
+    for _ in range(pairs):
+        mailbox: list = []
+        env.process(ping(env, mailbox, laps))
+        env.process(pong(env, mailbox, laps))
+    env.run()
+    # Per lap: one zero timeout + one event dispatch on the ping side,
+    # >=1 zero timeout on the pong side; starts/terminations extra.
+    return pairs * laps * 3 + 4 * pairs
+
+
+def _deferred_storm(chains: int, depth: int) -> int:
+    """``call_later`` chains — the fabric's deliver-at-arrival idiom."""
+    env = Environment()
+    fired = [0]
+
+    def chain(remaining):
+        fired[0] += 1
+        if remaining:
+            env.call_later(0.5, lambda: chain(remaining - 1))
+
+    for i in range(chains):
+        env.call_later(0.1 * (i % 13), lambda r=depth: chain(r))
+    env.run()
+    assert fired[0] == chains * (depth + 1)
+    return fired[0]
+
+
+def _drain_apply(batches: int, batch: int, poll_us: float = 1.0) -> int:
+    """A writer posts deferred deliveries into a ring list; a poller
+    process drains whole runs per wakeup (transport.drain's shape)."""
+    env = Environment()
+    ring: list = []
+    applied = [0]
+    done = env.event()
+    total = batches * batch
+
+    def writer(env):
+        for b in range(batches):
+            for k in range(batch):
+                record = (b, k)
+                env.call_later(0.2 + 0.01 * k, lambda r=record: ring.append(r))
+            yield env.timeout(1.0)
+
+    def poller(env):
+        while applied[0] < total:
+            if ring:
+                # Drain the whole run, one wakeup.
+                applied[0] += len(ring)
+                del ring[:]
+            yield env.timeout(poll_us)
+        done.succeed()
+
+    env.process(writer(env))
+    env.process(poller(env))
+    env.run(until=done)
+    env.run()
+    assert applied[0] == total
+    # Each record is one deferred dispatch; poller wakeups and writer
+    # laps ride along (counted approximately as batches each).
+    return total + 2 * batches
+
+
+def engine_microbench(scale: float = 1.0,
+                      repeats: int = 3) -> MicrobenchResult:
+    """Run the four shapes, best-of-``repeats`` wall clock.
+
+    ``scale`` multiplies every shape's size; the gate uses 1.0 and the
+    pytest smoke wrapper a fraction of it.
+    """
+    shapes = (
+        ("timer-churn", _timer_churn,
+         (int(400 * scale) or 1, int(250 * scale) or 1)),
+        ("handoff", _handoff,
+         (int(200 * scale) or 1, int(150 * scale) or 1)),
+        ("deferred-storm", _deferred_storm,
+         (int(300 * scale) or 1, int(200 * scale) or 1)),
+        ("drain-apply", _drain_apply,
+         (int(300 * scale) or 1, int(200 * scale) or 1)),
+    )
+    best_wall = float("inf")
+    breakdown: dict = {}
+    events = 0
+    for _ in range(max(1, repeats)):
+        total = 0
+        t0 = time.perf_counter()
+        counts = {}
+        for name, fn, args in shapes:
+            counts[name] = fn(*args)
+            total += counts[name]
+        wall = time.perf_counter() - t0
+        if wall < best_wall:
+            best_wall = wall
+            breakdown = counts
+            events = total
+    return MicrobenchResult(
+        events=events,
+        wall_s=best_wall,
+        ops_per_sec=events / best_wall,
+        breakdown=breakdown,
+    )
+
+
+if __name__ == "__main__":
+    result = engine_microbench()
+    print(f"events={result.events} wall={result.wall_s:.3f}s "
+          f"ops/sec={result.ops_per_sec:,.0f}")
+    for name, count in result.breakdown.items():
+        print(f"  {name:16s} {count}")

@@ -14,23 +14,45 @@ from .generators import (
     setup_calls,
     sharded_setup_calls,
 )
-from .metrics import Histogram, LatencySeries, RunResult
+from .metrics import (
+    Histogram,
+    LatencySeries,
+    RunResult,
+    SloReport,
+    SloTarget,
+    slo_report,
+)
 from .openloop import OpenLoopConfig, run_open_loop
+from .serving import (
+    ARRIVAL_CURVES,
+    SessionTier,
+    TenantStats,
+    curve_peak,
+    curve_rate,
+)
 from .visibility import VisibilityReport, visibility_report
 
 __all__ = [
+    "ARRIVAL_CURVES",
     "DriverConfig",
     "GENERATOR_NAMES",
     "Histogram",
     "LatencySeries",
     "RunResult",
+    "SessionTier",
     "ShardedDriverConfig",
+    "SloReport",
+    "SloTarget",
+    "TenantStats",
     "VisibilityReport",
     "OpenLoopConfig",
     "bank_accounts",
+    "curve_peak",
+    "curve_rate",
     "make_generator",
     "make_txn_generator",
     "run_open_loop",
+    "slo_report",
     "run_sharded_workload",
     "run_workload",
     "setup_calls",

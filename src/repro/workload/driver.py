@@ -19,10 +19,13 @@ requests to the next available node — the paper's §5 methodology.
 
 from __future__ import annotations
 
+import random
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..core import Category
+from ..runtime.errors import ImpermissibleError, NotLeaderError, SubmitError
 from ..sim import Environment
 from .generators import (
     bank_accounts,
@@ -155,9 +158,9 @@ def _client(env, cluster, coordination, name, n_ops, config, state,
     rng_stream = make_generator(
         config.workload, config.seed, f"{name}#{client_index}"
     )
-    import random
-
     rng = random.Random(f"{config.seed}:mix:{name}:{client_index}")
+    # Hoisted out of the per-op loop: the spec's query list is fixed.
+    queries = tuple(_spec_of(cluster).query_names())
     current = name
     fail_after = (
         int(n_ops * config.fail_at_fraction)
@@ -181,7 +184,7 @@ def _client(env, cluster, coordination, name, n_ops, config, state,
         if rng.random() < config.update_ratio:
             method, arg = next(rng_stream)
         else:
-            method, arg = _pick_query(cluster, rng), None
+            method, arg = queries[rng.randrange(len(queries))], None
         issued_at = env.now
         ok = yield from _submit_with_redirect(
             env, cluster, node, method, arg, coordination
@@ -195,28 +198,33 @@ def _client(env, cluster, coordination, name, n_ops, config, state,
                 state.rejected += 1
 
 
+def _spec_of(cluster):
+    """The data-type spec a cluster coordinates (duck-typed)."""
+    coordination = getattr(cluster, "coordination", None)
+    return coordination.spec if coordination is not None else cluster.spec
+
+
 def _pick_query(cluster, rng) -> str:
-    spec = getattr(cluster, "coordination", None)
-    if spec is not None:
-        queries = spec.spec.query_names()
-    else:
-        queries = cluster.spec.query_names()
+    queries = _spec_of(cluster).query_names()
     return queries[rng.randrange(len(queries))]
 
 
 def _is_update(cluster, method: str) -> bool:
-    coordination = getattr(cluster, "coordination", None)
-    spec = coordination.spec if coordination is not None else cluster.spec
-    return method in spec.updates
+    return method in _spec_of(cluster).updates
 
 
 def _submit_with_redirect(env, cluster, node, method, arg,
                           coordination=None):
     """Submit, following leader redirects; returns False on rejection."""
-    from ..runtime import ImpermissibleError, NotLeaderError, SubmitError
-
     # Conflicting calls wait out leader changes (paper §5: they "have to
     # wait until the leader-change protocol elects the new leader").
+    # A method's category is fixed for the run, so decide the
+    # leader-follow question once, not per redirect attempt.
+    follow_leader = (
+        coordination is not None
+        and _is_update(cluster, method)
+        and coordination.category(method) is Category.CONFLICTING
+    )
     target = node
     for _attempt in range(50):
         if getattr(target, "failed", False):
@@ -228,12 +236,7 @@ def _submit_with_redirect(env, cluster, node, method, arg,
             ]
             if live:
                 target = cluster.node(live[0])
-        if (
-            coordination is not None
-            and _is_update(cluster, method)
-            and coordination.category(method) is Category.CONFLICTING
-            and hasattr(target, "current_leader")
-        ):
+        if follow_leader and hasattr(target, "current_leader"):
             leader = target.current_leader(method)
             target = cluster.node(leader)
         try:
@@ -378,8 +381,6 @@ def _txn_client(env, coordinator, accounts, n_txns, config, state,
         config.seed, f"client{client_index}", accounts,
         txn_mix=config.txn_mix, payroll_ops=config.payroll_ops,
     )
-    from collections import deque
-
     from ..runtime import TxnOp
 
     window = max(1, config.max_outstanding)

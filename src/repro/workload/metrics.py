@@ -9,9 +9,18 @@ feed the per-method figures (11b, 13b).
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from typing import Optional
 
-__all__ = ["Histogram", "LatencySeries", "RunResult"]
+__all__ = [
+    "Histogram",
+    "LatencySeries",
+    "RunResult",
+    "SloReport",
+    "SloTarget",
+    "slo_report",
+]
 
 
 @dataclass
@@ -113,6 +122,98 @@ class Histogram(LatencySeries):
         }
 
 
+@dataclass(frozen=True)
+class SloTarget:
+    """Declared response-time targets (µs) per percentile.
+
+    ``None`` leaves that percentile ungated; a target of e.g.
+    ``p99_us=50`` declares "99% of requests complete within 50µs".
+    """
+
+    p50_us: Optional[float] = None
+    p99_us: Optional[float] = None
+    p999_us: Optional[float] = None
+
+    def declared(self) -> dict[str, float]:
+        """The declared ``{"p50": µs, ...}`` targets, omitting Nones."""
+        out = {}
+        if self.p50_us is not None:
+            out["p50"] = self.p50_us
+        if self.p99_us is not None:
+            out["p99"] = self.p99_us
+        if self.p999_us is not None:
+            out["p999"] = self.p999_us
+        return out
+
+
+#: Percentile label -> quantile, for SLO attainment math.
+_QUANTILES = {"p50": 0.50, "p99": 0.99, "p999": 0.999}
+
+
+@dataclass
+class SloReport:
+    """SLO attainment for one run against a declared target.
+
+    For each declared percentile target ``t`` at quantile ``q``:
+
+    - ``achieved[p]`` — the run's actual latency at that percentile;
+    - ``attainment[p]`` — the fraction of requests that completed
+      within ``t`` (so meeting the SLO means ``attainment >= q``);
+    - ``attained[p]`` — that comparison, as the pass/fail verdict.
+    """
+
+    target: SloTarget
+    samples: int
+    achieved: dict[str, float]
+    attainment: dict[str, float]
+    attained: dict[str, bool]
+
+    @property
+    def ok(self) -> bool:
+        """True when every declared percentile target is attained."""
+        return all(self.attained.values())
+
+    def summary(self) -> str:
+        if not self.attained:
+            return "slo: no declared targets"
+        parts = []
+        for label, target_us in self.target.declared().items():
+            verdict = "ok" if self.attained[label] else "MISS"
+            parts.append(
+                f"{label}<={target_us:g}us {verdict} "
+                f"(got {self.achieved[label]:.1f}us, "
+                f"{self.attainment[label]:.2%} within)"
+            )
+        return "slo: " + "  ".join(parts)
+
+
+def slo_report(latency: LatencySeries, target: SloTarget) -> SloReport:
+    """Attainment of ``target`` on a measured latency series.
+
+    Empty series trivially attain (nothing completed late); the serving
+    tier separately accounts dropped arrivals, which are *not* latency
+    samples — shedding is visible in ``dropped_arrivals``, not here.
+    """
+    ordered = sorted(latency.samples)
+    n = len(ordered)
+    achieved: dict[str, float] = {}
+    attainment: dict[str, float] = {}
+    attained: dict[str, bool] = {}
+    for label, target_us in target.declared().items():
+        quantile = _QUANTILES[label]
+        achieved[label] = latency.percentile(quantile)
+        within = bisect_right(ordered, target_us) / n if n else 1.0
+        attainment[label] = within
+        attained[label] = within >= quantile
+    return SloReport(
+        target=target,
+        samples=n,
+        achieved=achieved,
+        attainment=attainment,
+        attained=attained,
+    )
+
+
 @dataclass
 class RunResult:
     """The outcome of one driven experiment run."""
@@ -127,6 +228,13 @@ class RunResult:
     replicated_us: float
     latency: LatencySeries
     per_method: dict[str, LatencySeries]
+    #: Open-loop driving only: arrivals shed by admission control
+    #: (per-tenant or global outstanding caps) before ever reaching a
+    #: node.  Distinct from ``rejected_calls``, which counts calls the
+    #: cluster *refused* (impermissible updates, redirect dead ends).
+    dropped_arrivals: int = 0
+    #: SLO attainment, when the run declared a target.
+    slo: Optional[SloReport] = None
 
     @property
     def duration_us(self) -> float:
@@ -148,9 +256,12 @@ class RunResult:
         return series.mean if series else 0.0
 
     def summary_row(self) -> str:
-        return (
+        row = (
             f"{self.system:10s} {self.workload:14s} n={self.n_nodes} "
             f"tput={self.throughput_ops_per_us:7.3f} ops/us "
             f"rt={self.mean_response_us:8.2f} us "
             f"({self.total_calls} calls, {self.rejected_calls} rejected)"
         )
+        if self.dropped_arrivals:
+            row += f" [{self.dropped_arrivals} dropped]"
+        return row

@@ -1,0 +1,26 @@
+"""Tests for the engine microbench harness (the sim-engine-speed gate)."""
+
+from repro.sim.microbench import MicrobenchResult, engine_microbench
+
+
+class TestMicrobench:
+    def test_shapes_complete_and_counts_add_up(self):
+        result = engine_microbench(scale=0.1, repeats=1)
+        assert isinstance(result, MicrobenchResult)
+        assert set(result.breakdown) == {
+            "timer-churn", "handoff", "deferred-storm", "drain-apply"
+        }
+        assert result.events == sum(result.breakdown.values())
+        assert result.wall_s > 0
+        assert result.ops_per_sec == result.events / result.wall_s
+
+    def test_event_counts_are_analytic(self):
+        # Same scale -> same event totals, independent of wall clock.
+        a = engine_microbench(scale=0.1, repeats=1)
+        b = engine_microbench(scale=0.1, repeats=1)
+        assert a.events == b.events
+        assert a.breakdown == b.breakdown
+
+    def test_tiny_scale_floors_at_one(self):
+        result = engine_microbench(scale=0.0001, repeats=1)
+        assert all(count > 0 for count in result.breakdown.values())

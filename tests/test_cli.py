@@ -217,3 +217,44 @@ class TestShardedRuns:
         out = capsys.readouterr().out
         assert code == 2, out
         assert "atomicity" in out
+
+
+class TestServe:
+    def test_small_serving_run(self, capsys):
+        assert main(
+            ["serve", "counter", "--nodes", "3", "--load", "1.0",
+             "--duration", "300", "--sessions", "2000",
+             "--tenants", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tput=" in out
+        assert "sessions:" in out
+        assert "curve=steady" in out
+        assert "latency: p50=" in out
+
+    def test_slo_verdict_and_exit_codes(self, capsys):
+        assert main(
+            ["serve", "counter", "--load", "1.0", "--duration", "300",
+             "--slo-p99", "50000"]
+        ) == 0
+        assert "slo: p99<=50000us ok" in capsys.readouterr().out
+        # An unattainable target (below any simulated RTT) exits 3.
+        assert main(
+            ["serve", "counter", "--load", "1.0", "--duration", "300",
+             "--slo-p99", "0.0001"]
+        ) == 3
+        assert "MISS" in capsys.readouterr().out
+
+    def test_curve_tenant_table_and_live_check(self, capsys):
+        assert main(
+            ["serve", "counter", "--load", "2.0", "--duration", "300",
+             "--curve", "flash-crowd", "--sessions", "5000",
+             "--tenants", "8", "--tenant-table", "--live-check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-tenant admission" in out
+        assert "shed %" in out
+        assert "stream check:" in out
+
+    def test_unknown_workload_fails(self, capsys):
+        assert main(["serve", "nope", "--duration", "100"]) == 1

@@ -1,15 +1,29 @@
-"""Tests for the open-loop (Poisson) driver."""
+"""Tests for the open-loop (Poisson) driver and the serving tier."""
+
+import math
+import tracemalloc
 
 import pytest
 
 from repro.datatypes import counter_spec, courseware_spec
 from repro.runtime import HambandCluster
 from repro.sim import Environment
-from repro.workload import OpenLoopConfig, run_open_loop
+from repro.workload import (
+    ARRIVAL_CURVES,
+    OpenLoopConfig,
+    SessionTier,
+    SloTarget,
+    curve_peak,
+    curve_rate,
+    run_open_loop,
+    slo_report,
+)
+from repro.workload.metrics import LatencySeries
+from repro.workload.openloop import build_tier
 
 
 def drive(load, duration=800.0, workload="counter", spec=None, n=3,
-          **kwargs):
+          tier=None, **kwargs):
     env = Environment()
     cluster = HambandCluster.build(env, spec or counter_spec(), n_nodes=n)
     config = OpenLoopConfig(
@@ -18,7 +32,7 @@ def drive(load, duration=800.0, workload="counter", spec=None, n=3,
         duration_us=duration,
         **kwargs,
     )
-    return env, cluster, run_open_loop(env, cluster, config)
+    return env, cluster, run_open_loop(env, cluster, config, tier=tier)
 
 
 class TestOpenLoop:
@@ -38,7 +52,11 @@ class TestOpenLoop:
     def test_reproducible_under_seed(self):
         def one():
             _env, _cluster, result = drive(load=2.0, seed=5)
-            return (result.total_calls, result.latency.mean)
+            return (
+                result.total_calls,
+                result.dropped_arrivals,
+                result.latency.mean,
+            )
 
         assert one() == one()
 
@@ -58,4 +76,226 @@ class TestOpenLoop:
             duration=300.0,
             max_outstanding_per_node=1,
         )
-        assert result.rejected_calls > 0
+        # Overload shedding is admission-side accounting, not a
+        # cluster-side rejection: the two counters must not conflate.
+        assert result.dropped_arrivals > 0
+        assert result.rejected_calls == 0
+
+    def test_drop_accounting_is_exact(self):
+        tier = SessionTier(
+            n_sessions=1000, n_tenants=4, n_nodes=3,
+            max_outstanding_per_tenant=1,
+        )
+        _env, _cluster, result = drive(
+            load=30.0,
+            duration=300.0,
+            n_sessions=1000,
+            n_tenants=4,
+            max_outstanding_per_tenant=1,
+            tier=tier,
+        )
+        # Every arrival either completed or was shed; nothing leaks.
+        assert tier.admitted_total == result.total_calls
+        assert tier.dropped_total == result.dropped_arrivals
+        assert tier.admitted_total + tier.dropped_total == sum(
+            row.offered for row in tier.tenant_stats()
+        )
+        assert tier.outstanding_total == 0
+
+    def test_slo_attainment_reported(self):
+        _env, _cluster, result = drive(
+            load=1.0,
+            slo=SloTarget(p99_us=10_000.0, p999_us=50_000.0),
+        )
+        assert result.slo is not None
+        assert result.slo.ok
+        assert result.slo.samples == result.total_calls
+        assert "ok" in result.slo.summary()
+
+
+class TestArrivalCurves:
+    def test_every_curve_has_unit_mean(self):
+        # offered_load is the *time average* for every curve shape.
+        for curve in ARRIVAL_CURVES:
+            steps = 20000
+            mean = math.fsum(
+                curve_rate(curve, (i + 0.5) / steps) for i in range(steps)
+            ) / steps
+            assert mean == pytest.approx(1.0, abs=1e-3), curve
+
+    def test_peak_bounds_the_curve(self):
+        for curve in ARRIVAL_CURVES:
+            peak = curve_peak(curve)
+            assert all(
+                curve_rate(curve, i / 1000) <= peak + 1e-12
+                for i in range(1000)
+            ), curve
+
+    def test_unknown_curve_rejected(self):
+        with pytest.raises(ValueError):
+            curve_rate("square", 0.5)
+        with pytest.raises(ValueError):
+            curve_peak("square")
+
+    def test_steady_curve_hits_configured_rate(self):
+        _env, _cluster, result = drive(load=2.0, duration=1500.0)
+        arrived = result.total_calls + result.dropped_arrivals
+        assert arrived / 1500.0 == pytest.approx(2.0, rel=0.15)
+
+    def test_flash_crowd_concentrates_arrivals_in_window(self):
+        # Drive with huge per-tenant caps so every arrival is admitted
+        # and total_calls reflects the arrival process itself.
+        _env, _cluster, flash = drive(
+            load=2.0,
+            duration=1500.0,
+            arrival_curve="flash-crowd",
+            max_outstanding_per_node=100_000,
+        )
+        arrived = flash.total_calls + flash.dropped_arrivals
+        # Mean preserved: same offered load as steady, ±20%.
+        assert arrived / 1500.0 == pytest.approx(2.0, rel=0.20)
+
+    def test_diurnal_mean_matches_steady(self):
+        _env, _cluster, steady = drive(load=3.0, duration=1200.0)
+        _env, _cluster, diurnal = drive(
+            load=3.0, duration=1200.0, arrival_curve="diurnal"
+        )
+        steady_n = steady.total_calls + steady.dropped_arrivals
+        diurnal_n = diurnal.total_calls + diurnal.dropped_arrivals
+        assert diurnal_n == pytest.approx(steady_n, rel=0.2)
+
+
+class TestSessionTier:
+    def test_admission_bounds_outstanding(self):
+        tier = SessionTier(
+            n_sessions=100, n_tenants=2, n_nodes=3,
+            max_outstanding_per_tenant=3,
+        )
+        admitted = [s for s in range(40) if tier.admit(s)]
+        # Tenant t holds sessions s with s % 2 == t; each bounded at 3.
+        assert len(admitted) == 6
+        assert max(tier.outstanding) == 3
+        assert tier.dropped_total == 40 - 6
+        for session in admitted:
+            tier.complete(session)
+        assert tier.outstanding_total == 0
+        assert tier.admit(0)
+
+    def test_global_cap_overrides_tenant_budget(self):
+        tier = SessionTier(
+            n_sessions=100, n_tenants=10, n_nodes=1,
+            max_outstanding_per_tenant=100,
+            max_outstanding_total=5,
+        )
+        admitted = sum(tier.admit(s) for s in range(50))
+        assert admitted == 5
+        assert tier.dropped_total == 45
+
+    def test_per_tenant_stats_rows(self):
+        tier = SessionTier(
+            n_sessions=10, n_tenants=3, n_nodes=2,
+            max_outstanding_per_tenant=1,
+        )
+        for s in (0, 1, 2, 3):  # tenants 0,1,2,0 — last one shed
+            tier.admit(s)
+        rows = tier.tenant_stats()
+        assert [row.sessions for row in rows] == [4, 3, 3]
+        assert [row.admitted for row in rows] == [1, 1, 1]
+        assert [row.dropped for row in rows] == [1, 0, 0]
+        assert rows[0].shed_fraction == pytest.approx(0.5)
+        assert tier.stats()["active_sessions"] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionTier(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            SessionTier(4, 8, 1, 1)
+
+    def test_build_tier_preserves_legacy_budget(self):
+        config = OpenLoopConfig(
+            workload="counter", max_outstanding_per_node=64
+        )
+        tier = build_tier(config, n_nodes=3)
+        assert tier.max_outstanding_per_tenant == 64 * 3
+        assert tier.max_outstanding_total == 64 * 3
+
+    def test_tier_node_mismatch_rejected(self):
+        tier = SessionTier(10, 1, 5, 4)
+        with pytest.raises(ValueError):
+            drive(load=0.5, duration=100.0, n=3, tier=tier)
+
+    def test_100k_sessions_within_memory_budget(self):
+        # Sessions are array rows, not objects: 100k sessions must fit
+        # in single-digit MB and the run must stay allocation-bounded.
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        tier = SessionTier(
+            n_sessions=100_000, n_tenants=16, n_nodes=3,
+            max_outstanding_per_tenant=32,
+        )
+        after, _ = tracemalloc.get_traced_memory()
+        assert after - before < 2_000_000  # ~0.4MB slab + slack
+        _env, _cluster, result = drive(
+            load=10.0,
+            duration=400.0,
+            n_sessions=100_000,
+            n_tenants=16,
+            max_outstanding_per_tenant=32,
+            tier=tier,
+        )
+        _, run_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert result.total_calls > 1000
+        assert tier.active_sessions > 1000
+        assert run_peak < 60_000_000  # the whole driven run, bounded
+
+
+class TestSloMath:
+    def series(self, values):
+        return LatencySeries(samples=list(values))
+
+    def test_attainment_on_synthetic_series(self):
+        # 1..1000µs uniform: 990 of 1000 samples are <= 990µs.
+        latency = self.series(float(v) for v in range(1, 1001))
+        report = slo_report(latency, SloTarget(p99_us=990.0))
+        assert report.attainment["p99"] == pytest.approx(0.990)
+        assert report.attained["p99"]
+        assert report.achieved["p99"] == 990.0
+        assert report.ok
+
+    def test_miss_detected(self):
+        latency = self.series(float(v) for v in range(1, 1001))
+        report = slo_report(latency, SloTarget(p99_us=900.0))
+        assert report.attainment["p99"] == pytest.approx(0.900)
+        assert not report.attained["p99"]
+        assert not report.ok
+        assert "MISS" in report.summary()
+
+    def test_boundary_sample_counts_as_within(self):
+        latency = self.series([1.0, 2.0, 3.0, 4.0])
+        report = slo_report(latency, SloTarget(p50_us=2.0))
+        assert report.attainment["p50"] == pytest.approx(0.5)
+        assert report.attained["p50"]
+
+    def test_p999_needs_the_tail(self):
+        samples = [1.0] * 999 + [1000.0]
+        report = slo_report(
+            self.series(samples), SloTarget(p999_us=500.0)
+        )
+        assert report.attainment["p999"] == pytest.approx(0.999)
+        assert report.attained["p999"]
+        report = slo_report(
+            self.series(samples + [1000.0]), SloTarget(p999_us=500.0)
+        )
+        assert not report.attained["p999"]
+
+    def test_empty_series_trivially_attains(self):
+        report = slo_report(self.series([]), SloTarget(p99_us=1.0))
+        assert report.ok
+        assert report.samples == 0
+
+    def test_undeclared_targets_ignored(self):
+        report = slo_report(self.series([5.0]), SloTarget())
+        assert report.ok
+        assert report.summary() == "slo: no declared targets"
+        assert SloTarget(p99_us=7.0).declared() == {"p99": 7.0}
