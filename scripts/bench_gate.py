@@ -99,6 +99,38 @@ def _openloop_slo() -> float:
     return run.result.throughput_ops_per_us
 
 
+def _state_transfer() -> float:
+    """State-transfer gate: time-to-parity for an elastic scale-out.
+
+    A node joins a 3-node gset cluster holding ~400 committed updates;
+    the metric is transferred calls per sim microsecond from
+    ``add_node()`` until the joiner's applied total reaches the
+    incumbents' — the authoritative bulk-read path staying fast IS the
+    scale-out latency story, so it gates like the protocol scenarios
+    (deterministic sim time, symmetric tolerance)."""
+    from repro.datatypes import gset_spec
+    from repro.runtime import HambandCluster
+    from repro.sim import Environment
+
+    env = Environment()
+    cluster = HambandCluster.build(env, gset_spec(), n_nodes=3)
+    total = 400
+    for i in range(total):
+        cluster.node(f"p{1 + i % 3}").submit("add", f"k{i}")
+        env.run(until=env.now + 5.0)
+    env.run(until=env.process(cluster.quiesce(total)))
+    start = env.now
+    cluster.add_node("p4")
+    deadline = start + 1_000_000.0
+    while cluster.node("p4").applied_total() < total:
+        if env.now > deadline:
+            raise SystemExit("state-transfer: joiner never reached parity")
+        env.run(until=env.now + 50.0)
+    if cluster.failures():
+        raise SystemExit(f"state-transfer: {cluster.failures()}")
+    return total / (env.now - start)
+
+
 def _engine_speed() -> float:
     """Raw engine dispatch rate (wall clock, events/sec)."""
     from repro.sim.microbench import engine_microbench
@@ -134,6 +166,8 @@ def measure(only: set[str] | None = None) -> dict[str, float]:
         measured[key] = result.throughput_ops_per_us
     if only is None or "openloop-slo" in only:
         measured["openloop-slo"] = _openloop_slo()
+    if only is None or "state-transfer" in only:
+        measured["state-transfer"] = _state_transfer()
     if only is None or "sim-engine-speed" in only:
         measured["sim-engine-speed"] = _engine_speed()
     return measured
@@ -169,7 +203,7 @@ def main() -> int:
     if args.only is not None:
         only = {key.strip() for key in args.only.split(",") if key.strip()}
         known = {key for key, *_ in SCENARIOS}
-        known.update(("openloop-slo", "sim-engine-speed"))
+        known.update(("openloop-slo", "sim-engine-speed", "state-transfer"))
         unknown = only - known
         if unknown:
             print(f"unknown scenario(s): {', '.join(sorted(unknown))}")

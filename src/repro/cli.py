@@ -44,7 +44,10 @@ Commands:
   workload with the plan armed against shard 0 only (the victim
   shard); the ``shard-isolate`` preset partitions and crash-restarts
   inside that shard while commuting txns on healthy shards must keep
-  committing.
+  committing.  The elastic-membership presets (``scale-out-partition``,
+  ``scale-in-leader``) join/remove nodes mid-run through the
+  authoritative state-transfer path; ``run --scale-out-at US`` does a
+  plain scale-out without any other fault.
 """
 
 from __future__ import annotations
@@ -117,6 +120,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--fail-node", default=None, help="suspend this node's heartbeat"
+    )
+    run.add_argument(
+        "--scale-out-at",
+        type=float,
+        default=None,
+        metavar="US",
+        help="elastic scale-out: join a fresh node (p<nodes+1>) into "
+        "the running cluster at this sim time; the joiner bulk-reads "
+        "committed state from authoritative copies and must converge "
+        "(hamband/mu only; implies tracing)",
     )
     run.add_argument(
         "--wire-version",
@@ -295,7 +308,8 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="a named CI plan (crash-leader, partition-minority, "
         "lossy-10pct, delay-spike, restart-follower, corrupt-5pct, "
-        "torn-writes, corrupt-crash; shard-isolate with --shards) or "
+        "torn-writes, corrupt-crash; shard-isolate with --shards; "
+        "membership: scale-out-partition, scale-in-leader) or "
         "a plan JSON file; omit to derive a plan from --seed",
     )
     chaos.add_argument(
@@ -574,11 +588,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     instrumented = (
         args.stats or args.trace is not None or args.check
         or args.live_check or args.metrics_out is not None
+        or args.scale_out_at is not None
     )
     if instrumented and args.system == "msg":
-        print("--stats/--trace/--check/--live-check need the Hamband "
-              "probe seam; the msg baseline has none (use --system "
-              "hamband or mu)")
+        print("--stats/--trace/--check/--live-check/--scale-out-at need "
+              "the Hamband probe seam; the msg baseline has none (use "
+              "--system hamband or mu)")
         return 1
     config = ExperimentConfig(
         system=args.system,
@@ -598,7 +613,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.live_check or args.metrics_out is not None
     )
     try:
-        if instrumented:
+        if args.scale_out_at is not None:
+            # A scale-out is a one-action membership plan driven by the
+            # chaos harness (it already knows how to run past the event
+            # and wait for the joiner to reach parity).
+            from .bench import run_chaos
+            from .sim import FaultAction, FaultPlan
+
+            plan = FaultPlan(
+                seed=args.seed,
+                name="scale-out",
+                actions=(FaultAction(
+                    at_us=args.scale_out_at,
+                    kind="join",
+                    target=f"node:p{args.nodes + 1}",
+                ),),
+            )
+            traced = run_chaos(
+                config, plan, capacity=args.trace_capacity,
+                live_check=args.live_check,
+                metrics_out=args.metrics_out,
+                metrics_interval_us=args.metrics_interval_us,
+                progress=progress,
+            )
+            result = traced.result
+        elif instrumented:
             traced = run_traced(
                 config, capacity=args.trace_capacity,
                 live_check=args.live_check,
@@ -617,8 +656,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 1
     finally:
         progress_done()
-    print(result.summary_row())
-    if args.per_method:
+    if result is not None:
+        print(result.summary_row())
+    else:
+        print(f"{args.system:10s} {args.workload:14s} n={args.nodes} "
+              "did not quiesce before the driver timeout")
+    if args.scale_out_at is not None:
+        # Sharded runs arm the plan against shard 0 (the scaled shard).
+        scaled = getattr(traced.cluster, "shards", [traced.cluster])[0]
+        joined = sorted(set(scaled.node_names()) - set(scaled.founding))
+        print(f"scale-out: joined {', '.join(joined) or '(none)'} "
+              f"at {args.scale_out_at:.0f}us, "
+              f"epoch v{scaled.epoch.version}")
+    if args.per_method and result is not None:
         for method in sorted(result.per_method):
             series = result.per_method[method]
             print(

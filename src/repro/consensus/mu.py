@@ -90,6 +90,13 @@ class MuGroup:
         self.members = sorted(members)
         self.leader = initial_leader
         self.term = 0
+        #: The term at which the *current* leader assumed power.  A
+        #: node's own ``term`` can run ahead of it (failed campaigns
+        #: bump the term without changing leaders); ``who_leads``
+        #: replies carry this value, so second-hand leader knowledge is
+        #: always dated by the leadership it describes, never by the
+        #: relayer's possibly-inflated term.
+        self.leader_term = 0
         self.config = config
         self.region_name = region_name
         self._control_send = control_send
@@ -106,6 +113,10 @@ class MuGroup:
         self._ack_stores: dict[int, Store] = {}
         #: Count of decided records (leader's own tally).
         self.decided = 0
+        #: One-shot flag armed by :meth:`expect_authoritative_leader`:
+        #: the next ``leader_is`` reply is accepted even at an older
+        #: term (see the method's docstring for why that is safe).
+        self._resync_leader_pending = False
 
     def _init_writers(self, start_tail: int) -> None:
         self._writers = {}
@@ -218,6 +229,7 @@ class MuGroup:
             if term <= self.term and candidate != self.leader:
                 return None  # stale campaign
             self.term = term
+            self.leader_term = max(self.leader_term, term)
             self._accept_leader(candidate)
             return ("vote_ack", self.gid, term, self.node.name)
         if kind == "vote_ack":
@@ -227,15 +239,53 @@ class MuGroup:
                 store.put(voter)
             return None
         if kind == "who_leads":
-            # Leader discovery for rejoining/deposed nodes.
-            return ("leader_is", self.gid, self.term, self.leader)
+            # Leader discovery for rejoining/deposed nodes.  The reply
+            # is dated by the *leadership* term, not the replier's own
+            # term — a node that merely heard of the leader second-hand
+            # must not re-announce it with a fresher date (that would
+            # launder a stale claim into one that deposes the real
+            # leader at healthy receivers).
+            return ("leader_is", self.gid, self.leader_term, self.leader)
         if kind == "leader_is":
             _kind, _gid, term, leader = message
-            if term >= self.term and leader != self.node.name:
-                self.term = term
+            accept = term >= self.term or (
+                self._resync_leader_pending and term >= self.leader_term
+            )
+            if leader != self.node.name and accept:
+                # Disarm only on a *strictly newer* (or normal-guard)
+                # leadership: a stale reply naming the leadership we
+                # already know must not consume the one-shot, or a
+                # rejoiner whose first reply is the stale one would
+                # reject the truth that arrives next.
+                if term > self.leader_term or term >= self.term:
+                    self._resync_leader_pending = False
+                self.term = max(self.term, term)
+                self.leader_term = max(self.leader_term, term)
                 self._accept_leader(leader)
             return None
         return None
+
+    def expect_authoritative_leader(self) -> None:
+        """Arm the next ``leader_is`` reply as authoritative.
+
+        A node that spent a partition in the minority may have inflated
+        its own term with failed campaigns (each ``campaign`` bumps the
+        term; a loss restores the *stale* incumbent's permissions).  The
+        normal ``term >= self.term`` guard would then reject the
+        majority's truthful ``leader_is`` reply forever — the node keeps
+        granting the old leader write permission and the new leader's
+        log writes bounce off it.  Rejoin/heal paths call this before a
+        ``who_leads`` round so a reply describing a leadership at least
+        as new as the one we know (``term >= leader_term``) is believed
+        even below our own inflated term.  A *stale* claim — an old
+        leadership we have already moved past — is still rejected, so a
+        healthy node healing a partition never adopts the deposed
+        leader's belief.  Never armed on a node that believes itself
+        leader — a real leader learns of its deposition through
+        permission errors, not hearsay.
+        """
+        if not self.is_leader:
+            self._resync_leader_pending = True
 
     def _set_permissions(self, candidate: str) -> None:
         """Revoke the old leader's write permission, then grant the new."""
@@ -305,7 +355,37 @@ class MuGroup:
         self._init_writers(start_tail=tail)
         self.is_leader = True
         self.leader = self.node.name
+        self.leader_term = max(self.leader_term, term)
         return True
+
+    # -- membership ------------------------------------------------------
+
+    def add_member(self, name: str) -> None:
+        """Grow the group (elastic scale-out).
+
+        Majorities are computed from ``len(self.members)`` at each use,
+        so quorum sizes adjust immediately.  If this node currently
+        leads, it starts replicating to the newcomer from its decided
+        tail — record bytes at one index are identical across copies,
+        and the slots before the tail are bulk-installed by the
+        joiner's state transfer, not by the leader.
+        """
+        if name in self.members:
+            return
+        self.members = sorted([*self.members, name])
+        if self.is_leader and name != self.node.name:
+            writer = RingWriter(self.config.ring_slots,
+                                self.config.slot_size,
+                                integrity=self.config.integrity)
+            writer.tail = self.decided
+            self._writers[name] = writer
+
+    def remove_member(self, name: str) -> None:
+        """Shrink the group (elastic scale-in); majorities adjust."""
+        if name not in self.members:
+            return
+        self.members.remove(name)
+        self._writers.pop(name, None)
 
     def self_repair(self, suspected: set[str]) -> Generator[Event, Any, int]:
         """Fill holes in OUR log copy from reachable peers' copies.

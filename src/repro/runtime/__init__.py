@@ -27,6 +27,7 @@ from .cluster import HambandCluster
 from .conflict import ConflictCoordinator
 from .control import ControlPlane
 from .heartbeat import FailureDetector, Heartbeat
+from .membership import MembershipEpoch, join_cluster, leave_cluster
 from .node import (
     HambandNode,
     ImpermissibleError,
@@ -49,6 +50,7 @@ from .ringbuffer import (
 )
 from .scrubber import Scrubber
 from .sharding import ShardedCluster, ShardRouter
+from .statexfer import StateTransfer
 from .stream_checker import CheckpointState, StreamingChecker
 from .telemetry import MetricsEmitter
 from .trace import ShardedRecorder, TraceEvent, TraceRecorder, TracingProbe
@@ -79,6 +81,7 @@ __all__ = [
     "RingTransport",
     "RuntimeProbe",
     "ImpermissibleError",
+    "MembershipEpoch",
     "MetricsEmitter",
     "NotLeaderError",
     "ReliableBroadcast",
@@ -93,6 +96,7 @@ __all__ = [
     "ShardedCluster",
     "ShardedRecorder",
     "ShardedTraceChecker",
+    "StateTransfer",
     "StreamingChecker",
     "StringTable",
     "SubmitError",
@@ -111,6 +115,8 @@ __all__ = [
     "decode_value",
     "encode_call_packet",
     "encode_value",
+    "join_cluster",
+    "leave_cluster",
     "render_summary",
     "ring_region_size",
     "rollup_node_stats",

@@ -99,6 +99,26 @@ class ApplyEngine:
                 {},
             )
 
+    def add_process(self, name: str) -> None:
+        """Rewire the apply layer for a newly joined process.
+
+        The transport must have registered the new ``s_region`` memory
+        regions first (``RingTransport.add_peer``).  There is no
+        ``remove_process``: a departed node's summary slots and applied
+        counts are kept — dependency arrays already in flight reference
+        its counts, and frozen state is consistent on both sides of
+        every dependency check.
+        """
+        if name in self.processes:
+            return
+        self.processes = sorted([*self.processes, name])
+        summary_size = slot_size_for(self.config.summary_payload)
+        for summarizer in self.spec.summarizers:
+            region = self.rnode.regions[s_region(summarizer.group, name)]
+            self.summary_readers[(summarizer.group, name)] = SummarySlot(
+                region, 0, summary_size, codec=self.codec
+            )
+
     def bind(self, transport, conflict, broadcast,
              is_suspected: Callable[[str], bool]) -> None:
         """Wire the sibling layers (composition root: the façade)."""

@@ -153,8 +153,23 @@ class TraceChecker:
         nodes = sorted(processes or self.processes or {
             event.node for event in events
         })
+        # Elastic membership: the declared node list names the FINAL
+        # roster (joiners included, departed excluded).  Reconstruct the
+        # founding roster from the member events, then evolve it during
+        # the replay — a joiner's state begins at its ``member_join``
+        # event, a departed node stops being held to convergence at its
+        # ``member_leave``.
+        joins = {
+            event.origin for event in events
+            if event.kind == "member" and event.name == "member_join"
+        }
+        leaves = {
+            event.origin for event in events
+            if event.kind == "member" and event.name == "member_leave"
+        }
+        initial = sorted((set(nodes) | leaves) - joins)
         report = CheckReport(nodes=nodes)
-        if not nodes:
+        if not initial:
             report.violations.append(
                 Violation("vocabulary", "empty trace: no nodes recorded")
             )
@@ -175,16 +190,41 @@ class TraceChecker:
                 )
 
         sigma: dict[str, Any] = {
-            node: self.spec.initial_state() for node in nodes
+            node: self.spec.initial_state() for node in initial
         }
         applied: dict[str, set[tuple[str, int]]] = {
-            node: set() for node in nodes
+            node: set() for node in initial
         }
+        #: Nodes currently part of the cluster (evolves at member
+        #: events); convergence is only owed by the final roster.
+        present: set[str] = set(initial)
+        departed: set[str] = set()
+        #: Every REDUCE replayed so far, in order — a joiner's state
+        #: transfer pulls the summary slots, so its replayed state must
+        #: start from these (it will never see their rule events).
+        reduced: list[tuple[tuple[str, int], Call]] = []
         #: Per-(gid, node) apply order of conflicting calls.
         group_order: dict[tuple[str, str], list[tuple[str, int]]] = {}
         seen_calls: set[tuple[str, int]] = set()
 
         for event in events:
+            if event.kind == "member":
+                subject = event.origin
+                if event.name == "member_join":
+                    if subject not in sigma:
+                        state = self.spec.initial_state()
+                        seeded: set[tuple[str, int]] = set()
+                        for red_key, red_call in reduced:
+                            state = self.spec.apply_call(red_call, state)
+                            seeded.add(red_key)
+                        sigma[subject] = state
+                        applied[subject] = seeded
+                    present.add(subject)
+                    departed.discard(subject)
+                elif event.name == "member_leave":
+                    present.discard(subject)
+                    departed.add(subject)
+                continue  # state_xfer and friends are informational
             if event.kind == "fault":
                 report.faults[event.name] = (
                     report.faults.get(event.name, 0) + 1
@@ -219,7 +259,9 @@ class TraceChecker:
                     continue
                 # A summary write is visible at every node (refinement:
                 # REDUCE = CALL at origin + immediate PROP everywhere).
-                for node in nodes:
+                # Departed nodes no longer see summary writes.
+                reduced.append((key, call))
+                for node in sorted(present):
                     next_state = self.spec.apply_call(call, sigma[node])
                     if not self.spec.invariant(next_state):
                         report_violation(
@@ -271,10 +313,15 @@ class TraceChecker:
                     chain(*key),
                 )
         report.calls_checked = len(seen_calls)
+        report.nodes = sorted(present)
 
-        self._check_group_orders(report, group_order, chain, nodes)
+        # The total-order obligation holds for every node that was ever
+        # a member — a departed node's (partial) order must still agree.
+        self._check_group_orders(report, group_order, chain, sorted(sigma))
+        # Convergence is owed only by the final roster: a departed node
+        # legitimately froze mid-history.
         self._check_convergence(
-            report, sigma, applied, chain, nodes, dropped, gaps
+            report, sigma, applied, chain, sorted(present), dropped, gaps
         )
         return report
 
@@ -330,6 +377,8 @@ class TraceChecker:
                 "recorder capacity)",
             ))
             return
+        if not nodes:
+            return  # everyone scaled in: nobody owes convergence
         union: set[tuple[str, int]] = set()
         for node in nodes:
             union |= applied[node]

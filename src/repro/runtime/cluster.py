@@ -28,6 +28,7 @@ from ..core import (
 )
 from ..rdma import Fabric, RdmaConfig
 from ..sim import Environment
+from .membership import MembershipEpoch, join_cluster, leave_cluster
 from .node import HambandNode, RuntimeConfig
 from .probe import rollup_node_stats
 
@@ -45,7 +46,15 @@ class HambandCluster:
         self.coordination = coordination
         self.fabric = fabric
         self.config = config or RuntimeConfig()
+        self.probe_factory = probe_factory
         names = fabric.node_names()
+        #: The founding member list: the wire codec's string table is
+        #: derived from it on every node forever (joiners included), so
+        #: elastic membership never perturbs interned ids mid-run.
+        self.founding = list(names)
+        #: Nodes removed by scale-in, kept addressable for inspection.
+        self.departed: dict[str, HambandNode] = {}
+        self.epoch = MembershipEpoch(0, tuple(names))
         self.leaders = leaders or coordination.conflict_graph.assign_leaders(
             names
         )
@@ -183,6 +192,28 @@ class HambandCluster:
         """Replay this run's event log against the abstract semantics."""
         checker = RefinementChecker(self.coordination, self.node_names())
         return checker.replay(self.events)
+
+    # -- elastic membership ------------------------------------------------
+
+    def add_node(self, name: str, cpu_cores: int = 2,
+                 transfer: bool = True, barrier: bool = True,
+                 wire_version: Optional[int] = None) -> HambandNode:
+        """Scale-out: join ``name`` into the running cluster.
+
+        The joiner starts refusing requests and flips live once its
+        authoritative state transfer (the same engine restarts and heals
+        use) completes under the frontier barrier.  See
+        :func:`~repro.runtime.membership.join_cluster` for the knobs.
+        """
+        return join_cluster(
+            self, name, cpu_cores=cpu_cores, transfer=transfer,
+            barrier=barrier, wire_version=wire_version,
+        )
+
+    def remove_node(self, name: str) -> HambandNode:
+        """Scale-in: remove ``name`` (fail-stop + unwire + epoch bump);
+        removing a group leader forces a clean re-election."""
+        return leave_cluster(self, name)
 
     # -- failure injection -------------------------------------------------
 

@@ -103,6 +103,12 @@ class RuntimeConfig:
     #: the suspected leader stays suspected and unled.
     campaign_retry_limit: int = 4
     campaign_retry_us: float = 400.0
+    #: State transfer: the frontier barrier polls applied progress at
+    #: this cadence and gives up (never wedges) after ``xfer_barrier_us``
+    #: — a record blocked on a dependency that cannot arrive degrades
+    #: to a late flip, not a hang (the checkers gate the outcome).
+    xfer_poll_us: float = 5.0
+    xfer_barrier_us: float = 4000.0
 
 
 def f_region(writer: str) -> str:

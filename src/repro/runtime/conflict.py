@@ -482,7 +482,16 @@ class ConflictCoordinator:
         yield from mu.self_repair(set(self.suspected()))
 
     def discover_leader(self, gid: str):
-        """Ask reachable peers who currently leads ``gid``."""
+        """Ask reachable peers who currently leads ``gid``.
+
+        Armed as *authoritative*: a rejoining node's failed campaigns
+        may have inflated its term past the cluster's real one, and the
+        usual stale-reply guard would then reject the truth — leaving
+        the old leader's write permission in place forever (the L-ring
+        partitioned-minority bug).  See
+        :meth:`~repro.consensus.mu.MuGroup.expect_authoritative_leader`.
+        """
+        self.mu_groups[gid].expect_authoritative_leader()
         for peer in self.processes:
             if peer == self.name or self.is_suspected(peer):
                 continue
@@ -490,6 +499,24 @@ class ConflictCoordinator:
         # Replies arrive through the control listener, which updates
         # the Mu group's view; give them one control round trip.
         yield self.env.timeout(3.0)
+
+    # -- membership ------------------------------------------------------
+
+    def add_member(self, name: str) -> None:
+        """Elastic scale-out: grow every group's membership."""
+        if name in self.processes:
+            return
+        self.processes = sorted([*self.processes, name])
+        for mu in self.mu_groups.values():
+            mu.add_member(name)
+
+    def remove_member(self, name: str) -> None:
+        """Elastic scale-in: shrink every group's membership."""
+        if name not in self.processes:
+            return
+        self.processes.remove(name)
+        for mu in self.mu_groups.values():
+            mu.remove_member(name)
 
     def handle_suspect(self, peer: str) -> None:
         """Campaign for any group the suspected peer was leading.

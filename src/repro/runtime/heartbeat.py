@@ -72,6 +72,30 @@ class FailureDetector:
     def is_suspected(self, peer: str) -> bool:
         return peer in self.suspected
 
+    def add_peer(self, name: str) -> None:
+        """Start polling a newly joined peer's heartbeat."""
+        if name == self.node.name or name in self.peers:
+            return
+        self.peers = sorted([*self.peers, name])
+        self._last_seen[name] = 0
+        self._stale_polls[name] = 0
+
+    def remove_peer(self, name: str) -> None:
+        """Stop polling a departed peer and pin it *suspected*.
+
+        The pin makes every "skip the dead" filter (repair sources,
+        campaign candidate lists, control fan-outs) treat the departed
+        node as permanently gone.  ``on_suspect`` is deliberately NOT
+        fired — whether departure triggers an election is the membership
+        layer's call, not the detector's.
+        """
+        if name not in self.peers:
+            return
+        self.peers.remove(name)
+        self._last_seen.pop(name, None)
+        self._stale_polls.pop(name, None)
+        self.suspected.add(name)
+
     def _run(self):
         while True:
             yield self.env.timeout(self.poll_interval_us)

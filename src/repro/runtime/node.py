@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..consensus.mu import mu_channel
 from ..core import Category, Coordination
 from ..rdma import RdmaNode
 from ..sim import Environment, Event
@@ -64,6 +65,7 @@ from .errors import (  # noqa: F401  (re-exported for import stability)
 from .heartbeat import FailureDetector, Heartbeat
 from .probe import CountingProbe, RuntimeProbe
 from .scrubber import Scrubber
+from .statexfer import StateTransfer
 from .transport import RingTransport
 from .wire import WireCodec
 
@@ -82,7 +84,8 @@ class HambandNode:
     def __init__(self, rnode: RdmaNode, coordination: Coordination,
                  processes: list[str], initial_leaders: dict[str, str],
                  config: RuntimeConfig, event_log: list,
-                 probe: Optional[RuntimeProbe] = None):
+                 probe: Optional[RuntimeProbe] = None,
+                 wire_processes: Optional[list[str]] = None):
         self.rnode = rnode
         self.env: Environment = rnode.env
         self.name = rnode.name
@@ -109,13 +112,21 @@ class HambandNode:
             "recovered_applied": 0,
             "forwarded": 0,
         }
+        #: Current membership-epoch version (0 = the founding epoch;
+        #: bumped by the membership layer on every join/leave).
+        self.membership_epoch = 0
         #: The instrumentation seam shared by all four layers.
         self.probe = probe if probe is not None else CountingProbe()
         #: The cluster's wire codec: every node derives the SAME interned
         #: string table from the coordination spec and process list, so
-        #: v2 packets decode everywhere without a handshake.
+        #: v2 packets decode everywhere without a handshake.  A node
+        #: joining mid-run passes the FOUNDING list as ``wire_processes``
+        #: so its table matches the incumbents' — its own name (absent
+        #: from the table) rides the codec's inline escape.
         self.codec = WireCodec.for_cluster(
-            config.wire_version, coordination, self.processes
+            config.wire_version,
+            coordination,
+            sorted(wire_processes) if wire_processes else self.processes,
         )
 
         # -- compose the four layers -----------------------------------
@@ -265,7 +276,52 @@ class HambandNode:
             "node": self.name,
             "counters": dict(self.counters),
             "probe": self.probe.snapshot(),
+            "membership": {
+                "epoch": self.membership_epoch,
+                "members": list(self.processes),
+            },
         }
+
+    # -- membership -------------------------------------------------------
+
+    def add_peer(self, name: str) -> None:
+        """Rewire every layer for a newly joined peer.
+
+        Order matters: the transport registers the peer's regions
+        before the applier builds summary readers over them.  The
+        joiner never leads an existing group, so its write permission
+        on our Mu log channels is revoked up front — exactly the
+        cluster-construction invariant for non-leaders.
+        """
+        if name == self.name or name in self.processes:
+            return
+        self.transport.add_peer(name)
+        self.applier.add_process(name)
+        self.detector.add_peer(name)
+        self.conflict.add_member(name)
+        self.processes = sorted([*self.processes, name])
+        self.peers = [p for p in self.processes if p != self.name]
+        self._spawn_supervised(
+            self.control.listener(name), f"ctl:{self.name}<-{name}"
+        )
+        for gid in self.conflict.mu_groups:
+            self.rnode.qp_to(name, mu_channel(gid)).revoke_peer_write()
+
+    def remove_peer(self, name: str) -> None:
+        """Unwire a departed peer from every layer.
+
+        The applier keeps its summary slots and applied counts (frozen
+        state referenced by in-flight dependency arrays), the detector
+        pins it suspected, and the transport keeps its ring reader as
+        drainable history — only writers and polling go.
+        """
+        if name == self.name or name not in self.processes:
+            return
+        self.transport.remove_peer(name)
+        self.detector.remove_peer(name)
+        self.conflict.remove_member(name)
+        self.processes.remove(name)
+        self.peers = [p for p in self.processes if p != self.name]
 
     # -- failure handling -------------------------------------------------
 
@@ -295,35 +351,19 @@ class HambandNode:
         self.env.process(worker(), name=f"clear:{self.name}:{peer}")
 
     def _catch_up_from(self, peer: str):
-        """Pull one peer's data: F-ring repair + summary refresh, plus a
-        log self-repair for every group we follow."""
-        yield from self.transport.repair_f_ring(
-            peer, self.detector.is_suspected
-        )
-        yield from self.applier.pull_summaries([peer])
-        for group in self.coordination.sync_groups():
-            if self.conflict.leader_of(group.gid) != self.name:
-                yield from self.conflict.rejoin_repair(group.gid)
-        self.probe.catch_up(peer)
+        """Pull one peer's data through the unified state-transfer
+        engine (leader re-discovery first — the healed-minority
+        permission fix — then bulk F/L/summary install under the
+        frontier barrier)."""
+        yield from StateTransfer(self).run(sources=[peer], reason=peer)
 
     # -- restart / rejoin --------------------------------------------------
 
     def rejoin(self):
-        """Catch a restarted node up to the cluster: re-learn leaders,
-        repair every F ring and L log copy, refresh summary slots."""
-        for gid in self.conflict.mu_groups:
-            yield from self.conflict.discover_leader(gid)
-        for peer in self.peers:
-            yield from self.transport.repair_f_ring(
-                peer, self.detector.is_suspected
-            )
-        yield from self.applier.pull_summaries()
-        for group in self.coordination.sync_groups():
-            if self.conflict.leader_of(group.gid) != self.name:
-                yield from self.conflict.rejoin_repair(group.gid)
-        for peer in self.peers:
-            self.transport.rearm_flow_control(peer)
-        self.probe.catch_up("restart")
+        """Catch a restarted node up to the cluster through the SAME
+        state-transfer engine joins and heals use: re-learn leaders,
+        bulk-install every F ring and L log copy, refresh summaries."""
+        yield from StateTransfer(self).run(reason="restart")
 
     def start_rejoin(self):
         """Spawn the rejoin pass (supervised) after a restart."""

@@ -140,6 +140,16 @@ class RuntimeProbe:
         """This node completed a rejoin/catch-up pass (from ``source``,
         or ``"restart"`` for a full post-restart rejoin)."""
 
+    # -- membership -------------------------------------------------------
+
+    def member_event(self, event: str, node: str, detail: str = "") -> None:
+        """A membership change became visible at this node:
+        ``member_join`` / ``member_leave`` when the epoch advanced (the
+        subject is ``node``), or ``state_xfer`` when a joining or
+        rejoining node completed its authoritative state transfer.
+        Tracing probes record these so the trace checkers account for
+        mid-run membership."""
+
     # -- causal tracing (no-op unless a TracingProbe is installed) --------
     #
     # The span/trace hooks carry enough identity (method, origin, rid)
@@ -205,6 +215,7 @@ class CountingProbe(RuntimeProbe):
         self.faults: dict[str, int] = {}
         self.op_retries: dict[str, int] = {}
         self.catch_ups: dict[str, int] = {}
+        self.member_events: dict[str, int] = {}
         self.recoveries = 0
 
     @staticmethod
@@ -283,6 +294,9 @@ class CountingProbe(RuntimeProbe):
     def catch_up(self, source: str) -> None:
         self._bump(self.catch_ups, source)
 
+    def member_event(self, event: str, node: str, detail: str = "") -> None:
+        self._bump(self.member_events, event)
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "applies": dict(self.applies),
@@ -308,6 +322,7 @@ class CountingProbe(RuntimeProbe):
             "faults": dict(self.faults),
             "op_retries": dict(self.op_retries),
             "catch_ups": dict(self.catch_ups),
+            "member_events": dict(self.member_events),
             "recoveries": self.recoveries,
         }
 

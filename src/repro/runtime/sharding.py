@@ -302,6 +302,21 @@ class ShardedCluster:
         shard, name = self.split_address(address)
         self.shards[shard].restart(name, catch_up=catch_up)
 
+    def add_node(self, address: str, cpu_cores: int = 2,
+                 transfer: bool = True, barrier: bool = True,
+                 wire_version: Optional[int] = None) -> HambandNode:
+        """Scale-out one shard: ``"s2/p4"`` joins p4 into shard 2."""
+        shard, name = self.split_address(address)
+        return self.shards[shard].add_node(
+            name, cpu_cores=cpu_cores, transfer=transfer,
+            barrier=barrier, wire_version=wire_version,
+        )
+
+    def remove_node(self, address: str) -> HambandNode:
+        """Scale-in one shard (leader removal forces re-election)."""
+        shard, name = self.split_address(address)
+        return self.shards[shard].remove_node(name)
+
     def partition(self, shard: int, side_a: list[str],
                   side_b: list[str]) -> None:
         self.shards[shard].partition(side_a, side_b)

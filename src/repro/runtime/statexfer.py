@@ -1,0 +1,234 @@
+"""Authoritative state transfer: one catch-up engine for every path.
+
+Before this module existed the runtime had three half-overlapping
+catch-up paths — the restart rejoin, the partition-heal resync, and the
+summary pull — and the heal path had a real convergence bug: a minority
+node partitioned across a leader change kept granting the *old* leader
+write permission on the Mu log channels (permissions only flip on
+``vote_req``/``leader_is`` control messages it never received), so
+leader-ordered records decided after the heal bounced off it forever.
+
+:class:`StateTransfer` unifies all of them.  One ``run()`` pass:
+
+1. **Leader re-discovery** (``barrier=True``): ask reachable peers who
+   leads each synchronization group.  The ``leader_is`` replies flow
+   through Mu's control handler, which re-grants the current leader's
+   write permission — this is what closes the L-ring gap.  The
+   discovery is armed as *authoritative* (see
+   :meth:`~repro.consensus.mu.MuGroup.expect_authoritative_leader`):
+   a rejoining minority's failed campaigns may have inflated its term
+   past the cluster's real one, and the guard that normally rejects
+   older-term ``leader_is`` replies must not reject the truth.
+2. **Bulk install of the committed at-rest prefix.**  For every source
+   ring the worker walks from the local reader head and fills holes
+   with *windowed* one-sided reads of an authoritative copy (the
+   scrubber's read idiom — one ``qp.read`` covers up to
+   :data:`_WINDOW` slots), falling back to the transport's per-slot
+   multi-source repair for records the primary source lacks.  The
+   leader-ordered L log is bulk-read the same way through Mu's
+   ``self_repair`` (its windowed cache *is* the L bulk path), and
+   summary slots are refreshed with the apply engine's pull.
+3. **Frontier barrier** (``barrier=True``): the per-ring frontiers
+   captured in step 2 become targets; the worker waits (bounded — it
+   never wedges on a dependency that cannot arrive) until the node has
+   *applied* up to every target before the caller flips it live.
+
+``HambandNode.rejoin`` (restart), ``HambandNode._catch_up_from``
+(partition heal / resync), and :func:`~repro.runtime.membership.
+join_cluster` (elastic scale-out) all delegate here, so the three
+lifecycles cannot drift again.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..rdma import WcStatus
+from .config import f_region
+from .ringbuffer import parse_record
+
+__all__ = ["StateTransfer"]
+
+#: Ring slots fetched per one-sided read while bulk-filling (the
+#: scrubber/Mu window idiom: bounded reads, not whole ring regions).
+_WINDOW = 64
+
+
+class StateTransfer:
+    """One catch-up pass over a :class:`~repro.runtime.node.HambandNode`.
+
+    The engine is deliberately stateless between runs: construct one
+    per pass (``StateTransfer(node).run(...)``) and drive it as a
+    simulation process.
+    """
+
+    def __init__(self, node):
+        self.node = node
+
+    # -- the pass --------------------------------------------------------
+
+    def run(self, sources: Optional[list[str]] = None,
+            barrier: bool = True, reason: str = "state-transfer"):
+        """Generator: catch this node up from authoritative copies.
+
+        ``sources`` restricts which peers' F rings (and summary slots)
+        to transfer — the heal path passes the single peer that just
+        cleared; None transfers from everyone (restart / join).
+        ``barrier=False`` skips leader re-discovery and the frontier
+        barrier (the negative-control knob: a joiner flipped live
+        without the barrier is provably behind).  ``reason`` is the
+        label reported through ``probe.catch_up`` — callers preserve
+        the historical labels (peer name for heals, ``"restart"`` for
+        rejoins, ``"join"`` for scale-out).
+        """
+        node = self.node
+        transport = node.transport
+        is_suspected = node.detector.is_suspected
+        origins = list(sources) if sources is not None else list(
+            transport.peers
+        )
+        if barrier:
+            # Phase 1: re-learn who leads.  The replies re-grant the
+            # current leader's Mu write permission at this node — the
+            # partitioned-minority L-ring fix.
+            for gid in node.conflict.mu_groups:
+                yield from node.conflict.discover_leader(gid)
+        # Phase 2: bulk-install the committed at-rest prefix.
+        f_targets: dict[str, int] = {}
+        for origin in origins:
+            reader = transport.f_readers.get(origin)
+            if reader is None:
+                continue
+            yield from self._fill_f_ring(origin)
+            # Multi-source per-slot fallback for records the primary
+            # source lacked (it may itself hold holes).
+            yield from transport.repair_f_ring(origin, is_suspected)
+            f_targets[origin] = self._local_frontier(reader)
+        yield from node.applier.pull_summaries(sources)
+        l_targets: dict[str, int] = {}
+        for gid, mu in node.conflict.mu_groups.items():
+            if mu.leader == node.name:
+                continue
+            # Mu's self-repair is the L bulk path: windowed one-sided
+            # reads of reachable log copies; it returns the frontier.
+            l_targets[gid] = yield from mu.self_repair(
+                set(node.detector.suspected)
+            )
+        if barrier:
+            # Phase 3: wait (bounded) until the poll loop has APPLIED
+            # everything installed above, so the caller flips the node
+            # live at parity rather than merely in possession of bytes.
+            yield from self._frontier_barrier(f_targets, l_targets)
+        for origin in origins:
+            transport.rearm_flow_control(origin)
+        node.probe.catch_up(reason)
+        node.probe.member_event("state_xfer", node.name, reason)
+
+    # -- phase 2 helpers -------------------------------------------------
+
+    def _pick_source(self, origin: str) -> Optional[str]:
+        """First live, unsuspected holder of ``origin``'s ring: the
+        origin's own mirror is authoritative, then any peer's replica."""
+        node = self.node
+        candidates = [origin] + [
+            p for p in node.transport.peers if p != origin
+        ]
+        for source in candidates:
+            if source == node.name or node.detector.is_suspected(source):
+                continue
+            if not node.rnode.fabric.nodes[source].alive:
+                continue
+            return source
+        return None
+
+    def _fill_f_ring(self, origin: str):
+        """Windowed bulk fill of our copy of ``origin``'s F ring.
+
+        Walks from the reader head; each missing local slot is served
+        from a cached :data:`_WINDOW`-slot one-sided read of the chosen
+        source.  Stops at the source's frontier (first index it lacks).
+        Returns the number of installed records.
+        """
+        node = self.node
+        cfg = node.config
+        reader = node.transport.f_readers[origin]
+        source = self._pick_source(origin)
+        if source is None:
+            return 0
+        qp = node.rnode.qp_to(source)
+        remote = node.rnode.region_of(source, f_region(origin))
+        slots, slot_size = cfg.ring_slots, cfg.slot_size
+        installed = 0
+        index = reader.head
+        window: Optional[tuple[int, int, bytes]] = None
+        for _ in range(slots):
+            offset = (index % slots) * slot_size
+            local = reader.region.read(offset, slot_size)
+            if parse_record(local, index, slots) is not None:
+                index += 1
+                continue
+            if window is None or not (
+                window[0] <= index < window[0] + window[1]
+            ):
+                start = index % slots
+                count = min(_WINDOW, slots - start)
+                wc = yield from qp.read(
+                    remote, start * slot_size, count * slot_size
+                )
+                if wc.status is not WcStatus.SUCCESS or wc.data is None:
+                    return installed
+                window = (index, count, wc.data)
+            begin = (index - window[0]) * slot_size
+            slot = window[2][begin : begin + slot_size]
+            record = parse_record(slot, index, slots)
+            if record is None:
+                return installed  # the source's frontier
+            reader.region.write(offset, bytes(record))
+            installed += 1
+            index += 1
+        return installed
+
+    def _local_frontier(self, reader) -> int:
+        """First index past the reader head our local copy lacks."""
+        cfg = self.node.config
+        slots, slot_size = cfg.ring_slots, cfg.slot_size
+        index = reader.head
+        for _ in range(slots):
+            offset = (index % slots) * slot_size
+            slot = reader.region.read(offset, slot_size)
+            if parse_record(slot, index, slots) is None:
+                return index
+            index += 1
+        return index
+
+    # -- phase 3 ---------------------------------------------------------
+
+    def _frontier_barrier(self, f_targets: dict[str, int],
+                          l_targets: dict[str, int]):
+        """Bounded wait until the node *applied* up to every target.
+
+        The poll loop drains the installed records concurrently; this
+        barrier only observes reader heads.  The deadline guarantees a
+        record blocked on a dependency that can never arrive (e.g. a
+        call lost with a crashed issuer) degrades to a late flip, not a
+        wedge — the checkers gate the outcome either way.
+        """
+        node = self.node
+        cfg = node.config
+        transport = node.transport
+        deadline = node.env.now + cfg.xfer_barrier_us
+        while node.env.now < deadline:
+            f_ok = all(
+                transport.f_readers[origin].head >= target
+                for origin, target in f_targets.items()
+                if origin in transport.f_readers
+            )
+            l_ok = all(
+                transport.l_readers[gid].head >= target
+                for gid, target in l_targets.items()
+                if gid in transport.l_readers
+            )
+            if f_ok and l_ok:
+                return True
+            yield node.env.timeout(cfg.xfer_poll_us)
+        return False

@@ -221,6 +221,21 @@ class StreamingChecker:
             node: self.spec.initial_state() for node in self.nodes
         }
         self._node_set = set(self.nodes)
+        #: Elastic membership: nodes that joined / left mid-stream.
+        #: A joiner replays the whole transferred history through
+        #: ordinary apply events, so applies of already-retired calls at
+        #: a joined node are catch-up (tracked exactly in
+        #: ``_joiner_caught``), not duplicates.
+        self._joined: set[str] = set()
+        self._departed: set[str] = set()
+        #: joiner -> origin -> retired rids it has replayed (exact
+        #: duplicate detection for the catch-up path).
+        self._joiner_caught: dict[str, dict[str, _IntervalSet]] = {}
+        #: initial state folded with every REDUCE seen so far — the
+        #: summary slots a joiner's state transfer pulls, i.e. the seed
+        #: for a joiner's replayed state (it never sees old REDUCE
+        #: events).
+        self._reduce_sigma: Any = self.spec.initial_state()
         #: In-window calls: issued/applied somewhere, not yet everywhere.
         self.inflight: dict[tuple[str, int], _CallState] = {}
         #: Retired request ids per origin (applied at every node).
@@ -279,12 +294,17 @@ class StreamingChecker:
         if kind == "repair":
             self.repairs[event.name] = self.repairs.get(event.name, 0) + 1
             return
+        if kind == "member":
+            self._member(event)
+            return
         if kind != "rule" or event.name == "QUERY":
             return
 
         rule = event.name
         call = Call(event.method, event.arg, event.origin, event.rid)
         if event.node not in self._node_set:
+            if event.node in self._departed:
+                return  # trailing event from a scaled-in node
             self._violation(
                 "vocabulary",
                 f"event at unknown node {event.node!r}",
@@ -321,6 +341,9 @@ class StreamingChecker:
                         self._chain(key),
                     )
                 self.sigma[node] = next_state
+            self._reduce_sigma = self.spec.apply_call(
+                call, self._reduce_sigma
+            )
             if state is None:
                 state = _CallState(first_seq=seq)
                 self.inflight[key] = state
@@ -329,6 +352,33 @@ class StreamingChecker:
         elif rule in _LOCAL_APPLY_RULES:
             self.applies_checked += 1
             node = event.node
+            if retired and node in self._joined:
+                # Catch-up replay: the joiner drains the transferred
+                # rings, re-emitting applies for calls the rest of the
+                # cluster retired long ago.  Fold them (order comes
+                # from the authoritative rings, already verified among
+                # the incumbents) and dedup exactly per origin.
+                caught = self._joiner_caught.setdefault(
+                    node, {}
+                ).setdefault(event.origin, _IntervalSet())
+                if event.rid in caught:
+                    self._violation(
+                        "duplicate",
+                        f"{call} applied twice at {node} (rule {rule})",
+                        self._chain(key),
+                    )
+                    return
+                caught.add(event.rid)
+                next_state = self.spec.apply_call(call, self.sigma[node])
+                if not self.spec.invariant(next_state):
+                    self._violation(
+                        "integrity",
+                        f"{call} not permissible at its apply state "
+                        f"({rule} at {node}, catch-up)",
+                        self._chain(key),
+                    )
+                self.sigma[node] = next_state
+                return
             if retired or (state is not None and node in state.applied):
                 self._violation(
                     "duplicate",
@@ -373,6 +423,66 @@ class StreamingChecker:
                 f"unknown rule {rule!r} at {event.node}",
                 self._chain(key),
             )
+
+    # -- elastic membership ----------------------------------------------
+
+    def _member(self, event: TraceEvent) -> None:
+        """Evolve the roster at a ``member`` trace event.
+
+        ``member_join`` seeds the joiner's replayed state from the
+        running REDUCE fold (its state transfer pulls the summary
+        slots); its apply events then replay the transferred history.
+        ``member_leave`` excuses the node from convergence: in-window
+        calls stop waiting for it, and its group-order structures drop.
+        """
+        subject = event.origin
+        if event.name == "member_join":
+            if subject in self._node_set:
+                return
+            self._node_set.add(subject)
+            self.nodes = sorted(self._node_set)
+            self._joined.add(subject)
+            self._departed.discard(subject)
+            # Deep-copy through the wire codec: a shared state object
+            # would alias if a spec's apply_call ever mutates in place.
+            self.sigma[subject] = decode_value(
+                encode_value(self._reduce_sigma)
+            )
+        elif event.name == "member_leave":
+            if subject not in self._node_set:
+                return
+            self._node_set.discard(subject)
+            self.nodes = sorted(self._node_set)
+            self._departed.add(subject)
+            self.sigma.pop(subject, None)
+            self._joiner_caught.pop(subject, None)
+            self._drop_node(subject)
+        # state_xfer and friends are informational
+
+    def _drop_node(self, name: str) -> None:
+        """Sweep the window after ``name`` left the cluster."""
+        for queues in self._group_queues.values():
+            queues.pop(name, None)
+        self._group_counts = {
+            (gid, node): count
+            for (gid, node), count in self._group_counts.items()
+            if node != name
+        }
+        self._group_pairs = {
+            (gid, a, b): pairs
+            for (gid, a, b), pairs in self._group_pairs.items()
+            if name not in (a, b)
+        }
+        for state in self.inflight.values():
+            state.applied.discard(name)
+            state.group_pos.pop(name, None)
+        # Conflict-free calls now applied at every remaining node retire;
+        # group calls retire through the usual common-prefix drain.
+        for key, state in list(self.inflight.items()):
+            if not state.gid and len(state.applied) == len(self.nodes):
+                self._retire(key, state)
+        for gid in list(self._group_queues):
+            self._drain_group(gid)
 
     # -- sync-group total order (obligation 2, incremental) --------------
 
@@ -546,9 +656,10 @@ class StreamingChecker:
         report.faults = dict(self.faults)
         report.repairs = dict(self.repairs)
         if not self.nodes:
-            report.violations.append(
-                Violation("vocabulary", "empty trace: no nodes recorded")
-            )
+            if not self._departed:
+                report.violations.append(
+                    Violation("vocabulary", "empty trace: no nodes recorded")
+                )
             self._finished = report
             return report
         all_gaps = [(int(g[0]), int(g[1])) for g in self.gaps]
@@ -683,6 +794,18 @@ class StreamingChecker:
             "faults": dict(sorted(self.faults.items())),
             "repairs": dict(sorted(self.repairs.items())),
             "gaps": [list(gap) for gap in self.gaps],
+            "joined": sorted(self._joined),
+            "departed": sorted(self._departed),
+            "reduce_sigma": base64.b64encode(
+                encode_value(self._reduce_sigma)
+            ).decode("ascii"),
+            "joiner_caught": {
+                joiner: {
+                    origin: [list(span) for span in spans.spans]
+                    for origin, spans in sorted(per_origin.items())
+                }
+                for joiner, per_origin in sorted(self._joiner_caught.items())
+            },
         }
         return CheckpointState(
             spec_name=self.spec.name,
@@ -768,4 +891,18 @@ class StreamingChecker:
         checker.faults = dict(payload["faults"])
         checker.repairs = dict(payload["repairs"])
         checker.gaps = [tuple(gap) for gap in payload["gaps"]]
+        checker._joined = set(payload.get("joined", []))
+        checker._departed = set(payload.get("departed", []))
+        reduce_sigma = payload.get("reduce_sigma")
+        if reduce_sigma is not None:
+            checker._reduce_sigma = decode_value(
+                base64.b64decode(reduce_sigma.encode("ascii"))
+            )
+        checker._joiner_caught = {
+            joiner: {
+                origin: _IntervalSet([list(span) for span in spans])
+                for origin, spans in per_origin.items()
+            }
+            for joiner, per_origin in payload.get("joiner_caught", {}).items()
+        }
         return checker

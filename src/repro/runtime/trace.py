@@ -204,6 +204,15 @@ class TracingProbe(CountingProbe):
         super().trace_repair(ring, index, kind)
         self._record("repair", kind, ring, self.node, index)
 
+    def member_event(self, event: str, node: str, detail: str = "") -> None:
+        """A membership change (``member_join``/``member_leave``) or a
+        completed state transfer (``state_xfer``) became visible.  The
+        event name rides in ``name``, the subject node in ``origin``,
+        and the detail (epoch / transfer reason) in ``method`` — so the
+        trace checkers account for mid-run membership."""
+        super().member_event(event, node, detail)
+        self._record("member", event, detail, node, 0)
+
     # -- reporting -------------------------------------------------------
 
     @property
@@ -802,6 +811,13 @@ def chrome_trace_dict(events: Iterable[TraceEvent]) -> dict[str, Any]:
                     "txn": event.rid, "classification": event.method,
                     "shards": event.gid,
                 },
+            })
+        elif event.kind == "member":
+            out.append({
+                "ph": "i", "name": f"MEMBER:{event.name}", "cat": "member",
+                "pid": pid, "tid": len(PHASES) + 1, "ts": event.t,
+                "s": "g",  # global scope: membership spans the cluster
+                "args": {"member": event.origin, "detail": event.method},
             })
         elif event.kind == "fault":
             out.append({

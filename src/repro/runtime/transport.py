@@ -146,6 +146,63 @@ class RingTransport:
             for group in self.coordination.sync_groups()
         }
 
+    # -- membership ------------------------------------------------------
+
+    def add_peer(self, peer: str) -> None:
+        """Rewire the data plane for a newly joined ``peer``.
+
+        Registers its F ring copy, ack slots, and summary slots, then
+        wires reader/writer state.  The new F writer starts at the
+        MIRROR's tail: record bytes at one absolute index are identical
+        across copies, and the joiner's state transfer bulk-installs the
+        committed prefix — the writer only ships records from here on.
+        Flow control starts in ring-sizing mode, armed at the joiner's
+        first observed ack (a fresh reader has acked nothing yet, and a
+        mirror tail past one lap would wedge a zero-armed writer).
+        """
+        cfg = self.config
+        if peer == self.name or peer in self.f_readers:
+            return
+        self.rnode.register(
+            f_region(peer), cfg.ring_slots * cfg.slot_size
+        )
+        self.rnode.register(f_ack_region(peer), 8)
+        for group in self.coordination.sync_groups():
+            self.rnode.register(l_ack_region(group.gid, peer), 8)
+        summary_size = slot_size_for(cfg.summary_payload)
+        for summarizer in self.coordination.spec.summarizers:
+            self.rnode.register(
+                s_region(summarizer.group, peer), summary_size
+            )
+        self.f_readers[peer] = RingReader(
+            self.rnode.regions[f_region(peer)],
+            cfg.ring_slots,
+            cfg.slot_size,
+        )
+        writer = RingWriter(cfg.ring_slots, cfg.slot_size,
+                            integrity=cfg.ring_integrity)
+        writer.tail = self.f_mirror.tail
+        self.f_writers[peer] = writer
+        if cfg.ack_every:
+            self._rearm_baseline[peer] = 0
+        self.processes = sorted([*self.processes, peer])
+        self.peers = [p for p in self.processes if p != self.name]
+
+    def remove_peer(self, peer: str) -> None:
+        """Unwire a departed ``peer`` from the data plane.
+
+        Only the WRITER side goes: the reader and its region are kept so
+        records the peer landed before leaving still drain, and our
+        at-rest copy of its ring stays available as a repair source.
+        """
+        if peer not in self.f_readers and peer not in self.processes:
+            return
+        self.f_writers.pop(peer, None)
+        self._rearm_baseline.pop(peer, None)
+        if peer in self.processes:
+            self.processes.remove(peer)
+        self.peers = [p for p in self.processes if p != self.name]
+
     # -- writer path -----------------------------------------------------
 
     def render_with_backpressure(self, writer: RingWriter,

@@ -14,6 +14,7 @@ from .engine import (
     Timeout,
 )
 from .faults import (
+    MEMBERSHIP_PLAN_NAMES,
     PLAN_NAMES,
     SHARDED_PLAN_NAMES,
     FaultAction,
@@ -26,6 +27,7 @@ from .resources import Resource, Store
 from .rng import SeedSequence
 
 __all__ = [
+    "MEMBERSHIP_PLAN_NAMES",
     "PLAN_NAMES",
     "SHARDED_PLAN_NAMES",
     "AllOf",

@@ -3,7 +3,11 @@
 A :class:`FaultPlan` is a declarative, seeded schedule of faults:
 
 * **scheduled** actions fire once at an absolute sim time — node
-  ``crash`` / ``restart``, link ``partition`` / ``heal``;
+  ``crash`` / ``restart``, link ``partition`` / ``heal``, and the
+  elastic-membership events ``join`` (scale-out: the target node is
+  built, wired, and state-transferred into the running cluster) and
+  ``leave`` (scale-in: fail-stop + unwire + epoch bump; removing a
+  group leader forces a re-election);
 * **window** actions arm a probabilistic fault over a time interval —
   one-sided RDMA op failure (``opfail``), message/op ``delay``,
   ``dup``\\ lication, message ``drop``, and the silent-data-corruption
@@ -50,6 +54,7 @@ from .rng import SeedSequence
 
 __all__ = [
     "CORRUPTION_KINDS",
+    "MEMBERSHIP_PLAN_NAMES",
     "PLAN_NAMES",
     "SHARDED_PLAN_NAMES",
     "FaultAction",
@@ -60,7 +65,7 @@ __all__ = [
 ]
 
 #: One-shot actions fired at ``at_us`` on the sim clock.
-SCHEDULED_KINDS = ("crash", "restart", "partition", "heal")
+SCHEDULED_KINDS = ("crash", "restart", "partition", "heal", "join", "leave")
 #: Probabilistic actions armed over ``[at_us, until_us)``.
 WINDOW_KINDS = ("opfail", "delay", "dup", "drop", "corrupt", "torn")
 #: Window kinds that mutate an in-flight RDMA *write* payload.
@@ -83,6 +88,11 @@ PLAN_NAMES = (
 #: remaining shards see a perfectly healthy fabric.  Kept out of
 #: :data:`PLAN_NAMES` so the single-cluster CI matrix is unchanged.
 SHARDED_PLAN_NAMES = ("shard-isolate",)
+
+#: Elastic-membership presets (checker-gated in CI): scale-out during a
+#: live partition, and scale-in of the current conflict leader.  Kept
+#: out of :data:`PLAN_NAMES` so the base chaos matrix is unchanged.
+MEMBERSHIP_PLAN_NAMES = ("scale-out-partition", "scale-in-leader")
 
 
 @dataclass(frozen=True)
@@ -373,24 +383,49 @@ class FaultPlan:
             )
         elif name == "shard-isolate":
             # Isolate one shard of a sharded topology: partition a
-            # minority inside the victim shard, heal it, then crash the
-            # txn coordinator's conflict leader there mid-commit window
-            # and bring it back.  Commuting txns on the *other* shards
-            # must keep committing throughout — the isolation claim of
-            # commutativity-driven cross-shard commits.  The two fault
-            # classes are sequenced, not overlapped: a minority node
-            # partitioned *while* the conflict leader crash-restarts
-            # can permanently miss L-ring records (a known recovery
-            # gap, tracked separately from the sharding work).
+            # minority inside the victim shard, crash the txn
+            # coordinator's conflict leader there *while the partition
+            # is still up*, bring it back, then heal.  Commuting txns on
+            # the *other* shards must keep committing throughout — the
+            # isolation claim of commutativity-driven cross-shard
+            # commits.  The overlap is deliberate: a minority node
+            # partitioned across a leader change used to permanently
+            # miss L-ring records (it kept trusting the stale leader's
+            # write permission); the authoritative state-transfer rejoin
+            # path closes that gap, and this preset keeps it closed.
             actions = (
                 FaultAction(
                     at_us=0.20 * h, kind="partition", target="minority:1"
                 ),
-                FaultAction(at_us=0.35 * h, kind="heal", target="*"),
-                FaultAction(at_us=0.45 * h, kind="crash", target="leader:0"),
+                FaultAction(at_us=0.30 * h, kind="crash", target="leader:0"),
                 FaultAction(
-                    at_us=0.70 * h, kind="restart", target="leader:0"
+                    at_us=0.60 * h, kind="restart", target="leader:0"
                 ),
+                FaultAction(at_us=0.65 * h, kind="heal", target="*"),
+            )
+        elif name == "scale-out-partition":
+            # Scale-out under fire: a minority node is partitioned away,
+            # a brand-new node joins mid-partition (its authoritative
+            # state transfer must pick live sources), then the fabric
+            # heals.  Both the joiner and the partitioned node must
+            # converge to the same state as the majority.
+            actions = (
+                FaultAction(
+                    at_us=0.15 * h, kind="partition", target="minority:1"
+                ),
+                FaultAction(
+                    at_us=0.30 * h, kind="join",
+                    target=f"node:p{n_nodes + 1}",
+                ),
+                FaultAction(at_us=0.55 * h, kind="heal", target="*"),
+            )
+        elif name == "scale-in-leader":
+            # Scale-in the current conflict leader: the membership epoch
+            # bumps, remaining nodes elect a fresh leader, and the run
+            # must converge without the departed node (which the
+            # checkers excuse from convergence after its member_leave).
+            actions = (
+                FaultAction(at_us=0.35 * h, kind="leave", target="leader:0"),
             )
         elif name == "corrupt-crash":
             # Silent corruption compounded with a follower crash and
@@ -415,7 +450,7 @@ class FaultPlan:
         else:
             raise ValueError(
                 f"unknown plan {name!r}; expected one of "
-                f"{PLAN_NAMES + SHARDED_PLAN_NAMES}"
+                f"{PLAN_NAMES + SHARDED_PLAN_NAMES + MEMBERSHIP_PLAN_NAMES}"
             )
         return cls(seed=seed, name=name, actions=actions)
 
@@ -573,6 +608,21 @@ class FaultInjector:
             name = self._resolve_node(action.target)
             cluster.restart(name)
             self._emit("restart", name, f"{action.target} restarted")
+        elif action.kind == "join":
+            # The joiner does not exist yet, so the target must be a
+            # literal node name — selectors cannot resolve to it.
+            if not action.target.startswith("node:"):
+                raise ValueError(
+                    f"join target must be 'node:<name>', "
+                    f"got {action.target!r}"
+                )
+            name = action.target.split(":", 1)[1]
+            cluster.add_node(name)
+            self._emit("join", name, f"{name} joined (scale-out)")
+        elif action.kind == "leave":
+            name = self._resolve_node(action.target)
+            cluster.remove_node(name)
+            self._emit("leave", name, f"{action.target} left (scale-in)")
 
     def _names(self) -> list:
         return sorted(self.cluster.nodes.keys())
@@ -654,7 +704,8 @@ def resolve_plan(
     if is_file is None:
         is_file = os.path.isfile
     if spec is not None:
-        if spec in PLAN_NAMES or spec in SHARDED_PLAN_NAMES:
+        if (spec in PLAN_NAMES or spec in SHARDED_PLAN_NAMES
+                or spec in MEMBERSHIP_PLAN_NAMES):
             return FaultPlan.named(
                 spec,
                 seed=seed if seed is not None else 0,
@@ -665,7 +716,8 @@ def resolve_plan(
             return FaultPlan.from_file(spec)
         raise ValueError(
             f"--faults {spec!r} is neither a named plan "
-            f"{PLAN_NAMES + SHARDED_PLAN_NAMES} nor a JSON file"
+            f"{PLAN_NAMES + SHARDED_PLAN_NAMES + MEMBERSHIP_PLAN_NAMES} "
+            f"nor a JSON file"
         )
     if seed is not None:
         return FaultPlan.from_seed(seed, n_nodes=n_nodes, horizon_us=horizon_us)

@@ -180,7 +180,14 @@ def _client(env, cluster, coordination, name, n_ops, config, state,
             # Redirect to the next available node (paper §5).
             alive = [n for n in names if n != config.fail_node]
             current = alive[names.index(name) % len(alive)]
-        node = cluster.node(current)
+        try:
+            node = cluster.node(current)
+        except KeyError:
+            # The target scaled in mid-run (elastic membership): move
+            # this client to a remaining node, like the fail redirect.
+            remaining = cluster.node_names()
+            current = remaining[names.index(name) % len(remaining)]
+            node = cluster.node(current)
         if rng.random() < config.update_ratio:
             method, arg = next(rng_stream)
         else:
@@ -238,13 +245,21 @@ def _submit_with_redirect(env, cluster, node, method, arg,
                 target = cluster.node(live[0])
         if follow_leader and hasattr(target, "current_leader"):
             leader = target.current_leader(method)
-            target = cluster.node(leader)
+            try:
+                target = cluster.node(leader)
+            except KeyError:
+                # The believed leader scaled in; wait out re-election.
+                yield env.timeout(50.0)
+                continue
         try:
             request = target.submit(method, arg)
             yield request
             return True
         except NotLeaderError as redirect:
-            target = cluster.node(redirect.leader)
+            try:
+                target = cluster.node(redirect.leader)
+            except KeyError:
+                yield env.timeout(50.0)  # redirect to a departed node
         except ImpermissibleError:
             return False
         except SubmitError:

@@ -1,10 +1,13 @@
 """Sharded topology under faults: the isolation claim, end to end.
 
 The ``shard-isolate`` preset partitions a minority inside one victim
-shard (shard 0) of a sharded bank deployment, heals it, then
-crash-restarts the txn coordinator's conflict leader there — all while
-a mixed commuting/conflicting transaction stream runs.  The claims
-under test:
+shard (shard 0) of a sharded bank deployment, crashes the txn
+coordinator's conflict leader *while the partition is still up*,
+restarts it into the degraded shard, and only then heals — all while a
+mixed commuting/conflicting transaction stream runs.  The overlap is
+deliberate: the restarted node must rejoin through the authoritative
+state-transfer path (the old sequenced preset never exercised the
+L-ring gap).  The claims under test:
 
 * the victim shard recovers and every per-shard obligation holds;
 * cross-shard atomicity holds over the whole run;
@@ -21,7 +24,7 @@ from repro.sim import SHARDED_PLAN_NAMES, FaultPlan, resolve_plan
 
 #: The sharded prologue (open + fund every account, then a 200us
 #: replication pause) runs to ~285us of sim time; this horizon puts the
-#: preset's fault window (0.20h-0.70h) squarely over live txn traffic.
+#: preset's fault window (0.20h-0.65h) squarely over live txn traffic.
 HORIZON_US = 800.0
 
 
@@ -58,7 +61,7 @@ class TestShardIsolate:
         )
         assert plan.name == "shard-isolate"
         kinds = [a.kind for a in plan.actions]
-        assert kinds == ["partition", "heal", "crash", "restart"]
+        assert kinds == ["partition", "crash", "restart", "heal"]
 
     def test_converges_and_checks_under_shard_isolate(self, isolate_run):
         _plan, run = isolate_run

@@ -45,6 +45,14 @@ def deposed_leader_cluster(env, config=None):
     env.run(until=env.now + 1000)  # heartbeats clear suspicions
     new_leader = cluster.node(others[0]).current_leader("withdraw")
     assert new_leader != old_leader
+    # The heal-path state transfer (correctly) teaches the deposed
+    # leader who really leads now.  These tests need the rarer state —
+    # a leader whose *belief* is stale while the followers have already
+    # revoked its write permission — so re-impose the stale view
+    # explicitly: belief only; the peers' revocations stay in force.
+    mu = cluster.node(old_leader).mu_groups[gid]
+    mu.leader = old_leader
+    mu.is_leader = True
     assert cluster.node(old_leader).current_leader("withdraw") == old_leader
     return cluster, gid, old_leader, new_leader
 
@@ -154,6 +162,13 @@ class TestHoleDetectionAfterLeaderChange:
         # Record(s) decided while the ex-leader is unreachable: a hole
         # in its copy forever (the write was lost).
         env.run(until=cluster.node(new_leader).submit("withdraw", 10))
+        # The heal path now runs the unified state transfer, which would
+        # repair the hole up front.  This test exercises the *detector*
+        # (probe-ahead on live traffic), so sever the heal-resync seams
+        # at the ex-leader and leave the hole in place.
+        exl = cluster.node(old_leader)
+        exl.detector.on_clear = None
+        exl.control.on_resync = None
         cluster.heal()
         env.run(until=env.now + 1000)
         # The ex-leader learns the new leader (failed submit + discovery)

@@ -81,7 +81,7 @@ class TestStatsSurface:
         cluster = HambandCluster.build(env, gset_spec(), n_nodes=3)
         stats = cluster.node("p1").stats()
         assert stats["node"] == "p1"
-        assert set(stats) == {"node", "counters", "probe"}
+        assert set(stats) == {"node", "counters", "probe", "membership"}
         for key in ("applies", "ring_highwater", "backpressure_stalls",
                     "conflict_retries", "conflict_batches", "forwards",
                     "rejections", "recoveries"):

@@ -403,6 +403,81 @@ class TestScheduledFaults:
             injector._resolve_partition("everyone")
 
 
+# -- elastic membership as scheduled faults ----------------------------
+
+
+class TestMembershipFaults:
+    def _cluster(self, workload="gset", n_nodes=3):
+        from repro.datatypes import SPEC_FACTORIES
+        from repro.runtime import HambandCluster
+
+        env = Environment()
+        cluster = HambandCluster.build(
+            env, SPEC_FACTORIES[workload](), n_nodes=n_nodes
+        )
+        return env, cluster
+
+    def test_join_and_leave_are_valid_kinds(self):
+        FaultAction(at_us=1.0, kind="join", target="node:p4")
+        FaultAction(at_us=1.0, kind="leave", target="leader:0")
+
+    def test_membership_presets_resolve_and_round_trip(self):
+        from repro.sim import MEMBERSHIP_PLAN_NAMES
+
+        for name in MEMBERSHIP_PLAN_NAMES:
+            plan = resolve_plan(name, None, 3)
+            assert plan.name == name
+            assert FaultPlan.from_json(plan.to_json()) == plan
+        plan = FaultPlan.named("scale-out-partition", n_nodes=3)
+        assert [a.kind for a in plan.actions] == [
+            "partition", "join", "heal"
+        ]
+        join = next(a for a in plan.actions if a.kind == "join")
+        # The joiner does not exist at plan time: literal name, derived
+        # from the node count so it never collides with a member.
+        assert join.target == "node:p4"
+        leave_plan = FaultPlan.named("scale-in-leader")
+        assert [a.kind for a in leave_plan.actions] == ["leave"]
+
+    def test_join_fires_and_adds_the_node(self):
+        env, cluster = self._cluster()
+        plan = FaultPlan(
+            seed=0,
+            actions=(
+                FaultAction(at_us=50.0, kind="join", target="node:p4"),
+            ),
+        )
+        injector = FaultInjector(plan).arm(cluster)
+        env.run(until=10_000.0)
+        assert "p4" in cluster.nodes
+        assert not cluster.nodes["p4"].failed, "joiner never flipped live"
+        assert cluster.epoch.version == 1
+        assert injector.counts() == {"join": 1}
+
+    def test_leave_fires_and_removes_the_node(self):
+        env, cluster = self._cluster()
+        plan = FaultPlan(
+            seed=0,
+            actions=(
+                FaultAction(at_us=50.0, kind="leave", target="node:p3"),
+            ),
+        )
+        injector = FaultInjector(plan).arm(cluster)
+        env.run(until=200.0)
+        assert "p3" not in cluster.nodes
+        assert "p3" in cluster.departed
+        assert cluster.epoch.version == 1
+        assert injector.counts() == {"leave": 1}
+
+    def test_join_target_must_be_a_literal_node(self):
+        env, cluster = self._cluster()
+        injector = FaultInjector(FaultPlan(seed=0)).arm(cluster)
+        with pytest.raises(ValueError, match="node:<name>"):
+            injector._execute(
+                FaultAction(at_us=0.0, kind="join", target="leader:0")
+            )
+
+
 # -- message-passing drops ---------------------------------------------
 
 
