@@ -99,6 +99,69 @@ def _openloop_slo() -> float:
     return run.result.throughput_ops_per_us
 
 
+def _gray_slo() -> float:
+    """Gray-failure SLO gate: flash-crowd serving under a fail-slow
+    leader.
+
+    The ``gray-leader`` plan stretches every RDMA op touching the
+    group-0 leader 12x for a window covering the arrival spike.  Under
+    ``fd_mode="phi"`` the adaptive detector must classify the leader
+    degraded from data-plane latency, a follower quorum demotes it,
+    and the serve keeps its p99 SLO; the SAME plan under the fixed-
+    timeout detector (which a fail-slow node never trips) must MISS
+    the SLO — the negative control proving demotion is load-bearing,
+    not the SLO merely slack.  The gated metric is the phi run's
+    throughput."""
+    loop = OpenLoopConfig(
+        workload="courseware",
+        offered_load_ops_per_us=3.0,
+        duration_us=800.0,
+        update_ratio=0.25,
+        arrival_curve="flash-crowd",
+        n_sessions=20_000,
+        n_tenants=8,
+        slo=SloTarget(p99_us=500.0, p999_us=1_500.0),
+    )
+    plan = FaultPlan.named("gray-leader", horizon_us=1_500.0)
+
+    def serve(fd_mode: str):
+        config = ExperimentConfig(
+            system="hamband",
+            workload="courseware",
+            n_nodes=4,
+            seed=1,
+            update_ratio=0.25,
+            fd_mode=fd_mode,
+        )
+        return run_serving(config, loop, live_check=True, plan=plan)
+
+    run = serve("phi")
+    if run.stream_report is not None and not run.stream_report.ok:
+        raise SystemExit(f"gray-slo: {run.stream_report.summary()}")
+    if not run.result.slo.ok:
+        raise SystemExit(
+            f"gray-slo: phi mode missed SLO: {run.result.slo.summary()}"
+        )
+    witness = run.cluster.node("p2")
+    leaders = {
+        gid: witness.conflict.leader_of(gid)
+        for gid in witness.conflict.mu_groups
+    }
+    if "p1" in leaders.values():
+        raise SystemExit(
+            "gray-slo: slow leader p1 was never demoted "
+            f"(leaders: {leaders})"
+        )
+    control = serve("fixed")
+    if control.result.slo.ok:
+        raise SystemExit(
+            "gray-slo: negative control failed — fixed-timeout mode "
+            "met the SLO, so the gate is not exercising demotion: "
+            f"{control.result.slo.summary()}"
+        )
+    return run.result.throughput_ops_per_us
+
+
 def _state_transfer() -> float:
     """State-transfer gate: time-to-parity for an elastic scale-out.
 
@@ -166,6 +229,8 @@ def measure(only: set[str] | None = None) -> dict[str, float]:
         measured[key] = result.throughput_ops_per_us
     if only is None or "openloop-slo" in only:
         measured["openloop-slo"] = _openloop_slo()
+    if only is None or "gray-slo" in only:
+        measured["gray-slo"] = _gray_slo()
     if only is None or "state-transfer" in only:
         measured["state-transfer"] = _state_transfer()
     if only is None or "sim-engine-speed" in only:
@@ -203,7 +268,10 @@ def main() -> int:
     if args.only is not None:
         only = {key.strip() for key in args.only.split(",") if key.strip()}
         known = {key for key, *_ in SCENARIOS}
-        known.update(("openloop-slo", "sim-engine-speed", "state-transfer"))
+        known.update((
+            "openloop-slo", "gray-slo", "sim-engine-speed",
+            "state-transfer",
+        ))
         unknown = only - known
         if unknown:
             print(f"unknown scenario(s): {', '.join(sorted(unknown))}")

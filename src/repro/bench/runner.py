@@ -95,6 +95,12 @@ class ExperimentConfig:
     #: Negative control: route conflicting txns down the uncoordinated
     #: path (expect the cross-shard atomicity check to fail).
     txn_lock_path: bool = True
+    #: Failure-detection mode: ``"fixed"`` (byte-stable stale-count
+    #: suspicion, the default) or ``"phi"`` (phi-accrual suspicion +
+    #: latency-EWMA degraded classification, hedged reads, jittered
+    #: retry backoff, and slow-leader demotion — the gray-failure
+    #: toolkit).
+    fd_mode: str = "fixed"
 
 
 def _build_cluster(env: Environment, config: ExperimentConfig,
@@ -108,6 +114,8 @@ def _build_cluster(env: Environment, config: ExperimentConfig,
             wire_version=config.wire_version,
             ring_integrity=config.ring_integrity,
             scrub_interval_us=config.scrub_interval_us,
+            seed=config.seed,
+            fd_mode=config.fd_mode,
         )
         return HambandCluster.build(
             env,
@@ -123,6 +131,8 @@ def _build_cluster(env: Environment, config: ExperimentConfig,
             wire_version=config.wire_version,
             ring_integrity=config.ring_integrity,
             scrub_interval_us=config.scrub_interval_us,
+            seed=config.seed,
+            fd_mode=config.fd_mode,
         )
         return SmrCluster.build_smr(
             env, spec, n_nodes=config.n_nodes, config=runtime_config,
@@ -159,6 +169,8 @@ def _build_sharded(env: Environment, config: ExperimentConfig,
         wire_version=config.wire_version,
         ring_integrity=config.ring_integrity,
         scrub_interval_us=config.scrub_interval_us,
+        seed=config.seed,
+        fd_mode=config.fd_mode,
     )
     sharded = ShardedCluster.build(
         env,
@@ -362,6 +374,10 @@ class ServingRun(TracedRun):
 
     tier: object = None
     loop: object = None
+    #: With ``plan``: the armed fault injector (gray-SLO scenarios
+    #: serve open-loop traffic THROUGH an injected fail-slow window).
+    injector: object = None
+    plan: object = None
 
 
 def run_serving(config: ExperimentConfig, loop: OpenLoopConfig,
@@ -369,14 +385,18 @@ def run_serving(config: ExperimentConfig, loop: OpenLoopConfig,
                 live_check: bool = False,
                 metrics_out=None,
                 metrics_interval_us: float = 200.0,
-                progress=None) -> ServingRun:
+                progress=None,
+                plan: Optional["FaultPlan"] = None) -> ServingRun:
     """Drive the open-loop serving tier over a traced cluster.
 
     ``config`` picks the system/topology (hamband or mu, single
     cluster); ``loop`` shapes the traffic — offered load, arrival
     curve, session/tenant population, admission caps, SLO target.
     The loop's workload/seed/label are overridden from ``config`` so
-    one pair of flags can't drift apart.
+    one pair of flags can't drift apart.  ``plan`` optionally arms a
+    :class:`FaultInjector` before traffic starts — the gray-failure
+    SLO scenario: serve a flash crowd THROUGH a fail-slow window and
+    let SLO attainment judge the mitigation stack.
     """
     if config.system not in ("hamband", "mu"):
         raise ValueError(
@@ -399,6 +419,10 @@ def run_serving(config: ExperimentConfig, loop: OpenLoopConfig,
         env, config, probe_factory=recorder.probe_factory
     )
     recorder.attach(cluster.coordination)
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(plan)
+        injector.arm(cluster)
     checker, emitter = _instrument(
         env, cluster, recorder, live_check, metrics_out,
         metrics_interval_us, progress, f"serve:{config.workload}",
@@ -412,6 +436,7 @@ def run_serving(config: ExperimentConfig, loop: OpenLoopConfig,
         result=result, cluster=cluster, recorder=recorder,
         stream_checker=checker, stream_report=stream_report,
         emitter=emitter, tier=tier, loop=loop,
+        injector=injector, plan=plan,
     )
 
 

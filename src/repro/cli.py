@@ -242,6 +242,31 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-tenant admission accounting after the run",
     )
+    serve.add_argument(
+        "--fd-mode",
+        choices=("fixed", "phi"),
+        default="fixed",
+        help="failure detection: 'fixed' (byte-stable stale-count "
+        "suspicion, default) or 'phi' (phi-accrual + latency-EWMA "
+        "degraded classification, hedged reads, jittered retries, "
+        "slow-leader demotion)",
+    )
+    serve.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help="arm a fault plan under the serving run: a named preset "
+        "(e.g. gray-leader, flaky-link) or a plan JSON file — "
+        "'--faults gray-leader --fd-mode phi' is the gray-failure "
+        "SLO repro (compare --fd-mode fixed on the same seed)",
+    )
+    serve.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="fault-plan horizon in sim microseconds (with --faults; "
+        "defaults to --duration)",
+    )
     serve.add_argument("--per-method", action="store_true")
     serve.add_argument(
         "--stats",
@@ -309,8 +334,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="a named CI plan (crash-leader, partition-minority, "
         "lossy-10pct, delay-spike, restart-follower, corrupt-5pct, "
         "torn-writes, corrupt-crash; shard-isolate with --shards; "
-        "membership: scale-out-partition, scale-in-leader) or "
+        "membership: scale-out-partition, scale-in-leader; "
+        "gray failures: gray-leader, flaky-link) or "
         "a plan JSON file; omit to derive a plan from --seed",
+    )
+    chaos.add_argument(
+        "--fd-mode",
+        choices=("fixed", "phi"),
+        default="fixed",
+        help="failure detection: 'fixed' (byte-stable stale-count "
+        "suspicion, default) or 'phi' (phi-accrual + latency-EWMA "
+        "degraded classification, hedged reads, jittered retries, "
+        "slow-leader demotion — the gray-failure toolkit)",
     )
     chaos.add_argument(
         "--horizon",
@@ -716,12 +751,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             p50_us=args.slo_p50, p99_us=args.slo_p99,
             p999_us=args.slo_p999,
         )
+    plan = None
+    if args.faults is not None:
+        from .sim import resolve_plan
+
+        horizon = (
+            args.horizon if args.horizon is not None else args.duration
+        )
+        try:
+            plan = resolve_plan(
+                args.faults, args.seed, args.nodes, horizon_us=horizon
+            )
+        except ValueError as exc:
+            print(exc)
+            return 1
     config = ExperimentConfig(
         system=args.system,
         workload=args.workload,
         n_nodes=args.nodes,
         update_ratio=args.update_ratio,
         seed=args.seed,
+        fd_mode=args.fd_mode,
     )
     loop = OpenLoopConfig(
         workload=args.workload,
@@ -746,6 +796,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             metrics_out=args.metrics_out,
             metrics_interval_us=args.metrics_interval_us,
             progress=progress,
+            plan=plan,
         )
     except KeyError:
         print(f"unknown workload {args.workload!r}; try `repro list`")
@@ -757,6 +808,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         progress_done()
     result = run.result
     print(result.summary_row())
+    if run.injector is not None:
+        counts = run.injector.counts()
+        injected = ", ".join(
+            f"{kind}={counts[kind]}" for kind in sorted(counts)
+        ) or "none"
+        print(f"plan: {run.plan.name} seed={run.plan.seed} "
+              f"horizon={run.plan.horizon_us():.0f}us fd={args.fd_mode}")
+        print(f"faults injected: {injected}")
     tier_stats = run.tier.stats()
     print(
         f"sessions: {tier_stats['active_sessions']}/"
@@ -837,6 +896,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         n_shards=args.shards,
         txn_mix=args.txn_mix,
         txn_lock_path=args.txn_lock_path == "on",
+        fd_mode=args.fd_mode,
     )
     progress, progress_done = _live_progress(
         args.live_check or args.metrics_out is not None
@@ -884,6 +944,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"wire_rejects={_total('wire_rejects')} "
         f"scrub_passes={_total('scrub_passes')}"
     )
+    if args.fd_mode == "phi":
+        print(
+            f"gray: degraded={_total('peer_degraded')} "
+            f"phi_suspects={_total('fd_phi_suspects')} "
+            f"hedged={_total('hedged_reads')}/{_total('hedge_wins')} "
+            f"retries={_total('op_retries')} "
+            f"budget_exhausted={_total('retry_budget_exhausted')}"
+        )
     print(f"settled: {'yes' if run.settled else 'NO'}")
     _print_txn_counters(run.coordinator)
     if args.per_method and run.result is not None:

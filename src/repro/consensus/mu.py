@@ -78,12 +78,16 @@ class MuGroup:
                  initial_leader: str, region_name: str, config: MuConfig,
                  control_send: Callable, local_head: Callable[[], int],
                  ack_of: Optional[Callable[[str], Optional[int]]] = None,
-                 on_demoted: Optional[Callable[[], None]] = None):
+                 on_demoted: Optional[Callable[[], None]] = None,
+                 is_suspected: Optional[Callable[[str], bool]] = None):
         """``control_send(peer, message)`` is a generator posting a
         control-plane SEND; ``local_head()`` reports how many log
         records this node has applied (the L ring reader's head);
         ``ack_of(peer)`` reads the peer's flow-control ack (None when
-        acks are disabled)."""
+        acks are disabled); ``is_suspected(peer)`` (wired in phi mode
+        only) lets the leader skip posting decisions toward suspected —
+        possibly fail-slow — followers instead of gating every commit
+        on their completions."""
         self.node = node
         self.env: Environment = node.env
         self.gid = gid
@@ -103,6 +107,7 @@ class MuGroup:
         self._local_head = local_head
         self._ack_of = ack_of or (lambda peer: None)
         self._on_demoted = on_demoted or (lambda: None)
+        self._is_suspected = is_suspected
         #: Set while this node believes itself the leader.
         self.is_leader = node.name == initial_leader
         #: Writers toward each follower's log region (leader only).
@@ -147,6 +152,16 @@ class MuGroup:
             return False
         pending = []
         for peer, writer in self._writers.items():
+            # A suspected follower (dead — or pinned *degraded*, i.e.
+            # fail-slow) still gets its slot rendered and claimed so
+            # every per-peer log copy stays index-aligned (records
+            # carry index-generation canaries; skipping the claim would
+            # land later content at stale indices).  Only the *post*
+            # is skipped: a slow follower's completion would gate this
+            # and every following decision on the straggler.
+            suspected = (
+                self._is_suspected is not None and self._is_suspected(peer)
+            )
             ack = self._ack_of(peer)
             if ack is not None and writer.reader_acked is not None:
                 # Clamp to our own tail: a corrupt/torn ack write must
@@ -158,6 +173,12 @@ class MuGroup:
                     offset, slot = writer.render(payload)
                     break
                 except RingError:
+                    if suspected:
+                        # A suspected reader's acks won't advance: fall
+                        # back to ring sizing now, don't wait it out.
+                        writer.reader_acked = None
+                        offset, slot = writer.render(payload)
+                        break
                     # Backpressure: wait for the reader to drain, but a
                     # suspected/dead reader must not wedge the group.
                     waited += 1
@@ -171,6 +192,9 @@ class MuGroup:
                         writer.ack_up_to(min(ack, writer.tail))
             region = self.node.region_of(peer, self.region_name)
             qp = self.node.qp_to(peer, mu_channel(self.gid))
+            if suspected:
+                pending.append((qp, region, offset, slot, None))
+                continue
             yield from self.node.cpu.use(qp.config.post_cpu_us)
             pending.append(
                 (qp, region, offset, slot, qp.post_write(region, offset, slot))
@@ -179,6 +203,8 @@ class MuGroup:
         acked = 0
         permission_errors = 0
         for qp, region, offset, slot, completion in pending:
+            if completion is None:
+                continue  # skipped suspected follower: owed nothing
             wc = yield completion
             # Transient failures (injected NIC faults, partition blips)
             # retry the SAME record to the SAME offset — idempotent.

@@ -85,7 +85,9 @@ class MsgHost:
         # FIFO per pipe: messages to one peer queue behind each other.
         start = max(self.env.now, self._pipe_busy_until.get(dst, 0.0))
         arrival = start + config.wire_us
-        if decision is not None and decision.kind == "delay":
+        if decision is not None and decision.kind in (
+            "delay", "slow", "flaky"
+        ):
             arrival += decision.delay_us
         self._pipe_busy_until[dst] = start
 

@@ -340,11 +340,16 @@ class QueuePair:
     def _consult_fault(self, opcode: Opcode, nbytes: int):
         """Ask the fault injector (if armed) what to do with this op.
 
-        A ``delay`` decision is applied here, as a NIC/link stall: it
-        pushes back ``_busy_until`` so this op *and everything queued
-        behind it* slips — preserving the RC FIFO order that the layers
-        above rely on.  ``opfail``/``dup``/``drop`` decisions are
-        returned for the caller to act on.
+        A ``delay`` decision — and the gray-failure ``slow`` / ``flaky``
+        stretches, which are just adaptively-sized delays — is applied
+        here, as a NIC/link stall: it pushes back ``_busy_until`` so
+        this op *and everything queued behind it* slips — preserving
+        the RC FIFO order that the layers above rely on.  That FIFO
+        slip is also what makes fail-slow windows *compound*: sustained
+        traffic into a slowed QP builds queue depth, which is the
+        latency signal the adaptive failure detector keys on.
+        ``opfail``/``dup``/``drop`` decisions are returned for the
+        caller to act on.
         """
         hook = self.local.fabric.fault_hook
         if hook is None:
@@ -352,7 +357,9 @@ class QueuePair:
         decision = hook(
             opcode.value, self.local.name, self.remote.name, nbytes
         )
-        if decision is not None and decision.kind == "delay":
+        if decision is not None and decision.kind in (
+            "delay", "slow", "flaky"
+        ):
             self._busy_until = (
                 max(self._busy_until, self.env.now) + decision.delay_us
             )

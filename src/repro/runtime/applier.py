@@ -317,6 +317,7 @@ class ApplyEngine:
         yield from self.broadcast.broadcast(
             message, writes, is_suspected=self.is_suspected,
             piggyback=self._due_ack_piggyback(),
+            skip_suspected=self.config.fd_mode == "phi",
         )
         self.probe.span_end("propagate", method, call.origin, call.rid)
         return call
@@ -353,6 +354,7 @@ class ApplyEngine:
         yield from self.broadcast.broadcast(
             message, writes, is_suspected=self.is_suspected,
             piggyback=self._due_ack_piggyback(),
+            skip_suspected=self.config.fd_mode == "phi",
         )
         self.probe.span_end("propagate", method, call.origin, call.rid)
         return call

@@ -63,6 +63,49 @@ class RuntimeConfig:
     hb_interval_us: float = 20.0
     fd_poll_us: float = 60.0
     suspect_after: int = 3
+    #: Root seed for runtime-internal randomness (retry jitter); the
+    #: harness threads the experiment seed through so same seed ⇒ same
+    #: schedule.
+    seed: int = 0
+    #: Failure detection mode: ``"fixed"`` is the classic
+    #: count-stale-polls timeout (byte-compatible with all existing
+    #: traces); ``"phi"`` layers a phi-accrual detector over
+    #: inter-heartbeat arrival samples plus a poll-read latency health
+    #: tracker that classifies limping-but-alive peers as *degraded* —
+    #: the gray-failure story (see docs/fault_injection.md).
+    fd_mode: str = "fixed"
+    #: Phi threshold: suspect a peer once the accrued suspicion level
+    #: (-log10 of the probability that the heartbeat is merely late)
+    #: crosses this.  8 ≈ "one false positive per 10^8 arrivals".
+    fd_phi_threshold: float = 8.0
+    #: Sliding window of inter-arrival samples per peer.
+    fd_phi_window: int = 32
+    #: Floor on the arrival-interval std-dev so a perfectly regular
+    #: heartbeat stream doesn't make phi explode on the first wobble.
+    fd_phi_min_std_us: float = 10.0
+    #: Peer-health EWMA smoothing for one-sided poll-read latency.
+    health_alpha: float = 0.2
+    #: A peer is *degraded* when its latency EWMA exceeds the healthy
+    #: baseline by this factor (after ``degraded_min_samples`` reads),
+    #: and recovers below ``degraded_clear_factor``.
+    degraded_factor: float = 3.0
+    degraded_min_samples: int = 8
+    degraded_clear_factor: float = 1.5
+    #: Hedged reads (phi mode): fire a second read at the next-best
+    #: source after this long; once enough latency samples accrue the
+    #: delay adapts to the observed p99 instead.
+    hedge_delay_us: float = 8.0
+    #: Retry jitter fraction (phi mode only — fixed mode keeps the
+    #: bare exponential schedule for byte-compat): each backoff is
+    #: multiplied by ``1 ± uniform(0, retry_jitter)``.
+    retry_jitter: float = 0.25
+    #: Per-op retry budget in microseconds of cumulative backoff;
+    #: 0 = unlimited (the attempt cap alone bounds the loop).
+    retry_budget_us: float = 0.0
+    #: Demote a leader that a quorum of health trackers classify
+    #: degraded (phi mode only): the detectors pin suspicion on it and
+    #: the existing rank-staggered re-election takes over.
+    demote_slow_leader: bool = True
     #: Conflicting calls waiting for permissibility retry at this pace.
     conf_retry_us: float = 2.0
     conf_retry_limit: int = 800

@@ -113,6 +113,13 @@ class ConflictCoordinator:
                     else None
                 ),
                 on_demoted=lambda gid=gid: self.on_demoted(gid),
+                # Phi mode only: let the leader skip posting decisions
+                # toward suspected (fail-slow) followers — in fixed
+                # mode Mu keeps its seed-identical behaviour.
+                is_suspected=(
+                    self.is_suspected
+                    if self.config.fd_mode == "phi" else None
+                ),
             )
             self.conf_queues[gid] = Store(self.env)
             self.spawn(self._conf_worker(gid), f"conf:{self.name}:{gid}")

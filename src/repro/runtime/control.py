@@ -63,15 +63,20 @@ class ControlPlane:
         #: Optional rejoin hook: ``on_resync(peer)`` is a generator that
         #: pulls ``peer``'s rings/summaries (wired by the façade).
         self.on_resync = None
+        #: Optional slow-leader ballot hook (phi mode):
+        #: ``on_slow_leader(voter, victim)`` tallies a peer's claim that
+        #: ``victim`` is degraded (wired by the façade).
+        self.on_slow_leader = None
 
     def bind(self, conflict, applier, broadcast,
              submit: Callable[[str, Any], Event],
-             on_resync=None) -> None:
+             on_resync=None, on_slow_leader=None) -> None:
         self.conflict = conflict
         self.applier = applier
         self.broadcast = broadcast
         self.submit = submit
         self.on_resync = on_resync
+        self.on_slow_leader = on_slow_leader
 
     def start(self, peers: list[str], spawn: Callable) -> None:
         """Spawn one supervised listener per peer."""
@@ -118,6 +123,12 @@ class ControlPlane:
                         self.on_resync(incoming.src),
                         name=f"resync:{self.name}",
                     )
+            elif kind == "slow_leader":
+                # A peer's health tracker classified ``message[1]``
+                # (typically the current leader) as degraded and is
+                # gathering a quorum for demotion.
+                if self.on_slow_leader is not None:
+                    self.on_slow_leader(incoming.src, message[1])
 
     # -- request forwarding ----------------------------------------------
 

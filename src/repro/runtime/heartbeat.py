@@ -5,16 +5,38 @@ registered region; peers periodically *remote-read* the counter and
 suspect the node when it stops advancing.  Failure injection in the
 paper's experiments suspends the heartbeat thread — :meth:`suspend`
 reproduces that exactly, leaving the node's other threads running.
+
+Two detection modes (``RuntimeConfig.fd_mode``):
+
+* ``"fixed"`` — the classic count-stale-polls timeout, unchanged since
+  the seed (byte-compatible with every recorded trace);
+* ``"phi"`` — a phi-accrual detector (Hayashibara et al.) over the
+  observed inter-advance intervals of each peer's counter: suspicion
+  is a *probability* (-log10 that the heartbeat is merely late given
+  the learned arrival distribution), so irregular-but-alive peers
+  aren't falsely suspected and silent ones are suspected faster than a
+  worst-case fixed timeout.
+
+Fail-*slow* peers defeat both: the heartbeat counter is written
+**locally**, so it keeps advancing on time even when every RDMA op
+toward the node crawls.  :class:`PeerHealth` closes that gap — the
+detector's own poll reads (and the transport's one-sided ops) feed a
+per-peer latency EWMA, and a peer whose EWMA blows past its observed
+healthy floor is classified *degraded*.  Degraded suspicion is pinned
+(:meth:`FailureDetector.mark_degraded`): a merely-advancing counter
+does not clear it, only a latency recovery does.
 """
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from typing import Callable, Optional
 
 from ..rdma import Access, RdmaNode, WcStatus
 from ..sim import Environment
 
-__all__ = ["FailureDetector", "Heartbeat"]
+__all__ = ["FailureDetector", "Heartbeat", "PeerHealth", "PhiAccrual"]
 
 HB_REGION = "hamband:heartbeat"
 
@@ -48,13 +70,160 @@ class Heartbeat:
             yield self.env.timeout(self.interval_us)
 
 
+class PhiAccrual:
+    """Phi-accrual suspicion over observed heartbeat-advance intervals.
+
+    ``phi = -log10 P(no advance for this long | learned distribution)``
+    using a normal model over a sliding window of inter-advance
+    intervals, with a floor on the std-dev so a perfectly regular
+    stream doesn't explode on its first wobble.  Until a peer has
+    :data:`MIN_SAMPLES` intervals the model is unwarmed and
+    :meth:`phi` returns ``None`` (callers fall back to fixed counting).
+    """
+
+    MIN_SAMPLES = 3
+
+    def __init__(self, window: int = 32, min_std_us: float = 10.0):
+        self.window = window
+        self.min_std_us = min_std_us
+        self._intervals: dict[str, deque] = {}
+        self._last_arrival: dict[str, float] = {}
+
+    def arrival(self, peer: str, now: float) -> None:
+        """A counter advance for ``peer`` was observed at ``now``."""
+        last = self._last_arrival.get(peer)
+        if last is not None:
+            self._intervals.setdefault(
+                peer, deque(maxlen=self.window)
+            ).append(now - last)
+        self._last_arrival[peer] = now
+
+    def forget(self, peer: str) -> None:
+        self._intervals.pop(peer, None)
+        self._last_arrival.pop(peer, None)
+
+    def phi(self, peer: str, now: float) -> Optional[float]:
+        dq = self._intervals.get(peer)
+        if dq is None or len(dq) < self.MIN_SAMPLES:
+            return None
+        elapsed = now - self._last_arrival[peer]
+        mean = sum(dq) / len(dq)
+        var = sum((x - mean) ** 2 for x in dq) / len(dq)
+        std = max(math.sqrt(var), self.min_std_us)
+        p_later = 0.5 * math.erfc((elapsed - mean) / (std * math.sqrt(2.0)))
+        return -math.log10(max(p_later, 1e-300))
+
+
+class PeerHealth:
+    """Healthy/degraded classification from one-sided op latency.
+
+    Every successful one-sided op toward a peer (detector poll reads
+    at a steady cadence, plus transport data-plane ops and broadcast
+    fan-out completions) feeds :meth:`record`.  A peer is *degraded*
+    once its latency EWMA exceeds its observed healthy floor (best
+    single sample) by ``degraded_factor`` — the fail-slow signal a
+    heartbeat counter can never carry — and *recovers* once the EWMA
+    drops back under ``clear_factor`` times the floor.
+
+    Degradation additionally requires the peer to be an *outlier
+    relative to the other peers* (EWMA above ``degraded_factor`` times
+    the median peer EWMA): a load spike at THIS node inflates observed
+    latency toward everyone at once, and classifying the whole cluster
+    as fail-slow would be self-diagnosis, not detection.  A genuinely
+    slow link elevates exactly one peer against a quiet median.
+    """
+
+    def __init__(self, alpha: float = 0.2, degraded_factor: float = 3.0,
+                 min_samples: int = 8, clear_factor: float = 1.5,
+                 on_degraded: Optional[Callable[[str], None]] = None,
+                 on_recovered: Optional[Callable[[str], None]] = None,
+                 probe=None):
+        self.alpha = alpha
+        self.degraded_factor = degraded_factor
+        self.min_samples = min_samples
+        self.clear_factor = clear_factor
+        self.on_degraded = on_degraded
+        self.on_recovered = on_recovered
+        self.probe = probe
+        self.degraded: set[str] = set()
+        self._ewma: dict[str, float] = {}
+        self._best: dict[str, float] = {}
+        self._count: dict[str, int] = {}
+
+    def record(self, peer: str, latency_us: float) -> None:
+        n = self._count.get(peer, 0) + 1
+        self._count[peer] = n
+        prev = self._ewma.get(peer)
+        ewma = (
+            latency_us if prev is None
+            else self.alpha * latency_us + (1.0 - self.alpha) * prev
+        )
+        self._ewma[peer] = ewma
+        best = self._best.get(peer)
+        if best is None or latency_us < best:
+            self._best[peer] = best = latency_us
+        if n < self.min_samples:
+            return
+        if peer not in self.degraded:
+            if (ewma > best * self.degraded_factor
+                    and self._outlier(peer, ewma)):
+                self.degraded.add(peer)
+                if self.probe is not None:
+                    self.probe.peer_degraded(peer)
+                if self.on_degraded is not None:
+                    self.on_degraded(peer)
+        elif ewma < best * self.clear_factor:
+            self.degraded.discard(peer)
+            if self.on_recovered is not None:
+                self.on_recovered(peer)
+
+    def _outlier(self, peer: str, ewma: float) -> bool:
+        """Elevated against the cluster, not just its own floor."""
+        others = sorted(
+            v for p, v in self._ewma.items() if p != peer
+        )
+        if not others:
+            return True
+        median = others[len(others) // 2]
+        return ewma > self.degraded_factor * median
+
+    def is_degraded(self, peer: str) -> bool:
+        return peer in self.degraded
+
+    def ewma_us(self, peer: str) -> Optional[float]:
+        return self._ewma.get(peer)
+
+    def rank(self, candidates: list[str]) -> list[str]:
+        """Candidates ordered best-first by latency EWMA (unknown peers
+        keep their input order, after the known-good ones)."""
+        known = [c for c in candidates if c in self._ewma]
+        unknown = [c for c in candidates if c not in self._ewma]
+        return sorted(known, key=lambda c: self._ewma[c]) + unknown
+
+    def forget(self, peer: str) -> None:
+        self.degraded.discard(peer)
+        self._ewma.pop(peer, None)
+        self._best.pop(peer, None)
+        self._count.pop(peer, None)
+
+
 class FailureDetector:
-    """Per-node detector polling every peer's heartbeat by remote read."""
+    """Per-node detector polling every peer's heartbeat by remote read.
+
+    ``mode="fixed"`` counts stale polls against ``suspect_after``
+    (seed behaviour); ``mode="phi"`` accrues suspicion via
+    :class:`PhiAccrual` (falling back to fixed counting until the
+    per-peer model warms up) and feeds poll-read latencies into an
+    optional :class:`PeerHealth` tracker.
+    """
 
     def __init__(self, node: RdmaNode, peers: list[str],
                  poll_interval_us: float = 60.0, suspect_after: int = 3,
                  on_suspect: Optional[Callable[[str], None]] = None,
-                 on_clear: Optional[Callable[[str], None]] = None):
+                 on_clear: Optional[Callable[[str], None]] = None,
+                 mode: str = "fixed", phi_threshold: float = 8.0,
+                 phi_window: int = 32, phi_min_std_us: float = 10.0,
+                 health: Optional[PeerHealth] = None, probe=None):
         self.node = node
         self.env: Environment = node.env
         self.peers = [p for p in peers if p != node.name]
@@ -64,13 +233,47 @@ class FailureDetector:
         #: Fired when a previously suspected peer proves alive again
         #: (heals from a partition, restarts): the rejoin/catch-up hook.
         self.on_clear = on_clear
+        self.mode = mode
+        self.phi_threshold = phi_threshold
+        self.phi = (
+            PhiAccrual(window=phi_window, min_std_us=phi_min_std_us)
+            if mode == "phi" else None
+        )
+        self.health = health
+        self.probe = probe
         self.suspected: set[str] = set()
+        #: Degraded pins: suspicion that a merely-advancing heartbeat
+        #: counter must NOT clear (the peer is alive but limping).
+        self.degraded: set[str] = set()
         self._last_seen: dict[str, int] = {p: 0 for p in self.peers}
         self._stale_polls: dict[str, int] = {p: 0 for p in self.peers}
         self._process = self.env.process(self._run(), name=f"fd:{node.name}")
 
     def is_suspected(self, peer: str) -> bool:
         return peer in self.suspected
+
+    def is_degraded(self, peer: str) -> bool:
+        return peer in self.degraded
+
+    def mark_degraded(self, peer: str) -> None:
+        """Pin ``peer`` suspected as *degraded* (fail-slow, not dead).
+
+        Fires ``on_suspect`` (so demotion/campaign paths engage exactly
+        as for a silent peer), but the pin survives counter advances —
+        only :meth:`clear_degraded` lifts it.
+        """
+        if peer in self.degraded:
+            return
+        self.degraded.add(peer)
+        if peer not in self.suspected:
+            self.suspected.add(peer)
+            if self.on_suspect is not None:
+                self.on_suspect(peer)
+
+    def clear_degraded(self, peer: str) -> None:
+        """Lift a degraded pin; normal clearing resumes (the next
+        counter advance un-suspects the peer and fires ``on_clear``)."""
+        self.degraded.discard(peer)
 
     def add_peer(self, name: str) -> None:
         """Start polling a newly joined peer's heartbeat."""
@@ -94,6 +297,11 @@ class FailureDetector:
         self.peers.remove(name)
         self._last_seen.pop(name, None)
         self._stale_polls.pop(name, None)
+        self.degraded.discard(name)
+        if self.phi is not None:
+            self.phi.forget(name)
+        if self.health is not None:
+            self.health.forget(name)
         self.suspected.add(name)
 
     def _run(self):
@@ -104,15 +312,20 @@ class FailureDetector:
             for peer in self.peers:
                 region = self.node.region_of(peer, HB_REGION)
                 qp = self.node.qp_to(peer)
+                started = self.env.now
                 completion = yield from qp.read(region, 0, 8)
                 if completion.status is not WcStatus.SUCCESS:
                     self._note_stale(peer)
                     continue
+                if self.health is not None:
+                    self.health.record(peer, self.env.now - started)
                 count = int.from_bytes(completion.data, "little")
                 if count > self._last_seen[peer]:
                     self._last_seen[peer] = count
                     self._stale_polls[peer] = 0
-                    if peer in self.suspected:
+                    if self.phi is not None:
+                        self.phi.arrival(peer, self.env.now)
+                    if peer in self.suspected and peer not in self.degraded:
                         self.suspected.discard(peer)
                         if self.on_clear is not None:
                             self.on_clear(peer)
@@ -121,10 +334,20 @@ class FailureDetector:
 
     def _note_stale(self, peer: str) -> None:
         self._stale_polls[peer] += 1
-        if (
-            self._stale_polls[peer] >= self.suspect_after
-            and peer not in self.suspected
-        ):
+        if peer in self.suspected:
+            return
+        if self.phi is not None:
+            level = self.phi.phi(peer, self.env.now)
+            if level is not None:
+                # Warmed model: suspicion is probabilistic, not counted.
+                if level >= self.phi_threshold:
+                    self.suspected.add(peer)
+                    if self.probe is not None:
+                        self.probe.phi_suspect(peer)
+                    if self.on_suspect is not None:
+                        self.on_suspect(peer)
+                return
+        if self._stale_polls[peer] >= self.suspect_after:
             self.suspected.add(peer)
             if self.on_suspect is not None:
                 self.on_suspect(peer)

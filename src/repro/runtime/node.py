@@ -62,7 +62,7 @@ from .errors import (  # noqa: F401  (re-exported for import stability)
     NotLeaderError,
     SubmitError,
 )
-from .heartbeat import FailureDetector, Heartbeat
+from .heartbeat import FailureDetector, Heartbeat, PeerHealth
 from .probe import CountingProbe, RuntimeProbe
 from .scrubber import Scrubber
 from .statexfer import StateTransfer
@@ -130,16 +130,34 @@ class HambandNode:
         )
 
         # -- compose the four layers -----------------------------------
+        #: Peer-health latency tracker (phi mode only): classifies
+        #: limping-but-alive peers as degraded from one-sided op
+        #: latency, driving hedged reads and slow-leader demotion.
+        self.health: Optional[PeerHealth] = None
+        #: Slow-leader demotion ballots: victim -> set of voters.
+        self._slow_votes: dict[str, set] = {}
+        if config.fd_mode == "phi":
+            self.health = PeerHealth(
+                alpha=config.health_alpha,
+                degraded_factor=config.degraded_factor,
+                min_samples=config.degraded_min_samples,
+                clear_factor=config.degraded_clear_factor,
+                on_degraded=self._on_peer_degraded,
+                on_recovered=self._on_peer_recovered,
+                probe=self.probe,
+            )
         self.transport = RingTransport(
             rnode, coordination, self.processes, config, self.probe,
             codec=self.codec,
         )
+        self.transport.health = self.health
         self.applier = ApplyEngine(
             rnode, coordination, config, event_log, self.probe,
             self.counters, codec=self.codec,
         )
         self.applier.init_summaries(self.processes)
         self.broadcast = ReliableBroadcast(rnode, config.backup_size)
+        self.broadcast.health = self.health
         self.heartbeat = Heartbeat(rnode, config.hb_interval_us)
         self.detector = FailureDetector(
             rnode,
@@ -148,6 +166,12 @@ class HambandNode:
             suspect_after=config.suspect_after,
             on_suspect=self._on_suspect,
             on_clear=self._on_clear,
+            mode=config.fd_mode,
+            phi_threshold=config.fd_phi_threshold,
+            phi_window=config.fd_phi_window,
+            phi_min_std_us=config.fd_phi_min_std_us,
+            health=self.health,
+            probe=self.probe,
         )
         self.control = ControlPlane(
             rnode, config, self.probe, self.counters, codec=self.codec
@@ -172,6 +196,7 @@ class HambandNode:
         self.control.bind(
             self.conflict, self.applier, self.broadcast, self.submit,
             on_resync=self._catch_up_from,
+            on_slow_leader=self._slow_leader_vote,
         )
         self.scrubber = Scrubber(
             rnode, self.transport, config, self.probe,
@@ -306,6 +331,7 @@ class HambandNode:
         )
         for gid in self.conflict.mu_groups:
             self.rnode.qp_to(name, mu_channel(gid)).revoke_peer_write()
+        self.scrubber.rearm()
 
     def remove_peer(self, name: str) -> None:
         """Unwire a departed peer from every layer.
@@ -322,6 +348,7 @@ class HambandNode:
         self.conflict.remove_member(name)
         self.processes.remove(name)
         self.peers = [p for p in self.processes if p != self.name]
+        self.scrubber.rearm()
 
     # -- failure handling -------------------------------------------------
 
@@ -356,6 +383,81 @@ class HambandNode:
         permission fix — then bulk F/L/summary install under the
         frontier barrier)."""
         yield from StateTransfer(self).run(sources=[peer], reason=peer)
+
+    # -- gray-failure handling (phi mode) ----------------------------------
+
+    def _leads_any(self, peer: str) -> bool:
+        return any(self.conflict.leader_of(gid) == peer
+                   for gid in self.conflict.mu_groups)
+
+    def _on_peer_degraded(self, peer: str) -> None:
+        """Our latency tracker classified ``peer`` as fail-slow.
+
+        A degraded FOLLOWER is pinned suspected locally right away:
+        suspicion of a non-leader only changes what WE do (skip posting
+        to it, hedge reads around it) — crash-stop semantics already
+        guarantee a skipped peer is owed nothing, so no coordination is
+        needed.  A degraded LEADER is different: suspicion triggers a
+        demotion campaign, and one node's noisy latency estimate must
+        not depose a healthy leader — so we gather a quorum of
+        independent detectors through the ``slow_leader`` ballot first.
+        """
+        if self.config.demote_slow_leader and self._leads_any(peer):
+            self._spawn_supervised(
+                self._slow_leader_ballot(peer),
+                f"ballot:{self.name}:{peer}",
+            )
+        else:
+            self.detector.mark_degraded(peer)
+
+    def _slow_leader_ballot(self, victim: str):
+        """Broadcast our slow-leader vote until quorum or recovery.
+
+        Several rounds, spaced a few detector polls apart: votes ride
+        the two-sided control plane, whose sends into the slow link may
+        themselves be delayed or lost — repetition (the tally is a set,
+        so it is idempotent) keeps one delayed packet from stalling the
+        demotion."""
+        for _round in range(5):
+            if (not self.rnode.alive or self.failed
+                    or self.health is None
+                    or not self.health.is_degraded(victim)
+                    or self.detector.is_degraded(victim)):
+                return
+            self._tally_slow_vote(self.name, victim)
+            for peer in self.peers:
+                if peer == victim or self.detector.is_suspected(peer):
+                    continue
+                yield from self.control.send(
+                    peer, ("slow_leader", victim)
+                )
+            yield self.env.timeout(4.0 * self.config.fd_poll_us)
+
+    def _slow_leader_vote(self, voter: str, victim: str) -> None:
+        """Control-plane entry: ``voter`` claims ``victim`` is slow."""
+        if victim == self.name:
+            # Never demote ourselves on hearsay; if a quorum really
+            # agrees, their campaign revokes our Mu write permission
+            # and we discover the new leader like any deposed node.
+            return
+        self._tally_slow_vote(voter, victim)
+
+    def _tally_slow_vote(self, voter: str, victim: str) -> None:
+        votes = self._slow_votes.setdefault(victim, set())
+        votes.add(voter)
+        quorum = len(self.processes) // 2 + 1
+        if len(votes) >= quorum and not self.detector.is_degraded(victim):
+            # Quorum of independent detectors: pin the victim suspected
+            # (fires on_suspect -> rank-staggered re-election + fan-out
+            # skip) until its health recovers.
+            self.detector.mark_degraded(victim)
+
+    def _on_peer_recovered(self, peer: str) -> None:
+        """The degraded peer's latency fell back to baseline: drop our
+        ballot state and unpin — the next heartbeat advance clears the
+        suspicion through the normal bidirectional-resync path."""
+        self._slow_votes.pop(peer, None)
+        self.detector.clear_degraded(peer)
 
     # -- restart / rejoin --------------------------------------------------
 

@@ -136,6 +136,28 @@ class RuntimeProbe:
     def op_retry(self, kind: str) -> None:
         """A one-sided op failed transiently and was retried."""
 
+    def retry_budget_exhausted(self, kind: str) -> None:
+        """A retry loop gave up because its cumulative backoff budget
+        ran out (distinct from exhausting the attempt cap)."""
+
+    # -- adaptive failure detection and hedging --------------------------
+
+    def peer_degraded(self, peer: str) -> None:
+        """The latency health tracker classified ``peer`` as degraded
+        (limping but alive): its one-sided poll-read EWMA crossed the
+        degraded threshold."""
+
+    def phi_suspect(self, peer: str) -> None:
+        """The phi-accrual detector crossed its threshold for ``peer``
+        (heartbeat arrivals stopped fitting the learned distribution)."""
+
+    def hedged_read(self, ring: str) -> None:
+        """A hedge fired: the primary read outlived the hedge delay and
+        a second read was posted to the next-best source."""
+
+    def hedge_win(self, ring: str) -> None:
+        """The hedge read completed first (the hedge paid off)."""
+
     def catch_up(self, source: str) -> None:
         """This node completed a rejoin/catch-up pass (from ``source``,
         or ``"restart"`` for a full post-restart rejoin)."""
@@ -214,6 +236,11 @@ class CountingProbe(RuntimeProbe):
         self.rejections: dict[str, int] = {}
         self.faults: dict[str, int] = {}
         self.op_retries: dict[str, int] = {}
+        self.retry_budget_exhaustions: dict[str, int] = {}
+        self.peer_degradations: dict[str, int] = {}
+        self.phi_suspects: dict[str, int] = {}
+        self.hedged: dict[str, int] = {}
+        self.hedge_win_counts: dict[str, int] = {}
         self.catch_ups: dict[str, int] = {}
         self.member_events: dict[str, int] = {}
         self.recoveries = 0
@@ -291,6 +318,21 @@ class CountingProbe(RuntimeProbe):
     def op_retry(self, kind: str) -> None:
         self._bump(self.op_retries, kind)
 
+    def retry_budget_exhausted(self, kind: str) -> None:
+        self._bump(self.retry_budget_exhaustions, kind)
+
+    def peer_degraded(self, peer: str) -> None:
+        self._bump(self.peer_degradations, peer)
+
+    def phi_suspect(self, peer: str) -> None:
+        self._bump(self.phi_suspects, peer)
+
+    def hedged_read(self, ring: str) -> None:
+        self._bump(self.hedged, ring)
+
+    def hedge_win(self, ring: str) -> None:
+        self._bump(self.hedge_win_counts, ring)
+
     def catch_up(self, source: str) -> None:
         self._bump(self.catch_ups, source)
 
@@ -321,6 +363,11 @@ class CountingProbe(RuntimeProbe):
             "rejections": dict(self.rejections),
             "faults": dict(self.faults),
             "op_retries": dict(self.op_retries),
+            "retry_budget_exhausted": dict(self.retry_budget_exhaustions),
+            "peer_degraded": dict(self.peer_degradations),
+            "fd_phi_suspects": dict(self.phi_suspects),
+            "hedged_reads": dict(self.hedged),
+            "hedge_wins": dict(self.hedge_win_counts),
             "catch_ups": dict(self.catch_ups),
             "member_events": dict(self.member_events),
             "recoveries": self.recoveries,

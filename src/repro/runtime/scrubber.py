@@ -74,6 +74,26 @@ class Scrubber:
         #: Per-ring rotating cursor (absolute record index).
         self._cursors: dict[str, int] = {}
 
+    def rearm(self) -> None:
+        """Rebuild the round-robin target list after a membership change.
+
+        The list is computed at construction; without this re-arm a
+        joiner's F ring is never scrubbed (it entered ``f_readers``
+        after the list was built) and a departed peer's frozen ring
+        stays in rotation forever, wasting ticks on a replica nobody
+        authoritative serves any more.  Only CURRENT members' F rings
+        are kept — ``f_readers`` deliberately retains departed peers'
+        rings as drainable history — plus every followed L log.
+        """
+        members = set(self.transport.peers)
+        self._targets = (
+            [("F", origin)
+             for origin in sorted(self.transport.f_readers)
+             if origin in members]
+            + [("L", gid) for gid in sorted(self.transport.l_readers)]
+        )
+        self._next = 0
+
     # -- worker ----------------------------------------------------------
 
     def loop(self):

@@ -126,20 +126,25 @@ class StateTransfer:
 
     # -- phase 2 helpers -------------------------------------------------
 
-    def _pick_source(self, origin: str) -> Optional[str]:
-        """First live, unsuspected holder of ``origin``'s ring: the
-        origin's own mirror is authoritative, then any peer's replica."""
+    def _sources(self, origin: str) -> list[str]:
+        """Live, unsuspected holders of ``origin``'s ring, preference
+        order: the origin's own mirror is authoritative, then any
+        peer's replica."""
         node = self.node
         candidates = [origin] + [
             p for p in node.transport.peers if p != origin
         ]
-        for source in candidates:
-            if source == node.name or node.detector.is_suspected(source):
-                continue
-            if not node.rnode.fabric.nodes[source].alive:
-                continue
-            return source
-        return None
+        return [
+            source for source in candidates
+            if source != node.name
+            and not node.detector.is_suspected(source)
+            and node.rnode.fabric.nodes[source].alive
+        ]
+
+    def _pick_source(self, origin: str) -> Optional[str]:
+        """First live, unsuspected holder of ``origin``'s ring."""
+        sources = self._sources(origin)
+        return sources[0] if sources else None
 
     def _fill_f_ring(self, origin: str):
         """Windowed bulk fill of our copy of ``origin``'s F ring.
@@ -151,12 +156,20 @@ class StateTransfer:
         """
         node = self.node
         cfg = node.config
-        reader = node.transport.f_readers[origin]
-        source = self._pick_source(origin)
-        if source is None:
+        transport = node.transport
+        reader = transport.f_readers[origin]
+        sources = self._sources(origin)
+        if not sources:
             return 0
+        source = sources[0]
         qp = node.rnode.qp_to(source)
         remote = node.rnode.region_of(source, f_region(origin))
+        # Phi mode: hedge each window to the lowest-latency backup
+        # replica, so one limping source cannot serialize the whole
+        # bulk transfer.  A backup holding fewer records just ends the
+        # fill early — the per-slot multi-source repair that follows
+        # in run() covers the remainder.
+        hedge = cfg.fd_mode == "phi" and len(sources) > 1
         slots, slot_size = cfg.ring_slots, cfg.slot_size
         installed = 0
         index = reader.head
@@ -172,9 +185,19 @@ class StateTransfer:
             ):
                 start = index % slots
                 count = min(_WINDOW, slots - start)
-                wc = yield from qp.read(
-                    remote, start * slot_size, count * slot_size
-                )
+                if hedge:
+                    backups = sources[1:]
+                    if transport.health is not None:
+                        backups = transport.health.rank(backups)
+                    wc, _src = yield from transport.hedged_read(
+                        [source] + backups[:1], f_region(origin),
+                        start * slot_size, count * slot_size,
+                        label=f"xfer:{origin}",
+                    )
+                else:
+                    wc = yield from qp.read(
+                        remote, start * slot_size, count * slot_size
+                    )
                 if wc.status is not WcStatus.SUCCESS or wc.data is None:
                     return installed
                 window = (index, count, wc.data)

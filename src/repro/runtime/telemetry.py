@@ -39,6 +39,12 @@ _PROBE_KEYS = (
     "op_retries",
     "rejections",
     "faults",
+    # Gray-failure detection/mitigation (all zero in fixed fd mode).
+    "peer_degraded",
+    "fd_phi_suspects",
+    "hedged_reads",
+    "hedge_wins",
+    "retry_budget_exhausted",
 )
 
 

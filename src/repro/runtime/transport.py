@@ -29,8 +29,11 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from collections import deque
+
 from ..core import Coordination
 from ..rdma import RdmaNode, WcStatus
+from ..sim import SeedSequence
 from .config import (
     RuntimeConfig,
     f_ack_region,
@@ -77,6 +80,19 @@ class RingTransport:
         #: back to ring-sizing mode and are being watched for fresh
         #: acks after a heal/rejoin resync (see rearm_flow_control).
         self._rearm_baseline: dict[str, int] = {}
+        #: Peer-health latency tracker (phi mode only; wired by the
+        #: node façade).  Successful one-sided ops feed it, and the
+        #: hedged-read path ranks fallback sources by its EWMA.
+        self.health = None
+        #: Retry-jitter substream: deterministic per (seed, node), and
+        #: only ever drawn from in phi mode so fixed-mode schedules are
+        #: byte-identical to the seed.
+        self._retry_rng = SeedSequence(config.seed).derive(
+            f"retry:{self.name}"
+        )
+        #: Recent successful repair/fetch read latencies — the adaptive
+        #: hedge delay is their p99.
+        self._read_lat: deque = deque(maxlen=64)
         self._register_regions()
         self._init_rings()
 
@@ -464,25 +480,48 @@ class RingTransport:
         """One-sided write with capped exponential backoff on transient
         failures (injected NIC faults, partition blips).
 
+        In phi mode each backoff is jittered by ``±retry_jitter``
+        (drawn from a per-node seed substream, so same seed ⇒ same
+        schedule) to de-synchronize retry storms, and a nonzero
+        ``retry_budget_us`` bounds the *cumulative* backoff a single op
+        may spend — exhausting it surfaces as
+        ``retry_budget_exhausted``, distinct from running out of
+        attempts.  Fixed mode keeps the bare exponential schedule
+        byte-identical to the seed.
+
         Permission errors are *not* transient — they are Mu's leader-
         change signal and must surface immediately.  Returns the last
         :class:`~repro.rdma.WorkCompletion` either way.
         """
         cfg = self.config
         delay = cfg.op_retry_us
+        jitter = cfg.retry_jitter if cfg.fd_mode == "phi" else 0.0
+        budget = cfg.retry_budget_us
+        spent = 0.0
         wc = None
         for _attempt in range(cfg.op_retry_limit + 1):
+            started = self.env.now
             yield from self.rnode.cpu.use(qp.config.post_cpu_us)
             wc = yield qp.post_write(region, offset, payload)
             if (
                 wc.status is WcStatus.SUCCESS
                 or wc.status is WcStatus.PERMISSION_ERROR
             ):
+                if wc.status is WcStatus.SUCCESS and self.health is not None:
+                    self.health.record(qp.remote.name,
+                                       self.env.now - started)
                 return wc
             if not self.rnode.alive:
                 return wc  # we crashed mid-retry: stop
             self.probe.op_retry(label)
-            yield self.env.timeout(delay)
+            wait = delay
+            if jitter > 0.0:
+                wait *= 1.0 + self._retry_rng.uniform(-jitter, jitter)
+            if budget > 0.0 and spent + wait > budget:
+                self.probe.retry_budget_exhausted(label)
+                return wc
+            spent += wait
+            yield self.env.timeout(wait)
             delay = min(delay * 2, cfg.op_retry_cap_us)
         return wc
 
@@ -619,8 +658,16 @@ class RingTransport:
         authoritative copy: the origin's own mirror first, then any
         peer's replica.  Returns the validated record bytes (CRC
         checked for checksummed records) or None.
+
+        Phi mode hedges each fetch: a straggling source no longer
+        serializes the whole repair pass (see :meth:`hedged_read`).
+        Fixed mode keeps the serial loop byte-identical to the seed.
         """
         cfg = self.config
+        if cfg.fd_mode == "phi":
+            return (
+                yield from self._hedged_fetch(origin, index, is_suspected)
+            )
         region_name = f_region(origin)
         offset = (index % cfg.ring_slots) * cfg.slot_size
         sources = [origin] + [p for p in self.peers if p != origin]
@@ -637,6 +684,104 @@ class RingTransport:
             record = parse_record(wc.data, index, cfg.ring_slots)
             if record is not None:
                 return record
+        return None
+
+    # -- hedged reads (phi mode) ------------------------------------------
+
+    def _hedge_delay_us(self) -> float:
+        """Adaptive hedge trigger: p99 of recent successful repair-read
+        latencies, or the configured floor until enough samples accrue."""
+        if len(self._read_lat) >= 8:
+            ordered = sorted(self._read_lat)
+            return ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+        return self.config.hedge_delay_us
+
+    def _read_from(self, source: str, region_name: str, offset: int,
+                   length: int):
+        """One one-sided read, feeding the latency books on success."""
+        qp = self.rnode.qp_to(source)
+        remote = self.rnode.region_of(source, region_name)
+        started = self.env.now
+        wc = yield from qp.read(remote, offset, length)
+        if wc.status is WcStatus.SUCCESS:
+            latency = self.env.now - started
+            self._read_lat.append(latency)
+            if self.health is not None:
+                self.health.record(source, latency)
+        return wc
+
+    def hedged_read(self, sources: list[str], region_name: str,
+                    offset: int, length: int, label: str = "read"):
+        """Read with a hedge: post to ``sources[0]``; if it hasn't
+        completed within the adaptive hedge delay, post the same read
+        to ``sources[1]`` and take whichever completes first.
+
+        Returns ``(wc, source)`` for the winning read (a failed winner
+        falls back to awaiting the other read).  With a single source
+        this degenerates to a plain read.
+        """
+        primary = sources[0]
+        first = self.env.process(
+            self._read_from(primary, region_name, offset, length),
+            name=f"hedge1:{self.name}:{label}",
+        )
+        if len(sources) < 2:
+            wc = yield first
+            return wc, primary
+        timer = self.env.timeout(self._hedge_delay_us())
+        done = yield self.env.any_of([first, timer])
+        if first in done:
+            return done[first], primary
+        self.probe.hedged_read(label)
+        backup = sources[1]
+        second = self.env.process(
+            self._read_from(backup, region_name, offset, length),
+            name=f"hedge2:{self.name}:{label}",
+        )
+        done = yield self.env.any_of([first, second])
+        if second in done:
+            wc = done[second]
+            if wc.status is WcStatus.SUCCESS:
+                self.probe.hedge_win(label)
+                return wc, backup
+            wc = yield first  # hedge failed: fall back to the primary
+            return wc, primary
+        wc = done[first]
+        if wc.status is WcStatus.SUCCESS:
+            return wc, primary
+        wc = yield second  # primary failed: the hedge is the fallback
+        return wc, backup
+
+    def _hedged_fetch(self, origin: str, index: int,
+                      is_suspected: Callable[[str], bool]):
+        """Phi-mode record fetch: same source preference as the serial
+        loop (the origin's authoritative mirror first), but each
+        attempt hedges to the lowest-latency remaining replica so one
+        limping source cannot serialize the repair."""
+        cfg = self.config
+        region_name = f_region(origin)
+        offset = (index % cfg.ring_slots) * cfg.slot_size
+        sources = [
+            s for s in [origin] + [p for p in self.peers if p != origin]
+            if s != self.name and not is_suspected(s)
+            and self.rnode.fabric.nodes[s].alive
+        ]
+        i = 0
+        while i < len(sources):
+            primary = sources[i]
+            backups = sources[i + 1:]
+            if self.health is not None:
+                backups = self.health.rank(backups)
+            pair = [primary] + backups[:1]
+            wc, _source = yield from self.hedged_read(
+                pair, region_name, offset, cfg.slot_size,
+                label=f"F:{origin}",
+            )
+            if wc.status is WcStatus.SUCCESS and wc.data is not None:
+                record = parse_record(wc.data, index, cfg.ring_slots)
+                if record is not None:
+                    return record
+            i += 1
         return None
 
     def repair_corrupt_f(self, origin: str, index: int,

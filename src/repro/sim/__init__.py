@@ -14,6 +14,7 @@ from .engine import (
     Timeout,
 )
 from .faults import (
+    GRAY_PLAN_NAMES,
     MEMBERSHIP_PLAN_NAMES,
     PLAN_NAMES,
     SHARDED_PLAN_NAMES,
@@ -27,6 +28,7 @@ from .resources import Resource, Store
 from .rng import SeedSequence
 
 __all__ = [
+    "GRAY_PLAN_NAMES",
     "MEMBERSHIP_PLAN_NAMES",
     "PLAN_NAMES",
     "SHARDED_PLAN_NAMES",

@@ -10,14 +10,25 @@ A :class:`FaultPlan` is a declarative, seeded schedule of faults:
   group leader forces a re-election);
 * **window** actions arm a probabilistic fault over a time interval —
   one-sided RDMA op failure (``opfail``), message/op ``delay``,
-  ``dup``\\ lication, message ``drop``, and the silent-data-corruption
+  ``dup``\\ lication, message ``drop``, the silent-data-corruption
   classes: ``corrupt`` (bitflip ``k`` bytes of an in-flight one-sided
   write's payload, which still completes SUCCESS) and ``torn`` (land
   only a prefix of the write, then complete SUCCESS — modelling the
-  non-atomicity of one-sided RDMA writes).  Corruption windows apply
-  to RDMA *writes* only; the op completes successfully, so nothing at
-  the sender ever notices — detection is entirely the receiver's
-  (checksummed ring records, scrubber) problem.
+  non-atomicity of one-sided RDMA writes), and the *gray-failure*
+  (fail-slow) classes: ``slow`` (every matched op's completion is
+  stretched by a per-link latency multiplier ``mult`` plus uniform
+  ``jitter_us`` — a congested link or limping NIC; the op still
+  succeeds), ``flaky`` (intermittent stall bursts: the window's
+  substream precomputes a deterministic burst schedule with duty cycle
+  ``rate`` and mean burst length ``burst_us``, and ops inside a burst
+  are stalled ``delay_us``), and ``cpuslow`` (the target node's CPU
+  resource runs at fraction ``frac`` of full speed for the window —
+  every poll/apply loop on that node slows down).  Corruption windows
+  apply to RDMA *writes* only; the op completes successfully, so
+  nothing at the sender ever notices — detection is entirely the
+  receiver's (checksummed ring records, scrubber) problem.  Fail-slow
+  windows never fail an op at all — detection is the adaptive failure
+  detector's (phi accrual + latency EWMA) problem.
 
 Window randomness draws from a per-window substream derived from the
 plan seed (:class:`repro.sim.SeedSequence`), so the same plan over the
@@ -42,6 +53,11 @@ Selectors are resolved *at fire time*, not at plan-build time:
 * ``follower:0`` — the 0th non-leader node;
 * ``minority:1`` — partition the last ``1`` node(s) away from the rest;
 * ``*`` — any node / link (windows only).
+
+Link windows additionally honor a ``direction``: ``"both"`` (default)
+matches ops where the target is either endpoint, ``"in"`` only ops
+*toward* the target (its RX path is congested), ``"out"`` only ops
+*from* it.
 """
 
 from __future__ import annotations
@@ -54,6 +70,8 @@ from .rng import SeedSequence
 
 __all__ = [
     "CORRUPTION_KINDS",
+    "GRAY_KINDS",
+    "GRAY_PLAN_NAMES",
     "MEMBERSHIP_PLAN_NAMES",
     "PLAN_NAMES",
     "SHARDED_PLAN_NAMES",
@@ -67,9 +85,19 @@ __all__ = [
 #: One-shot actions fired at ``at_us`` on the sim clock.
 SCHEDULED_KINDS = ("crash", "restart", "partition", "heal", "join", "leave")
 #: Probabilistic actions armed over ``[at_us, until_us)``.
-WINDOW_KINDS = ("opfail", "delay", "dup", "drop", "corrupt", "torn")
+WINDOW_KINDS = (
+    "opfail", "delay", "dup", "drop", "corrupt", "torn",
+    "slow", "flaky", "cpuslow",
+)
 #: Window kinds that mutate an in-flight RDMA *write* payload.
 CORRUPTION_KINDS = ("corrupt", "torn")
+#: Gray-failure (fail-slow) window kinds: ops never fail, they limp.
+GRAY_KINDS = ("slow", "flaky", "cpuslow")
+#: Supported link/node selector shapes, for error messages.
+_NODE_SELECTORS = "'node:<name>', 'leader:<k>', 'follower:<k>'"
+_PARTITION_SELECTORS = (
+    "'minority:<k>' or explicit sides 'a,b|c,d'"
+)
 
 #: The named plans exercised by the CI chaos matrix.
 PLAN_NAMES = (
@@ -94,6 +122,13 @@ SHARDED_PLAN_NAMES = ("shard-isolate",)
 #: out of :data:`PLAN_NAMES` so the base chaos matrix is unchanged.
 MEMBERSHIP_PLAN_NAMES = ("scale-out-partition", "scale-in-leader")
 
+#: Gray-failure presets: a fail-slow leader and a flaky link.  These
+#: exercise the adaptive failure detector (``fd_mode="phi"``), hedged
+#: reads, and slow-leader demotion; kept out of :data:`PLAN_NAMES` so
+#: the base matrix (and its byte-identical fixed-mode traces) is
+#: unchanged.
+GRAY_PLAN_NAMES = ("gray-leader", "flaky-link")
+
 
 @dataclass(frozen=True)
 class FaultDecision:
@@ -106,7 +141,7 @@ class FaultDecision:
     same ops the same way.
     """
 
-    kind: str  # "opfail" | "delay" | "dup" | "drop" | "corrupt" | "torn"
+    kind: str  # opfail | delay | dup | drop | corrupt | torn | slow | flaky
     delay_us: float = 0.0
     flips: tuple = ()
     cut: int = 0
@@ -129,11 +164,20 @@ class FaultAction:
     """One entry in a :class:`FaultPlan`.
 
     ``target`` is a selector (see module docstring).  For windows,
-    ``rate`` is the per-op injection probability and ``ops`` optionally
-    restricts the window to specific RDMA opcodes (``"write"``,
-    ``"read"``, ``"compare_and_swap"``, ``"send"``); an empty ``ops``
-    matches everything.  ``k`` (``corrupt`` only) is how many payload
-    bytes each injection bitflips.
+    ``rate`` is the per-op injection probability (for ``flaky``: the
+    stall *duty cycle*) and ``ops`` optionally restricts the window to
+    specific RDMA opcodes (``"write"``, ``"read"``,
+    ``"compare_and_swap"``, ``"send"``); an empty ``ops`` matches
+    everything.  ``k`` (``corrupt`` only) is how many payload bytes
+    each injection bitflips.
+
+    Gray-failure fields (serialized only when non-default, so existing
+    plans keep byte-identical canonical JSON): ``mult`` and
+    ``jitter_us`` shape a ``slow`` window's latency stretch,
+    ``burst_us`` a ``flaky`` window's mean stall-burst length,
+    ``frac`` a ``cpuslow`` node's remaining CPU speed fraction, and
+    ``direction`` restricts a link window to inbound (``"in"``) or
+    outbound (``"out"``) ops of the target.
     """
 
     at_us: float
@@ -144,6 +188,11 @@ class FaultAction:
     delay_us: float = 0.0
     ops: tuple = ()
     k: int = 1
+    mult: float = 1.0
+    jitter_us: float = 0.0
+    burst_us: float = 0.0
+    frac: float = 1.0
+    direction: str = "both"
 
     def __post_init__(self):
         if self.kind not in SCHEDULED_KINDS + WINDOW_KINDS:
@@ -159,12 +208,32 @@ class FaultAction:
             )
         if self.kind == "corrupt" and self.k < 1:
             raise ValueError("corrupt window needs k >= 1 bytes to flip")
+        if self.direction not in ("both", "in", "out"):
+            raise ValueError(
+                f"direction must be 'both', 'in', or 'out' "
+                f"(got {self.direction!r})"
+            )
+        if self.kind == "slow" and self.mult < 1.0:
+            raise ValueError("slow window needs mult >= 1.0")
+        if self.kind == "slow" and self.mult == 1.0 and self.jitter_us <= 0:
+            raise ValueError(
+                "slow window needs mult > 1.0 or jitter_us > 0 "
+                "(otherwise it injects nothing)"
+            )
+        if self.kind == "flaky" and (self.burst_us <= 0 or self.delay_us <= 0):
+            raise ValueError(
+                "flaky window needs burst_us > 0 and delay_us > 0"
+            )
+        if self.kind == "cpuslow" and not (0.0 < self.frac < 1.0):
+            raise ValueError(
+                f"cpuslow window needs 0 < frac < 1 (got {self.frac})"
+            )
 
     def is_window(self) -> bool:
         return self.kind in WINDOW_KINDS
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "at_us": self.at_us,
             "kind": self.kind,
             "target": self.target,
@@ -174,6 +243,19 @@ class FaultAction:
             "ops": list(self.ops),
             "k": self.k,
         }
+        # Gray-failure fields serialize only when non-default so plans
+        # predating them keep byte-identical canonical JSON.
+        if self.mult != 1.0:
+            out["mult"] = self.mult
+        if self.jitter_us != 0.0:
+            out["jitter_us"] = self.jitter_us
+        if self.burst_us != 0.0:
+            out["burst_us"] = self.burst_us
+        if self.frac != 1.0:
+            out["frac"] = self.frac
+        if self.direction != "both":
+            out["direction"] = self.direction
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultAction":
@@ -197,6 +279,11 @@ class FaultAction:
             delay_us=float(data.get("delay_us", 0.0)),
             ops=tuple(data.get("ops", ())),
             k=int(data.get("k", 1)),
+            mult=float(data.get("mult", 1.0)),
+            jitter_us=float(data.get("jitter_us", 0.0)),
+            burst_us=float(data.get("burst_us", 0.0)),
+            frac=float(data.get("frac", 1.0)),
+            direction=str(data.get("direction", "both")),
         )
 
 
@@ -447,10 +534,49 @@ class FaultPlan:
                     at_us=0.60 * h, kind="restart", target="follower:0"
                 ),
             )
+        elif name == "gray-leader":
+            # Fail-slow leader: every RDMA op touching the group-0
+            # leader — either direction, as a degraded NIC slows both
+            # its RX and TX paths — is stretched 12x (plus jitter) for
+            # most of the run.  The victim never *fails* an op and its
+            # heartbeat counter keeps advancing, so a fixed-timeout
+            # detector never trips while the leader's replication
+            # fan-out limps and conflicting calls queue behind it.  The
+            # adaptive detector (fd_mode="phi") must classify the
+            # leader degraded from data-plane latency and demote it.
+            actions = (
+                FaultAction(
+                    at_us=0.10 * h,
+                    kind="slow",
+                    target="leader:0",
+                    until_us=0.70 * h,
+                    rate=1.0,
+                    mult=12.0,
+                    jitter_us=4.0,
+                ),
+            )
+        elif name == "flaky-link":
+            # Flaky NIC: ops touching the victim node stall in
+            # intermittent bursts (duty cycle ``rate``, mean burst
+            # ``burst_us``, stall ``delay_us``) — the in-between gaps
+            # keep a fixed-timeout detector happy while tail latency
+            # craters.  Exercises phi accrual over irregular arrivals
+            # and hedged reads around the flapping source.
+            actions = (
+                FaultAction(
+                    at_us=0.10 * h,
+                    kind="flaky",
+                    target=f"node:p{n_nodes}",
+                    until_us=0.65 * h,
+                    rate=0.5,
+                    burst_us=25.0,
+                    delay_us=30.0,
+                ),
+            )
         else:
             raise ValueError(
                 f"unknown plan {name!r}; expected one of "
-                f"{PLAN_NAMES + SHARDED_PLAN_NAMES + MEMBERSHIP_PLAN_NAMES}"
+                f"{PLAN_NAMES + SHARDED_PLAN_NAMES + MEMBERSHIP_PLAN_NAMES + GRAY_PLAN_NAMES}"
             )
         return cls(seed=seed, name=name, actions=actions)
 
@@ -492,12 +618,60 @@ class FaultInjector:
         self.env = None
         seq = SeedSequence(plan.seed)
         # One private substream per window so windows never perturb
-        # each other's draws.
-        self._windows = [
-            (action, seq.derive(f"window:{i}"))
-            for i, action in enumerate(plan.actions)
-            if action.is_window()
-        ]
+        # each other's draws.  ``cpuslow`` windows are not consulted
+        # per-op — they are scheduled as engage/restore pairs in
+        # :meth:`arm` — so they stay out of the hook list; flaky
+        # windows precompute their whole burst schedule from the
+        # substream up front, so consults are draw-free.
+        self._windows = []
+        for i, action in enumerate(plan.actions):
+            if not action.is_window() or action.kind == "cpuslow":
+                continue
+            rng = seq.derive(f"window:{i}")
+            bursts = (
+                self._burst_schedule(action, rng)
+                if action.kind == "flaky" else ()
+            )
+            self._windows.append(
+                (i, action, rng, bursts, [b[0] for b in bursts])
+            )
+        #: Gray-window emission rate limiting: slow/flaky/cpuslow fire
+        #: per *op*, which would bloat traces — note each (window, link)
+        #: / (window, burst) once instead.
+        self._noted: set = set()
+        #: id(action) -> slowed CPU resources, so the restore hits the
+        #: same CPUs even if a ``leader:`` selector resolves elsewhere
+        #: by then.
+        self._cpu_slowed: dict = {}
+        #: window idx -> node name: gray windows with role selectors
+        #: (``leader:k``/``follower:k``) pin their victim at window
+        #: OPEN.  A fail-slow NIC is a property of the box, not of the
+        #: leadership role — without the pin, demoting the slow leader
+        #: would teleport the fault onto its successor and no
+        #: mitigation could ever help.
+        self._pinned: dict = {}
+        self._fabric_cfg = None
+        self._net_cfg = None
+
+    @staticmethod
+    def _burst_schedule(action: FaultAction, rng) -> list:
+        """Deterministic ``(start, end)`` stall bursts for a flaky
+        window: duty cycle ``rate``, mean burst length ``burst_us``,
+        gaps sized so the duty cycle holds in expectation.  All draws
+        happen here, at construction — consults are pure lookups.
+        """
+        duty = min(max(action.rate, 0.01), 0.95)
+        mean_gap = action.burst_us * (1.0 - duty) / duty
+        bursts = []
+        t = action.at_us
+        while True:
+            start = t + mean_gap * rng.uniform(0.5, 1.5)
+            if start >= action.until_us:
+                break
+            length = action.burst_us * rng.uniform(0.5, 1.5)
+            bursts.append((start, min(start + length, action.until_us)))
+            t = start + length
+        return bursts
 
     # -- arming -------------------------------------------------------
 
@@ -507,16 +681,43 @@ class FaultInjector:
         fabric = getattr(cluster, "fabric", None)
         if fabric is not None:
             fabric.fault_hook = self._rdma_hook
+            self._fabric_cfg = fabric.config
         network = getattr(cluster, "network", None)
         if network is not None:
             network.fault_hook = self._msg_hook
+            self._net_cfg = network.config
         for action in self.plan.actions:
-            if not action.is_window():
+            if action.kind == "cpuslow":
+                # A window on the sim clock, not the op stream: engage
+                # at open, restore at close.
+                self.env.call_later(
+                    max(0.0, action.at_us - self.env.now),
+                    lambda a=action: self._cpu_slow_engage(a),
+                )
+                self.env.call_later(
+                    max(0.0, action.until_us - self.env.now),
+                    lambda a=action: self._cpu_slow_restore(a),
+                )
+            elif not action.is_window():
                 self.env.call_later(
                     max(0.0, action.at_us - self.env.now),
                     lambda a=action: self._execute(a),
                 )
+        for i, action, _rng, _bursts, _starts in self._windows:
+            if (action.kind in GRAY_KINDS and action.target != "*"
+                    and not action.target.startswith("node:")):
+                self.env.call_later(
+                    max(0.0, action.at_us - self.env.now),
+                    lambda i=i, a=action: self._pin_target(i, a),
+                )
         return self
+
+    def _pin_target(self, idx: int, action: FaultAction) -> None:
+        """Freeze a gray window's role selector to a concrete node."""
+        try:
+            self._pinned[idx] = self._resolve_node(action.target)
+        except ValueError:
+            pass  # unresolvable now: fall back to per-consult resolution
 
     def horizon_us(self) -> float:
         return self.plan.horizon_us()
@@ -546,7 +747,7 @@ class FaultInjector:
         self, op: str, src: str, dst: str, nbytes: int, drop_ok: bool
     ) -> Optional[FaultDecision]:
         now = self.env.now
-        for action, rng in self._windows:
+        for idx, action, rng, bursts, burst_starts in self._windows:
             if not (action.at_us <= now < action.until_us):
                 continue
             if action.kind == "drop" and not drop_ok:
@@ -557,10 +758,34 @@ class FaultInjector:
                 continue  # only one-sided write payloads can land wrong
             if action.ops and op not in action.ops:
                 continue
-            if not self._link_matches(action.target, src, dst):
+            if not self._link_matches(idx, action, src, dst):
                 continue
+            if action.kind == "flaky":
+                # Duty cycle, not per-op probability: stall iff the op
+                # falls inside a precomputed burst.  No draws here.
+                burst = self._burst_index(bursts, burst_starts, now)
+                if burst is None:
+                    continue
+                self._note(
+                    ("flaky", idx, burst), "flaky", dst,
+                    f"burst {burst}: {op}:{src}->{dst} "
+                    f"stalled {action.delay_us:.0f}us",
+                    probe_at=src,
+                )
+                return FaultDecision("flaky", delay_us=action.delay_us)
             if rng.random() >= action.rate:
                 continue
+            if action.kind == "slow":
+                base = self._slow_base_us(nbytes, drop_ok)
+                extra = (action.mult - 1.0) * base
+                if action.jitter_us > 0:
+                    extra += rng.uniform(0.0, action.jitter_us)
+                self._note(
+                    ("slow", idx, src, dst), "slow", dst,
+                    f"{op}:{src}->{dst} stretched {action.mult:.1f}x",
+                    probe_at=src,
+                )
+                return FaultDecision("slow", delay_us=extra)
             self._emit(action.kind, dst, f"{op}:{src}->{dst}", probe_at=src)
             if action.kind == "corrupt":
                 flips = tuple(
@@ -574,18 +799,98 @@ class FaultInjector:
             return FaultDecision(action.kind, delay_us=action.delay_us)
         return None
 
-    def _link_matches(self, target: str, src: str, dst: str) -> bool:
+    @staticmethod
+    def _burst_index(bursts, burst_starts, now) -> Optional[int]:
+        import bisect
+
+        i = bisect.bisect_right(burst_starts, now) - 1
+        if i >= 0 and bursts[i][0] <= now < bursts[i][1]:
+            return i
+        return None
+
+    def _slow_base_us(self, nbytes: int, drop_ok: bool) -> float:
+        """The op's nominal network latency, so ``mult`` stretches what
+        the link would actually have cost."""
+        if drop_ok:
+            cfg = self._net_cfg
+            if cfg is None:
+                return 1.0
+            return cfg.wire_us + cfg.byte_us * nbytes
+        cfg = self._fabric_cfg
+        if cfg is None:
+            return 1.0
+        return cfg.wire_us + cfg.ack_us + cfg.tx_time(nbytes)
+
+    def _link_matches(self, idx: int, action: FaultAction,
+                      src: str, dst: str) -> bool:
+        target = action.target
         if target == "*":
             return True
         if target.startswith("node:"):
             name = target.split(":", 1)[1]
-            return src == name or dst == name
-        # leader:/follower: resolved at consult time
-        try:
-            name = self._resolve_node(target)
-        except ValueError:
-            return False
+        elif idx in self._pinned:
+            # Gray windows: the victim was frozen at window open (a
+            # slow NIC does not follow a leadership change).
+            name = self._pinned[idx]
+        else:
+            # leader:/follower: resolved at consult time
+            try:
+                name = self._resolve_node(target)
+            except ValueError:
+                return False
+        if action.direction == "in":
+            return dst == name
+        if action.direction == "out":
+            return src == name
         return src == name or dst == name
+
+    # -- cpuslow windows ----------------------------------------------
+
+    def _cpu_slow_engage(self, action: FaultAction) -> None:
+        try:
+            name = self._resolve_node(action.target)
+        except ValueError:
+            return
+        cpus = self._cpus_of(name)
+        if not cpus:
+            return
+        self._cpu_slowed[id(action)] = cpus
+        for cpu in cpus:
+            cpu.speed = action.frac
+        self._emit(
+            "cpuslow", name,
+            f"{action.target} cpu at {action.frac:.2f}x until "
+            f"{action.until_us:.0f}us",
+        )
+
+    def _cpu_slow_restore(self, action: FaultAction) -> None:
+        for cpu in self._cpu_slowed.pop(id(action), ()):
+            cpu.speed = 1.0
+
+    def _cpus_of(self, name: str) -> list:
+        cpus = []
+        fabric = getattr(self.cluster, "fabric", None)
+        if fabric is not None and name in getattr(fabric, "nodes", {}):
+            cpus.append(fabric.nodes[name].cpu)
+        network = getattr(self.cluster, "network", None)
+        if network is not None and name in getattr(network, "hosts", {}):
+            cpus.append(network.hosts[name].cpu)
+        return cpus
+
+    def _note(
+        self,
+        key: tuple,
+        kind: str,
+        target: str,
+        detail: str,
+        probe_at: Optional[str] = None,
+    ) -> None:
+        """Emit once per ``key`` — gray windows fire per op and would
+        otherwise flood the trace with fault events."""
+        if key in self._noted:
+            return
+        self._noted.add(key)
+        self._emit(kind, target, detail, probe_at=probe_at)
 
     # -- scheduled actions --------------------------------------------
 
@@ -643,7 +948,10 @@ class FaultInjector:
                 return leader
             followers = [n for n in names if n != leader]
             return followers[idx % len(followers)]
-        raise ValueError(f"unresolvable node selector {target!r}")
+        raise ValueError(
+            f"unresolvable node selector {target!r}: expected one of "
+            f"{_NODE_SELECTORS}"
+        )
 
     def _current_leader(self, group_index: int) -> str:
         names = self._names()
@@ -668,7 +976,10 @@ class FaultInjector:
                 [n for n in left.split(",") if n],
                 [n for n in right.split(",") if n],
             )
-        raise ValueError(f"unresolvable partition selector {target!r}")
+        raise ValueError(
+            f"unresolvable partition selector {target!r}: expected "
+            f"{_PARTITION_SELECTORS}"
+        )
 
     # -- trace emission -----------------------------------------------
 
@@ -705,7 +1016,8 @@ def resolve_plan(
         is_file = os.path.isfile
     if spec is not None:
         if (spec in PLAN_NAMES or spec in SHARDED_PLAN_NAMES
-                or spec in MEMBERSHIP_PLAN_NAMES):
+                or spec in MEMBERSHIP_PLAN_NAMES
+                or spec in GRAY_PLAN_NAMES):
             return FaultPlan.named(
                 spec,
                 seed=seed if seed is not None else 0,
@@ -716,7 +1028,7 @@ def resolve_plan(
             return FaultPlan.from_file(spec)
         raise ValueError(
             f"--faults {spec!r} is neither a named plan "
-            f"{PLAN_NAMES + SHARDED_PLAN_NAMES + MEMBERSHIP_PLAN_NAMES} "
+            f"{PLAN_NAMES + SHARDED_PLAN_NAMES + MEMBERSHIP_PLAN_NAMES + GRAY_PLAN_NAMES} "
             f"nor a JSON file"
         )
     if seed is not None:

@@ -97,6 +97,10 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self.in_use = 0
+        #: Execution speed factor: 1.0 is nominal; a ``cpuslow`` fault
+        #: window lowers it, stretching every :meth:`use` duration by
+        #: ``1/speed`` for as long as the window is open.
+        self.speed = 1.0
         self._waiters: deque[Event] = deque()
 
     @property
@@ -130,6 +134,8 @@ class Resource:
         """
         yield self.acquire()
         try:
-            yield self.env.timeout(duration)
+            yield self.env.timeout(
+                duration if self.speed == 1.0 else duration / self.speed
+            )
         finally:
             self.release()

@@ -86,3 +86,197 @@ class TestCrash:
         env.run(until=2000)
         # The dead detector never polled, so it suspects no one.
         assert not detectors["p1"].suspected
+
+
+# -- phi-accrual suspicion ---------------------------------------------
+
+
+class TestPhiAccrual:
+    def _warmed(self, interval=20.0, n=8):
+        from repro.runtime.heartbeat import PhiAccrual
+
+        phi = PhiAccrual()
+        for i in range(n):
+            phi.arrival("p2", i * interval)
+        return phi, (n - 1) * interval
+
+    def test_unwarmed_model_returns_none(self):
+        from repro.runtime.heartbeat import PhiAccrual
+
+        phi = PhiAccrual()
+        assert phi.phi("p2", 100.0) is None
+        phi.arrival("p2", 0.0)
+        phi.arrival("p2", 20.0)  # one interval: still below MIN_SAMPLES
+        assert phi.phi("p2", 100.0) is None
+
+    def test_on_time_arrival_accrues_little_suspicion(self):
+        phi, last = self._warmed()
+        assert phi.phi("p2", last + 20.0) < 2.0
+
+    def test_long_silence_accrues_past_any_threshold(self):
+        phi, last = self._warmed()
+        assert phi.phi("p2", last + 500.0) > 16.0
+
+    def test_suspicion_grows_monotonically_with_silence(self):
+        phi, last = self._warmed()
+        levels = [phi.phi("p2", last + gap) for gap in (20, 60, 120, 240)]
+        assert levels == sorted(levels)
+
+    def test_irregular_but_alive_stream_stays_calm(self):
+        """A jittery heartbeat inflates the learned deviation, so a gap
+        that would damn a metronome peer barely registers."""
+        from repro.runtime.heartbeat import PhiAccrual
+
+        phi = PhiAccrual()
+        now = 0.0
+        for i, gap in enumerate((10.0, 60.0, 15.0, 70.0, 12.0, 55.0)):
+            now += gap
+            phi.arrival("p2", now)
+        assert phi.phi("p2", now + 80.0) < 8.0
+
+    def test_forget_resets_the_model(self):
+        phi, last = self._warmed()
+        phi.forget("p2")
+        assert phi.phi("p2", last + 500.0) is None
+
+
+# -- peer-health (fail-slow) classification ----------------------------
+
+
+class TestPeerHealth:
+    def _health(self, **kwargs):
+        from repro.runtime.heartbeat import PeerHealth
+
+        events = []
+        health = PeerHealth(
+            on_degraded=lambda p: events.append(("degraded", p)),
+            on_recovered=lambda p: events.append(("recovered", p)),
+            **kwargs,
+        )
+        return health, events
+
+    def _warm(self, health, peers=("p2", "p3", "p4"), latency=1.0, n=8):
+        for _ in range(n):
+            for peer in peers:
+                health.record(peer, latency)
+
+    def test_slow_outlier_peer_is_degraded(self):
+        health, events = self._health()
+        self._warm(health)
+        for _ in range(6):
+            health.record("p2", 10.0)
+        assert health.is_degraded("p2")
+        assert not health.is_degraded("p3")
+        assert ("degraded", "p2") in events
+
+    def test_no_degradation_below_min_samples(self):
+        health, events = self._health()
+        for _ in range(3):
+            health.record("p2", 1.0)
+        health.record("p2", 50.0)
+        assert not health.is_degraded("p2")
+        assert events == []
+
+    def test_uniform_inflation_is_not_degradation(self):
+        """A local load spike slows observations toward EVERY peer at
+        once; the relative-outlier gate must hold fire."""
+        health, events = self._health()
+        self._warm(health)
+        for _ in range(6):
+            for peer in ("p2", "p3", "p4"):
+                health.record(peer, 10.0)
+        assert not health.degraded
+        assert events == []
+
+    def test_latency_recovery_clears_and_fires_callback(self):
+        health, events = self._health()
+        self._warm(health)
+        for _ in range(6):
+            health.record("p2", 10.0)
+        assert health.is_degraded("p2")
+        for _ in range(30):
+            health.record("p2", 1.0)
+        assert not health.is_degraded("p2")
+        assert ("recovered", "p2") in events
+
+    def test_rank_orders_by_ewma_best_first(self):
+        health, _events = self._health()
+        health.record("p2", 5.0)
+        health.record("p3", 1.0)
+        assert health.rank(["p2", "p3", "p9"]) == ["p3", "p2", "p9"]
+
+    def test_forget_drops_all_books(self):
+        health, _events = self._health()
+        self._warm(health)
+        for _ in range(6):
+            health.record("p2", 10.0)
+        health.forget("p2")
+        assert not health.is_degraded("p2")
+        assert health.ewma_us("p2") is None
+
+
+# -- the detector's phi mode -------------------------------------------
+
+
+def build_phi(n=3, fd_poll=50.0):
+    env = Environment()
+    fabric = Fabric.build(env, n)
+    heartbeats = {
+        name: Heartbeat(fabric.nodes[name], interval_us=20.0)
+        for name in fabric.node_names()
+    }
+    detectors = {
+        name: FailureDetector(
+            fabric.nodes[name],
+            fabric.node_names(),
+            poll_interval_us=fd_poll,
+            mode="phi",
+        )
+        for name in fabric.node_names()
+    }
+    return env, fabric, heartbeats, detectors
+
+
+class TestPhiDetectorMode:
+    def test_healthy_cluster_stays_unsuspected(self):
+        env, _fabric, _hbs, detectors = build_phi()
+        env.run(until=2000)
+        assert all(not d.suspected for d in detectors.values())
+
+    def test_suspended_node_suspected_via_phi(self):
+        env, _fabric, hbs, detectors = build_phi()
+        env.run(until=1000)  # warm the per-peer interval models
+        hbs["p2"].suspend()
+        env.run(until=3000)
+        assert detectors["p1"].is_suspected("p2")
+        assert detectors["p3"].is_suspected("p2")
+
+    def test_degraded_pin_survives_advancing_counter(self):
+        """The fail-slow case: the victim's heartbeat keeps advancing,
+        so only the pin (not counter staleness) carries suspicion."""
+        env, _fabric, _hbs, detectors = build_phi()
+        env.run(until=500)
+        detectors["p1"].mark_degraded("p2")
+        assert detectors["p1"].is_suspected("p2")
+        env.run(until=3000)  # plenty of healthy heartbeats from p2
+        assert detectors["p1"].is_suspected("p2")
+        assert detectors["p1"].is_degraded("p2")
+
+    def test_clear_degraded_lets_the_counter_unsuspect(self):
+        env, _fabric, _hbs, detectors = build_phi()
+        env.run(until=500)
+        detectors["p1"].mark_degraded("p2")
+        detectors["p1"].clear_degraded("p2")
+        env.run(until=3000)
+        assert not detectors["p1"].is_suspected("p2")
+
+    def test_mark_degraded_fires_on_suspect_once(self):
+        env, _fabric, _hbs, _detectors = build_phi()
+        fired = []
+        detector = FailureDetector(
+            _fabric.nodes["p1"], _fabric.node_names(), mode="phi",
+            on_suspect=fired.append,
+        )
+        detector.mark_degraded("p2")
+        detector.mark_degraded("p2")
+        assert fired == ["p2"]

@@ -104,3 +104,48 @@ class TestScrubber:
             }
 
         assert one_run() == one_run()
+
+
+class TestScrubberRearm:
+    """Membership changes must re-arm the scrub rotation (regression:
+    the target list was computed once at construction, so a joiner's
+    ring was never scrubbed and a departed peer's frozen ring spun in
+    the rotation forever)."""
+
+    def test_joiner_ring_enters_the_rotation(self):
+        env, cluster = _scrubbing_cluster()
+        _populate(env, cluster, n=3)
+        incumbent = cluster.node("p2")
+        assert ("F", "p4") not in incumbent.scrubber._targets
+        cluster.add_node("p4")
+        env.run(until=env.now + 500.0)
+        assert ("F", "p4") in incumbent.scrubber._targets
+
+    def test_departed_ring_leaves_the_rotation(self):
+        env, cluster = _scrubbing_cluster()
+        _populate(env, cluster, n=3)
+        incumbent = cluster.node("p2")
+        assert ("F", "p3") in incumbent.scrubber._targets
+        cluster.remove_node("p3")
+        # The drainable-history reader survives; the scrub target must not.
+        assert "p3" in incumbent.transport.f_readers
+        assert ("F", "p3") not in incumbent.scrubber._targets
+
+    def test_heals_corruption_in_a_joiner_ring(self):
+        """End to end: corruption planted in the JOINER's replicated F
+        ring — a ring that did not exist when the scrubber armed — is
+        found and healed."""
+        env, cluster = _scrubbing_cluster()
+        _populate(env, cluster, n=3)
+        cluster.add_node("p4")
+        env.run(until=env.now + 500.0)
+        for i in range(10, 16):
+            env.run(until=cluster.node("p4").submit("add", i))
+        env.run(until=env.now + 500.0)
+        node = cluster.node("p2")
+        offset, pristine = _corrupt_consumed_slot(node, origin="p4")
+        env.run(until=env.now + 3000.0)
+        reader = node.transport.f_readers["p4"]
+        healed = bytes(reader.region.read(offset, node.config.slot_size))
+        assert healed == pristine, "joiner ring slot was not healed"
+        assert not cluster.failures()

@@ -532,3 +532,239 @@ class TestFaultProbeEvents:
         assert events, "fault events should reach the trace recorder"
         assert events[0].name == "crash"
         assert events[0].origin == "p2"
+
+
+# -- gray-failure (fail-slow) windows ----------------------------------
+
+
+class TestGrayWindows:
+    def test_gray_presets_resolve_and_round_trip(self):
+        from repro.sim import GRAY_PLAN_NAMES
+
+        for name in GRAY_PLAN_NAMES:
+            plan = resolve_plan(name, None, 4)
+            assert plan.name == name
+            clone = FaultPlan.from_json(plan.to_json())
+            assert clone == plan
+            assert clone.to_json() == plan.to_json()
+        slow = FaultPlan.named("gray-leader").actions[0]
+        assert (slow.kind, slow.mult, slow.jitter_us) == ("slow", 12.0, 4.0)
+        flaky = FaultPlan.named("flaky-link", n_nodes=4).actions[0]
+        assert (flaky.kind, flaky.burst_us, flaky.target) == (
+            "flaky", 25.0, "node:p4"
+        )
+
+    def test_gray_fields_survive_round_trip(self):
+        plan = FaultPlan(
+            seed=2,
+            actions=(
+                FaultAction(
+                    at_us=1.0, kind="slow", until_us=9.0, rate=0.5,
+                    mult=3.0, jitter_us=2.0, direction="out",
+                ),
+                FaultAction(
+                    at_us=2.0, kind="flaky", until_us=9.0, rate=0.4,
+                    burst_us=5.0, delay_us=7.0, target="node:p2",
+                ),
+                FaultAction(
+                    at_us=3.0, kind="cpuslow", until_us=9.0,
+                    frac=0.25, target="node:p1",
+                ),
+            ),
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone == plan
+        slow, flaky, cpuslow = clone.actions
+        assert (slow.mult, slow.jitter_us, slow.direction) == (
+            3.0, 2.0, "out"
+        )
+        assert (flaky.burst_us, flaky.delay_us) == (5.0, 7.0)
+        assert cpuslow.frac == 0.25
+
+    def test_gray_validation_errors(self):
+        with pytest.raises(ValueError, match="mult >= 1.0"):
+            FaultAction(at_us=0.0, kind="slow", until_us=9.0, mult=0.5)
+        with pytest.raises(ValueError, match="injects nothing"):
+            FaultAction(at_us=0.0, kind="slow", until_us=9.0, mult=1.0)
+        with pytest.raises(ValueError, match="burst_us > 0"):
+            FaultAction(at_us=0.0, kind="flaky", until_us=9.0,
+                        delay_us=5.0)
+        with pytest.raises(ValueError, match="0 < frac < 1"):
+            FaultAction(at_us=0.0, kind="cpuslow", until_us=9.0,
+                        frac=1.5)
+        with pytest.raises(ValueError, match="'both', 'in', or 'out'"):
+            FaultAction(at_us=0.0, kind="slow", until_us=9.0, mult=2.0,
+                        direction="sideways")
+
+    def test_unresolvable_selector_names_supported_shapes(self):
+        env = Environment()
+        fabric = Fabric.build(env, 2)
+        injector = FaultInjector(FaultPlan(seed=0)).arm(
+            _BareCluster(env, fabric=fabric)
+        )
+        with pytest.raises(ValueError) as excinfo:
+            injector._resolve_node("zone:3")
+        message = str(excinfo.value)
+        assert "'zone:3'" in message
+        assert "node:<name>" in message
+        assert "leader:<k>" in message
+        assert "follower:<k>" in message
+
+    def _slow_injector(self, direction="both", mult=4.0, jitter_us=0.0):
+        plan = FaultPlan(
+            seed=1,
+            actions=(
+                FaultAction(
+                    at_us=0.0, kind="slow", until_us=1e9, rate=1.0,
+                    mult=mult, jitter_us=jitter_us, target="node:p2",
+                    direction=direction,
+                ),
+            ),
+        )
+        return FaultInjector(plan)
+
+    def _timed_write(self, injector=None):
+        env = Environment()
+        fabric = Fabric.build(env, 2)
+        target = fabric.nodes["p2"].register("slot", 64)
+        qp = fabric.nodes["p1"].qp_to("p2")
+        if injector is not None:
+            injector.arm(_BareCluster(env, fabric=fabric))
+
+        def proc():
+            yield from qp.write(target, 0, b"abc")
+            return env.now
+
+        elapsed = run_proc(env, proc())
+        base = (
+            fabric.config.wire_us + fabric.config.ack_us
+            + fabric.config.tx_time(3)
+        )
+        return elapsed, base
+
+    def test_slow_window_stretches_by_mult_of_base_latency(self):
+        clean, base = self._timed_write()
+        injector = self._slow_injector(mult=4.0)
+        slowed, _ = self._timed_write(injector)
+        assert slowed == pytest.approx(clean + 3.0 * base)
+        assert injector.counts() == {"slow": 1}
+
+    def test_slow_direction_filters_by_victim_side(self):
+        clean, base = self._timed_write()
+        # p1 -> p2 write with the window on p2's *outbound* side: the
+        # op's destination is p2, so nothing matches.
+        outbound = self._slow_injector(direction="out")
+        elapsed, _ = self._timed_write(outbound)
+        assert elapsed == pytest.approx(clean)
+        assert outbound.counts() == {}
+        # Same op against p2's *inbound* side: stretched.
+        inbound = self._slow_injector(direction="in")
+        elapsed, _ = self._timed_write(inbound)
+        assert elapsed == pytest.approx(clean + 3.0 * base)
+
+    def test_slow_jitter_is_deterministic(self):
+        def one_run():
+            injector = self._slow_injector(mult=2.0, jitter_us=5.0)
+            elapsed, _ = self._timed_write(injector)
+            return elapsed
+
+        clean, base = self._timed_write()
+        first, second = one_run(), one_run()
+        assert first == second
+        assert first > clean + base  # mult stretch plus nonzero jitter
+
+    def test_flaky_bursts_stall_deterministically(self):
+        def one_run():
+            env = Environment()
+            fabric = Fabric.build(env, 2)
+            target = fabric.nodes["p2"].register("slot", 64)
+            qp = fabric.nodes["p1"].qp_to("p2")
+            plan = FaultPlan(
+                seed=3,
+                actions=(
+                    FaultAction(
+                        at_us=0.0, kind="flaky", until_us=2_000.0,
+                        rate=0.5, burst_us=20.0, delay_us=30.0,
+                        target="node:p2",
+                    ),
+                ),
+            )
+            injector = FaultInjector(plan)
+            injector.arm(_BareCluster(env, fabric=fabric))
+
+            def proc():
+                stalls = []
+                for _ in range(30):
+                    before = env.now
+                    yield from qp.write(target, 0, b"x")
+                    stalls.append(env.now - before > 25.0)
+                    yield env.timeout(7.0)
+                return stalls
+
+            return run_proc(env, proc()), injector.counts()
+
+        first, first_counts = one_run()
+        second, second_counts = one_run()
+        assert first == second
+        assert first_counts == second_counts
+        assert any(first), "no op ever landed inside a stall burst"
+        assert not all(first), "the duty cycle left no gaps"
+
+    def test_cpuslow_scales_node_cpu_and_restores(self):
+        from repro.datatypes import SPEC_FACTORIES
+        from repro.runtime import HambandCluster
+
+        env = Environment()
+        cluster = HambandCluster.build(
+            env, SPEC_FACTORIES["gset"](), n_nodes=3
+        )
+        plan = FaultPlan(
+            seed=0,
+            actions=(
+                FaultAction(
+                    at_us=50.0, kind="cpuslow", until_us=300.0,
+                    frac=0.25, target="node:p2",
+                ),
+            ),
+        )
+        FaultInjector(plan).arm(cluster)
+        cpu = cluster.fabric.nodes["p2"].cpu
+        env.run(until=100.0)
+        assert cpu.speed == 0.25
+        assert cluster.fabric.nodes["p1"].cpu.speed == 1.0
+        env.run(until=400.0)
+        assert cpu.speed == 1.0
+
+    def test_gray_role_selector_pins_victim_at_window_open(self):
+        """A fail-slow NIC belongs to the box: once the window opens on
+        the then-leader, demoting that leader must NOT teleport the
+        fault onto its successor."""
+        from repro.datatypes import SPEC_FACTORIES
+        from repro.runtime import HambandCluster
+
+        env = Environment()
+        cluster = HambandCluster.build(
+            env, SPEC_FACTORIES["courseware"](), n_nodes=3
+        )
+        plan = FaultPlan(
+            seed=0,
+            actions=(
+                FaultAction(
+                    at_us=20.0, kind="slow", until_us=10_000.0,
+                    rate=1.0, mult=3.0, target="leader:0",
+                ),
+            ),
+        )
+        injector = FaultInjector(plan).arm(cluster)
+        gid = sorted(cluster.nodes["p1"].conflict.mu_groups)[0]
+        victim = cluster.nodes["p1"].conflict.leader_of(gid)
+        env.run(until=30.0)
+        idx, action = injector._windows[0][0], injector._windows[0][1]
+        assert injector._pinned == {idx: victim}
+        # Simulate a demotion: role resolution now points elsewhere...
+        injector._current_leader = lambda _k: "p3"
+        successor = "p3"
+        # ...but the armed window still matches the pinned victim, and
+        # does not follow the role to the successor.
+        assert injector._link_matches(idx, action, "p2", victim)
+        assert not injector._link_matches(idx, action, "p2", successor)
